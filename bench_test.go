@@ -1,0 +1,315 @@
+// Package iadm's root benchmark suite: one BenchmarkE<k>_* per experiment
+// row in DESIGN.md. `go test -bench=. -benchmem` regenerates every measured
+// number recorded in EXPERIMENTS.md; the shapes to look for are the O(1)
+// flatness of the paper's rerouting schemes versus the O(log N) growth of
+// the baselines, and the linear-in-n cost of routing itself.
+package iadm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"iadm/internal/baseline"
+	"iadm/internal/blockage"
+	"iadm/internal/core"
+	"iadm/internal/icube"
+	"iadm/internal/paths"
+	"iadm/internal/permroute"
+	"iadm/internal/simulator"
+	"iadm/internal/subgraph"
+	"iadm/internal/topology"
+)
+
+var sizes = []int{8, 64, 1024, 4096}
+
+// BenchmarkE1_BuildICube measures ICube construction + full link iteration.
+func BenchmarkE1_BuildICube(b *testing.B) {
+	for _, N := range sizes {
+		b.Run(fmt.Sprintf("N=%d", N), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := topology.MustICube(N)
+				count := 0
+				c.Links(func(topology.Link) bool { count++; return true })
+				if count != c.NumLinks() {
+					b.Fatal("bad link count")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE2_BuildIADM measures IADM construction + full link iteration.
+func BenchmarkE2_BuildIADM(b *testing.B) {
+	for _, N := range sizes {
+		b.Run(fmt.Sprintf("N=%d", N), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := topology.MustIADM(N)
+				count := 0
+				m.Links(func(topology.Link) bool { count++; return true })
+				if count != m.NumLinks() {
+					b.Fatal("bad link count")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE4_SSDTRoute measures one destination-tag route (O(n) walk).
+func BenchmarkE4_SSDTRoute(b *testing.B) {
+	for _, N := range sizes {
+		p := topology.MustParams(N)
+		ns := core.NewNetworkState(p)
+		blk := blockage.NewSet(p)
+		b.Run(fmt.Sprintf("N=%d", N), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.RouteSSDT(p, i%N, (i*7)%N, ns, blk); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE5_EnumeratePaths measures full path enumeration for the
+// Figure 7 workload (maximum-divergence pair).
+func BenchmarkE5_EnumeratePaths(b *testing.B) {
+	for _, N := range []int{8, 16, 32} {
+		p := topology.MustParams(N)
+		b.Run(fmt.Sprintf("N=%d", N), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if got := paths.Enumerate(p, 1, 0); len(got) == 0 {
+					b.Fatal("no paths")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE7_Corollary42 measures the k-stage backtrack tag computation
+// (worst case k = n-1).
+func BenchmarkE7_Corollary42(b *testing.B) {
+	for _, N := range sizes {
+		p := topology.MustParams(N)
+		tag := core.MustTag(p, 0)
+		path := tag.Follow(p, 1) // nonstraight at stage 0, straight above
+		q := p.Stages() - 1
+		b.Run(fmt.Sprintf("N=%d", N), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tag.RerouteBacktrack(path, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE8_Reroute measures the universal REROUTE algorithm under a
+// random 8-link blockage load.
+func BenchmarkE8_Reroute(b *testing.B) {
+	for _, N := range sizes {
+		p := topology.MustParams(N)
+		rng := rand.New(rand.NewSource(8))
+		blk := blockage.NewSet(p)
+		blk.RandomLinks(rng, 8)
+		tag := core.MustTag(p, 0)
+		b.Run(fmt.Sprintf("N=%d", N), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _, err := core.Reroute(p, blk, i%N, tag)
+				if err != nil && i == 0 {
+					// FAIL outcomes are valid; just exercise the algorithm.
+					continue
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE9_SSDTFlip: the O(1) rerouting action of the SSDT scheme — a
+// single state flip. Must stay flat across N.
+func BenchmarkE9_SSDTFlip(b *testing.B) {
+	for _, N := range sizes {
+		p := topology.MustParams(N)
+		ns := core.NewNetworkState(p)
+		b.Run(fmt.Sprintf("N=%d", N), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ns.Flip(0, i%N)
+			}
+		})
+	}
+}
+
+// BenchmarkE9_Corollary41: the O(1) TSDT rerouting tag for a nonstraight
+// blockage — one state-bit complement. Must stay flat across N.
+func BenchmarkE9_Corollary41(b *testing.B) {
+	for _, N := range sizes {
+		p := topology.MustParams(N)
+		tag := core.MustTag(p, 1)
+		b.Run(fmt.Sprintf("N=%d", N), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tag = tag.RerouteNonstraight(i % p.Stages())
+			}
+		})
+	}
+}
+
+// BenchmarkE9_TwosComplement: the O(log N) McMillen-Siegel rerouting tag
+// recomputation. Must grow with N.
+func BenchmarkE9_TwosComplement(b *testing.B) {
+	for _, N := range sizes {
+		p := topology.MustParams(N)
+		b.Run(fmt.Sprintf("N=%d", N), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				baseline.TwosComplementRemaining(p, uint64(i)&uint64(N-1), 0, nil)
+			}
+		})
+	}
+}
+
+// BenchmarkE9_ParkerAllPaths: the cost of the Parker-Raghavendra all-paths
+// enumeration the paper calls "prohibitively large" for dynamic routing.
+func BenchmarkE9_ParkerAllPaths(b *testing.B) {
+	for _, N := range []int{8, 64, 1024} {
+		p := topology.MustParams(N)
+		D := N - 1 // worst case: maximum divergence
+		b.Run(fmt.Sprintf("N=%d", N), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if got := baseline.Representations(p, D); len(got) == 0 {
+					b.Fatal("no representations")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE10_Subgraphs measures building one cube-subgraph network state
+// plus its explicit isomorphism verification.
+func BenchmarkE10_Subgraphs(b *testing.B) {
+	for _, N := range []int{8, 64, 256} {
+		p := topology.MustParams(N)
+		b.Run(fmt.Sprintf("N=%d", N), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				x := i % N
+				ns := subgraph.RelabeledState(p, x)
+				if err := subgraph.ExplicitIsoToICube(ns, x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE11_Reconfigure measures the fault-avoiding cube-subgraph search
+// under 4 random nonstraight faults.
+func BenchmarkE11_Reconfigure(b *testing.B) {
+	for _, N := range []int{8, 64, 256} {
+		p := topology.MustParams(N)
+		rng := rand.New(rand.NewSource(11))
+		blk := blockage.NewSet(p)
+		blk.RandomNonstraight(rng, 4)
+		b.Run(fmt.Sprintf("N=%d", N), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				subgraph.FindFaultFreeCubeState(p, blk)
+			}
+		})
+	}
+}
+
+// BenchmarkE12_Simulator measures simulation throughput (cycles/sec) at
+// moderate load.
+func BenchmarkE12_Simulator(b *testing.B) {
+	for _, pol := range []simulator.Policy{simulator.StaticC, simulator.AdaptiveSSDT} {
+		b.Run(pol.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := simulator.Run(simulator.Config{
+					N: 16, Policy: pol, Load: 0.5, QueueCap: 4,
+					Cycles: 200, Warmup: 20, Seed: int64(i), Traffic: simulator.Uniform,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE13_FaultSweep measures one full-scheme comparison round (all
+// pairs, one fault set).
+func BenchmarkE13_FaultSweep(b *testing.B) {
+	p := topology.MustParams(16)
+	rng := rand.New(rand.NewSource(13))
+	blk := blockage.NewSet(p)
+	blk.RandomLinks(rng, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < 16; s++ {
+			for d := 0; d < 16; d++ {
+				ns := core.NewNetworkState(p)
+				_, _ = core.RouteSSDT(p, s, d, ns, blk)
+				_, _, _ = core.Reroute(p, blk, s, core.MustTag(p, d))
+				_, _ = baseline.RouteMS(p, s, d, blk)
+			}
+		}
+	}
+}
+
+// BenchmarkE14_AllPaths compares the O(n) destination-tag route against
+// full all-paths enumeration at N=1024 (the cost gap motivating
+// destination tags).
+func BenchmarkE14_AllPaths(b *testing.B) {
+	p := topology.MustParams(1024)
+	b.Run("destination-tag", func(b *testing.B) {
+		tag := core.MustTag(p, 0)
+		for i := 0; i < b.N; i++ {
+			tag.Follow(p, i%1024)
+		}
+	})
+	b.Run("count-representations", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			baseline.CountRepresentations(p, i%1024)
+		}
+	})
+}
+
+// BenchmarkE16_Permute measures permutation admissibility checking and
+// reconfigured permutation routing.
+func BenchmarkE16_Permute(b *testing.B) {
+	for _, N := range []int{8, 64, 256} {
+		p := topology.MustParams(N)
+		perm := icube.Shift(N, 1)
+		b.Run(fmt.Sprintf("admissible/N=%d", N), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !icube.Admissible(p, perm) {
+					b.Fatal("shift should be admissible")
+				}
+			}
+		})
+	}
+	p := topology.MustParams(8)
+	blk := blockage.NewSet(p)
+	blk.Block(topology.Link{Stage: 0, From: 0, Kind: topology.Plus})
+	b.Run("reconfigure-route/N=8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := permroute.ReconfigureAndRoute(p, icube.Identity(8), blk); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE28_MultiPass measures the greedy multi-pass partition of a
+// random permutation.
+func BenchmarkE28_MultiPass(b *testing.B) {
+	for _, N := range []int{8, 64, 256} {
+		p := topology.MustParams(N)
+		rng := rand.New(rand.NewSource(28))
+		perm := icube.Perm(rng.Perm(N))
+		b.Run(fmt.Sprintf("N=%d", N), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := permroute.MultiPass(p, perm, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestListMode(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "", true); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, id := range []string{"E1 ", "E8 ", "E27"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list output missing %q:\n%s", id, out)
+		}
+	}
+	if strings.Contains(out, "====") {
+		t.Error("list mode ran experiments")
+	}
+}
+
+func TestRunSingle(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "E3", false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "==== E3 —") {
+		t.Errorf("missing E3 header:\n%s", sb.String())
+	}
+}
+
+func TestRunMultiple(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "E3, E6", false); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "==== E3 —") || !strings.Contains(out, "==== E6 —") {
+		t.Errorf("missing headers:\n%s", out)
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "E999", false); err == nil {
+		t.Error("unknown experiment did not error")
+	}
+	if !strings.Contains(sb.String(), "FAILED") {
+		t.Errorf("missing failure note:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,338 @@
+// Command iadmsim is an interactive front end to the IADM routing library:
+// it draws networks, enumerates routing paths, routes messages with the
+// paper's SSDT/TSDT destination tag schemes, and runs the universal REROUTE
+// algorithm around blocked links.
+//
+// Usage:
+//
+//	iadmsim [-n N] draw                     # print the IADM network
+//	iadmsim [-n N] icube                    # print the ICube network
+//	iadmsim [-n N] paths <s> <d>            # all routing paths s -> d
+//	iadmsim [-n N] route <s> <d>            # TSDT route with all-C states
+//	iadmsim [-n N] reroute <s> <d> <link>... # REROUTE around blocked links
+//	iadmsim [-n N] subgraph <x>             # cube subgraph for relabeling x
+//	iadmsim scenario <file> <s> <d>         # REROUTE under a scenario file
+//	iadmsim [-n N] connectivity <file>      # pair connectivity under a scenario
+//	iadmsim [-n N] simulate <policy> <load> # packet simulation (static|random|adaptive)
+//	iadmsim [-n N] equiv                    # cube-type family equivalence table
+//	iadmsim [-n N] multicast <s> <d>...     # one-to-many routing tree
+//	iadmsim [-n N] reliability <s> <d> <q>  # exact pair reliability at link-failure prob q
+//	iadmsim [-n N] explain <s> <d> <link>...# narrated REROUTE run
+//
+// Links are written stage:from:kind with kind one of -, 0, + (e.g. 1:2:-
+// is the -2^1 link of switch 2 at stage 1). Scenario files use the format
+// of internal/scenario (n/link/switch directives).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"iadm/internal/analysis"
+	"iadm/internal/blockage"
+	"iadm/internal/core"
+	"iadm/internal/cubefamily"
+	"iadm/internal/multicast"
+	"iadm/internal/paths"
+	"iadm/internal/render"
+	"iadm/internal/scenario"
+	"iadm/internal/simulator"
+	"iadm/internal/subgraph"
+	"iadm/internal/topology"
+)
+
+func main() {
+	n := flag.Int("n", 8, "network size N (power of two)")
+	flag.Parse()
+	if err := run(os.Stdout, *n, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "iadmsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, N int, args []string) error {
+	p, err := topology.NewParams(N)
+	if err != nil {
+		return err
+	}
+	if len(args) == 0 {
+		return fmt.Errorf("missing command (draw, icube, paths, route, reroute, subgraph)")
+	}
+	switch args[0] {
+	case "draw":
+		fmt.Fprint(w, render.IADMTable(N))
+		return nil
+	case "icube":
+		fmt.Fprint(w, render.ICubeTable(N))
+		return nil
+	case "paths":
+		s, d, err := parsePair(p, args[1:])
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, render.AllPathsFigure(p, s, d))
+		return nil
+	case "route":
+		s, d, err := parsePair(p, args[1:])
+		if err != nil {
+			return err
+		}
+		tag, err := core.NewTag(p, d)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, render.TagTrace(p, s, tag))
+		fmt.Fprint(w, render.PathGrid(tag.Follow(p, s)))
+		return nil
+	case "reroute":
+		if len(args) < 3 {
+			return fmt.Errorf("usage: reroute <s> <d> <link>...")
+		}
+		s, d, err := parsePair(p, args[1:3])
+		if err != nil {
+			return err
+		}
+		blk := blockage.NewSet(p)
+		for _, spec := range args[3:] {
+			l, err := parseLink(p, spec)
+			if err != nil {
+				return err
+			}
+			blk.Block(l)
+		}
+		fmt.Fprintf(w, "blocked links: %s\n", blk)
+		tag, path, err := core.Reroute(p, blk, s, core.MustTag(p, d))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "rerouting tag: %s\npath: %s\n", tag, render.PathLine(path))
+		fmt.Fprint(w, render.PathGrid(path))
+		return nil
+	case "subgraph":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: subgraph <x>")
+		}
+		x, err := strconv.Atoi(args[1])
+		if err != nil || x < 0 || x >= N {
+			return fmt.Errorf("invalid relabeling %q", args[1])
+		}
+		fmt.Fprintf(w, "cube subgraph for relabeling j -> j+%d:\n", x)
+		fmt.Fprint(w, render.SubgraphTable(subgraph.RelabeledState(p, x)))
+		return nil
+	case "scenario":
+		if len(args) != 4 {
+			return fmt.Errorf("usage: scenario <file> <s> <d>")
+		}
+		sc, err := loadScenario(args[1])
+		if err != nil {
+			return err
+		}
+		s, d, err := parsePair(sc.Params, args[2:])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "scenario (N=%d): %d blocked links\n", sc.Params.Size(), sc.Blocked.Count())
+		tag, path, rerr := core.Reroute(sc.Params, sc.Blocked, s, core.MustTag(sc.Params, d))
+		if rerr != nil {
+			if errors.Is(rerr, core.ErrNoPath) {
+				fmt.Fprintf(w, "no blockage-free path from %d to %d exists\n", s, d)
+				return nil
+			}
+			return rerr
+		}
+		fmt.Fprintf(w, "rerouting tag: %s\npath: %s\n", tag, render.PathLine(path))
+		res, derr := core.DynamicReroute(sc.Params, sc.Blocked, s, d)
+		if derr == nil {
+			fmt.Fprintf(w, "dynamic: probes=%d backtrackHops=%d replans=%d\n",
+				res.Probes, res.BacktrackHops, res.Replans)
+		}
+		return nil
+	case "connectivity":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: connectivity <file>")
+		}
+		sc, err := loadScenario(args[1])
+		if err != nil {
+			return err
+		}
+		NN := sc.Params.Size()
+		ok := 0
+		for s := 0; s < NN; s++ {
+			for d := 0; d < NN; d++ {
+				if paths.Exists(sc.Params, s, d, sc.Blocked) {
+					ok++
+				}
+			}
+		}
+		fmt.Fprintf(w, "connectivity: %d/%d pairs routable (%.1f%%)\n", ok, NN*NN, 100*float64(ok)/float64(NN*NN))
+		return nil
+	case "simulate":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: simulate <static|random|adaptive> <load>")
+		}
+		var pol simulator.Policy
+		switch args[1] {
+		case "static":
+			pol = simulator.StaticC
+		case "random":
+			pol = simulator.RandomState
+		case "adaptive":
+			pol = simulator.AdaptiveSSDT
+		default:
+			return fmt.Errorf("unknown policy %q", args[1])
+		}
+		load, err := strconv.ParseFloat(args[2], 64)
+		if err != nil {
+			return fmt.Errorf("bad load %q", args[2])
+		}
+		m, err := simulator.Run(simulator.Config{
+			N: N, Policy: pol, Load: load, QueueCap: 4,
+			Cycles: 5000, Warmup: 500, Seed: 1, Traffic: simulator.Uniform,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "policy %s load %.2f: throughput %.4f, latency %s, maxQueue %d, refused %d\n",
+			pol, load, m.Throughput, m.Latency.String(), m.MaxQueue, m.Refused)
+		return nil
+	case "equiv":
+		base := cubefamily.MustNew(cubefamily.GeneralizedCube, N).Layered()
+		for _, kind := range cubefamily.Kinds() {
+			nw := cubefamily.MustNew(kind, N)
+			iso := subgraph.Isomorphic(nw.Layered(), base)
+			fmt.Fprintf(w, "%-18s isomorphic to generalized-cube: %v\n", kind.String(), iso)
+		}
+		return nil
+	case "explain":
+		if len(args) < 3 {
+			return fmt.Errorf("usage: explain <s> <d> <link>...")
+		}
+		s, d, err := parsePair(p, args[1:3])
+		if err != nil {
+			return err
+		}
+		blk := blockage.NewSet(p)
+		for _, spec := range args[3:] {
+			l, err := parseLink(p, spec)
+			if err != nil {
+				return err
+			}
+			blk.Block(l)
+		}
+		_, _, trace, rerr := core.RerouteTrace(p, blk, s, core.MustTag(p, d))
+		for _, line := range trace {
+			fmt.Fprintln(w, line)
+		}
+		if rerr != nil && !errors.Is(rerr, core.ErrNoPath) {
+			return rerr
+		}
+		return nil
+	case "multicast":
+		if len(args) < 3 {
+			return fmt.Errorf("usage: multicast <s> <d>...")
+		}
+		s, err := strconv.Atoi(args[1])
+		if err != nil || !p.ValidSwitch(s) {
+			return fmt.Errorf("invalid source %q", args[1])
+		}
+		dests := make([]int, 0, len(args)-2)
+		for _, a := range args[2:] {
+			d, err := strconv.Atoi(a)
+			if err != nil || !p.ValidSwitch(d) {
+				return fmt.Errorf("invalid destination %q", a)
+			}
+			dests = append(dests, d)
+		}
+		tree, err := multicast.Route(p, s, dests, nil)
+		if err != nil {
+			return err
+		}
+		for i, links := range tree.Stages {
+			fmt.Fprintf(w, "stage %d:", i)
+			for _, l := range links {
+				fmt.Fprintf(w, " %s", l.StringIn(p))
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "tree links: %d (unicasts would use %d)\n",
+			tree.LinkCount(), multicast.UnicastLinkTotal(p, s, dests))
+		return nil
+	case "reliability":
+		if len(args) != 4 {
+			return fmt.Errorf("usage: reliability <s> <d> <q>")
+		}
+		s, d, err := parsePair(p, args[1:3])
+		if err != nil {
+			return err
+		}
+		q, err := strconv.ParseFloat(args[3], 64)
+		if err != nil {
+			return fmt.Errorf("bad probability %q", args[3])
+		}
+		r, err := analysis.PairReliability(p, s, d, q)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "IADM pair reliability P[path %d → %d survives | link failure prob %.3g] = %.6f\n", s, d, q, r)
+		fmt.Fprintf(w, "single-path ICube reference: %.6f\n", analysis.ICubePairReliability(p, q))
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+func loadScenario(path string) (*scenario.Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return scenario.Parse(f)
+}
+
+func parsePair(p topology.Params, args []string) (int, int, error) {
+	if len(args) < 2 {
+		return 0, 0, fmt.Errorf("need <s> <d>")
+	}
+	s, err := strconv.Atoi(args[0])
+	if err != nil || !p.ValidSwitch(s) {
+		return 0, 0, fmt.Errorf("invalid source %q", args[0])
+	}
+	d, err := strconv.Atoi(args[1])
+	if err != nil || !p.ValidSwitch(d) {
+		return 0, 0, fmt.Errorf("invalid destination %q", args[1])
+	}
+	return s, d, nil
+}
+
+func parseLink(p topology.Params, spec string) (topology.Link, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return topology.Link{}, fmt.Errorf("link %q: want stage:from:kind", spec)
+	}
+	stage, err := strconv.Atoi(parts[0])
+	if err != nil || !p.ValidStage(stage) {
+		return topology.Link{}, fmt.Errorf("link %q: bad stage", spec)
+	}
+	from, err := strconv.Atoi(parts[1])
+	if err != nil || !p.ValidSwitch(from) {
+		return topology.Link{}, fmt.Errorf("link %q: bad switch", spec)
+	}
+	var kind topology.LinkKind
+	switch parts[2] {
+	case "-":
+		kind = topology.Minus
+	case "0":
+		kind = topology.Straight
+	case "+":
+		kind = topology.Plus
+	default:
+		return topology.Link{}, fmt.Errorf("link %q: kind must be -, 0 or +", spec)
+	}
+	return topology.Link{Stage: stage, From: from, Kind: kind}, nil
+}

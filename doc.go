@@ -1,0 +1,12 @@
+// Package iadm is a production-quality Go reproduction of Rau, Fortes and
+// Siegel, "Destination Tag Routing Techniques Based on a State Model for
+// the IADM Network" (Purdue TR-EE 87-39 / ISCA 1988).
+//
+// The implementation lives under internal/: the state model and routing
+// schemes in internal/core, the network substrates in internal/topology,
+// internal/icube, internal/adm, internal/gamma and internal/cubefamily,
+// the verification machinery in internal/paths and internal/subgraph, and
+// the measurement harness in internal/experiments plus the root
+// bench_test.go. See README.md for the tour, DESIGN.md for the system
+// inventory, and EXPERIMENTS.md for the paper-vs-measured record.
+package iadm

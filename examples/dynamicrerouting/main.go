@@ -1,0 +1,76 @@
+// Dynamic rerouting: the paper notes (Section 4) that rerouting can be
+// computed by the sender from a global blockage map, or dynamically by the
+// switches detecting blocked ports and signalling backwards. This example
+// runs both on the same fault scenarios and reports the price of in-network
+// discovery: probed links, physical backtrack hops, and replans.
+//
+// Run with: go run ./examples/dynamicrerouting
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"iadm/internal/blockage"
+	"iadm/internal/core"
+	"iadm/internal/render"
+	"iadm/internal/topology"
+)
+
+func main() {
+	const N = 16
+	p := topology.MustParams(N)
+	rng := rand.New(rand.NewSource(17))
+
+	// A single scenario, narrated.
+	// The default 1->0 route runs 1,0,0,... Blocking the stage-1 straight
+	// link forces a physical backtrack to stage 0; blocking the -2^1 link
+	// of the diverted route forces a second discovery.
+	blk := blockage.NewSet(p)
+	blk.Block(topology.Link{Stage: 1, From: 0, Kind: topology.Straight})
+	blk.Block(topology.Link{Stage: 1, From: 2, Kind: topology.Minus})
+	fmt.Printf("blocked: %s\n\n", blk)
+
+	fmt.Println("sender-computed (global map):")
+	tag, path, err := core.Reroute(p, blk, 1, core.MustTag(p, 0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  tag %s -> %s\n\n", tag, render.PathLine(path))
+
+	fmt.Println("dynamic (in-network discovery):")
+	res, err := core.DynamicReroute(p, blk, 1, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  tag %s -> %s\n", res.Tag, render.PathLine(res.Path))
+	fmt.Printf("  probes=%d backtrackHops=%d replans=%d\n\n", res.Probes, res.BacktrackHops, res.Replans)
+
+	// Aggregate comparison over random fault sets.
+	fmt.Println("aggregate over 2000 random messages, 12 random blocked links each:")
+	var probes, hops, replans, delivered, failed int
+	for trial := 0; trial < 2000; trial++ {
+		b := blockage.NewSet(p)
+		b.RandomLinks(rng, 12)
+		s, d := rng.Intn(N), rng.Intn(N)
+		r, err := core.DynamicReroute(p, b, s, d)
+		if err != nil {
+			if !errors.Is(err, core.ErrNoPath) {
+				log.Fatal(err)
+			}
+			failed++
+			continue
+		}
+		delivered++
+		probes += r.Probes
+		hops += r.BacktrackHops
+		replans += r.Replans
+	}
+	fmt.Printf("  delivered %d, no-path %d\n", delivered, failed)
+	fmt.Printf("  mean probes %.3f, mean backtrack hops %.3f, mean replans %.3f\n",
+		float64(probes)/float64(delivered), float64(hops)/float64(delivered), float64(replans)/float64(delivered))
+	fmt.Println("\ndynamic rerouting succeeds exactly when the global algorithm does;")
+	fmt.Println("the discovery overhead above is what the global blockage map buys.")
+}

@@ -1,0 +1,3 @@
+module iadm
+
+go 1.22

@@ -1,0 +1,244 @@
+// Package adm models the Augmented Data Manipulator (ADM) network, the
+// dual of the IADM network: "the IADM network and the ADM network differ
+// only in that the input side of one of them corresponds to the output
+// side of the other and vice versa" (Section 1). Stage i of the ADM
+// network uses stride 2^(n-1-i) — the strides run from 2^(n-1) down to
+// 2^0, the reverse of the IADM order.
+//
+// The reversed stride order changes the routing theory in an instructive
+// way that motivates the paper's focus on the IADM network: in the IADM
+// network the carry of a C̄ move propagates into bits that have not been
+// consumed yet (Lemma 2.1), so every switch always has two usable
+// nonstraight choices; in the ADM network a carry would corrupt
+// already-fixed high bits, so a nonstraight digit is usable only while the
+// remaining distance stays representable by the remaining (smaller)
+// strides. Routing paths from s to d are exactly the signed-digit
+// representations of D = d-s over strides 2^(n-1)..2^0 applied
+// high-to-low, and reversing an ADM path yields an IADM path from d to s
+// with all link signs negated (the input/output-side duality).
+package adm
+
+import (
+	"fmt"
+
+	"iadm/internal/bitutil"
+	"iadm/internal/core"
+	"iadm/internal/topology"
+)
+
+// Stride returns the link stride of ADM stage i: 2^(n-1-i).
+func Stride(p topology.Params, i int) int { return 1 << uint(p.Stages()-1-i) }
+
+// BitIndex returns the address bit associated with ADM stage i: n-1-i.
+func BitIndex(p topology.Params, i int) int { return p.Stages() - 1 - i }
+
+// Link identifies one output link of an ADM switch: the Kind link leaving
+// switch From at stage Stage, with stride 2^(n-1-Stage).
+type Link struct {
+	Stage int
+	From  int
+	Kind  topology.LinkKind
+}
+
+// To returns the switch at stage Stage+1 this link leads to.
+func (l Link) To(p topology.Params) int {
+	switch l.Kind {
+	case topology.Minus:
+		return p.Mod(l.From - Stride(p, l.Stage))
+	case topology.Plus:
+		return p.Mod(l.From + Stride(p, l.Stage))
+	default:
+		return l.From
+	}
+}
+
+// Path is a source-to-destination route through the ADM network.
+type Path struct {
+	p      topology.Params
+	Source int
+	Links  []Link
+}
+
+// NewPath assembles and validates an ADM path.
+func NewPath(p topology.Params, source int, links []Link) (Path, error) {
+	pa := Path{p: p, Source: source, Links: links}
+	if err := pa.Validate(); err != nil {
+		return Path{}, err
+	}
+	return pa, nil
+}
+
+// Params returns the network parameters of the path.
+func (pa Path) Params() topology.Params { return pa.p }
+
+// SwitchAt returns the switch visited at stage i (0..n).
+func (pa Path) SwitchAt(i int) int {
+	if i == 0 {
+		return pa.Source
+	}
+	return pa.Links[i-1].To(pa.p)
+}
+
+// Destination returns the output-column switch the path reaches.
+func (pa Path) Destination() int { return pa.SwitchAt(len(pa.Links)) }
+
+// Switches returns all n+1 visited switches.
+func (pa Path) Switches() []int {
+	out := make([]int, len(pa.Links)+1)
+	out[0] = pa.Source
+	for i, l := range pa.Links {
+		out[i+1] = l.To(pa.p)
+	}
+	return out
+}
+
+// Validate checks stage sequence and link chaining.
+func (pa Path) Validate() error {
+	if len(pa.Links) != pa.p.Stages() {
+		return fmt.Errorf("adm: path has %d links, want %d", len(pa.Links), pa.p.Stages())
+	}
+	if !pa.p.ValidSwitch(pa.Source) {
+		return fmt.Errorf("adm: source %d out of range", pa.Source)
+	}
+	at := pa.Source
+	for i, l := range pa.Links {
+		if l.Stage != i {
+			return fmt.Errorf("adm: link %d has stage %d", i, l.Stage)
+		}
+		if l.From != at {
+			return fmt.Errorf("adm: link %d leaves %d, path is at %d", i, l.From, at)
+		}
+		at = l.To(pa.p)
+	}
+	return nil
+}
+
+// Route routes s to d through the ADM network with the carry-free
+// destination-tag rule (the high-to-low analogue of the all-C IADM state):
+// stage i examines bit n-1-i of d and, when it differs from the switch's
+// bit, takes the nonstraight link that complements exactly that bit
+// (+stride from a 0-bit switch, -stride from a 1-bit switch; neither
+// carries). This always delivers to d.
+func Route(p topology.Params, s, d int) Path {
+	links := make([]Link, p.Stages())
+	j := s
+	for i := 0; i < p.Stages(); i++ {
+		b := BitIndex(p, i)
+		kind := topology.Straight
+		if bitutil.Bit(uint64(j), b) != bitutil.Bit(uint64(d), b) {
+			if bitutil.Bit(uint64(j), b) == 0 {
+				kind = topology.Plus
+			} else {
+				kind = topology.Minus
+			}
+		}
+		links[i] = Link{Stage: i, From: j, Kind: kind}
+		j = links[i].To(p)
+	}
+	return Path{p: p, Source: s, Links: links}
+}
+
+// digitUsable reports whether, at the stage with stride 2^b, spending digit
+// t (in {-1,0,+1}) leaves a remaining distance representable by the
+// smaller strides 2^(b-1)..2^0 (whose signed-digit range is
+// [-(2^b - 1), 2^b - 1] mod N).
+func digitUsable(p topology.Params, R, b, t int) bool {
+	rest := p.Mod(R - t*(1<<uint(b)))
+	limit := (1 << uint(b)) - 1
+	return rest <= limit || p.Size()-rest <= limit
+}
+
+// Enumerate returns every routing path from s to d in the ADM network: one
+// per signed-digit representation of D = d-s over strides 2^(n-1)..2^0.
+// Intended for small networks; use CountPaths for counting.
+func Enumerate(p topology.Params, s, d int) []Path {
+	var out []Path
+	links := make([]Link, p.Stages())
+	var rec func(i, j, R int)
+	rec = func(i, j, R int) {
+		if i == p.Stages() {
+			if R == 0 {
+				pa, err := NewPath(p, s, append([]Link(nil), links...))
+				if err != nil {
+					panic(fmt.Sprintf("adm: enumerated invalid path: %v", err))
+				}
+				out = append(out, pa)
+			}
+			return
+		}
+		b := BitIndex(p, i)
+		for _, t := range [...]int{-1, 0, 1} {
+			if i < p.Stages()-1 && !digitUsable(p, R, b, t) {
+				continue
+			}
+			if i == p.Stages()-1 && p.Mod(R-t) != 0 {
+				continue
+			}
+			kind := topology.Straight
+			switch t {
+			case -1:
+				kind = topology.Minus
+			case 1:
+				kind = topology.Plus
+			}
+			links[i] = Link{Stage: i, From: j, Kind: kind}
+			rec(i+1, links[i].To(p), p.Mod(R-t*(1<<uint(b))))
+		}
+	}
+	rec(0, s, p.Mod(d-s))
+	return out
+}
+
+// CountPaths counts the ADM routing paths from s to d by a dynamic program
+// over the remaining-distance residue.
+func CountPaths(p topology.Params, s, d int) int {
+	type key struct{ i, R int }
+	memo := map[key]int{}
+	var rec func(i, R int) int
+	rec = func(i, R int) int {
+		if i == p.Stages() {
+			if R == 0 {
+				return 1
+			}
+			return 0
+		}
+		k := key{i, R}
+		if v, ok := memo[k]; ok {
+			return v
+		}
+		b := BitIndex(p, i)
+		total := 0
+		for _, t := range [...]int{-1, 0, 1} {
+			if i < p.Stages()-1 && !digitUsable(p, R, b, t) {
+				continue
+			}
+			if i == p.Stages()-1 && p.Mod(R-t) != 0 {
+				continue
+			}
+			total += rec(i+1, p.Mod(R-t*(1<<uint(b))))
+		}
+		memo[k] = total
+		return total
+	}
+	return rec(0, p.Mod(d-s))
+}
+
+// ReverseToIADM maps an ADM path from s to d onto the dual IADM path from
+// d to s: IADM stage i of the reversed path is ADM stage n-1-i of the
+// original, walked backwards, so every link sign is negated. This is the
+// input/output-side duality of Section 1 and is how the paper's IADM
+// routing theory applies to the ADM network.
+func ReverseToIADM(pa Path) (core.Path, error) {
+	p := pa.p
+	n := p.Stages()
+	links := make([]topology.Link, n)
+	for i := 0; i < n; i++ {
+		orig := pa.Links[n-1-i]
+		kind := orig.Kind
+		if kind.Nonstraight() {
+			kind = kind.Opposite()
+		}
+		links[i] = topology.Link{Stage: i, From: orig.To(p), Kind: kind}
+	}
+	return core.NewPath(p, pa.Destination(), links)
+}

@@ -1,0 +1,228 @@
+package adm
+
+import (
+	"math/rand"
+	"testing"
+
+	"iadm/internal/paths"
+	"iadm/internal/topology"
+)
+
+var p8 = topology.MustParams(8)
+
+func TestStrideAndBitIndex(t *testing.T) {
+	// N=8: strides 4, 2, 1 at stages 0, 1, 2.
+	for i, want := range []int{4, 2, 1} {
+		if got := Stride(p8, i); got != want {
+			t.Errorf("Stride(%d) = %d, want %d", i, got, want)
+		}
+		if got := BitIndex(p8, i); got != 2-i {
+			t.Errorf("BitIndex(%d) = %d, want %d", i, got, 2-i)
+		}
+	}
+}
+
+func TestLinkTo(t *testing.T) {
+	cases := []struct {
+		l    Link
+		want int
+	}{
+		{Link{0, 1, topology.Plus}, 5},
+		{Link{0, 1, topology.Minus}, 5}, // parallel at the widest stride
+		{Link{1, 6, topology.Minus}, 4},
+		{Link{2, 0, topology.Minus}, 7},
+		{Link{2, 7, topology.Plus}, 0},
+		{Link{1, 3, topology.Straight}, 3},
+	}
+	for _, c := range cases {
+		if got := c.l.To(p8); got != c.want {
+			t.Errorf("%v.To = %d, want %d", c.l, got, c.want)
+		}
+	}
+}
+
+func TestRouteDeliversEverywhere(t *testing.T) {
+	for _, N := range []int{4, 8, 16, 32} {
+		p := topology.MustParams(N)
+		for s := 0; s < N; s++ {
+			for d := 0; d < N; d++ {
+				pa := Route(p, s, d)
+				if err := pa.Validate(); err != nil {
+					t.Fatalf("N=%d s=%d d=%d: %v", N, s, d, err)
+				}
+				if pa.Destination() != d {
+					t.Fatalf("N=%d s=%d d=%d: delivered to %d", N, s, d, pa.Destination())
+				}
+			}
+		}
+	}
+}
+
+func TestRouteIsCarryFree(t *testing.T) {
+	// Each hop changes exactly the stage's bit (no carry propagation).
+	p := topology.MustParams(16)
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		s, d := rng.Intn(16), rng.Intn(16)
+		pa := Route(p, s, d)
+		for i, l := range pa.Links {
+			from, to := pa.SwitchAt(i), l.To(p)
+			if from^to != 0 && from^to != Stride(p, i) {
+				t.Fatalf("hop %d changed bits %#b", i, from^to)
+			}
+		}
+	}
+}
+
+// TestEnumerateMatchesIADMPathCount: ADM paths from s to d are the
+// signed-digit representations of d-s over strides 2^(n-1)..2^0 — the same
+// representation set the IADM network realizes low-to-high, so the counts
+// must agree for the same (s, d), and (by negating all digits) also equal
+// the IADM count for (d, s).
+func TestEnumerateMatchesIADMPathCount(t *testing.T) {
+	for _, N := range []int{4, 8, 16} {
+		p := topology.MustParams(N)
+		for s := 0; s < N; s++ {
+			for d := 0; d < N; d++ {
+				admPaths := Enumerate(p, s, d)
+				if got := CountPaths(p, s, d); got != len(admPaths) {
+					t.Fatalf("N=%d s=%d d=%d: CountPaths=%d, enumerated %d", N, s, d, got, len(admPaths))
+				}
+				iadmForward, _ := paths.CountPaths(p, s, d)
+				iadmReverse, _ := paths.CountPaths(p, d, s)
+				if len(admPaths) != iadmForward {
+					t.Fatalf("N=%d s=%d d=%d: ADM %d paths, IADM forward %d", N, s, d, len(admPaths), iadmForward)
+				}
+				if len(admPaths) != iadmReverse {
+					t.Fatalf("N=%d s=%d d=%d: ADM %d paths, IADM reverse %d", N, s, d, len(admPaths), iadmReverse)
+				}
+			}
+		}
+	}
+}
+
+func TestEnumeratePathsValid(t *testing.T) {
+	p := topology.MustParams(8)
+	for s := 0; s < 8; s++ {
+		for d := 0; d < 8; d++ {
+			seen := map[string]bool{}
+			for _, pa := range Enumerate(p, s, d) {
+				if err := pa.Validate(); err != nil {
+					t.Fatal(err)
+				}
+				if pa.Destination() != d {
+					t.Fatalf("s=%d d=%d: path to %d", s, d, pa.Destination())
+				}
+				key := ""
+				for _, l := range pa.Links {
+					key += string(rune('a' + int(l.Kind)))
+				}
+				if seen[key] {
+					t.Fatalf("duplicate path %q", key)
+				}
+				seen[key] = true
+			}
+		}
+	}
+}
+
+// TestReverseToIADMDuality: reversing any ADM path from s to d yields a
+// valid IADM path from d to s (the Section 1 input/output-side duality).
+func TestReverseToIADMDuality(t *testing.T) {
+	for _, N := range []int{4, 8, 16} {
+		p := topology.MustParams(N)
+		for s := 0; s < N; s++ {
+			for d := 0; d < N; d++ {
+				for _, pa := range Enumerate(p, s, d) {
+					rev, err := ReverseToIADM(pa)
+					if err != nil {
+						t.Fatalf("N=%d s=%d d=%d: reversal invalid: %v", N, s, d, err)
+					}
+					if rev.Source != d || rev.Destination() != s {
+						t.Fatalf("N=%d: reversal endpoints %d->%d, want %d->%d",
+							N, rev.Source, rev.Destination(), d, s)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestReverseToIADMLinkSignsNegated(t *testing.T) {
+	pa := Route(p8, 0, 7) // all plus hops: +4, +2, +1
+	for _, l := range pa.Links {
+		if l.Kind != topology.Plus {
+			t.Fatalf("setup: expected all-plus path, got %v", l)
+		}
+	}
+	rev, err := ReverseToIADM(pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range rev.Links {
+		if l.Kind != topology.Minus {
+			t.Fatalf("reversed link %v should be Minus", l)
+		}
+	}
+}
+
+func TestFirstStageParallelLinks(t *testing.T) {
+	// The ADM's widest stage has parallel +-2^(n-1) links (dual of the
+	// IADM's last stage), so pairs at distance N/2 have two link-paths for
+	// the same switch sequence.
+	got := Enumerate(p8, 0, 4)
+	if len(got) != 2 {
+		t.Fatalf("Enumerate(0,4) found %d paths, want 2 (parallel +-4)", len(got))
+	}
+	if got[0].Links[0].To(p8) != 4 || got[1].Links[0].To(p8) != 4 {
+		t.Error("both parallel paths should hop to 4 at stage 0")
+	}
+	if got[0].Links[0].Kind == got[1].Links[0].Kind {
+		t.Error("parallel paths should use oppositely signed links")
+	}
+}
+
+func TestCountPathsSymmetry(t *testing.T) {
+	// Path count depends only on the distance d-s mod N.
+	p := topology.MustParams(16)
+	for D := 0; D < 16; D++ {
+		base := CountPaths(p, 0, D)
+		for s := 1; s < 16; s++ {
+			if got := CountPaths(p, s, p.Mod(s+D)); got != base {
+				t.Fatalf("D=%d: count %d from s=%d, %d from s=0", D, got, s, base)
+			}
+		}
+	}
+}
+
+func TestPathAccessorsAndValidate(t *testing.T) {
+	pa := Route(p8, 1, 6)
+	if pa.Params().Size() != 8 {
+		t.Error("Params wrong")
+	}
+	sw := pa.Switches()
+	if len(sw) != 4 || sw[0] != 1 || sw[3] != 6 {
+		t.Errorf("Switches = %v", sw)
+	}
+	// NewPath round trip and failure modes.
+	re, err := NewPath(p8, 1, pa.Links)
+	if err != nil || re.Destination() != 6 {
+		t.Fatalf("NewPath: %v", err)
+	}
+	if _, err := NewPath(p8, 9, pa.Links); err == nil {
+		t.Error("accepted bad source")
+	}
+	if _, err := NewPath(p8, 1, pa.Links[:2]); err == nil {
+		t.Error("accepted short path")
+	}
+	bad := append([]Link(nil), pa.Links...)
+	bad[1].From = 7
+	if _, err := NewPath(p8, 1, bad); err == nil {
+		t.Error("accepted broken chain")
+	}
+	bad2 := append([]Link(nil), pa.Links...)
+	bad2[1].Stage = 0
+	if _, err := NewPath(p8, 1, bad2); err == nil {
+		t.Error("accepted wrong stage")
+	}
+}

@@ -1,0 +1,38 @@
+package adm
+
+import (
+	"fmt"
+	"testing"
+
+	"iadm/internal/topology"
+)
+
+func BenchmarkRoute(b *testing.B) {
+	for _, N := range []int{8, 256, 4096} {
+		p := topology.MustParams(N)
+		b.Run(fmt.Sprintf("N=%d", N), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Route(p, i%N, (i*7)%N)
+			}
+		})
+	}
+}
+
+func BenchmarkCountPaths(b *testing.B) {
+	p := topology.MustParams(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CountPaths(p, i%1024, (i*13)%1024)
+	}
+}
+
+func BenchmarkReverseToIADM(b *testing.B) {
+	p := topology.MustParams(256)
+	pa := Route(p, 3, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReverseToIADM(pa); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

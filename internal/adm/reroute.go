@@ -1,0 +1,71 @@
+package adm
+
+import (
+	"fmt"
+
+	"iadm/internal/blockage"
+	"iadm/internal/core"
+	"iadm/internal/topology"
+)
+
+// DualLink maps an ADM link onto its IADM counterpart under the
+// input/output-side duality: ADM stage i becomes IADM stage n-1-i, the
+// link is traversed backwards, so its endpoints swap and a nonstraight
+// sign flips. (An ADM link from u to v at stage i is, read backwards, an
+// IADM link from v to u at stage n-1-i.)
+func DualLink(p topology.Params, l Link) topology.Link {
+	kind := l.Kind
+	if kind.Nonstraight() {
+		kind = kind.Opposite()
+	}
+	return topology.Link{
+		Stage: p.Stages() - 1 - l.Stage,
+		From:  l.To(p),
+		Kind:  kind,
+	}
+}
+
+// DualBlockage converts a set of blocked ADM links into the equivalent
+// blocked IADM links.
+func DualBlockage(p topology.Params, links []Link) *blockage.Set {
+	out := blockage.NewSet(p)
+	for _, l := range links {
+		out.Block(DualLink(p, l))
+	}
+	return out
+}
+
+// Reroute finds a blockage-free ADM path from s to d avoiding the given
+// blocked ADM links, by the duality reduction the paper's Section 1 makes
+// available: translate the blockages to the IADM network, run the
+// universal REROUTE algorithm for the reversed pair (d -> s), and reverse
+// the resulting path back. It inherits REROUTE's universality: an error
+// wrapping core.ErrNoPath means no ADM path exists.
+func Reroute(p topology.Params, blocked []Link, s, d int) (Path, error) {
+	dual := DualBlockage(p, blocked)
+	tag, err := core.NewTag(p, s) // reversed pair: route d -> s in the IADM network
+	if err != nil {
+		return Path{}, err
+	}
+	_, iadmPath, err := core.Reroute(p, dual, d, tag)
+	if err != nil {
+		return Path{}, fmt.Errorf("adm: %w", err)
+	}
+	return reverseFromIADM(p, iadmPath)
+}
+
+// reverseFromIADM converts an IADM path from d to s into the dual ADM path
+// from s to d (the inverse of ReverseToIADM).
+func reverseFromIADM(p topology.Params, pa core.Path) (Path, error) {
+	n := p.Stages()
+	links := make([]Link, n)
+	for i := 0; i < n; i++ {
+		orig := pa.Links[n-1-i]
+		kind := orig.Kind
+		if kind.Nonstraight() {
+			kind = kind.Opposite()
+		}
+		links[i] = Link{Stage: i, From: orig.To(p), Kind: kind}
+	}
+	return NewPath(p, pa.Destination(), links)
+}

@@ -1,0 +1,132 @@
+package adm
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"iadm/internal/core"
+	"iadm/internal/topology"
+)
+
+func TestDualLinkRoundTrip(t *testing.T) {
+	// Duality is an involution on links: mapping an ADM link to the IADM
+	// network and back (via the reverse construction) restores it.
+	for _, N := range []int{8, 16} {
+		p := topology.MustParams(N)
+		for i := 0; i < p.Stages(); i++ {
+			for j := 0; j < N; j++ {
+				for _, k := range []topology.LinkKind{topology.Minus, topology.Straight, topology.Plus} {
+					l := Link{Stage: i, From: j, Kind: k}
+					dual := DualLink(p, l)
+					// The dual traverses the same two switches: its From is
+					// l's target and its target is l's From.
+					if dual.From != l.To(p) || dual.To(p) != l.From {
+						t.Fatalf("N=%d %v: dual %v does not reverse endpoints", N, l, dual)
+					}
+					if dual.Stage != p.Stages()-1-i {
+						t.Fatalf("N=%d %v: dual stage %d", N, l, dual.Stage)
+					}
+				}
+			}
+		}
+	}
+}
+
+// admOracle reports whether a blockage-free ADM path exists, by brute
+// force over the signed-digit representations.
+func admOracle(p topology.Params, blocked []Link, s, d int) bool {
+	blk := map[Link]bool{}
+	for _, l := range blocked {
+		blk[l] = true
+	}
+	for _, pa := range Enumerate(p, s, d) {
+		ok := true
+		for _, l := range pa.Links {
+			if blk[l] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// TestRerouteMatchesOracle: the duality-based ADM reroute is universal,
+// agreeing with brute-force enumeration on random blockage sets.
+func TestRerouteMatchesOracle(t *testing.T) {
+	for _, N := range []int{8, 16} {
+		p := topology.MustParams(N)
+		rng := rand.New(rand.NewSource(int64(1800 + N)))
+		for trial := 0; trial < 300; trial++ {
+			nblk := rng.Intn(2 * N)
+			blocked := make([]Link, 0, nblk)
+			for k := 0; k < nblk; k++ {
+				blocked = append(blocked, Link{
+					Stage: rng.Intn(p.Stages()),
+					From:  rng.Intn(N),
+					Kind:  topology.LinkKind(rng.Intn(3)),
+				})
+			}
+			s, d := rng.Intn(N), rng.Intn(N)
+			want := admOracle(p, blocked, s, d)
+			pa, err := Reroute(p, blocked, s, d)
+			if err != nil {
+				if !errors.Is(err, core.ErrNoPath) {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				if want {
+					t.Fatalf("N=%d s=%d d=%d: reroute FAILed but a path exists", N, s, d)
+				}
+				continue
+			}
+			if !want {
+				t.Fatalf("N=%d s=%d d=%d: reroute found a path but oracle says none", N, s, d)
+			}
+			if err := pa.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if pa.Source != s || pa.Destination() != d {
+				t.Fatalf("endpoints wrong: %d -> %d", pa.Source, pa.Destination())
+			}
+			blk := map[Link]bool{}
+			for _, l := range blocked {
+				blk[l] = true
+			}
+			for _, l := range pa.Links {
+				if blk[l] {
+					t.Fatalf("rerouted ADM path uses blocked link %+v", l)
+				}
+			}
+		}
+	}
+}
+
+func TestRerouteCleanNetwork(t *testing.T) {
+	pa, err := Reroute(p8, nil, 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.Source != 3 || pa.Destination() != 6 {
+		t.Fatalf("endpoints: %d -> %d", pa.Source, pa.Destination())
+	}
+}
+
+func TestRerouteBlockedFirstChoice(t *testing.T) {
+	// Block the carry-free route's first link and verify the detour.
+	direct := Route(p8, 0, 7) // +4, +2, +1
+	blocked := []Link{direct.Links[0]}
+	pa, err := Reroute(p8, blocked, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.Links[0] == blocked[0] {
+		t.Fatal("reroute reused the blocked link")
+	}
+	if pa.Destination() != 7 {
+		t.Fatalf("delivered to %d", pa.Destination())
+	}
+}

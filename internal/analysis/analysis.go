@@ -1,0 +1,193 @@
+// Package analysis quantifies the redundancy the paper's schemes exploit:
+// path-count distributions and the reliability of source/destination pairs
+// under independent random link failures.
+//
+// Section 1 observes that "the IADM network can be regarded as a
+// fault-tolerant ICube network". This package makes that comparison
+// numeric: the ICube network offers exactly one path per pair (pair
+// reliability (1-q)^n when each link fails independently with probability
+// q), while the IADM network's redundant paths raise the reliability. The
+// exact IADM pair reliability is computed by a dynamic program over the
+// pivot structure of Lemma A2.1: at most two switches per stage can carry
+// the message, so tracking the distribution over reachable pivot subsets
+// costs O(n) with tiny constants.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"iadm/internal/blockage"
+	"iadm/internal/paths"
+	"iadm/internal/topology"
+)
+
+// ICubePairReliability returns the probability that the unique ICube path
+// between any pair survives when each link independently works with
+// probability 1-q: (1-q)^n.
+func ICubePairReliability(p topology.Params, q float64) float64 {
+	return math.Pow(1-q, float64(p.Stages()))
+}
+
+// PairReliability returns the exact probability that at least one IADM
+// routing path from s to d is fully intact when every link independently
+// fails with probability q.
+//
+// The computation walks the stages keeping the probability distribution
+// over the set of reachable pivots (Lemma A2.1: at most two per stage).
+// Each reachable pivot contributes its participating output links (one
+// straight link or the two oppositely signed nonstraight links, Theorem
+// 3.2); enumerating the up-to-16 failure combinations of those at most
+// four links yields the next distribution exactly.
+func PairReliability(p topology.Params, s, d int, q float64) (float64, error) {
+	if !p.ValidSwitch(s) || !p.ValidSwitch(d) {
+		return 0, fmt.Errorf("analysis: invalid pair (%d, %d)", s, d)
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("analysis: failure probability %v out of [0,1]", q)
+	}
+	// dist maps a reachable pivot subset (as a sorted slice key) to its
+	// probability. Subsets are tiny; encode as a map from switch -> bool
+	// via canonical key.
+	type state map[int]float64 // key: bitmask over the (<=2) pivots of the stage
+	pivots := paths.Pivots(p, s, d)
+
+	cur := state{1: 1.0} // bit 0 of the mask = first pivot of stage 0 (= s)
+	for i := 0; i < p.Stages(); i++ {
+		pv := pivots[i]
+		nextPv := pivots[i+1]
+		indexOfNext := func(sw int) int {
+			for k, v := range nextPv {
+				if v == sw {
+					return k
+				}
+			}
+			return -1
+		}
+		next := state{}
+		for mask, prob := range cur {
+			if prob == 0 {
+				continue
+			}
+			if mask == 0 {
+				next[0] += prob
+				continue
+			}
+			// Collect the participating links of the reachable pivots.
+			var links []topology.Link
+			for k, sw := range pv {
+				if mask&(1<<uint(k)) == 0 {
+					continue
+				}
+				links = append(links, paths.NextLinks(p, i, sw, d)...)
+			}
+			// Enumerate failure combinations of those links.
+			for combo := 0; combo < 1<<uint(len(links)); combo++ {
+				comboProb := prob
+				targets := 0
+				for li, l := range links {
+					if combo&(1<<uint(li)) != 0 {
+						comboProb *= 1 - q // link works
+						targets |= 1 << uint(indexOfNext(l.To(p)))
+					} else {
+						comboProb *= q // link failed
+					}
+				}
+				if comboProb != 0 {
+					next[targets] += comboProb
+				}
+			}
+		}
+		cur = next
+	}
+	// The message arrives iff the destination (the single pivot of the
+	// output column) is reachable.
+	alive := 0.0
+	for mask, prob := range cur {
+		if mask != 0 {
+			alive += prob
+		}
+	}
+	return alive, nil
+}
+
+// PairReliabilityMC estimates PairReliability by Monte Carlo sampling of
+// link failures, as an independent cross-check of the exact DP.
+func PairReliabilityMC(p topology.Params, s, d int, q float64, trials int, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	m := topology.IADM{Params: p}
+	ok := 0
+	for t := 0; t < trials; t++ {
+		blk := blockage.NewSet(p)
+		m.Links(func(l topology.Link) bool {
+			if rng.Float64() < q {
+				blk.Block(l)
+			}
+			return true
+		})
+		if paths.Exists(p, s, d, blk) {
+			ok++
+		}
+	}
+	return float64(ok) / float64(trials)
+}
+
+// ExpectedConnectivity estimates, by Monte Carlo, the expected fraction of
+// (s, d) pairs that remain routable when each link fails independently
+// with probability q.
+func ExpectedConnectivity(p topology.Params, q float64, trials int, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	m := topology.IADM{Params: p}
+	N := p.Size()
+	total := 0
+	for t := 0; t < trials; t++ {
+		blk := blockage.NewSet(p)
+		m.Links(func(l topology.Link) bool {
+			if rng.Float64() < q {
+				blk.Block(l)
+			}
+			return true
+		})
+		for s := 0; s < N; s++ {
+			for d := 0; d < N; d++ {
+				if paths.Exists(p, s, d, blk) {
+					total++
+				}
+			}
+		}
+	}
+	return float64(total) / float64(trials*N*N)
+}
+
+// PathCountDistribution returns, for each link-path count, how many of the
+// N distances D share it, plus the mean redundancy over all distances.
+func PathCountDistribution(p topology.Params) (dist map[int]int, mean float64) {
+	dist = make(map[int]int)
+	sum := 0
+	for D := 0; D < p.Size(); D++ {
+		links, _ := paths.CountPaths(p, 0, p.Mod(D))
+		dist[links]++
+		sum += links
+	}
+	return dist, float64(sum) / float64(p.Size())
+}
+
+// ExpectedConnectivityExact computes E[fraction of routable pairs] under
+// i.i.d. link failure probability q exactly: by linearity of expectation
+// it is the average of PairReliability over all N^2 pairs, each of which
+// the pivot DP evaluates exactly.
+func ExpectedConnectivityExact(p topology.Params, q float64) (float64, error) {
+	N := p.Size()
+	sum := 0.0
+	for s := 0; s < N; s++ {
+		for d := 0; d < N; d++ {
+			r, err := PairReliability(p, s, d, q)
+			if err != nil {
+				return 0, err
+			}
+			sum += r
+		}
+	}
+	return sum / float64(N*N), nil
+}

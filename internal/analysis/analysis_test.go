@@ -1,0 +1,181 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"iadm/internal/topology"
+)
+
+var p8 = topology.MustParams(8)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestICubePairReliability(t *testing.T) {
+	if got := ICubePairReliability(p8, 0); got != 1 {
+		t.Errorf("q=0: %v", got)
+	}
+	if got := ICubePairReliability(p8, 1); got != 0 {
+		t.Errorf("q=1: %v", got)
+	}
+	want := 0.9 * 0.9 * 0.9
+	if got := ICubePairReliability(p8, 0.1); !almost(got, want, 1e-12) {
+		t.Errorf("q=0.1: %v, want %v", got, want)
+	}
+}
+
+func TestPairReliabilityValidation(t *testing.T) {
+	if _, err := PairReliability(p8, 9, 0, 0.1); err == nil {
+		t.Error("accepted bad source")
+	}
+	if _, err := PairReliability(p8, 0, 0, -0.1); err == nil {
+		t.Error("accepted bad probability")
+	}
+}
+
+func TestPairReliabilityExtremes(t *testing.T) {
+	for s := 0; s < 8; s++ {
+		for d := 0; d < 8; d++ {
+			r0, err := PairReliability(p8, s, d, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r0 != 1 {
+				t.Errorf("q=0 s=%d d=%d: %v", s, d, r0)
+			}
+			r1, err := PairReliability(p8, s, d, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r1 != 0 {
+				t.Errorf("q=1 s=%d d=%d: %v", s, d, r1)
+			}
+		}
+	}
+}
+
+func TestPairReliabilitySamePairIsSeriesSystem(t *testing.T) {
+	// s == d has a unique all-straight path of n links: reliability must
+	// be exactly (1-q)^n.
+	for _, q := range []float64{0.05, 0.2, 0.5} {
+		got, err := PairReliability(p8, 3, 3, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Pow(1-q, 3)
+		if !almost(got, want, 1e-12) {
+			t.Errorf("q=%v: %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestPairReliabilityDistanceN2Pair(t *testing.T) {
+	// s=0, d=4 at N=8: the unique divergence is at stage 2 with TWO
+	// parallel links: reliability = (1-q)^2 * (1 - q^2).
+	for _, q := range []float64{0.1, 0.3} {
+		got, err := PairReliability(p8, 0, 4, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Pow(1-q, 2) * (1 - q*q)
+		if !almost(got, want, 1e-12) {
+			t.Errorf("q=%v: %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestPairReliabilityBeatsICube(t *testing.T) {
+	// For pairs with redundant paths the IADM reliability strictly exceeds
+	// the single-path ICube reliability; for s=d they coincide.
+	q := 0.1
+	cube := ICubePairReliability(p8, q)
+	for s := 0; s < 8; s++ {
+		for d := 0; d < 8; d++ {
+			got, err := PairReliability(p8, s, d, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s == d {
+				if !almost(got, cube, 1e-12) {
+					t.Errorf("s=d=%d: %v, want %v", s, got, cube)
+				}
+			} else if got <= cube {
+				t.Errorf("s=%d d=%d: IADM reliability %v not above ICube %v", s, d, got, cube)
+			}
+		}
+	}
+}
+
+func TestPairReliabilityMatchesMonteCarlo(t *testing.T) {
+	q := 0.15
+	for _, pair := range [][2]int{{1, 0}, {0, 5}, {2, 7}} {
+		exact, err := PairReliability(p8, pair[0], pair[1], q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc := PairReliabilityMC(p8, pair[0], pair[1], q, 20000, 7)
+		if !almost(exact, mc, 0.015) {
+			t.Errorf("pair %v: exact %v vs MC %v", pair, exact, mc)
+		}
+	}
+}
+
+func TestPairReliabilityMonotoneInQ(t *testing.T) {
+	prev := 1.1
+	for _, q := range []float64{0, 0.1, 0.2, 0.4, 0.7, 1} {
+		got, err := PairReliability(p8, 1, 0, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got > prev+1e-12 {
+			t.Errorf("reliability not monotone at q=%v: %v > %v", q, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestExpectedConnectivity(t *testing.T) {
+	if got := ExpectedConnectivity(p8, 0, 5, 1); got != 1 {
+		t.Errorf("q=0: %v", got)
+	}
+	got := ExpectedConnectivity(p8, 0.2, 50, 2)
+	if got <= 0 || got >= 1 {
+		t.Errorf("q=0.2: %v, want in (0,1)", got)
+	}
+}
+
+func TestPathCountDistribution(t *testing.T) {
+	dist, mean := PathCountDistribution(p8)
+	// D=0 has 1 path; the N=8 distance counts are {1,4,3,5,2,5,3,4}.
+	if dist[1] != 1 || dist[4] != 2 || dist[3] != 2 || dist[5] != 2 || dist[2] != 1 {
+		t.Errorf("distribution = %v", dist)
+	}
+	want := (1.0 + 4 + 3 + 5 + 2 + 5 + 3 + 4) / 8
+	if !almost(mean, want, 1e-12) {
+		t.Errorf("mean = %v, want %v", mean, want)
+	}
+}
+
+func TestExpectedConnectivityExactMatchesMC(t *testing.T) {
+	for _, q := range []float64{0.02, 0.1} {
+		exact, err := ExpectedConnectivityExact(p8, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc := ExpectedConnectivity(p8, q, 400, 5)
+		if !almost(exact, mc, 0.02) {
+			t.Errorf("q=%v: exact %v vs MC %v", q, exact, mc)
+		}
+		if exact <= 0 || exact >= 1 {
+			t.Errorf("q=%v: exact %v out of (0,1)", q, exact)
+		}
+	}
+	// q = 0 gives certainty.
+	exact, err := ExpectedConnectivityExact(p8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact != 1 {
+		t.Errorf("q=0: %v", exact)
+	}
+}

@@ -1,0 +1,37 @@
+package analysis
+
+import (
+	"fmt"
+	"testing"
+
+	"iadm/internal/topology"
+)
+
+func BenchmarkPairReliabilityExact(b *testing.B) {
+	for _, N := range []int{8, 256, 4096} {
+		p := topology.MustParams(N)
+		b.Run(fmt.Sprintf("N=%d", N), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := PairReliability(p, 1, 0, 0.05); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPairReliabilityMC(b *testing.B) {
+	p := topology.MustParams(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PairReliabilityMC(p, 1, 0, 0.05, 100, int64(i))
+	}
+}
+
+func BenchmarkPathCountDistribution(b *testing.B) {
+	p := topology.MustParams(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PathCountDistribution(p)
+	}
+}

@@ -1,0 +1,356 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"iadm/internal/blockage"
+	"iadm/internal/paths"
+	"iadm/internal/topology"
+)
+
+var p8 = topology.MustParams(8)
+
+func TestDistance(t *testing.T) {
+	cases := []struct{ s, d, want int }{
+		{0, 0, 0}, {1, 0, 7}, {0, 1, 1}, {7, 3, 4}, {3, 7, 4},
+	}
+	for _, c := range cases {
+		if got := Distance(p8, c.s, c.d); got != c.want {
+			t.Errorf("Distance(%d,%d) = %d, want %d", c.s, c.d, got, c.want)
+		}
+	}
+}
+
+func TestBinaryAndNegativeDigits(t *testing.T) {
+	g := BinaryDigits(p8, 5)
+	if g.String() != "+0+" {
+		t.Errorf("BinaryDigits(5) = %q", g.String())
+	}
+	if g.Value(p8) != 5 {
+		t.Errorf("Value = %d", g.Value(p8))
+	}
+	ng := NegativeDigits(p8, 5) // -(3) = -011 -> digits -,-,0
+	if ng.Value(p8) != 5 {
+		t.Errorf("NegativeDigits(5).Value = %d, want 5", ng.Value(p8))
+	}
+	if NegativeDigits(p8, 0).Value(p8) != 0 {
+		t.Error("NegativeDigits(0) nonzero")
+	}
+}
+
+func TestPathFromDigits(t *testing.T) {
+	// Digits (+,-,0) from s=1: 1 -> 2 -> 0 -> 0; the Figure 7 middle path.
+	pa, err := PathFromDigits(p8, 1, Digits{1, -1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 0, 0}
+	for i, w := range want {
+		if pa.SwitchAt(i) != w {
+			t.Fatalf("path %v, want switches %v", pa, want)
+		}
+	}
+	if _, err := PathFromDigits(p8, 1, Digits{2, 0, 0}); err == nil {
+		t.Error("accepted invalid digit")
+	}
+	if _, err := PathFromDigits(p8, 1, Digits{0, 0}); err == nil {
+		t.Error("accepted short digit vector")
+	}
+}
+
+// TestRepresentationsFigure7 checks the Parker-Raghavendra enumeration on
+// the paper's Figure 7 instance: D = 0-1 = 7 (≡ -1) has exactly the four
+// representations (-,0,0), (+,-,0), (+,+,-), (+,+,+).
+func TestRepresentationsFigure7(t *testing.T) {
+	reps := Representations(p8, 7)
+	got := map[string]bool{}
+	for _, g := range reps {
+		got[g.String()] = true
+		if g.Value(p8) != 7 {
+			t.Errorf("representation %v has value %d, want 7", g, g.Value(p8))
+		}
+	}
+	want := []string{"-00", "+-0", "++-", "+++"}
+	if len(reps) != len(want) {
+		t.Fatalf("got %d representations %v, want %d", len(reps), got, len(want))
+	}
+	for _, w := range want {
+		if !got[w] {
+			t.Errorf("missing representation %q (got %v)", w, got)
+		}
+	}
+}
+
+// TestRepresentationsMatchPathCount: the number of signed-digit
+// representations of D equals the number of link-paths between any pair at
+// distance D — the redundant-number-representation view [13] agrees with
+// the state-model view.
+func TestRepresentationsMatchPathCount(t *testing.T) {
+	for _, N := range []int{4, 8, 16} {
+		p := topology.MustParams(N)
+		for D := 0; D < N; D++ {
+			reps := Representations(p, D)
+			if got := CountRepresentations(p, D); got != len(reps) {
+				t.Errorf("N=%d D=%d: CountRepresentations=%d, enumerated %d", N, D, got, len(reps))
+			}
+			for s := 0; s < N; s++ {
+				d := p.Mod(s + D)
+				links, _ := paths.CountPaths(p, s, d)
+				if links != len(reps) {
+					t.Errorf("N=%d s=%d d=%d (D=%d): %d paths vs %d representations",
+						N, s, d, D, links, len(reps))
+				}
+			}
+		}
+	}
+}
+
+// TestRepresentationsAreDistinctPaths: distinct representations route along
+// distinct link-paths.
+func TestRepresentationsAreDistinctPaths(t *testing.T) {
+	p := topology.MustParams(16)
+	for D := 0; D < 16; D++ {
+		seen := map[string]bool{}
+		for _, g := range Representations(p, D) {
+			pa, err := PathFromDigits(p, 3, g)
+			if err != nil {
+				t.Fatalf("D=%d digits %v: %v", D, g, err)
+			}
+			if pa.Destination() != p.Mod(3+D) {
+				t.Fatalf("D=%d digits %v: wrong destination %d", D, g, pa.Destination())
+			}
+			key := g.String()
+			if seen[key] {
+				t.Fatalf("duplicate representation %q", key)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+func TestRouteDistanceStaticDeliversEverywhere(t *testing.T) {
+	for _, N := range []int{4, 8, 32} {
+		p := topology.MustParams(N)
+		for s := 0; s < N; s++ {
+			for d := 0; d < N; d++ {
+				pa := RouteDistanceStatic(p, s, d)
+				if pa.Destination() != d {
+					t.Fatalf("N=%d s=%d d=%d: delivered to %d", N, s, d, pa.Destination())
+				}
+			}
+		}
+	}
+}
+
+func TestRouteLeeLeeDeliversEverywhere(t *testing.T) {
+	for _, N := range []int{8, 16} {
+		p := topology.MustParams(N)
+		for s := 0; s < N; s++ {
+			for d := 0; d < N; d++ {
+				pa := RouteLeeLee(p, s, d)
+				if pa.Destination() != d {
+					t.Fatalf("N=%d s=%d d=%d: delivered to %d", N, s, d, pa.Destination())
+				}
+			}
+		}
+	}
+}
+
+func TestTwosComplementRemaining(t *testing.T) {
+	p := topology.MustParams(16)
+	var ops OpCounter
+	// tag 0b0110 (6), complement from stage 1: bits 1..3 of 6 are 011
+	// (value 3 in the field); two's complement of the 3-bit field is 101.
+	got := TwosComplementRemaining(p, 0b0110, 1, &ops)
+	if got != 0b1010 {
+		t.Errorf("TwosComplementRemaining = %#b, want 0b1010", got)
+	}
+	if ops.BitOps != 3 {
+		t.Errorf("BitOps = %d, want 3 (O(n-i) cost)", ops.BitOps)
+	}
+	// Value identity: field(i..n-1) of result = 2^{n-i} - field of input.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		tag := uint64(rng.Intn(16))
+		i := rng.Intn(4)
+		out := TwosComplementRemaining(p, tag, i, nil)
+		fieldIn := (tag >> uint(i)) & ((1 << uint(4-i)) - 1)
+		fieldOut := (out >> uint(i)) & ((1 << uint(4-i)) - 1)
+		if (fieldIn+fieldOut)&((1<<uint(4-i))-1) != 0 {
+			t.Fatalf("tag=%#b i=%d: fields %#b + %#b != 0 mod 2^%d", tag, i, fieldIn, fieldOut, 4-i)
+		}
+		if out&((1<<uint(i))-1) != tag&((1<<uint(i))-1) {
+			t.Fatalf("low bits disturbed")
+		}
+	}
+}
+
+func TestRouteMSClearNetwork(t *testing.T) {
+	blk := blockage.NewSet(p8)
+	for s := 0; s < 8; s++ {
+		for d := 0; d < 8; d++ {
+			res, err := RouteMS(p8, s, d, blk)
+			if err != nil {
+				t.Fatalf("RouteMS(%d,%d): %v", s, d, err)
+			}
+			if res.Path.Destination() != d || res.Reroutes != 0 {
+				t.Fatalf("RouteMS(%d,%d) = %v reroutes=%d", s, d, res.Path, res.Reroutes)
+			}
+		}
+	}
+}
+
+func TestRouteMSReroutesNonstraight(t *testing.T) {
+	blk := blockage.NewSet(p8)
+	// s=0, d=1: D=1, positive dominant, stage 0 takes +1. Block it.
+	blk.Block(topology.Link{Stage: 0, From: 0, Kind: topology.Plus})
+	res, err := RouteMS(p8, 0, 1, blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reroutes != 1 {
+		t.Errorf("Reroutes = %d, want 1", res.Reroutes)
+	}
+	if res.Ops.BitOps != 3 {
+		t.Errorf("BitOps = %d, want n=3 (the O(log N) cost)", res.Ops.BitOps)
+	}
+	if res.Path.Destination() != 1 {
+		t.Errorf("delivered to %d", res.Path.Destination())
+	}
+	if res.Path.Links[0].Kind != topology.Minus {
+		t.Errorf("stage 0 link %v, want Minus", res.Path.Links[0])
+	}
+	if got, hit := res.Path.FirstBlocked(blk); hit {
+		t.Errorf("path blocked at stage %d", got)
+	}
+}
+
+func TestRouteMSStraightFatal(t *testing.T) {
+	blk := blockage.NewSet(p8)
+	// s=1, d=0: D=7, starts negative dominant (magnitude 1): stage 0 takes
+	// -1 to switch 0, then straight. Block the straight at stage 1.
+	blk.Block(topology.Link{Stage: 1, From: 0, Kind: topology.Straight})
+	if _, err := RouteMS(p8, 1, 0, blk); err == nil {
+		t.Error("RouteMS survived a straight blockage")
+	}
+}
+
+func TestRouteMSDoubleNonstraightFatal(t *testing.T) {
+	blk := blockage.NewSet(p8)
+	blk.Block(topology.Link{Stage: 0, From: 0, Kind: topology.Plus})
+	blk.Block(topology.Link{Stage: 0, From: 0, Kind: topology.Minus})
+	if _, err := RouteMS(p8, 0, 1, blk); err == nil {
+		t.Error("RouteMS survived a double nonstraight blockage")
+	}
+}
+
+func TestRouteMSRandomBlockagesDeliverOrFail(t *testing.T) {
+	// Whenever RouteMS succeeds, the path must be valid, blockage-free and
+	// end at d.
+	p := topology.MustParams(32)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		blk := blockage.NewSet(p)
+		blk.RandomLinks(rng, rng.Intn(40))
+		s, d := rng.Intn(32), rng.Intn(32)
+		res, err := RouteMS(p, s, d, blk)
+		if err != nil {
+			continue
+		}
+		if res.Path.Destination() != d {
+			t.Fatalf("delivered to %d, want %d", res.Path.Destination(), d)
+		}
+		if stage, hit := res.Path.FirstBlocked(blk); hit {
+			t.Fatalf("blocked at stage %d", stage)
+		}
+		if err := res.Path.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRouteMSLookaheadClearNetwork(t *testing.T) {
+	blk := blockage.NewSet(p8)
+	for s := 0; s < 8; s++ {
+		for d := 0; d < 8; d++ {
+			res, err := RouteMSLookahead(p8, s, d, blk)
+			if err != nil {
+				t.Fatalf("RouteMSLookahead(%d,%d): %v", s, d, err)
+			}
+			if res.Path.Destination() != d {
+				t.Fatalf("delivered to %d", res.Path.Destination())
+			}
+		}
+	}
+}
+
+func TestRouteMSLookaheadAvoidsStraightFault(t *testing.T) {
+	// s=1, d=0, N=8: negative-dominant route is 1 -> 0 -> 0 -> 0. Block the
+	// straight (0∈S_1, 0∈S_2): the plain scheme dies, the look-ahead scheme
+	// sees it one stage early (at stage... the divergence is at stage 0) —
+	// one stage ahead of stage 0 is stage 1, so look-ahead diverts at stage
+	// 0 to switch 2 and survives.
+	blk := blockage.NewSet(p8)
+	blk.Block(topology.Link{Stage: 1, From: 0, Kind: topology.Straight})
+	if _, err := RouteMS(p8, 1, 0, blk); err == nil {
+		t.Fatal("plain MS should die on this fault")
+	}
+	res, err := RouteMSLookahead(p8, 1, 0, blk)
+	if err != nil {
+		t.Fatalf("lookahead failed: %v", err)
+	}
+	if res.Path.Destination() != 0 {
+		t.Errorf("delivered to %d", res.Path.Destination())
+	}
+	if _, hit := res.Path.FirstBlocked(blk); hit {
+		t.Error("lookahead path blocked")
+	}
+}
+
+func TestRouteMSLookaheadStillLimited(t *testing.T) {
+	// A straight fault two stages beyond the last divergence defeats
+	// single-stage look-ahead (the limitation Corollary 4.2's k-stage
+	// backtracking removes). s=1, d=0: divergence only at stage 0; block
+	// BOTH stage-2 straights reachable after the divergence... there is
+	// only one relevant: paths 1,0,0,0 / 1,2,0,0 / 1,2,4,0. Block
+	// (0∈S_2,0∈S_3) — kills paths 1 and 2 — and both nonstraights of 4∈S_2
+	// are fine, so lookahead CAN survive via 1,2,4,0. Instead block
+	// (0∈S_2, 0∈S_3) and (2∈S_1, 4∈S_2): now only path 1,0,0,0 ... wait it
+	// uses (0∈S_2,0∈S_3) too. Only 1,2,4,0 avoids it, which needs
+	// (2∈S_1,4∈S_2). With both blocked no path exists at all; every scheme
+	// must fail. Verify lookahead reports failure rather than mis-routing.
+	blk := blockage.NewSet(p8)
+	blk.Block(topology.Link{Stage: 2, From: 0, Kind: topology.Straight})
+	blk.Block(topology.Link{Stage: 1, From: 2, Kind: topology.Plus})
+	if _, err := RouteMSLookahead(p8, 1, 0, blk); err == nil {
+		t.Error("lookahead succeeded where no path exists")
+	}
+}
+
+func TestRouteMSLookaheadRandomSound(t *testing.T) {
+	p := topology.MustParams(16)
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 500; trial++ {
+		blk := blockage.NewSet(p)
+		blk.RandomLinks(rng, rng.Intn(30))
+		s, d := rng.Intn(16), rng.Intn(16)
+		res, err := RouteMSLookahead(p, s, d, blk)
+		if err != nil {
+			continue
+		}
+		if res.Path.Destination() != d {
+			t.Fatalf("delivered to %d, want %d", res.Path.Destination(), d)
+		}
+		if stage, hit := res.Path.FirstBlocked(blk); hit {
+			t.Fatalf("blocked at stage %d", stage)
+		}
+	}
+}
+
+func TestDigitsStringInvalid(t *testing.T) {
+	g := Digits{0, 2, -1}
+	if g.String() != "0?-" {
+		t.Errorf("String = %q", g.String())
+	}
+}

@@ -1,0 +1,62 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"iadm/internal/blockage"
+	"iadm/internal/topology"
+)
+
+func BenchmarkRouteDistanceStatic(b *testing.B) {
+	for _, N := range []int{8, 256, 4096} {
+		p := topology.MustParams(N)
+		b.Run(fmt.Sprintf("N=%d", N), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				RouteDistanceStatic(p, i%N, (i*7)%N)
+			}
+		})
+	}
+}
+
+func BenchmarkRouteMSWithBlockages(b *testing.B) {
+	p := topology.MustParams(256)
+	rng := rand.New(rand.NewSource(1))
+	blk := blockage.NewSet(p)
+	blk.RandomNonstraight(rng, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = RouteMS(p, i%256, (i*31)%256, blk)
+	}
+}
+
+func BenchmarkRouteMSLookahead(b *testing.B) {
+	p := topology.MustParams(256)
+	rng := rand.New(rand.NewSource(2))
+	blk := blockage.NewSet(p)
+	blk.RandomLinks(rng, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = RouteMSLookahead(p, i%256, (i*31)%256, blk)
+	}
+}
+
+func BenchmarkRepresentationsWorstCase(b *testing.B) {
+	for _, N := range []int{8, 64, 1024} {
+		p := topology.MustParams(N)
+		b.Run(fmt.Sprintf("N=%d", N), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Representations(p, N-1)
+			}
+		})
+	}
+}
+
+func BenchmarkCountRepresentations(b *testing.B) {
+	p := topology.MustParams(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CountRepresentations(p, i%4096)
+	}
+}

@@ -1,0 +1,194 @@
+// Package baseline implements the routing schemes the paper compares
+// against, so that the complexity and fault-tolerance claims can be
+// measured rather than asserted:
+//
+//   - distance-tag routing: the classic Gamma/IADM scheme in which the
+//     routing tag is (a representation of) the distance D = d - s mod N;
+//   - redundant signed-digit representations of D and their enumeration,
+//     the all-paths algorithm of Parker and Raghavendra [13][14];
+//   - the McMillen-Siegel dynamic rerouting techniques [9][10]: sign
+//     switching via two's-complement tag recomputation (an O(log N)
+//     operation, the cost the paper's O(1) schemes eliminate) and the
+//     single-stage look-ahead variant for some straight-link faults;
+//   - the Lee-Lee destination-tag local-control algorithm [7], which finds
+//     exactly one path per source/destination pair.
+package baseline
+
+import (
+	"fmt"
+
+	"iadm/internal/bitutil"
+	"iadm/internal/core"
+	"iadm/internal/topology"
+)
+
+// Distance returns the routing distance D = (d - s) mod N.
+func Distance(p topology.Params, s, d int) int { return p.Mod(d - s) }
+
+// Digits is a signed-digit routing tag: one digit in {-1, 0, +1} per stage;
+// digit i selects the -2^i link, the straight link, or the +2^i link. A
+// digit vector routes s to d iff sum(digits[i] * 2^i) ≡ d - s (mod N).
+type Digits []int
+
+// Value returns sum(digits[i] * 2^i) reduced mod N.
+func (g Digits) Value(p topology.Params) int {
+	v := 0
+	for i, t := range g {
+		v += t << uint(i)
+	}
+	return p.Mod(v)
+}
+
+// String renders the digits LSB-first with '-', '0', '+'.
+func (g Digits) String() string {
+	buf := make([]byte, len(g))
+	for i, t := range g {
+		switch t {
+		case -1:
+			buf[i] = '-'
+		case 0:
+			buf[i] = '0'
+		case 1:
+			buf[i] = '+'
+		default:
+			buf[i] = '?'
+		}
+	}
+	return string(buf)
+}
+
+// BinaryDigits returns the canonical nonnegative representation of D: digit
+// i is bit i of D. This is the positive-dominant distance tag.
+func BinaryDigits(p topology.Params, D int) Digits {
+	g := make(Digits, p.Stages())
+	for i := range g {
+		g[i] = int(bitutil.Bit(uint64(D), i))
+	}
+	return g
+}
+
+// NegativeDigits returns the negative-dominant representation of D: digit i
+// is minus bit i of (N - D) mod N. For D = 0 it is all zeros.
+func NegativeDigits(p topology.Params, D int) Digits {
+	g := make(Digits, p.Stages())
+	nd := p.Mod(-D)
+	for i := range g {
+		g[i] = -int(bitutil.Bit(uint64(nd), i))
+	}
+	return g
+}
+
+// PathFromDigits converts a signed-digit tag into the path it routes from
+// source s, validating that every digit is applicable (a nonzero digit at
+// stage i requires the remaining distance to have an odd 2^i component;
+// equivalently the digits must sum to a legal distance step by step).
+func PathFromDigits(p topology.Params, s int, g Digits) (core.Path, error) {
+	if len(g) != p.Stages() {
+		return core.Path{}, fmt.Errorf("baseline: %d digits, want %d", len(g), p.Stages())
+	}
+	links := make([]topology.Link, p.Stages())
+	j := s
+	for i, t := range g {
+		var kind topology.LinkKind
+		switch t {
+		case -1:
+			kind = topology.Minus
+		case 0:
+			kind = topology.Straight
+		case 1:
+			kind = topology.Plus
+		default:
+			return core.Path{}, fmt.Errorf("baseline: invalid digit %d at stage %d", t, i)
+		}
+		links[i] = topology.Link{Stage: i, From: j, Kind: kind}
+		j = links[i].To(p)
+	}
+	return core.NewPath(p, s, links)
+}
+
+// Representations enumerates every signed-digit representation of D — the
+// Parker-Raghavendra all-paths computation. There is a representation
+// choice exactly at the stages where the remaining distance has an odd
+// coefficient, so the count equals the number of link-paths between any
+// (s, d) with distance D.
+//
+// The recurrence: entering stage i the remaining distance R is divisible by
+// 2^i; let m = R / 2^i (mod 2^{n-i}). If m is even the digit is forced to
+// 0; if m is odd both +1 and -1 are feasible.
+func Representations(p topology.Params, D int) []Digits {
+	var out []Digits
+	g := make(Digits, p.Stages())
+	var rec func(i, R int)
+	rec = func(i, R int) {
+		if i == p.Stages() {
+			if R%p.Size() == 0 {
+				out = append(out, append(Digits(nil), g...))
+			}
+			return
+		}
+		m := (R >> uint(i)) & 1
+		if m == 0 {
+			g[i] = 0
+			rec(i+1, R)
+			return
+		}
+		g[i] = 1
+		rec(i+1, p.Mod(R-(1<<uint(i))))
+		g[i] = -1
+		rec(i+1, p.Mod(R+(1<<uint(i))))
+	}
+	rec(0, p.Mod(D))
+	return out
+}
+
+// CountRepresentations returns the number of signed-digit representations
+// of D without enumerating them: a dynamic program over the remaining
+// residue per stage. At most two residues are live at any stage (they are
+// exactly d minus the two pivots of Lemma A2.1), so the count costs O(n).
+func CountRepresentations(p topology.Params, D int) int {
+	type key struct{ i, R int }
+	memo := make(map[key]int, 2*p.Stages())
+	var rec func(i, R int) int
+	rec = func(i, R int) int {
+		if i == p.Stages() {
+			if R == 0 {
+				return 1
+			}
+			return 0
+		}
+		k := key{i, R}
+		if v, ok := memo[k]; ok {
+			return v
+		}
+		var v int
+		if (R>>uint(i))&1 == 0 {
+			v = rec(i+1, R)
+		} else {
+			v = rec(i+1, p.Mod(R-(1<<uint(i)))) + rec(i+1, p.Mod(R+(1<<uint(i))))
+		}
+		memo[k] = v
+		return v
+	}
+	return rec(0, p.Mod(D))
+}
+
+// RouteDistanceStatic routes s to d along the canonical positive-dominant
+// distance tag (bit i of D selects +2^i). It performs no rerouting: this is
+// the non-fault-tolerant baseline.
+func RouteDistanceStatic(p topology.Params, s, d int) core.Path {
+	pa, err := PathFromDigits(p, s, BinaryDigits(p, Distance(p, s, d)))
+	if err != nil {
+		panic(fmt.Sprintf("baseline: static route failed: %v", err))
+	}
+	return pa
+}
+
+// RouteLeeLee is the Lee-Lee destination-tag local-control algorithm [7]:
+// each switch compares bit i of its own label with bit i of the destination
+// and, when they differ, moves +2^i from an even_i switch and -2^i from an
+// odd_i switch — without computing the distance. It finds exactly one path
+// per (s, d) pair (the same path as the paper's state model in the all-C
+// network state) and has no rerouting capability of its own.
+func RouteLeeLee(p topology.Params, s, d int) core.Path {
+	return core.FollowState(p, s, d, core.NewNetworkState(p))
+}

@@ -1,0 +1,208 @@
+package baseline
+
+import (
+	"fmt"
+
+	"iadm/internal/blockage"
+	"iadm/internal/core"
+	"iadm/internal/topology"
+)
+
+// OpCounter tallies the elementary bit/word operations a routing-hardware
+// model performs, so the paper's complexity comparison (O(1) state-bit
+// complement vs O(log N) two's-complement recomputation) can be measured.
+type OpCounter struct {
+	BitOps int // single-bit examinations/updates
+}
+
+// TwosComplementRemaining recomputes the remaining distance tag when the
+// McMillen-Siegel scheme [9] switches dominance at stage i: the bits i..n-1
+// of the tag are replaced by the two's complement of the remaining
+// magnitude. The loop runs over all n-i remaining bit positions — the
+// O(log N) time x space cost the paper's schemes avoid. ops, if non-nil,
+// accumulates the bit operations performed.
+func TwosComplementRemaining(p topology.Params, tag uint64, i int, ops *OpCounter) uint64 {
+	n := p.Stages()
+	// Invert bits i..n-1, then add 2^i with ripple carry: the textbook
+	// two's-complement circuit a switch would implement.
+	carry := uint64(1)
+	out := tag
+	for b := i; b < n; b++ {
+		bit := (tag >> uint(b)) & 1
+		inv := bit ^ 1
+		sum := inv + carry
+		if sum&1 == 1 {
+			out |= 1 << uint(b)
+		} else {
+			out &^= 1 << uint(b)
+		}
+		carry = sum >> 1
+		if ops != nil {
+			ops.BitOps++
+		}
+	}
+	return out
+}
+
+// MSResult reports a McMillen-Siegel routing outcome.
+type MSResult struct {
+	Path     core.Path
+	Reroutes int       // number of dominance switches performed
+	Ops      OpCounter // bit operations spent on rerouting computations
+}
+
+// RouteMS routes s to d with the McMillen-Siegel dynamic rerouting
+// technique [9]: the message carries the n-bit magnitude of the remaining
+// distance plus a dominance flag. Bit i of the magnitude selects the
+// dominant-sign nonstraight link at stage i (or the straight link when 0);
+// if the selected nonstraight link is blocked, the switch recomputes the
+// remaining tag as its two's complement (an O(log N) ripple operation) and
+// flips dominance, diverting to the oppositely signed link.
+//
+// Straight-link blockages and double nonstraight blockages are fatal, as in
+// the original scheme.
+func RouteMS(p topology.Params, s, d int, blk *blockage.Set) (MSResult, error) {
+	res := MSResult{}
+	n := p.Stages()
+	positive := true
+	D := Distance(p, s, d)
+	tag := uint64(D) // magnitude of remaining distance under current dominance
+	if D != 0 && D > p.Size()/2 {
+		// Start with the shorter representation, as the scheme's senders do.
+		positive = false
+		tag = uint64(p.Mod(-D))
+	}
+	links := make([]topology.Link, n)
+	j := s
+	for i := 0; i < n; i++ {
+		bit := (tag >> uint(i)) & 1
+		var l topology.Link
+		if bit == 0 {
+			l = topology.Link{Stage: i, From: j, Kind: topology.Straight}
+			if blk.Blocked(l) {
+				return res, fmt.Errorf("baseline: MS routing: straight link blockage %v is fatal", l)
+			}
+		} else {
+			kind := topology.Plus
+			if !positive {
+				kind = topology.Minus
+			}
+			l = topology.Link{Stage: i, From: j, Kind: kind}
+			if blk.Blocked(l) {
+				// Dynamic rerouting: two's complement the remaining tag and
+				// flip dominance (technique 1 of [9]).
+				tag = TwosComplementRemaining(p, tag, i, &res.Ops)
+				positive = !positive
+				res.Reroutes++
+				l = topology.Link{Stage: i, From: j, Kind: kind.Opposite()}
+				if blk.Blocked(l) {
+					return res, fmt.Errorf("baseline: MS routing: double nonstraight blockage at %d∈S_%d", j, i)
+				}
+			}
+		}
+		links[i] = l
+		j = l.To(p)
+	}
+	pa, err := core.NewPath(p, s, links)
+	if err != nil {
+		return res, fmt.Errorf("baseline: MS routing built invalid path: %v", err)
+	}
+	if pa.Destination() != d {
+		return res, fmt.Errorf("baseline: MS routing delivered to %d, want %d", pa.Destination(), d)
+	}
+	res.Path = pa
+	return res, nil
+}
+
+// RouteMSLookahead extends RouteMS with the single-stage look-ahead of
+// [10]: when stage i offers a sign choice (both nonstraight links free), it
+// inspects the link the tag will demand at stage i+1 under each choice and
+// prefers a choice whose next link is unblocked. This avoids the straight
+// link faults that are avoidable with one stage of warning; deeper faults
+// remain fatal, which is exactly the limitation the paper's universal
+// REROUTE algorithm removes.
+func RouteMSLookahead(p topology.Params, s, d int, blk *blockage.Set) (MSResult, error) {
+	res := MSResult{}
+	n := p.Stages()
+	positive := true
+	D := Distance(p, s, d)
+	tag := uint64(D)
+	if D != 0 && D > p.Size()/2 {
+		positive = false
+		tag = uint64(p.Mod(-D))
+	}
+	links := make([]topology.Link, n)
+	j := s
+
+	// nextLink computes the link the scheme would demand at stage i+1 from
+	// switch jj with remaining tag tt and dominance pos.
+	nextLink := func(i int, jj int, tt uint64, pos bool) (topology.Link, bool) {
+		if i+1 >= n {
+			return topology.Link{}, false
+		}
+		bit := (tt >> uint(i+1)) & 1
+		kind := topology.Straight
+		if bit == 1 {
+			kind = topology.Plus
+			if !pos {
+				kind = topology.Minus
+			}
+		}
+		return topology.Link{Stage: i + 1, From: jj, Kind: kind}, true
+	}
+
+	for i := 0; i < n; i++ {
+		bit := (tag >> uint(i)) & 1
+		var l topology.Link
+		if bit == 0 {
+			l = topology.Link{Stage: i, From: j, Kind: topology.Straight}
+			if blk.Blocked(l) {
+				return res, fmt.Errorf("baseline: MS lookahead: straight link blockage %v is fatal", l)
+			}
+		} else {
+			kind := topology.Plus
+			if !positive {
+				kind = topology.Minus
+			}
+			cur := topology.Link{Stage: i, From: j, Kind: kind}
+			altTag := TwosComplementRemaining(p, tag, i, &res.Ops)
+			alt := topology.Link{Stage: i, From: j, Kind: kind.Opposite()}
+
+			curOK := !blk.Blocked(cur)
+			altOK := !blk.Blocked(alt)
+			// One-stage look-ahead: is the follow-up link clear?
+			curNextOK, altNextOK := true, true
+			if nl, ok := nextLink(i, cur.To(p), tag, positive); ok {
+				curNextOK = !blk.Blocked(nl)
+			}
+			if nl, ok := nextLink(i, alt.To(p), altTag, !positive); ok {
+				altNextOK = !blk.Blocked(nl)
+			}
+			switch {
+			case curOK && curNextOK:
+				l = cur
+			case altOK && altNextOK:
+				l, tag, positive = alt, altTag, !positive
+				res.Reroutes++
+			case curOK:
+				l = cur
+			case altOK:
+				l, tag, positive = alt, altTag, !positive
+				res.Reroutes++
+			default:
+				return res, fmt.Errorf("baseline: MS lookahead: double nonstraight blockage at %d∈S_%d", j, i)
+			}
+		}
+		links[i] = l
+		j = l.To(p)
+	}
+	pa, err := core.NewPath(p, s, links)
+	if err != nil {
+		return res, fmt.Errorf("baseline: MS lookahead built invalid path: %v", err)
+	}
+	if pa.Destination() != d {
+		return res, fmt.Errorf("baseline: MS lookahead delivered to %d, want %d", pa.Destination(), d)
+	}
+	res.Path = pa
+	return res, nil
+}

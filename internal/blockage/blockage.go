@@ -1,0 +1,195 @@
+// Package blockage models faulty or busy links in an IADM network.
+//
+// The paper (Section 3) distinguishes three blockage situations affecting
+// the output links of a switch on a routing path:
+//
+//   - a nonstraight link blockage: one of the +-2^i links is blocked;
+//   - a straight link blockage: the straight link is blocked;
+//   - a double nonstraight link blockage: both +-2^i links are blocked.
+//
+// A switch blockage (the switch itself is faulty or busy) "has the same
+// effect as blocking all of the switch's input links and can be transformed
+// into a link blockage problem accordingly"; BlockSwitch implements that
+// transformation.
+package blockage
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"iadm/internal/topology"
+)
+
+// Set is a set of blocked links of an IADM network of fixed size. The zero
+// value is not usable; use NewSet.
+type Set struct {
+	p       topology.Params
+	blocked []bool
+	count   int
+}
+
+// NewSet returns an empty blockage set for a network with the given
+// parameters.
+func NewSet(p topology.Params) *Set {
+	return &Set{p: p, blocked: make([]bool, 3*p.Size()*p.Stages())}
+}
+
+// Params returns the network parameters the set was built for.
+func (s *Set) Params() topology.Params { return s.p }
+
+// Block marks the link as blocked. Blocking an already blocked link is a
+// no-op.
+func (s *Set) Block(l topology.Link) {
+	idx := l.Index(s.p)
+	if !s.blocked[idx] {
+		s.blocked[idx] = true
+		s.count++
+	}
+}
+
+// Unblock clears the link's blocked mark.
+func (s *Set) Unblock(l topology.Link) {
+	idx := l.Index(s.p)
+	if s.blocked[idx] {
+		s.blocked[idx] = false
+		s.count--
+	}
+}
+
+// Blocked reports whether the link is blocked.
+func (s *Set) Blocked(l topology.Link) bool { return s.blocked[l.Index(s.p)] }
+
+// Count returns the number of blocked links.
+func (s *Set) Count() int { return s.count }
+
+// Clear removes all blockages.
+func (s *Set) Clear() {
+	for i := range s.blocked {
+		s.blocked[i] = false
+	}
+	s.count = 0
+}
+
+// Clone returns an independent copy of the set.
+func (s *Set) Clone() *Set {
+	c := &Set{p: s.p, blocked: make([]bool, len(s.blocked)), count: s.count}
+	copy(c.blocked, s.blocked)
+	return c
+}
+
+// Links returns the blocked links in deterministic (index) order.
+func (s *Set) Links() []topology.Link {
+	out := make([]topology.Link, 0, s.count)
+	for idx, b := range s.blocked {
+		if b {
+			out = append(out, topology.LinkFromIndex(s.p, idx))
+		}
+	}
+	return out
+}
+
+// String renders the set for diagnostics.
+func (s *Set) String() string {
+	links := s.Links()
+	parts := make([]string, len(links))
+	for i, l := range links {
+		parts[i] = l.StringIn(s.p)
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// BlockSwitch blocks all input links of the given switch, the paper's
+// transformation of a switch blockage into link blockages. Switches in
+// stage 0 are network inputs with no modeled input links; blocking one is
+// rejected because no link-level transformation exists for it.
+func (s *Set) BlockSwitch(sw topology.Switch) error {
+	if sw.Stage == 0 {
+		return fmt.Errorf("blockage: switch %v is a network input; its blockage cannot be expressed as link blockages", sw)
+	}
+	if sw.Stage < 1 || sw.Stage > s.p.Stages() || !s.p.ValidSwitch(sw.Index) {
+		return fmt.Errorf("blockage: invalid switch %v", sw)
+	}
+	m := topology.IADM{Params: s.p}
+	for _, l := range m.InLinks(sw.Stage-1, sw.Index) {
+		s.Block(l)
+	}
+	return nil
+}
+
+// DoubleNonstraight reports whether both nonstraight output links of switch
+// j at stage i are blocked (the paper's "double nonstraight link blockage").
+func (s *Set) DoubleNonstraight(i, j int) bool {
+	return s.Blocked(topology.Link{Stage: i, From: j, Kind: topology.Plus}) &&
+		s.Blocked(topology.Link{Stage: i, From: j, Kind: topology.Minus})
+}
+
+// Kind classifies the blockage situation of switch j at stage i with respect
+// to its output links.
+type Kind int
+
+const (
+	// None: no output link of the switch is blocked.
+	None Kind = iota
+	// NonstraightOnly: exactly one nonstraight output link is blocked (and
+	// the straight link may or may not be — per the paper's footnote, a
+	// straight and a nonstraight blockage never affect the same
+	// source/destination pair, so the classification is per desired link).
+	NonstraightOnly
+	// StraightOnly: the straight output link is blocked.
+	StraightOnly
+	// DoubleNonstraight: both nonstraight output links are blocked.
+	DoubleNonstraightKind
+)
+
+// RandomLinks blocks `count` distinct uniformly random links, drawn with the
+// given PRNG. Already blocked links are skipped, so the final Count grows by
+// exactly `count` (or until the network is exhausted).
+func (s *Set) RandomLinks(rng *rand.Rand, count int) {
+	total := 3 * s.p.Size() * s.p.Stages()
+	free := make([]int, 0, total-s.count)
+	for idx, b := range s.blocked {
+		if !b {
+			free = append(free, idx)
+		}
+	}
+	if count > len(free) {
+		count = len(free)
+	}
+	rng.Shuffle(len(free), func(i, j int) { free[i], free[j] = free[j], free[i] })
+	for _, idx := range free[:count] {
+		s.blocked[idx] = true
+		s.count++
+	}
+}
+
+// RandomNonstraight blocks `count` distinct uniformly random nonstraight
+// links (the blockage type the SSDT scheme and Section 6 reconfiguration
+// tolerate).
+func (s *Set) RandomNonstraight(rng *rand.Rand, count int) {
+	var free []int
+	m := topology.IADM{Params: s.p}
+	m.Links(func(l topology.Link) bool {
+		if l.Kind.Nonstraight() && !s.Blocked(l) {
+			free = append(free, l.Index(s.p))
+		}
+		return true
+	})
+	if count > len(free) {
+		count = len(free)
+	}
+	rng.Shuffle(len(free), func(i, j int) { free[i], free[j] = free[j], free[i] })
+	for _, idx := range free[:count] {
+		s.blocked[idx] = true
+		s.count++
+	}
+}
+
+// SortLinks orders links by (stage, from, kind); used by tests and renderers
+// that need deterministic output from arbitrary link slices.
+func SortLinks(p topology.Params, links []topology.Link) {
+	sort.Slice(links, func(a, b int) bool {
+		return links[a].Index(p) < links[b].Index(p)
+	})
+}

@@ -1,0 +1,145 @@
+// Package bpc implements the bit-permute-complement (BPC) permutation
+// class: sigma(x) applies a fixed permutation pi of the n address-bit
+// positions and then complements a fixed subset of bits,
+//
+//	sigma(x)_i = x_{pi(i)} XOR c_i.
+//
+// BPC permutations are the classic structured workloads of the multistage
+// interconnection network literature the paper draws on (Lawrie [6],
+// Pease [15], Siegel [16]): matrix transpose, bit reversal, perfect
+// shuffle, vector reversal and butterfly are all BPC. Experiment E25 uses
+// this catalog to characterize which families pass which networks —
+// Section 6's "permutations performable by the IADM network" question on
+// concrete families.
+package bpc
+
+import (
+	"fmt"
+
+	"iadm/internal/bitutil"
+	"iadm/internal/icube"
+)
+
+// BPC describes one bit-permute-complement permutation for n address bits.
+type BPC struct {
+	// BitPerm maps destination bit position i to source bit position
+	// BitPerm[i] (sigma(x)_i = x_{BitPerm[i]} ^ bit i of Complement).
+	BitPerm []int
+	// Complement holds the bits to complement after permuting.
+	Complement uint64
+	// Name labels the family for reports.
+	Name string
+}
+
+// Validate checks that BitPerm is a permutation of 0..n-1.
+func (b BPC) Validate() error {
+	n := len(b.BitPerm)
+	seen := make([]bool, n)
+	for _, v := range b.BitPerm {
+		if v < 0 || v >= n {
+			return fmt.Errorf("bpc: bit index %d out of range", v)
+		}
+		if seen[v] {
+			return fmt.Errorf("bpc: bit index %d duplicated", v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// Apply computes sigma(x).
+func (b BPC) Apply(x int) int {
+	out := uint64(0)
+	for i, src := range b.BitPerm {
+		out |= bitutil.Bit(uint64(x), src) << uint(i)
+	}
+	return int(out ^ b.Complement)
+}
+
+// Perm expands the BPC description into an explicit permutation of
+// 0..N-1, N = 2^n.
+func (b BPC) Perm() icube.Perm {
+	N := 1 << uint(len(b.BitPerm))
+	out := make(icube.Perm, N)
+	for x := 0; x < N; x++ {
+		out[x] = b.Apply(x)
+	}
+	return out
+}
+
+// identityBits returns the identity bit mapping for n bits.
+func identityBits(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Identity returns the identity permutation as a BPC.
+func Identity(n int) BPC {
+	return BPC{BitPerm: identityBits(n), Name: "identity"}
+}
+
+// VectorReversal complements every bit: sigma(x) = N-1-x.
+func VectorReversal(n int) BPC {
+	return BPC{BitPerm: identityBits(n), Complement: bitutil.Mask(0, n-1), Name: "vector-reversal"}
+}
+
+// BitReversal reverses the bit order (the FFT permutation).
+func BitReversal(n int) BPC {
+	bits := make([]int, n)
+	for i := range bits {
+		bits[i] = n - 1 - i
+	}
+	return BPC{BitPerm: bits, Name: "bit-reversal"}
+}
+
+// PerfectShuffle rotates the bits left by one: sigma(x) = shuffle(x).
+func PerfectShuffle(n int) BPC {
+	bits := make([]int, n)
+	for i := range bits {
+		bits[i] = (i - 1 + n) % n // destination bit i takes source bit i-1
+	}
+	return BPC{BitPerm: bits, Name: "perfect-shuffle"}
+}
+
+// Transpose swaps the high and low halves of the address bits — the
+// matrix-transpose permutation for a sqrt(N) x sqrt(N) matrix (n even; for
+// odd n the extra middle bit stays put).
+func Transpose(n int) BPC {
+	bits := make([]int, n)
+	h := n / 2
+	for i := range bits {
+		bits[i] = (i + h) % n
+	}
+	return BPC{BitPerm: bits, Name: "transpose"}
+}
+
+// Butterfly swaps the most and least significant bits.
+func Butterfly(n int) BPC {
+	bits := identityBits(n)
+	bits[0], bits[n-1] = bits[n-1], bits[0]
+	return BPC{BitPerm: bits, Name: "butterfly"}
+}
+
+// Exchange complements a single address bit.
+func Exchange(n, b int) BPC {
+	return BPC{BitPerm: identityBits(n), Complement: 1 << uint(b), Name: fmt.Sprintf("exchange-bit-%d", b)}
+}
+
+// Catalog returns the standard BPC families for n address bits.
+func Catalog(n int) []BPC {
+	out := []BPC{
+		Identity(n),
+		VectorReversal(n),
+		BitReversal(n),
+		PerfectShuffle(n),
+		Transpose(n),
+		Butterfly(n),
+	}
+	for b := 0; b < n; b++ {
+		out = append(out, Exchange(n, b))
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package bpc
+
+import (
+	"testing"
+
+	"iadm/internal/icube"
+)
+
+func TestValidate(t *testing.T) {
+	if err := Identity(3).Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (BPC{BitPerm: []int{0, 0, 1}}).Validate(); err == nil {
+		t.Error("accepted duplicate bit")
+	}
+	if err := (BPC{BitPerm: []int{0, 1, 3}}).Validate(); err == nil {
+		t.Error("accepted out-of-range bit")
+	}
+}
+
+func TestCatalogAreValidPermutations(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5} {
+		N := 1 << uint(n)
+		for _, b := range Catalog(n) {
+			if err := b.Validate(); err != nil {
+				t.Fatalf("n=%d %s: %v", n, b.Name, err)
+			}
+			if err := b.Perm().Validate(N); err != nil {
+				t.Fatalf("n=%d %s: invalid permutation: %v", n, b.Name, err)
+			}
+		}
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	perm := Identity(3).Perm()
+	for i, v := range perm {
+		if v != i {
+			t.Fatalf("identity[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestVectorReversal(t *testing.T) {
+	perm := VectorReversal(3).Perm()
+	for i, v := range perm {
+		if v != 7-i {
+			t.Fatalf("reversal[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestBitReversalMatchesICube(t *testing.T) {
+	got := BitReversal(3).Perm()
+	want := icube.BitReverse(8)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bit reversal mismatch: %v vs %v", got, want)
+		}
+	}
+}
+
+func TestPerfectShuffle(t *testing.T) {
+	perm := PerfectShuffle(3).Perm()
+	// shuffle(x) = rotate-left: 1 (001) -> 2 (010); 4 (100) -> 1 (001).
+	if perm[1] != 2 || perm[4] != 1 || perm[7] != 7 || perm[0] != 0 {
+		t.Errorf("shuffle = %v", perm)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	// n=4: swap low and high halves of the bits: x = ab (2 bits each) ->
+	// ba. 0b0110 (6) -> 0b1001 (9).
+	perm := Transpose(4).Perm()
+	if perm[6] != 9 || perm[9] != 6 || perm[0] != 0 || perm[15] != 15 {
+		t.Errorf("transpose = %v", perm)
+	}
+}
+
+func TestButterfly(t *testing.T) {
+	// Swap MSB and LSB: n=3: 0b001 (1) <-> 0b100 (4).
+	perm := Butterfly(3).Perm()
+	if perm[1] != 4 || perm[4] != 1 || perm[2] != 2 {
+		t.Errorf("butterfly = %v", perm)
+	}
+}
+
+func TestExchange(t *testing.T) {
+	perm := Exchange(3, 1).Perm()
+	want := icube.Exchange(8, 1)
+	for i := range want {
+		if perm[i] != want[i] {
+			t.Fatalf("exchange mismatch: %v vs %v", perm, want)
+		}
+	}
+}
+
+func TestApplyComposesBitsThenComplement(t *testing.T) {
+	b := BPC{BitPerm: []int{2, 0, 1}, Complement: 0b001}
+	// x = 0b110: dest bit0 = x2=1, bit1 = x0=0, bit2 = x1=1 -> 0b101, then
+	// ^001 -> 0b100.
+	if got := b.Apply(0b110); got != 0b100 {
+		t.Errorf("Apply = %#b", got)
+	}
+}
+
+func TestCatalogSize(t *testing.T) {
+	if got := len(Catalog(3)); got != 6+3 {
+		t.Errorf("Catalog(3) size = %d", got)
+	}
+}

@@ -1,0 +1,178 @@
+// Package controller implements the paper's network controller (Section
+// 5): "Algorithm BACKTRACK (and REROUTE) presumes existence of the
+// knowledge of all blockages in the network. The network controller is
+// responsible for collecting this information and maintaining a global map
+// of blockages, which is accessible to every sender of the messages in
+// order to compute a path to avoid the blockages."
+//
+// The controller accepts fault and repair reports, serves rerouting-tag
+// requests computed with algorithm REROUTE, and caches computed tags per
+// (source, destination) pair, invalidating the cache when the blockage map
+// changes. It is safe for concurrent use by multiple senders.
+package controller
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"iadm/internal/blockage"
+	"iadm/internal/core"
+	"iadm/internal/topology"
+)
+
+// Controller is the global routing authority of one IADM network.
+type Controller struct {
+	p topology.Params
+
+	mu    sync.RWMutex
+	blk   *blockage.Set
+	epoch uint64 // incremented on every map change
+	cache map[pair]entry
+
+	// stats (atomic: the hit counter is bumped under the read lock)
+	hits, misses, fails atomic.Uint64
+}
+
+type pair struct{ s, d int }
+
+type entry struct {
+	tag   core.Tag
+	epoch uint64
+}
+
+// New creates a controller for a fault-free network of size N.
+func New(N int) (*Controller, error) {
+	p, err := topology.NewParams(N)
+	if err != nil {
+		return nil, err
+	}
+	return &Controller{
+		p:     p,
+		blk:   blockage.NewSet(p),
+		cache: make(map[pair]entry),
+	}, nil
+}
+
+// Params returns the network parameters.
+func (c *Controller) Params() topology.Params { return c.p }
+
+// ReportFault records a blocked link. Reporting an already blocked link is
+// a no-op (and does not invalidate the cache).
+func (c *Controller) ReportFault(l topology.Link) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.blk.Blocked(l) {
+		return
+	}
+	c.blk.Block(l)
+	c.epoch++
+}
+
+// ReportRepair clears a blocked link.
+func (c *Controller) ReportRepair(l topology.Link) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.blk.Blocked(l) {
+		return
+	}
+	c.blk.Unblock(l)
+	c.epoch++
+}
+
+// ReportSwitchFault records a faulty switch via the paper's input-link
+// transformation.
+func (c *Controller) ReportSwitchFault(sw topology.Switch) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	before := c.blk.Count()
+	if err := c.blk.BlockSwitch(sw); err != nil {
+		return err
+	}
+	if c.blk.Count() != before {
+		c.epoch++
+	}
+	return nil
+}
+
+// Faults returns a snapshot of the blocked links.
+func (c *Controller) Faults() []topology.Link {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.blk.Links()
+}
+
+// Epoch returns the current map version; it changes whenever the blockage
+// map does.
+func (c *Controller) Epoch() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.epoch
+}
+
+// RouteTag returns a TSDT tag routing s to d around all currently known
+// blockages, or an error wrapping core.ErrNoPath when the network is
+// disconnected for the pair. Computed tags are cached until the blockage
+// map changes.
+func (c *Controller) RouteTag(s, d int) (core.Tag, error) {
+	if !c.p.ValidSwitch(s) || !c.p.ValidSwitch(d) {
+		return core.Tag{}, fmt.Errorf("controller: invalid pair (%d, %d)", s, d)
+	}
+	key := pair{s, d}
+
+	c.mu.RLock()
+	if e, ok := c.cache[key]; ok && e.epoch == c.epoch {
+		c.hits.Add(1)
+		c.mu.RUnlock()
+		return e.tag, nil
+	}
+	c.mu.RUnlock()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Recheck under the write lock (another sender may have filled it).
+	if e, ok := c.cache[key]; ok && e.epoch == c.epoch {
+		c.hits.Add(1)
+		return e.tag, nil
+	}
+	c.misses.Add(1)
+	tag, _, err := core.Reroute(c.p, c.blk, s, core.MustTag(c.p, d))
+	if err != nil {
+		c.fails.Add(1)
+		return core.Tag{}, err
+	}
+	c.cache[key] = entry{tag: tag, epoch: c.epoch}
+	return tag, nil
+}
+
+// Route is RouteTag plus the concrete path.
+func (c *Controller) Route(s, d int) (core.Tag, core.Path, error) {
+	tag, err := c.RouteTag(s, d)
+	if err != nil {
+		return core.Tag{}, core.Path{}, err
+	}
+	return tag, tag.Follow(c.p, s), nil
+}
+
+// Stats reports cache behaviour: hits, misses (tags computed), and
+// rerouting failures.
+func (c *Controller) Stats() (hits, misses, fails uint64) {
+	return c.hits.Load(), c.misses.Load(), c.fails.Load()
+}
+
+// Connectivity returns the fraction of (s, d) pairs currently routable.
+func (c *Controller) Connectivity() float64 {
+	c.mu.RLock()
+	blk := c.blk.Clone()
+	c.mu.RUnlock()
+	N := c.p.Size()
+	ok := 0
+	for s := 0; s < N; s++ {
+		for d := 0; d < N; d++ {
+			if _, _, err := core.Reroute(c.p, blk, s, core.MustTag(c.p, d)); err == nil {
+				ok++
+			}
+		}
+	}
+	return float64(ok) / float64(N*N)
+}

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"iadm/internal/blockage"
+	"iadm/internal/topology"
+)
+
+// Directed tests for each FAIL branch of algorithm BACKTRACK (Section 5):
+// each step's termination condition gets a scenario that exercises exactly
+// it, with the oracle-style expectation spelled out by hand.
+
+// Step 1 FAIL: no nonstraight link precedes the blockage.
+func TestBacktrackStep1Fail(t *testing.T) {
+	tag := MustTag(p8, 5)
+	path := tag.Follow(p8, 5) // all straight
+	blk := blockage.NewSet(p8)
+	blk.Block(path.Links[2])
+	_, err := Backtrack(blk, path, 2, tag)
+	if !errors.Is(err, ErrNoPath) {
+		t.Fatalf("want ErrNoPath, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "Theorems 3.3/3.4") {
+		t.Errorf("error should cite the theorem: %v", err)
+	}
+}
+
+// Step 4a FAIL: straight blockage at q; both nonstraight exits of the
+// diagonal pivot are blocked too.
+func TestBacktrackStep4aFail(t *testing.T) {
+	// s=1, d=0: path 1,0,0,0; straight blockage at stage 1 (0∈S_1→0∈S_2).
+	// The diagonal pivot at stage 1 is 2∈S_1; block both its nonstraight
+	// outputs (to 0 and 4).
+	tag := MustTag(p8, 0)
+	path := tag.Follow(p8, 1)
+	blk := blockage.NewSet(p8)
+	blk.Block(link(1, 0, topology.Straight))
+	blk.Block(link(1, 2, topology.Minus))
+	blk.Block(link(1, 2, topology.Plus))
+	_, err := Backtrack(blk, path, 1, tag)
+	if !errors.Is(err, ErrNoPath) {
+		t.Fatalf("want ErrNoPath, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "both nonstraight links") {
+		t.Errorf("unexpected error text: %v", err)
+	}
+}
+
+// Step 4a secondary: the default diagonal exit is blocked but the opposite
+// one works (the b'_{n+q} flip inside step 4a).
+func TestBacktrackStep4aSecondary(t *testing.T) {
+	tag := MustTag(p8, 0)
+	path := tag.Follow(p8, 1) // 1,0,0,0
+	blk := blockage.NewSet(p8)
+	blk.Block(link(1, 0, topology.Straight))
+	// linkfound=1 (stage-0 link is -2^0), so the primary exit from 2∈S_1
+	// is +2^1 (to 4); block it, leaving -2^1 (back to 0∈S_2).
+	blk.Block(link(1, 2, topology.Plus))
+	re, err := Backtrack(blk, path, 1, tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := re.Follow(p8, 1)
+	wantSwitches(t, got, 1, 2, 0, 0)
+	if _, hit := got.FirstBlocked(blk); hit {
+		t.Fatal("rerouting path blocked")
+	}
+}
+
+// Step 4b FAIL: double nonstraight blockage at q and the diagonal pivot's
+// straight link blocked too.
+func TestBacktrackStep4bFail(t *testing.T) {
+	// Tag 000110 gives path 1,2,4,0. Double-block 4∈S_2's nonstraight
+	// outputs, and block the straight of the other stage-2 pivot (0∈S_2).
+	tag := mustParseTag(t, 3, "000110")
+	path := tag.Follow(p8, 1)
+	blk := blockage.NewSet(p8)
+	blk.Block(link(2, 4, topology.Minus))
+	blk.Block(link(2, 4, topology.Plus))
+	blk.Block(link(2, 0, topology.Straight))
+	_, err := Backtrack(blk, path, 2, tag)
+	if !errors.Is(err, ErrNoPath) {
+		t.Fatalf("want ErrNoPath, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "straight link of") {
+		t.Errorf("unexpected error text: %v", err)
+	}
+}
+
+// Step 5 FAIL: a blockage on the diagonal segment Q̂ between r and q.
+func TestBacktrackStep5Fail(t *testing.T) {
+	// N=16, s=1, d=0: default path 1,0,0,0,0 — only one nonstraight at
+	// stage 0, so build a longer straight run: straight blockage at stage
+	// 2 with r=0 means Q̂ covers stage 1: the diagonal runs
+	// 2∈S_1 → 4∈S_2 (+2^1). Block the straight (0∈S_2,0∈S_3)... q must be
+	// 2: block (0∈S_2, 0∈S_3) straight; diagonal link at stage 1 from
+	// 2∈S_1 is +2^1 to 4∈S_2; block it to trigger step 5.
+	p16 := topology.MustParams(16)
+	tag := MustTag(p16, 0)
+	path := tag.Follow(p16, 1)
+	blk := blockage.NewSet(p16)
+	blk.Block(topology.Link{Stage: 2, From: 0, Kind: topology.Straight})
+	blk.Block(topology.Link{Stage: 1, From: 2, Kind: topology.Plus})
+	_, err := Backtrack(blk, path, 2, tag)
+	if !errors.Is(err, ErrNoPath) {
+		t.Fatalf("want ErrNoPath, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "diagonal link") {
+		t.Errorf("unexpected error text: %v", err)
+	}
+}
+
+// Step 8 FAIL: the flipped link at stage r is blocked (step 6 fires) and
+// no further nonstraight link exists below.
+func TestBacktrackStep8Fail(t *testing.T) {
+	tag := MustTag(p8, 0)
+	path := tag.Follow(p8, 1) // 1,0,0,0: nonstraight only at stage 0
+	blk := blockage.NewSet(p8)
+	blk.Block(link(1, 0, topology.Straight)) // q=1, r=0
+	blk.Block(link(0, 1, topology.Plus))     // flipped link at r blocked
+	_, err := Backtrack(blk, path, 1, tag)
+	if !errors.Is(err, ErrNoPath) {
+		t.Fatalf("want ErrNoPath, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "backtracking exhausted") {
+		t.Errorf("unexpected error text: %v", err)
+	}
+}
+
+// Step 9 FAIL: the sign of the nonstraight link found in a later
+// backtracking iteration differs from the first (Figure 9 situation).
+func TestBacktrackStep9Fail(t *testing.T) {
+	// Need a path with nonstraight links of OPPOSITE signs at two stages
+	// followed by a straight run into a blockage. N=16, s=2, d=1:
+	// stage 0: even_0, d_0=1 -> +1 => 3; stage 1: odd_1 (3), d_1=0 -> -2
+	// => 1; stages 2,3 straight. Path 2,3,1,1,1 with +2^0 then -2^1.
+	p16 := topology.MustParams(16)
+	tag := MustTag(p16, 1)
+	path := tag.Follow(p16, 2)
+	want := []int{2, 3, 1, 1, 1}
+	for i, w := range want {
+		if path.SwitchAt(i) != w {
+			t.Fatalf("setup: path %v, want %v", path.Switches(), want)
+		}
+	}
+	blk := blockage.NewSet(p16)
+	// Straight blockage at stage 2 (1∈S_2 -> 1∈S_3): q=2, first backtrack
+	// finds -2^1 at stage 1 (linkfound=1, diagonal through 5∈S_2).
+	blk.Block(topology.Link{Stage: 2, From: 1, Kind: topology.Straight})
+	// Block the flipped link at stage 1 (3∈S_1 +2^1 -> 5∈S_2): step 6
+	// fires, second backtrack finds +2^0 at stage 0 — opposite sign.
+	blk.Block(topology.Link{Stage: 1, From: 3, Kind: topology.Plus})
+	_, err := Backtrack(blk, path, 2, tag)
+	if !errors.Is(err, ErrNoPath) {
+		t.Fatalf("want ErrNoPath, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "sign reversal") {
+		t.Errorf("unexpected error text: %v", err)
+	}
+	// The oracle agrees no path exists (step 9's FAIL is not premature).
+	if _, ok := findPathAvoiding(p16, 2, 1, blk); ok {
+		t.Fatal("oracle found a path where step 9 declared none")
+	}
+}
+
+// findPathAvoiding is a local brute-force oracle (kept independent of the
+// paths package to avoid an import cycle in this white-box test package).
+func findPathAvoiding(p topology.Params, s, d int, blk *blockage.Set) (Path, bool) {
+	var links []topology.Link
+	var dfs func(i, j int) bool
+	dfs = func(i, j int) bool {
+		if i == p.Stages() {
+			return j == d
+		}
+		tb := (d >> uint(i)) & 1
+		cands := []topology.Link{LinkFor(i, j, tb, StateC), LinkFor(i, j, tb, StateCBar)}
+		if cands[0] == cands[1] {
+			cands = cands[:1]
+		}
+		for _, l := range cands {
+			if blk.Blocked(l) {
+				continue
+			}
+			links = append(links, l)
+			if dfs(i+1, l.To(p)) {
+				return true
+			}
+			links = links[:len(links)-1]
+		}
+		return false
+	}
+	if !dfs(0, s) {
+		return Path{}, false
+	}
+	pa, err := NewPath(p, s, append([]topology.Link(nil), links...))
+	if err != nil {
+		panic(err)
+	}
+	return pa, true
+}
+
+// TestBacktrackStep9SameSignContinues: when the later iteration finds the
+// SAME sign, backtracking continues and succeeds (steps 7-10 loop).
+func TestBacktrackStep9SameSignContinues(t *testing.T) {
+	// N=16, s=3, d=0: path 3,2,0,0,0 (-2^0 then -2^1 — same sign).
+	p16 := topology.MustParams(16)
+	tag := MustTag(p16, 0)
+	path := tag.Follow(p16, 3)
+	blk := blockage.NewSet(p16)
+	blk.Block(topology.Link{Stage: 2, From: 0, Kind: topology.Straight}) // q=2
+	blk.Block(topology.Link{Stage: 1, From: 2, Kind: topology.Plus})     // step 6 fires at r=1
+	re, err := Backtrack(blk, path, 2, tag)
+	if err != nil {
+		t.Fatalf("same-sign continuation failed: %v", err)
+	}
+	got := re.Follow(p16, 3)
+	if gotStage, hit := got.FirstBlocked(blk); hit && gotStage <= 2 {
+		t.Fatalf("rerouting path blocked at stage %d: %v", gotStage, got)
+	}
+	if got.Destination() != 0 {
+		t.Fatalf("delivered to %d", got.Destination())
+	}
+}
+
+func TestPathHelpersCoverage(t *testing.T) {
+	tag := MustTag(p8, 0)
+	pa := tag.Follow(p8, 1)
+	// NewPath round trip.
+	re, err := NewPath(p8, 1, pa.Links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !re.Equal(pa) || !re.SameSwitches(pa) {
+		t.Error("NewPath result differs")
+	}
+	// SameSwitches tolerates parallel last-stage links.
+	tagA := MustTag(p8, 0)
+	pA := tagA.Follow(p8, 4) // 4,4,4,0 via Minus at stage 2
+	pB := pA
+	pB.Links = append([]topology.Link(nil), pA.Links...)
+	pB.Links[2] = topology.Link{Stage: 2, From: 4, Kind: topology.Plus}
+	if pA.Equal(pB) {
+		t.Error("Equal ignored parallel link difference")
+	}
+	if !pA.SameSwitches(pB) {
+		t.Error("SameSwitches rejected parallel link difference")
+	}
+	// Validate failure modes.
+	if _, err := NewPath(p8, 9, pa.Links); err == nil {
+		t.Error("accepted bad source")
+	}
+	bad := append([]topology.Link(nil), pa.Links...)
+	bad[1] = topology.Link{Stage: 1, From: 5, Kind: topology.Straight}
+	if _, err := NewPath(p8, 1, bad); err == nil {
+		t.Error("accepted broken chain")
+	}
+	bad2 := append([]topology.Link(nil), pa.Links...)
+	bad2[1].Stage = 2
+	if _, err := NewPath(p8, 1, bad2); err == nil {
+		t.Error("accepted wrong stage")
+	}
+	if _, err := NewPath(p8, 1, pa.Links[:2]); err == nil {
+		t.Error("accepted short path")
+	}
+	// Params accessor on NetworkState.
+	if core := NewNetworkState(p8); core.Params().Size() != 8 {
+		t.Error("NetworkState.Params wrong")
+	}
+	// MustTag panic path.
+	defer func() {
+		if recover() == nil {
+			t.Error("MustTag did not panic")
+		}
+	}()
+	MustTag(p8, 99)
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"iadm/internal/blockage"
+	"iadm/internal/topology"
+)
+
+func BenchmarkTagFollow(b *testing.B) {
+	for _, N := range []int{8, 256, 4096} {
+		p := topology.MustParams(N)
+		tag := MustTag(p, N-1)
+		b.Run(fmt.Sprintf("N=%d", N), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tag.Follow(p, i%N)
+			}
+		})
+	}
+}
+
+func BenchmarkFollowState(b *testing.B) {
+	for _, N := range []int{8, 256, 4096} {
+		p := topology.MustParams(N)
+		ns := RandomState(p, rand.New(rand.NewSource(1)))
+		b.Run(fmt.Sprintf("N=%d", N), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				FollowState(p, i%N, (i*31)%N, ns)
+			}
+		})
+	}
+}
+
+func BenchmarkRouteSSDTWithBlockages(b *testing.B) {
+	p := topology.MustParams(256)
+	rng := rand.New(rand.NewSource(2))
+	blk := blockage.NewSet(p)
+	blk.RandomNonstraight(rng, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ns := NewNetworkState(p)
+		_, _ = RouteSSDT(p, i%256, (i*31)%256, ns, blk)
+	}
+}
+
+func BenchmarkBacktrackWorstCase(b *testing.B) {
+	// Straight blockage at the last stage with the only nonstraight at
+	// stage 0: forces the longest Corollary 4.2 field update.
+	for _, N := range []int{8, 256, 4096} {
+		p := topology.MustParams(N)
+		blk := blockage.NewSet(p)
+		tag := MustTag(p, 0)
+		path := tag.Follow(p, 1)
+		q := p.Stages() - 1
+		blk.Block(path.Links[q])
+		b.Run(fmt.Sprintf("N=%d", N), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Backtrack(blk, path, q, tag); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDynamicReroute(b *testing.B) {
+	p := topology.MustParams(64)
+	rng := rand.New(rand.NewSource(3))
+	blk := blockage.NewSet(p)
+	blk.RandomLinks(rng, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = DynamicReroute(p, blk, i%64, (i*13)%64)
+	}
+}
+
+func BenchmarkNetworkStateClone(b *testing.B) {
+	p := topology.MustParams(1024)
+	ns := RandomState(p, rand.New(rand.NewSource(4)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ns.Clone()
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+
+	"iadm/internal/blockage"
+	"iadm/internal/topology"
+)
+
+// DynamicResult reports the outcome of dynamic (in-network) rerouting.
+type DynamicResult struct {
+	// Tag is the final TSDT tag whose path was walked successfully.
+	Tag Tag
+	// Path is the blockage-free path the message finally took.
+	Path Path
+	// Probes counts blocked links the message discovered by running into
+	// them — the information a global blockage map would have provided up
+	// front.
+	Probes int
+	// BacktrackHops counts the stages the message physically retreated
+	// over all rerouting events (the cost of the backtracking signals of
+	// Section 4's dynamic implementation).
+	BacktrackHops int
+	// Replans counts tag recomputations.
+	Replans int
+}
+
+// DynamicReroute models the paper's dynamic rerouting alternative
+// (Section 4): "it is required that each switch can detect the
+// inaccessibility of any output port and signal the presence of the
+// blockage back to the switches of previous stages." The message starts
+// with the plain destination tag and no knowledge of blockages; each time
+// it runs into a blocked link it learns that link (and the visibly blocked
+// sibling outputs of the same switch), backtracks to where its plan
+// changes, and replans with REROUTE over the blockages discovered so far.
+//
+// Discovery is monotone, so the walk terminates: either a blockage-free
+// path is completed, or REROUTE fails on a subset of the real blockages —
+// which proves no path exists at all. DynamicReroute therefore succeeds
+// exactly when sender-computed REROUTE with the full map succeeds, at the
+// price of Probes/BacktrackHops spent learning the map; that trade-off is
+// measured by experiment E17.
+func DynamicReroute(p topology.Params, real *blockage.Set, s, d int) (DynamicResult, error) {
+	var res DynamicResult
+	if err := checkEndpoints(p, s, d); err != nil {
+		return res, err
+	}
+	known := blockage.NewSet(p)
+	tag, err := NewTag(p, d)
+	if err != nil {
+		return res, err
+	}
+	m := topology.IADM{Params: p}
+	// Each iteration discovers at least one new blocked link, so the
+	// number of iterations is bounded by the number of blocked links.
+	for iter := 0; iter <= real.Count()+1; iter++ {
+		path := tag.Follow(p, s)
+		stage, hit := path.FirstBlocked(real)
+		if !hit {
+			res.Tag = tag
+			res.Path = path
+			return res, nil
+		}
+		// The message reached `stage` and found the link blocked: learn it,
+		// along with the sibling output links of the same switch that are
+		// also visibly blocked (a switch can see all three of its output
+		// ports).
+		j := path.SwitchAt(stage)
+		for _, l := range m.OutLinks(stage, j) {
+			if real.Blocked(l) && !known.Blocked(l) {
+				known.Block(l)
+				res.Probes++
+			}
+		}
+		newTag, newPath, err := Reroute(p, known, s, tag)
+		if err != nil {
+			// known is a subset of the real blockages, so failure against
+			// known proves failure against the full map.
+			return res, fmt.Errorf("core: dynamic rerouting: %w", err)
+		}
+		res.Replans++
+		res.BacktrackHops += retreat(path, newPath, stage)
+		tag = newTag
+		_ = newPath
+	}
+	return res, fmt.Errorf("core: DynamicReroute did not converge (internal error)")
+}
+
+// retreat returns the number of stages the message must physically back up
+// when abandoning prev (blocked at blockedStage, where the message is
+// standing) for next: the distance from the blockage back to the first
+// stage whose link changed.
+func retreat(prev, next Path, blockedStage int) int {
+	diverge := blockedStage
+	for i := 0; i <= blockedStage && i < len(prev.Links); i++ {
+		if prev.Links[i] != next.Links[i] {
+			diverge = i
+			break
+		}
+	}
+	if blockedStage < diverge {
+		return 0
+	}
+	return blockedStage - diverge
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"iadm/internal/blockage"
+	"iadm/internal/topology"
+)
+
+func TestDynamicRerouteClearNetwork(t *testing.T) {
+	blk := blockage.NewSet(p8)
+	res, err := DynamicReroute(p8, blk, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Probes != 0 || res.Replans != 0 || res.BacktrackHops != 0 {
+		t.Errorf("clear network cost: %+v", res)
+	}
+	wantSwitches(t, res.Path, 1, 0, 0, 0)
+}
+
+func TestDynamicRerouteSingleNonstraight(t *testing.T) {
+	blk := blockage.NewSet(p8)
+	blk.Block(link(0, 1, topology.Minus))
+	res, err := DynamicReroute(p8, blk, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Probes != 1 || res.Replans != 1 {
+		t.Errorf("single blockage cost: %+v", res)
+	}
+	// Divergence happens at the blockage stage itself: no physical retreat.
+	if res.BacktrackHops != 0 {
+		t.Errorf("BacktrackHops = %d, want 0 (Corollary 4.1 is local)", res.BacktrackHops)
+	}
+	wantSwitches(t, res.Path, 1, 2, 0, 0)
+}
+
+func TestDynamicRerouteStraightBacktracks(t *testing.T) {
+	blk := blockage.NewSet(p8)
+	// Straight (0∈S_1, 0∈S_2) blocked on the default 1,0,0,0 path: the
+	// message discovers it standing at stage 1 and must retreat to stage 0.
+	blk.Block(link(1, 0, topology.Straight))
+	res, err := DynamicReroute(p8, blk, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BacktrackHops != 1 {
+		t.Errorf("BacktrackHops = %d, want 1", res.BacktrackHops)
+	}
+	if res.Path.Destination() != 0 {
+		t.Errorf("delivered to %d", res.Path.Destination())
+	}
+}
+
+func TestDynamicRerouteNoPath(t *testing.T) {
+	blk := blockage.NewSet(p8)
+	blk.Block(link(1, 5, topology.Straight)) // s=d=5 unique path broken
+	_, err := DynamicReroute(p8, blk, 5, 5)
+	if !errors.Is(err, ErrNoPath) {
+		t.Fatalf("want ErrNoPath, got %v", err)
+	}
+}
+
+// TestDynamicEquivalentToGlobalReroute: dynamic discovery succeeds exactly
+// when sender-computed REROUTE with the full map succeeds, over random
+// multi-blockage scenarios.
+func TestDynamicEquivalentToGlobalReroute(t *testing.T) {
+	for _, N := range []int{8, 16, 32} {
+		p := topology.MustParams(N)
+		rng := rand.New(rand.NewSource(int64(1700 + N)))
+		for trial := 0; trial < 200; trial++ {
+			blk := blockage.NewSet(p)
+			blk.RandomLinks(rng, rng.Intn(N*2))
+			s, d := rng.Intn(N), rng.Intn(N)
+			_, _, gerr := Reroute(p, blk, s, MustTag(p, d))
+			res, derr := DynamicReroute(p, blk, s, d)
+			if (gerr == nil) != (derr == nil) {
+				t.Fatalf("N=%d s=%d d=%d blk=%v: global err=%v, dynamic err=%v", N, s, d, blk, gerr, derr)
+			}
+			if derr == nil {
+				if stage, hit := res.Path.FirstBlocked(blk); hit {
+					t.Fatalf("dynamic path blocked at stage %d", stage)
+				}
+				if res.Path.Destination() != d {
+					t.Fatalf("dynamic path delivered to %d, want %d", res.Path.Destination(), d)
+				}
+				if res.Probes > blk.Count() {
+					t.Fatalf("probed %d links, only %d blocked", res.Probes, blk.Count())
+				}
+				if got := res.Tag.Follow(p, s); !got.Equal(res.Path) {
+					t.Fatal("dynamic tag does not reproduce dynamic path")
+				}
+			}
+		}
+	}
+}
+
+func TestDynamicRerouteInvalidEndpoints(t *testing.T) {
+	blk := blockage.NewSet(p8)
+	if _, err := DynamicReroute(p8, blk, -1, 0); err == nil {
+		t.Error("accepted invalid source")
+	}
+}
+
+func TestRetreat(t *testing.T) {
+	tagA := MustTag(p8, 0)
+	pathA := tagA.Follow(p8, 1) // 1,0,0,0 (nonstraight at 0)
+	tagB := tagA.FlipStateBit(0)
+	pathB := tagB.Follow(p8, 1) // 1,2,0,0
+	// Blocked at stage 2, plans diverge at stage 0: retreat 2 hops.
+	if got := retreat(pathA, pathB, 2); got != 2 {
+		t.Errorf("retreat = %d, want 2", got)
+	}
+	// Blocked at stage 0, diverge at 0: no retreat.
+	if got := retreat(pathA, pathB, 0); got != 0 {
+		t.Errorf("retreat = %d, want 0", got)
+	}
+	// Identical plans: divergence defaults to the blockage stage.
+	if got := retreat(pathA, pathA, 2); got != 0 {
+		t.Errorf("retreat(same) = %d, want 0", got)
+	}
+}

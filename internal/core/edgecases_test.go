@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"iadm/internal/blockage"
+	"iadm/internal/topology"
+)
+
+// TestSwitchBlockageReroute exercises the paper's switch-blockage
+// transformation end to end: blocking a switch blocks all its input links;
+// REROUTE must then avoid the switch entirely or report FAIL.
+func TestSwitchBlockageReroute(t *testing.T) {
+	p := topology.MustParams(16)
+	rng := rand.New(rand.NewSource(160))
+	for trial := 0; trial < 200; trial++ {
+		blk := blockage.NewSet(p)
+		sw := topology.Switch{Stage: 1 + rng.Intn(p.Stages()-1), Index: rng.Intn(16)}
+		if err := blk.BlockSwitch(sw); err != nil {
+			t.Fatal(err)
+		}
+		s, d := rng.Intn(16), rng.Intn(16)
+		_, path, err := Reroute(p, blk, s, MustTag(p, d))
+		if err != nil {
+			continue // FAIL correctness is covered by the oracle tests
+		}
+		if path.SwitchAt(sw.Stage) == sw.Index {
+			t.Fatalf("path %v passes through blocked switch %v", path, sw)
+		}
+	}
+}
+
+func TestSwitchBlockageSSDTTransparent(t *testing.T) {
+	// A blocked switch reachable only via nonstraight links is avoided
+	// transparently by SSDT when the straight alternative exists.
+	p := topology.MustParams(8)
+	blk := blockage.NewSet(p)
+	// Block switch 0∈S_1: inputs (1∈S_0,-), (0∈S_0,0), (7∈S_0,+).
+	if err := blk.BlockSwitch(topology.Switch{Stage: 1, Index: 0}); err != nil {
+		t.Fatal(err)
+	}
+	ns := NewNetworkState(p)
+	res, err := RouteSSDT(p, 1, 0, ns, blk)
+	if err != nil {
+		t.Fatalf("SSDT could not avoid blocked switch: %v", err)
+	}
+	if res.Path.SwitchAt(1) == 0 {
+		t.Fatalf("path %v passes through blocked switch", res.Path)
+	}
+}
+
+// TestRoutingN2 covers the smallest network: one stage, parallel links.
+func TestRoutingN2(t *testing.T) {
+	p := topology.MustParams(2)
+	blk := blockage.NewSet(p)
+	for s := 0; s < 2; s++ {
+		for d := 0; d < 2; d++ {
+			tag := MustTag(p, d)
+			path := tag.Follow(p, s)
+			if path.Destination() != d {
+				t.Fatalf("N=2 s=%d d=%d: delivered to %d", s, d, path.Destination())
+			}
+			if _, _, err := Reroute(p, blk, s, tag); err != nil {
+				t.Fatalf("N=2 clear Reroute failed: %v", err)
+			}
+		}
+	}
+	// Cross traffic uses a nonstraight link; blocking one parallel link
+	// must divert to the other.
+	blk.Block(topology.Link{Stage: 0, From: 0, Kind: topology.Plus})
+	_, path, err := Reroute(p, blk, 0, MustTag(p, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path.Links[0].Kind != topology.Minus {
+		t.Errorf("expected the parallel Minus link, got %v", path.Links[0])
+	}
+	// Blocking both parallel links disconnects the pair.
+	blk.Block(topology.Link{Stage: 0, From: 0, Kind: topology.Minus})
+	if _, _, err := Reroute(p, blk, 0, MustTag(p, 1)); err == nil {
+		t.Error("Reroute found a path with both parallel links blocked")
+	}
+	// The straight pair is unaffected.
+	if _, _, err := Reroute(p, blk, 0, MustTag(p, 0)); err != nil {
+		t.Errorf("straight route affected by nonstraight blockage: %v", err)
+	}
+}
+
+// TestSSDTN2 covers SSDT on the degenerate network.
+func TestSSDTN2(t *testing.T) {
+	p := topology.MustParams(2)
+	blk := blockage.NewSet(p)
+	blk.Block(topology.Link{Stage: 0, From: 1, Kind: topology.Minus})
+	ns := NewNetworkState(p)
+	res, err := RouteSSDT(p, 1, 0, ns, blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Path.Destination() != 0 {
+		t.Errorf("delivered to %d", res.Path.Destination())
+	}
+	if len(res.Flipped) != 1 {
+		t.Errorf("Flipped = %v", res.Flipped)
+	}
+}
+
+// TestLargeNetworkRouting sanity-checks a big network (N=4096) end to end.
+func TestLargeNetworkRouting(t *testing.T) {
+	p := topology.MustParams(4096)
+	rng := rand.New(rand.NewSource(4096))
+	blk := blockage.NewSet(p)
+	blk.RandomLinks(rng, 500)
+	for trial := 0; trial < 50; trial++ {
+		s, d := rng.Intn(4096), rng.Intn(4096)
+		tag, path, err := Reroute(p, blk, s, MustTag(p, d))
+		if err != nil {
+			continue
+		}
+		if path.Destination() != d {
+			t.Fatalf("delivered to %d, want %d", path.Destination(), d)
+		}
+		if _, hit := path.FirstBlocked(blk); hit {
+			t.Fatal("blocked path returned")
+		}
+		if !tag.Follow(p, s).Equal(path) {
+			t.Fatal("tag/path mismatch")
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package core_test
+
+import (
+	"fmt"
+
+	"iadm/internal/blockage"
+	"iadm/internal/core"
+	"iadm/internal/topology"
+)
+
+// The Figure 7 walk-through: destination tags, Corollary 4.1 rerouting,
+// and the universal REROUTE algorithm on the paper's own example.
+func Example() {
+	p := topology.MustParams(8)
+
+	// Theorem 3.1: the 3-bit address of the destination is the tag.
+	tag := core.MustTag(p, 0)
+	fmt.Println("route:", tag.Follow(p, 1))
+
+	// Corollary 4.1: a nonstraight blockage costs one state-bit flip.
+	re := tag.RerouteNonstraight(0)
+	fmt.Println("after blockage:", re.Follow(p, 1))
+
+	// Output:
+	// route: 1∈S_0 → 0∈S_1 → 0∈S_2 → 0∈S_3
+	// after blockage: 1∈S_0 → 2∈S_1 → 0∈S_2 → 0∈S_3
+}
+
+func ExampleReroute() {
+	p := topology.MustParams(8)
+	blk := blockage.NewSet(p)
+	blk.Block(topology.Link{Stage: 0, From: 1, Kind: topology.Minus})
+	blk.Block(topology.Link{Stage: 1, From: 2, Kind: topology.Minus})
+
+	tag, path, err := core.Reroute(p, blk, 1, core.MustTag(p, 0))
+	if err != nil {
+		fmt.Println("no path:", err)
+		return
+	}
+	fmt.Printf("tag %s routes %s\n", tag, path)
+	// Output:
+	// tag 000110 routes 1∈S_0 → 2∈S_1 → 4∈S_2 → 0∈S_3
+}
+
+func ExampleRouteSSDT() {
+	p := topology.MustParams(8)
+	blk := blockage.NewSet(p)
+	blk.Block(topology.Link{Stage: 0, From: 1, Kind: topology.Minus})
+
+	ns := core.NewNetworkState(p)
+	res, err := core.RouteSSDT(p, 1, 0, ns, blk)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("path:", res.Path)
+	fmt.Println("state flips at stages:", res.Flipped)
+	// Output:
+	// path: 1∈S_0 → 2∈S_1 → 0∈S_2 → 0∈S_3
+	// state flips at stages: [0]
+}
+
+func ExampleTag_RerouteBacktrack() {
+	p := topology.MustParams(8)
+	tag := core.MustTag(p, 0)
+	path := tag.Follow(p, 1)
+
+	// A straight blockage at stage 1 needs Corollary 4.2 backtracking.
+	re, err := tag.RerouteBacktrack(path, 1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("rerouting tag %s routes %s\n", re, re.Follow(p, 1))
+	// Output:
+	// rerouting tag 000100 routes 1∈S_0 → 2∈S_1 → 0∈S_2 → 0∈S_3
+}
+
+func ExampleDynamicReroute() {
+	p := topology.MustParams(8)
+	blk := blockage.NewSet(p)
+	blk.Block(topology.Link{Stage: 1, From: 0, Kind: topology.Straight})
+
+	res, err := core.DynamicReroute(p, blk, 1, 0)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("delivered via %s after %d probe(s) and %d backtrack hop(s)\n",
+		res.Path, res.Probes, res.BacktrackHops)
+	// Output:
+	// delivered via 1∈S_0 → 2∈S_1 → 4∈S_2 → 0∈S_3 after 1 probe(s) and 1 backtrack hop(s)
+}

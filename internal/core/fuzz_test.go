@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"iadm/internal/blockage"
+	"iadm/internal/topology"
+)
+
+// FuzzParseTag: ParseTag must round-trip with String or reject, never
+// panic or mangle.
+func FuzzParseTag(f *testing.F) {
+	f.Add("000000")
+	f.Add("000110")
+	f.Add("111111")
+	f.Add("01")
+	f.Add("abc")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		tag, err := ParseTag(3, s)
+		if err != nil {
+			return
+		}
+		if tag.String() != s {
+			t.Fatalf("round trip %q -> %q", s, tag.String())
+		}
+		if tag.Destination() < 0 || tag.Destination() > 7 {
+			t.Fatalf("destination %d out of range", tag.Destination())
+		}
+	})
+}
+
+// FuzzReroute: arbitrary blockage bitmaps and endpoints must never panic,
+// and successful reroutes must be sound.
+func FuzzReroute(f *testing.F) {
+	f.Add(uint64(0), uint8(1), uint8(0))
+	f.Add(uint64(0xFFFFFFFFFFFFFFFF), uint8(3), uint8(5))
+	f.Add(uint64(0x123456789ABCDEF), uint8(7), uint8(7))
+	p := topology.MustParams(8)
+	f.Fuzz(func(t *testing.T, bits uint64, sv, dv uint8) {
+		s, d := int(sv)&7, int(dv)&7
+		blk := blockage.NewSet(p)
+		for idx := 0; idx < 72; idx++ {
+			if bits&(1<<uint(idx%64)) != 0 && idx%3 != 2 {
+				blk.Block(topology.LinkFromIndex(p, idx))
+			}
+		}
+		tag, path, err := Reroute(p, blk, s, MustTag(p, d))
+		if err != nil {
+			return
+		}
+		if path.Destination() != d || path.Source != s {
+			t.Fatalf("endpoints wrong: %v", path)
+		}
+		if _, hit := path.FirstBlocked(blk); hit {
+			t.Fatal("blocked path returned")
+		}
+		if !tag.Follow(p, s).Equal(path) {
+			t.Fatal("tag/path mismatch")
+		}
+	})
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"iadm/internal/blockage"
+	"iadm/internal/topology"
+)
+
+// Path is a source-to-destination route through an IADM network: one link
+// per stage. Storing links (rather than just switch labels) preserves the
+// distinction between the parallel +2^{n-1} and -2^{n-1} links of the last
+// stage.
+type Path struct {
+	p      topology.Params
+	Source int
+	Links  []topology.Link
+}
+
+// NewPath assembles and validates a path from its links.
+func NewPath(p topology.Params, source int, links []topology.Link) (Path, error) {
+	pa := Path{p: p, Source: source, Links: links}
+	if err := pa.Validate(); err != nil {
+		return Path{}, err
+	}
+	return pa, nil
+}
+
+// Params returns the network parameters of the path.
+func (pa Path) Params() topology.Params { return pa.p }
+
+// SwitchAt returns the switch index the path visits at stage i, for
+// 0 <= i <= n (stage n is the output column).
+func (pa Path) SwitchAt(i int) int {
+	if i == 0 {
+		return pa.Source
+	}
+	return pa.Links[i-1].To(pa.p)
+}
+
+// Destination returns the switch the path reaches in the output column.
+func (pa Path) Destination() int { return pa.SwitchAt(len(pa.Links)) }
+
+// Switches returns the n+1 switch indices the path visits, stage by stage.
+func (pa Path) Switches() []int {
+	out := make([]int, len(pa.Links)+1)
+	out[0] = pa.Source
+	for i, l := range pa.Links {
+		out[i+1] = l.To(pa.p)
+	}
+	return out
+}
+
+// Validate checks internal consistency: each link leaves the switch the
+// previous link arrived at, stages are sequential, and the path spans all n
+// stages.
+func (pa Path) Validate() error {
+	if len(pa.Links) != pa.p.Stages() {
+		return fmt.Errorf("core: path has %d links, want %d", len(pa.Links), pa.p.Stages())
+	}
+	if !pa.p.ValidSwitch(pa.Source) {
+		return fmt.Errorf("core: path source %d out of range", pa.Source)
+	}
+	at := pa.Source
+	for i, l := range pa.Links {
+		if l.Stage != i {
+			return fmt.Errorf("core: link %d of path has stage %d", i, l.Stage)
+		}
+		if l.From != at {
+			return fmt.Errorf("core: link %d leaves switch %d but path is at %d", i, l.From, at)
+		}
+		at = l.To(pa.p)
+	}
+	return nil
+}
+
+// FirstBlocked returns the smallest stage whose link is blocked, or
+// (-1, false) if the path is blockage-free.
+func (pa Path) FirstBlocked(blk *blockage.Set) (int, bool) {
+	for i, l := range pa.Links {
+		if blk.Blocked(l) {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// NonstraightBefore returns the largest stage r < q whose link on the path
+// is nonstraight, or (-1, false) if stages 0..q-1 are all straight. This is
+// the backtracking search of Theorems 3.3/3.4 and steps 1/8 of algorithm
+// BACKTRACK.
+func (pa Path) NonstraightBefore(q int) (int, bool) {
+	for r := q - 1; r >= 0; r-- {
+		if pa.Links[r].Kind.Nonstraight() {
+			return r, true
+		}
+	}
+	return -1, false
+}
+
+// String renders the path in the paper's notation, e.g.
+// "1∈S_0 → 2∈S_1 → 4∈S_2 → 0∈S_3".
+func (pa Path) String() string {
+	var sb strings.Builder
+	for i := 0; i <= len(pa.Links); i++ {
+		if i > 0 {
+			sb.WriteString(" → ")
+		}
+		fmt.Fprintf(&sb, "%d∈S_%d", pa.SwitchAt(i), i)
+	}
+	return sb.String()
+}
+
+// Equal reports whether two paths use exactly the same links (parallel
+// last-stage links are distinguished).
+func (pa Path) Equal(other Path) bool {
+	if pa.Source != other.Source || len(pa.Links) != len(other.Links) {
+		return false
+	}
+	for i := range pa.Links {
+		if pa.Links[i] != other.Links[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SameSwitches reports whether two paths visit the same switch sequence
+// (they may still differ in the parallel links of the last stage).
+func (pa Path) SameSwitches(other Path) bool {
+	if pa.Source != other.Source || len(pa.Links) != len(other.Links) {
+		return false
+	}
+	for i := range pa.Links {
+		if pa.Links[i].To(pa.p) != other.Links[i].To(other.p) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"iadm/internal/blockage"
+	"iadm/internal/topology"
+)
+
+func link(i, j int, k topology.LinkKind) topology.Link {
+	return topology.Link{Stage: i, From: j, Kind: k}
+}
+
+func rerouteOK(t *testing.T, blk *blockage.Set, s, d int) Path {
+	t.Helper()
+	tag, path, err := Reroute(p8, blk, s, MustTag(p8, d))
+	if err != nil {
+		t.Fatalf("Reroute(s=%d, d=%d): %v", s, d, err)
+	}
+	if err := path.Validate(); err != nil {
+		t.Fatalf("Reroute returned invalid path: %v", err)
+	}
+	if path.Destination() != d {
+		t.Fatalf("Reroute path ends at %d, want %d", path.Destination(), d)
+	}
+	if stage, hit := path.FirstBlocked(blk); hit {
+		t.Fatalf("Reroute path %v blocked at stage %d", path, stage)
+	}
+	if got := tag.Follow(p8, s); !got.Equal(path) {
+		t.Fatalf("returned tag does not produce returned path")
+	}
+	return path
+}
+
+func TestRerouteNoBlockage(t *testing.T) {
+	blk := blockage.NewSet(p8)
+	pa := rerouteOK(t, blk, 1, 0)
+	wantSwitches(t, pa, 1, 0, 0, 0)
+}
+
+// TestRerouteNonstraightBlockages reproduces the Figure 7 sequence through
+// the full REROUTE algorithm.
+func TestRerouteNonstraightBlockages(t *testing.T) {
+	blk := blockage.NewSet(p8)
+	blk.Block(link(0, 1, topology.Minus)) // (1∈S_0, 0∈S_1)
+	pa := rerouteOK(t, blk, 1, 0)
+	wantSwitches(t, pa, 1, 2, 0, 0)
+
+	blk.Block(link(1, 2, topology.Minus)) // (2∈S_1, 0∈S_2)
+	pa = rerouteOK(t, blk, 1, 0)
+	wantSwitches(t, pa, 1, 2, 4, 0)
+}
+
+// TestRerouteStraightBlockage reproduces Section 4 example (a): straight
+// link (0∈S_1, 0∈S_2) blocked forces backtracking to stage 0; REROUTE's
+// default diagonal yields path (1, 2, 4, 0).
+func TestRerouteStraightBlockage(t *testing.T) {
+	blk := blockage.NewSet(p8)
+	blk.Block(link(1, 0, topology.Straight))
+	pa := rerouteOK(t, blk, 1, 0)
+	wantSwitches(t, pa, 1, 2, 4, 0)
+}
+
+// TestRerouteDoubleNonstraight reproduces Section 4 example (b).
+func TestRerouteDoubleNonstraight(t *testing.T) {
+	blk := blockage.NewSet(p8)
+	// Force the 1,2,4,0 path first by blocking the lower branches...
+	blk.Block(link(0, 1, topology.Minus))
+	blk.Block(link(1, 2, topology.Minus))
+	// ...then block both nonstraight outputs of 4∈S_2.
+	blk.Block(link(2, 4, topology.Plus))
+	blk.Block(link(2, 4, topology.Minus))
+	// Only (1, 2, 0, 0)? No: (2∈S_1, 0∈S_2) is blocked. And (1, 0, 0, 0)?
+	// (1∈S_0, 0∈S_1) is blocked. No path remains: pivots 0∈S_2 unreachable
+	// via blocked links, 4∈S_2 closed.
+	_, _, err := Reroute(p8, blk, 1, MustTag(p8, 0))
+	if err == nil {
+		t.Fatal("Reroute found a path where none exists")
+	}
+	if !errors.Is(err, ErrNoPath) {
+		t.Fatalf("error %v does not wrap ErrNoPath", err)
+	}
+
+	// Unblock the stage-1 minus link: now (1, 2, 0, 0) is available again.
+	blk.Unblock(link(1, 2, topology.Minus))
+	pa := rerouteOK(t, blk, 1, 0)
+	wantSwitches(t, pa, 1, 2, 0, 0)
+}
+
+func TestRerouteAllStraightPathBlocked(t *testing.T) {
+	// s == d: the unique path is straight everywhere; any straight blockage
+	// on it is fatal (Theorem 3.3 "only if").
+	blk := blockage.NewSet(p8)
+	blk.Block(link(1, 5, topology.Straight))
+	_, _, err := Reroute(p8, blk, 5, MustTag(p8, 5))
+	if !errors.Is(err, ErrNoPath) {
+		t.Fatalf("want ErrNoPath, got %v", err)
+	}
+}
+
+func TestRerouteParallelLastStageLinks(t *testing.T) {
+	// At stage n-1 the +2^{n-1} and -2^{n-1} links are parallel; blocking
+	// one must divert to the other without changing the switch sequence.
+	blk := blockage.NewSet(p8)
+	blk.Block(link(2, 4, topology.Minus))
+	tag := MustTag(p8, 0) // from s=4: straight, straight, then -4 (odd_2, t=0, C)
+	path := tag.Follow(p8, 4)
+	wantSwitches(t, path, 4, 4, 4, 0)
+	if path.Links[2].Kind != topology.Minus {
+		t.Fatalf("setup: expected Minus at stage 2, got %v", path.Links[2])
+	}
+	pa := rerouteOK(t, blk, 4, 0)
+	wantSwitches(t, pa, 4, 4, 4, 0)
+	if pa.Links[2].Kind != topology.Plus {
+		t.Errorf("expected parallel Plus link, got %v", pa.Links[2])
+	}
+}
+
+func TestBacktrackMultipleIterations(t *testing.T) {
+	// Construct a scenario that forces repeated backtracking (steps 6-10).
+	// N=16, s=1, d=0: default path 1,0,0,0,0 (stage 0 Minus, rest straight).
+	p16 := topology.MustParams(16)
+	blk := blockage.NewSet(p16)
+	// Block the straight link (0∈S_2, 0∈S_3) => backtrack finds the
+	// nonstraight at stage 0... but the path 1,0,0,... has its nonstraight
+	// at stage 0 only, so r=0 directly; to force iteration we need an
+	// intermediate nonstraight. Use s=3, d=0: default path 3,2,0,0,0
+	// (stage 0: odd, t=0 -> -1 => 2; stage 1: odd (bit1 of 2) -> -2 => 0).
+	tag := MustTag(p16, 0)
+	path := tag.Follow(p16, 3)
+	if sw := path.Switches(); sw[1] != 2 || sw[2] != 0 {
+		t.Fatalf("setup: default path %v", path)
+	}
+	// Block straight (0∈S_2, 0∈S_3): q=2, backtrack finds -2^1 at stage 1
+	// (linkfound=1). Diagonal via (2+4)=6∈S_2? No: rerouting switch at
+	// stage 2 is j+2^2 where j=0 => 4∈S_2, reached by flipping stage 1 to
+	// +2 from 2∈S_1. Then block (2∈S_1, 4∈S_2) too: step 6 fires, second
+	// backtrack finds -2^0 at stage 0 (same sign, OK), reroute via
+	// (3+1)=4∈S_1? j becomes 2, q=1, diagonal switch at stage 1 is
+	// 2+2=4∈S_1, reached from 3∈S_0 via +2^0.
+	blk.Block(link(2, 0, topology.Straight))
+	blk.Block(link(1, 2, topology.Plus))
+	tag2, path2, err := Reroute(p16, blk, 3, tag)
+	if err != nil {
+		t.Fatalf("Reroute: %v", err)
+	}
+	if stage, hit := path2.FirstBlocked(blk); hit {
+		t.Fatalf("path %v blocked at %d", path2, stage)
+	}
+	if path2.Destination() != 0 {
+		t.Fatalf("path %v wrong destination", path2)
+	}
+	if got := tag2.Follow(p16, 3); !got.Equal(path2) {
+		t.Fatal("tag/path mismatch")
+	}
+	// The rerouting path must go through 4∈S_1 (the second-iteration
+	// diagonal): 3, 4, 4or6..., ending at 0.
+	if path2.SwitchAt(1) != 4 {
+		t.Errorf("expected second-iteration diagonal through 4∈S_1, got %v", path2)
+	}
+}
+
+func TestRerouteInvalidEndpoints(t *testing.T) {
+	blk := blockage.NewSet(p8)
+	if _, _, err := Reroute(p8, blk, 9, MustTag(p8, 0)); err == nil {
+		t.Error("Reroute accepted out-of-range source")
+	}
+}

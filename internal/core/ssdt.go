@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+
+	"iadm/internal/bitutil"
+	"iadm/internal/blockage"
+	"iadm/internal/topology"
+)
+
+// SSDTResult reports the outcome of routing one message under the
+// Self-repairing State-based Destination Tag scheme.
+type SSDTResult struct {
+	// Path is the route the message took.
+	Path Path
+	// Flipped lists the stages at which a switch flipped its state to avoid
+	// a blocked nonstraight link (the scheme's "self-repair"; Theorem 3.2).
+	Flipped []int
+}
+
+// RouteSSDT routes a message from s to d under the SSDT scheme (Section 4).
+// The message carries only the n-bit destination tag d. Each switch routes
+// according to its current state in ns; if the selected link is a blocked
+// nonstraight link, the switch flips its own state (mutating ns — the
+// repair persists, which is what makes the scheme "self-repairing") and
+// uses the oppositely signed spare link instead.
+//
+// The scheme cannot bypass straight-link blockages or double nonstraight
+// blockages (Theorem 3.2 "only if" direction); those return an error
+// identifying the stage.
+func RouteSSDT(p topology.Params, s, d int, ns *NetworkState, blk *blockage.Set) (SSDTResult, error) {
+	if err := checkEndpoints(p, s, d); err != nil {
+		return SSDTResult{}, err
+	}
+	links := make([]topology.Link, p.Stages())
+	var flipped []int
+	j := s
+	for i := 0; i < p.Stages(); i++ {
+		t := int(bitutil.Bit(uint64(d), i))
+		l := LinkFor(i, j, t, ns.Get(i, j))
+		if blk.Blocked(l) {
+			if !l.Kind.Nonstraight() {
+				return SSDTResult{}, fmt.Errorf("core: SSDT cannot bypass straight link blockage %v at stage %d", l, i)
+			}
+			ns.Flip(i, j)
+			l = LinkFor(i, j, t, ns.Get(i, j))
+			if blk.Blocked(l) {
+				return SSDTResult{}, fmt.Errorf("core: SSDT cannot bypass double nonstraight blockage at switch %d∈S_%d", j, i)
+			}
+			flipped = append(flipped, i)
+		}
+		links[i] = l
+		j = l.To(p)
+	}
+	return SSDTResult{
+		Path:    Path{p: p, Source: s, Links: links},
+		Flipped: flipped,
+	}, nil
+}
+
+// NonstraightChooser selects which nonstraight link a switch assigns a
+// message to when either would do; it receives the two candidate links
+// (plus first) and returns the chosen one. The SSDT load-balancing policy
+// of Section 4 chooses the link whose buffer holds fewer messages.
+type NonstraightChooser func(plus, minus topology.Link) topology.Link
+
+// RouteSSDTAdaptive routes like RouteSSDT but, whenever a nonstraight link
+// is required, lets choose pick between the two oppositely signed links
+// (both lead to the destination, Theorem 3.2). Blocked candidates are
+// excluded before choose is consulted. This is the packet-switching
+// load-balancing mode described in Section 4; the cycle-level simulator
+// builds its queue-length policy on top of it.
+func RouteSSDTAdaptive(p topology.Params, s, d int, blk *blockage.Set, choose NonstraightChooser) (Path, error) {
+	if err := checkEndpoints(p, s, d); err != nil {
+		return Path{}, err
+	}
+	links := make([]topology.Link, p.Stages())
+	j := s
+	for i := 0; i < p.Stages(); i++ {
+		t := int(bitutil.Bit(uint64(d), i))
+		l := LinkFor(i, j, t, StateC)
+		if l.Kind.Nonstraight() {
+			plus := topology.Link{Stage: i, From: j, Kind: topology.Plus}
+			minus := topology.Link{Stage: i, From: j, Kind: topology.Minus}
+			pOK, mOK := !blk.Blocked(plus), !blk.Blocked(minus)
+			switch {
+			case pOK && mOK:
+				l = choose(plus, minus)
+				if l != plus && l != minus {
+					return Path{}, fmt.Errorf("core: chooser returned foreign link %v", l)
+				}
+			case pOK:
+				l = plus
+			case mOK:
+				l = minus
+			default:
+				return Path{}, fmt.Errorf("core: double nonstraight blockage at switch %d∈S_%d", j, i)
+			}
+		} else if blk.Blocked(l) {
+			return Path{}, fmt.Errorf("core: straight link blockage %v at stage %d", l, i)
+		}
+		links[i] = l
+		j = l.To(p)
+	}
+	return Path{p: p, Source: s, Links: links}, nil
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"testing"
+
+	"iadm/internal/blockage"
+	"iadm/internal/topology"
+)
+
+func TestRouteSSDTNoBlockage(t *testing.T) {
+	blk := blockage.NewSet(p8)
+	ns := NewNetworkState(p8)
+	res, err := RouteSSDT(p8, 1, 0, ns, blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSwitches(t, res.Path, 1, 0, 0, 0)
+	if len(res.Flipped) != 0 {
+		t.Errorf("Flipped = %v on clear network", res.Flipped)
+	}
+}
+
+func TestRouteSSDTSelfRepair(t *testing.T) {
+	blk := blockage.NewSet(p8)
+	blk.Block(link(0, 1, topology.Minus))
+	ns := NewNetworkState(p8)
+	res, err := RouteSSDT(p8, 1, 0, ns, blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSwitches(t, res.Path, 1, 2, 0, 0)
+	if len(res.Flipped) != 1 || res.Flipped[0] != 0 {
+		t.Errorf("Flipped = %v, want [0]", res.Flipped)
+	}
+	// Self-repair persists: switch 1∈S_0 is now in state C̄, so the next
+	// message takes the spare link directly without another flip.
+	if ns.Get(0, 1) != StateCBar {
+		t.Error("state flip did not persist in the network state")
+	}
+	res2, err := RouteSSDT(p8, 1, 0, ns, blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSwitches(t, res2.Path, 1, 2, 0, 0)
+	if len(res2.Flipped) != 0 {
+		t.Errorf("second message flipped again: %v", res2.Flipped)
+	}
+}
+
+func TestRouteSSDTTransparency(t *testing.T) {
+	// Rerouting is transparent to the sender: whatever nonstraight links we
+	// block, the message still reaches d (as long as no straight/double
+	// blockage occurs). Exhaustive over single nonstraight blockages for
+	// all (s, d) pairs in N=8.
+	m := topology.MustIADM(8)
+	m.Links(func(l topology.Link) bool {
+		if !l.Kind.Nonstraight() {
+			return true
+		}
+		blk := blockage.NewSet(p8)
+		blk.Block(l)
+		for s := 0; s < 8; s++ {
+			for d := 0; d < 8; d++ {
+				ns := NewNetworkState(p8)
+				res, err := RouteSSDT(p8, s, d, ns, blk)
+				if err != nil {
+					t.Fatalf("SSDT failed on single nonstraight blockage %v (s=%d d=%d): %v", l, s, d, err)
+				}
+				if res.Path.Destination() != d {
+					t.Fatalf("SSDT delivered to %d, want %d", res.Path.Destination(), d)
+				}
+				if stage, hit := res.Path.FirstBlocked(blk); hit {
+					t.Fatalf("SSDT used blocked link at stage %d", stage)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func TestRouteSSDTStraightBlockageFails(t *testing.T) {
+	blk := blockage.NewSet(p8)
+	blk.Block(link(1, 0, topology.Straight))
+	ns := NewNetworkState(p8)
+	if _, err := RouteSSDT(p8, 1, 0, ns, blk); err == nil {
+		t.Error("SSDT bypassed a straight blockage (impossible per Theorem 3.2)")
+	}
+}
+
+func TestRouteSSDTDoubleNonstraightFails(t *testing.T) {
+	blk := blockage.NewSet(p8)
+	blk.Block(link(0, 1, topology.Minus))
+	blk.Block(link(0, 1, topology.Plus))
+	ns := NewNetworkState(p8)
+	if _, err := RouteSSDT(p8, 1, 0, ns, blk); err == nil {
+		t.Error("SSDT bypassed a double nonstraight blockage")
+	}
+}
+
+func TestRouteSSDTInvalidEndpoints(t *testing.T) {
+	blk := blockage.NewSet(p8)
+	ns := NewNetworkState(p8)
+	if _, err := RouteSSDT(p8, -1, 0, ns, blk); err == nil {
+		t.Error("accepted invalid source")
+	}
+	if _, err := RouteSSDT(p8, 0, 8, ns, blk); err == nil {
+		t.Error("accepted invalid destination")
+	}
+}
+
+func TestRouteSSDTAdaptive(t *testing.T) {
+	blk := blockage.NewSet(p8)
+	// Always choose the plus link.
+	pa, err := RouteSSDTAdaptive(p8, 1, 0, blk, func(plus, minus topology.Link) topology.Link { return plus })
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSwitches(t, pa, 1, 2, 4, 0)
+	// Always choose the minus link.
+	pa, err = RouteSSDTAdaptive(p8, 1, 0, blk, func(plus, minus topology.Link) topology.Link { return minus })
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSwitches(t, pa, 1, 0, 0, 0)
+}
+
+func TestRouteSSDTAdaptiveExcludesBlocked(t *testing.T) {
+	blk := blockage.NewSet(p8)
+	blk.Block(link(0, 1, topology.Plus))
+	calls := 0
+	pa, err := RouteSSDTAdaptive(p8, 1, 0, blk, func(plus, minus topology.Link) topology.Link {
+		calls++
+		return plus
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stage 0 had only minus available, so the chooser is consulted only at
+	// later divergences (none on this route: path 1,0,0,0 is straight after
+	// stage 0).
+	wantSwitches(t, pa, 1, 0, 0, 0)
+	if calls != 0 {
+		t.Errorf("chooser called %d times, want 0", calls)
+	}
+}
+
+func TestRouteSSDTAdaptiveRejectsForeignLink(t *testing.T) {
+	blk := blockage.NewSet(p8)
+	_, err := RouteSSDTAdaptive(p8, 1, 0, blk, func(plus, minus topology.Link) topology.Link {
+		return topology.Link{Stage: 0, From: 0, Kind: topology.Straight}
+	})
+	if err == nil {
+		t.Error("accepted a foreign link from the chooser")
+	}
+}
+
+func TestRouteSSDTAdaptiveDoubleBlockFails(t *testing.T) {
+	blk := blockage.NewSet(p8)
+	blk.Block(link(0, 1, topology.Plus))
+	blk.Block(link(0, 1, topology.Minus))
+	_, err := RouteSSDTAdaptive(p8, 1, 0, blk, func(plus, minus topology.Link) topology.Link { return plus })
+	if err == nil {
+		t.Error("adaptive routing bypassed a double nonstraight blockage")
+	}
+}

@@ -1,0 +1,190 @@
+// Package core implements the paper's primary contribution: the state model
+// for the IADM network and the routing and rerouting schemes built on it.
+//
+// The state model (Section 2 of the paper) factors the routing action of an
+// IADM switch into three independent pieces of information:
+//
+//   - topological: whether switch j at stage i is an even_i switch
+//     (bit i of j is 0) or an odd_i switch (bit i of j is 1);
+//   - functional: whether the switch is in logical state C or C̄;
+//   - routing: the destination tag bit t_i.
+//
+// The connection functions are
+//
+//	ΔC_i(j,t_i) =  0     if (even_i and t_i=0) or (odd_i and t_i=1)
+//	              -2^i   if odd_i  and t_i=0
+//	              +2^i   if even_i and t_i=1
+//	ΔC̄_i(j,t_i) = -ΔC_i(j,t_i)
+//
+// and C_i(j,t_i) = j + ΔC_i(j,t_i), C̄_i(j,t_i) = j + ΔC̄_i(j,t_i) (mod N).
+// Lemma 2.1: C_i sets bit i of the label to t_i and leaves every other bit
+// unchanged; C̄_i sets bit i to t_i but may alter bits i+1..n-1 through
+// carry/borrow propagation.
+//
+// On top of the model the package provides the SSDT and TSDT destination
+// tag schemes (Section 4) and the universal rerouting algorithms BACKTRACK
+// and REROUTE (Section 5).
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"iadm/internal/bitutil"
+	"iadm/internal/topology"
+)
+
+// State is the logical state of an IADM switch: C or C̄ (Section 2).
+type State int8
+
+const (
+	// StateC routes according to the function C_i(j, t_i).
+	StateC State = iota
+	// StateCBar routes according to the function C̄_i(j, t_i).
+	StateCBar
+)
+
+// String returns "C" or "C̄".
+func (s State) String() string {
+	if s == StateC {
+		return "C"
+	}
+	return "C̄"
+}
+
+// Flip returns the other state.
+func (s State) Flip() State { return 1 - s }
+
+// IsOdd reports whether switch j is an odd_i switch at stage i, i.e. bit i
+// of its label is 1.
+func IsOdd(i, j int) bool { return bitutil.Bit(uint64(j), i) == 1 }
+
+// DeltaC is the paper's ΔC_i(j, t_i): the signed offset of the output link
+// chosen by a stage-i switch j in state C for tag bit t (0 or 1). The result
+// is 0, -2^i or +2^i, not reduced mod N so the sign is preserved.
+func DeltaC(i, j, t int) int {
+	odd := IsOdd(i, j)
+	switch {
+	case !odd && t == 0, odd && t == 1:
+		return 0
+	case odd && t == 0:
+		return -(1 << uint(i))
+	default: // even and t == 1
+		return 1 << uint(i)
+	}
+}
+
+// DeltaCBar is the paper's ΔC̄_i(j, t_i) = -ΔC_i(j, t_i).
+func DeltaCBar(i, j, t int) int { return -DeltaC(i, j, t) }
+
+// CFn is the paper's C_i(j, t_i) = (j + ΔC_i(j, t_i)) mod N.
+func CFn(p topology.Params, i, j, t int) int { return p.Mod(j + DeltaC(i, j, t)) }
+
+// CBarFn is the paper's C̄_i(j, t_i) = (j + ΔC̄_i(j, t_i)) mod N.
+func CBarFn(p topology.Params, i, j, t int) int { return p.Mod(j + DeltaCBar(i, j, t)) }
+
+// LinkFor returns the output link used by switch j at stage i for tag bit t
+// when the switch is in the given state. Straight links are identical under
+// both states (Theorem 3.2); nonstraight links swap sign.
+func LinkFor(i, j, t int, st State) topology.Link {
+	delta := DeltaC(i, j, t)
+	if st == StateCBar {
+		delta = -delta
+	}
+	kind := topology.Straight
+	switch {
+	case delta < 0:
+		kind = topology.Minus
+	case delta > 0:
+		kind = topology.Plus
+	}
+	return topology.Link{Stage: i, From: j, Kind: kind}
+}
+
+// NetworkState assigns a logical state (C or C̄) to every switch of an IADM
+// network; the paper calls this the "state of the network". There are
+// 2^(N·n) = N^N possible network states.
+type NetworkState struct {
+	p  topology.Params
+	st []State
+}
+
+// NewNetworkState returns the all-C network state, under which the IADM
+// network behaves exactly like the embedded ICube network.
+func NewNetworkState(p topology.Params) *NetworkState {
+	return &NetworkState{p: p, st: make([]State, p.Size()*p.Stages())}
+}
+
+// UniformState returns a network state with every switch in state st.
+func UniformState(p topology.Params, st State) *NetworkState {
+	ns := NewNetworkState(p)
+	if st != StateC {
+		for i := range ns.st {
+			ns.st[i] = st
+		}
+	}
+	return ns
+}
+
+// RandomState returns a uniformly random network state drawn from rng.
+func RandomState(p topology.Params, rng *rand.Rand) *NetworkState {
+	ns := NewNetworkState(p)
+	for i := range ns.st {
+		ns.st[i] = State(rng.Intn(2))
+	}
+	return ns
+}
+
+// Params returns the network parameters of the state.
+func (ns *NetworkState) Params() topology.Params { return ns.p }
+
+// Get returns the state of switch j at stage i.
+func (ns *NetworkState) Get(i, j int) State { return ns.st[i*ns.p.Size()+j] }
+
+// Set assigns the state of switch j at stage i.
+func (ns *NetworkState) Set(i, j int, st State) { ns.st[i*ns.p.Size()+j] = st }
+
+// Flip toggles the state of switch j at stage i and returns the new state.
+// By Theorem 3.2 this changes the routing path through the switch if and
+// only if a nonstraight output link of the switch is in use, in which case
+// the oppositely signed nonstraight link is used instead.
+func (ns *NetworkState) Flip(i, j int) State {
+	idx := i*ns.p.Size() + j
+	ns.st[idx] = ns.st[idx].Flip()
+	return ns.st[idx]
+}
+
+// Clone returns an independent copy of the network state.
+func (ns *NetworkState) Clone() *NetworkState {
+	c := &NetworkState{p: ns.p, st: make([]State, len(ns.st))}
+	copy(c.st, ns.st)
+	return c
+}
+
+// FollowState routes a message from source s to destination d using the
+// plain n-bit destination tag t = d under the given network state
+// (Theorem 3.1: the destination is reached regardless of the state; the
+// state selects which of the redundant paths is taken).
+func FollowState(p topology.Params, s, d int, ns *NetworkState) Path {
+	links := make([]topology.Link, p.Stages())
+	j := s
+	for i := 0; i < p.Stages(); i++ {
+		t := int(bitutil.Bit(uint64(d), i))
+		l := LinkFor(i, j, t, ns.Get(i, j))
+		links[i] = l
+		j = l.To(p)
+	}
+	return Path{p: p, Source: s, Links: links}
+}
+
+// checkEndpoints validates a source/destination pair against the network
+// size, shared by the routing entry points.
+func checkEndpoints(p topology.Params, s, d int) error {
+	if !p.ValidSwitch(s) {
+		return fmt.Errorf("core: source %d out of range 0..%d", s, p.Size()-1)
+	}
+	if !p.ValidSwitch(d) {
+		return fmt.Errorf("core: destination %d out of range 0..%d", d, p.Size()-1)
+	}
+	return nil
+}

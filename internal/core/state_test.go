@@ -1,0 +1,243 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"iadm/internal/bitutil"
+	"iadm/internal/topology"
+)
+
+func TestIsOdd(t *testing.T) {
+	// Figure 2: at stage i, switches with bit i = 1 are odd_i.
+	if IsOdd(0, 2) || !IsOdd(0, 3) || !IsOdd(1, 2) || IsOdd(1, 4) || !IsOdd(2, 4) {
+		t.Error("IsOdd misclassifies switches")
+	}
+}
+
+func TestDeltaCTable(t *testing.T) {
+	// The defining table of ΔC_i (Section 2 / Figure 4).
+	cases := []struct {
+		i, j, t int
+		want    int
+	}{
+		{0, 2, 0, 0},    // even_0, t=0 -> straight
+		{0, 2, 1, 1},    // even_0, t=1 -> +2^0
+		{0, 3, 0, -1},   // odd_0,  t=0 -> -2^0
+		{0, 3, 1, 0},    // odd_0,  t=1 -> straight
+		{2, 4, 0, -4},   // odd_2,  t=0 -> -2^2
+		{2, 4, 1, 0},    // odd_2,  t=1 -> straight
+		{2, 3, 0, 0},    // even_2, t=0 -> straight
+		{2, 3, 1, 4},    // even_2, t=1 -> +2^2
+		{4, 7, 1, 16},   // even_4, t=1 -> +2^4
+		{4, 16, 0, -16}, // odd_4, t=0 -> -2^4
+	}
+	for _, c := range cases {
+		if got := DeltaC(c.i, c.j, c.t); got != c.want {
+			t.Errorf("DeltaC(%d,%d,%d) = %d, want %d", c.i, c.j, c.t, got, c.want)
+		}
+		if got := DeltaCBar(c.i, c.j, c.t); got != -c.want {
+			t.Errorf("DeltaCBar(%d,%d,%d) = %d, want %d", c.i, c.j, c.t, got, -c.want)
+		}
+	}
+}
+
+func TestLemma21(t *testing.T) {
+	// Lemma 2.1: C_i(j,t) equals j with bit i replaced by t and every other
+	// bit unchanged; C̄_i(j,t) has bit i = t but may perturb bits above i;
+	// bits below i are never touched by either.
+	for _, N := range []int{4, 8, 16, 64} {
+		p := topology.MustParams(N)
+		for i := 0; i < p.Stages(); i++ {
+			for j := 0; j < N; j++ {
+				for tb := 0; tb <= 1; tb++ {
+					c := CFn(p, i, j, tb)
+					want := int(bitutil.SetBit(uint64(j), i, uint64(tb)))
+					if c != want {
+						t.Fatalf("N=%d: C_%d(%d,%d) = %d, want %d", N, i, j, tb, c, want)
+					}
+					cb := CBarFn(p, i, j, tb)
+					if bitutil.Bit(uint64(cb), i) != uint64(tb) {
+						t.Fatalf("N=%d: C̄_%d(%d,%d) = %d has bit %d != %d", N, i, j, tb, cb, i, tb)
+					}
+					if i > 0 && bitutil.Field(uint64(cb), 0, i-1) != bitutil.Field(uint64(j), 0, i-1) {
+						t.Fatalf("N=%d: C̄_%d(%d,%d) = %d disturbed bits below %d", N, i, j, tb, cb, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCAndCBarAgreeOnStraight(t *testing.T) {
+	// Theorem 3.2 consequence: when the tag bit matches the switch's bit,
+	// both states yield the same (straight) link.
+	p := topology.MustParams(16)
+	for i := 0; i < p.Stages(); i++ {
+		for j := 0; j < 16; j++ {
+			tb := int(bitutil.Bit(uint64(j), i))
+			if CFn(p, i, j, tb) != j || CBarFn(p, i, j, tb) != j {
+				t.Fatalf("straight case broken at stage %d switch %d", i, j)
+			}
+		}
+	}
+}
+
+func TestLinkFor(t *testing.T) {
+	cases := []struct {
+		i, j, tb int
+		st       State
+		want     topology.LinkKind
+	}{
+		{0, 1, 0, StateC, topology.Minus},    // odd_0, t=0, C -> -2^0
+		{0, 1, 0, StateCBar, topology.Plus},  // odd_0, t=0, C̄ -> +2^0
+		{0, 1, 1, StateC, topology.Straight}, // odd_0, t=1 -> straight either way
+		{0, 1, 1, StateCBar, topology.Straight},
+		{1, 0, 1, StateC, topology.Plus},     // even_1, t=1, C -> +2^1
+		{1, 0, 1, StateCBar, topology.Minus}, // even_1, t=1, C̄ -> -2^1
+		{1, 0, 0, StateC, topology.Straight},
+	}
+	for _, c := range cases {
+		l := LinkFor(c.i, c.j, c.tb, c.st)
+		if l.Kind != c.want || l.Stage != c.i || l.From != c.j {
+			t.Errorf("LinkFor(%d,%d,%d,%v) = %v, want kind %v", c.i, c.j, c.tb, c.st, l, c.want)
+		}
+	}
+}
+
+func TestStateFlip(t *testing.T) {
+	if StateC.Flip() != StateCBar || StateCBar.Flip() != StateC {
+		t.Error("State.Flip wrong")
+	}
+	if StateC.String() != "C" || StateCBar.String() != "C̄" {
+		t.Error("State.String wrong")
+	}
+}
+
+func TestNetworkStateOps(t *testing.T) {
+	p := topology.MustParams(8)
+	ns := NewNetworkState(p)
+	for i := 0; i < p.Stages(); i++ {
+		for j := 0; j < 8; j++ {
+			if ns.Get(i, j) != StateC {
+				t.Fatal("NewNetworkState not all-C")
+			}
+		}
+	}
+	ns.Set(1, 3, StateCBar)
+	if ns.Get(1, 3) != StateCBar || ns.Get(1, 2) != StateC {
+		t.Error("Set/Get wrong")
+	}
+	if got := ns.Flip(1, 3); got != StateC {
+		t.Errorf("Flip returned %v", got)
+	}
+	c := ns.Clone()
+	c.Set(0, 0, StateCBar)
+	if ns.Get(0, 0) != StateC {
+		t.Error("Clone shares storage")
+	}
+	all := UniformState(p, StateCBar)
+	if all.Get(2, 7) != StateCBar {
+		t.Error("UniformState wrong")
+	}
+}
+
+// TestTheorem31 verifies the paper's central routing theorem: the
+// destination tag t = d delivers the message to d under every network
+// state, and conversely any tag f delivers to f (uniqueness). Exhaustive in
+// (s, d) for N = 8 and 16, over many random states.
+func TestTheorem31(t *testing.T) {
+	for _, N := range []int{8, 16} {
+		p := topology.MustParams(N)
+		rng := rand.New(rand.NewSource(int64(N)))
+		states := []*NetworkState{
+			NewNetworkState(p),
+			UniformState(p, StateCBar),
+		}
+		for k := 0; k < 10; k++ {
+			states = append(states, RandomState(p, rng))
+		}
+		for _, ns := range states {
+			for s := 0; s < N; s++ {
+				for d := 0; d < N; d++ {
+					path := FollowState(p, s, d, ns)
+					if err := path.Validate(); err != nil {
+						t.Fatalf("N=%d s=%d d=%d: invalid path: %v", N, s, d, err)
+					}
+					if got := path.Destination(); got != d {
+						t.Fatalf("N=%d s=%d d=%d: path ends at %d (state-dependent destination violates Theorem 3.1)", N, s, d, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTheorem31PrefixInvariant checks the induction underlying Theorem 3.1:
+// after stage i, bits 0..i of the current switch equal the tag bits 0..i.
+func TestTheorem31PrefixInvariant(t *testing.T) {
+	p := topology.MustParams(32)
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		s, d := rng.Intn(32), rng.Intn(32)
+		ns := RandomState(p, rng)
+		path := FollowState(p, s, d, ns)
+		for i := 0; i < p.Stages(); i++ {
+			j := path.SwitchAt(i + 1)
+			if bitutil.Field(uint64(j), 0, i) != bitutil.Field(uint64(d), 0, i) {
+				t.Fatalf("s=%d d=%d: after stage %d switch %d has wrong low bits", s, d, i, j)
+			}
+		}
+	}
+}
+
+func TestFollowStateAllCEqualsICube(t *testing.T) {
+	// Under the all-C state the IADM network functions as the embedded
+	// ICube network: every link used must belong to the ICube subgraph.
+	p := topology.MustParams(16)
+	cube := topology.MustICube(16)
+	ns := NewNetworkState(p)
+	for s := 0; s < 16; s++ {
+		for d := 0; d < 16; d++ {
+			path := FollowState(p, s, d, ns)
+			for _, l := range path.Links {
+				if !cube.Contains(l) {
+					t.Fatalf("all-C route s=%d d=%d used non-ICube link %v", s, d, l)
+				}
+			}
+		}
+	}
+}
+
+func TestCheckEndpoints(t *testing.T) {
+	p := topology.MustParams(8)
+	if err := checkEndpoints(p, 0, 7); err != nil {
+		t.Errorf("valid endpoints rejected: %v", err)
+	}
+	for _, c := range [][2]int{{-1, 0}, {8, 0}, {0, -1}, {0, 8}} {
+		if err := checkEndpoints(p, c[0], c[1]); err == nil {
+			t.Errorf("checkEndpoints(%d,%d) accepted", c[0], c[1])
+		}
+	}
+}
+
+// TestTheorem31ExhaustiveAllStatesN4 proves Theorem 3.1 by brute force at
+// N=4: all 2^(N*n) = 256 network states x all 16 (s,d) pairs.
+func TestTheorem31ExhaustiveAllStatesN4(t *testing.T) {
+	p := topology.MustParams(4)
+	for bits := 0; bits < 256; bits++ {
+		ns := NewNetworkState(p)
+		for k := 0; k < 8; k++ {
+			if bits&(1<<uint(k)) != 0 {
+				ns.Set(k/4, k%4, StateCBar)
+			}
+		}
+		for s := 0; s < 4; s++ {
+			for d := 0; d < 4; d++ {
+				if got := FollowState(p, s, d, ns).Destination(); got != d {
+					t.Fatalf("state %#b s=%d d=%d: delivered to %d", bits, s, d, got)
+				}
+			}
+		}
+	}
+}

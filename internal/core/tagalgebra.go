@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+
+	"iadm/internal/topology"
+)
+
+// TagsProducingPath enumerates every TSDT tag that routes the path's
+// source along exactly that path. The destination bits are forced
+// (Theorem 3.1); a state bit is forced at every stage whose link is
+// nonstraight (Lemma A1.2) and free at every straight stage (straight
+// links are taken under either state), so the result has exactly
+// 2^(straight stages) tags.
+func TagsProducingPath(path Path) ([]Tag, error) {
+	p := path.Params()
+	if err := path.Validate(); err != nil {
+		return nil, err
+	}
+	base, err := NewTag(p, path.Destination())
+	if err != nil {
+		return nil, err
+	}
+	var freeStages []int
+	for i, l := range path.Links {
+		if !l.Kind.Nonstraight() {
+			freeStages = append(freeStages, i)
+			continue
+		}
+		// Lemma A1.2: +2^i needs state bit d̄_i, -2^i needs d_i.
+		bit := base.DestBit(i)
+		if l.Kind == topology.Plus {
+			bit = 1 - bit
+		}
+		base = base.WithStateBit(i, bit)
+	}
+	out := make([]Tag, 0, 1<<uint(len(freeStages)))
+	for combo := 0; combo < 1<<uint(len(freeStages)); combo++ {
+		tag := base
+		for bi, stage := range freeStages {
+			tag = tag.WithStateBit(stage, (combo>>uint(bi))&1)
+		}
+		out = append(out, tag)
+	}
+	return out, nil
+}
+
+// TagClass groups the tags that produce one particular path.
+type TagClass struct {
+	Path Path
+	Tags []Tag
+}
+
+// TagClasses partitions all 2^n TSDT tags for destination d from source s
+// into equivalence classes by the path they produce. The class sizes sum
+// to exactly 2^n: every assignment of state bits routes somewhere
+// (Theorem 3.1), and each path absorbs 2^(straight stages) of them.
+func TagClasses(p topology.Params, s, d int) ([]TagClass, error) {
+	if err := checkEndpoints(p, s, d); err != nil {
+		return nil, err
+	}
+	base, err := NewTag(p, d)
+	if err != nil {
+		return nil, err
+	}
+	classes := make(map[string]*TagClass)
+	order := []string{}
+	for stateBits := uint64(0); stateBits < 1<<uint(p.Stages()); stateBits++ {
+		tag := base.WithStateField(0, p.Stages()-1, stateBits)
+		path := tag.Follow(p, s)
+		key := fmt.Sprint(path.Links)
+		cl, ok := classes[key]
+		if !ok {
+			cl = &TagClass{Path: path}
+			classes[key] = cl
+			order = append(order, key)
+		}
+		cl.Tags = append(cl.Tags, tag)
+	}
+	out := make([]TagClass, 0, len(order))
+	for _, key := range order {
+		out = append(out, *classes[key])
+	}
+	return out, nil
+}
+
+// StraightStages returns the number of straight links on the path — the
+// log2 of its tag-class size.
+func StraightStages(path Path) int {
+	count := 0
+	for _, l := range path.Links {
+		if !l.Kind.Nonstraight() {
+			count++
+		}
+	}
+	return count
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+
+	"iadm/internal/topology"
+)
+
+func TestTagsProducingPath(t *testing.T) {
+	// Path 1,2,4,0 (all nonstraight): exactly one tag produces it.
+	tag := mustParseTag(t, 3, "000110")
+	path := tag.Follow(p8, 1)
+	tags, err := TagsProducingPath(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tags) != 1 {
+		t.Fatalf("all-nonstraight path has %d tags, want 1", len(tags))
+	}
+	if !tags[0].Follow(p8, 1).Equal(path) {
+		t.Error("returned tag does not reproduce the path")
+	}
+
+	// Path 1,0,0,0 (one nonstraight, two straight): 4 tags.
+	tag2 := mustParseTag(t, 3, "000000")
+	path2 := tag2.Follow(p8, 1)
+	tags2, err := TagsProducingPath(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tags2) != 4 {
+		t.Fatalf("2-straight path has %d tags, want 4", len(tags2))
+	}
+	seen := map[string]bool{}
+	for _, tg := range tags2 {
+		if !tg.Follow(p8, 1).Equal(path2) {
+			t.Fatalf("tag %v does not reproduce the path", tg)
+		}
+		if seen[tg.String()] {
+			t.Fatalf("duplicate tag %v", tg)
+		}
+		seen[tg.String()] = true
+	}
+}
+
+func TestTagsProducingPathInvalid(t *testing.T) {
+	if _, err := TagsProducingPath(Path{}); err == nil {
+		t.Error("accepted invalid path")
+	}
+}
+
+// TestTagClassesPartitionIdentity: the 2^n state-bit assignments partition
+// across paths with each path absorbing 2^(straight stages); class count
+// equals the link-path count.
+func TestTagClassesPartitionIdentity(t *testing.T) {
+	for _, N := range []int{8, 16} {
+		p := topology.MustParams(N)
+		for s := 0; s < N; s++ {
+			for d := 0; d < N; d++ {
+				classes, err := TagClasses(p, s, d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				total := 0
+				for _, cl := range classes {
+					want := 1 << uint(StraightStages(cl.Path))
+					if len(cl.Tags) != want {
+						t.Fatalf("N=%d s=%d d=%d: path %v has %d tags, want %d",
+							N, s, d, cl.Path, len(cl.Tags), want)
+					}
+					// Cross-check against the direct enumeration.
+					direct, err := TagsProducingPath(cl.Path)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(direct) != want {
+						t.Fatalf("TagsProducingPath returned %d, want %d", len(direct), want)
+					}
+					total += len(cl.Tags)
+				}
+				if total != 1<<uint(p.Stages()) {
+					t.Fatalf("N=%d s=%d d=%d: classes cover %d tags, want %d",
+						N, s, d, total, 1<<uint(p.Stages()))
+				}
+			}
+		}
+	}
+}
+
+// TestTagClassCountEqualsPathCount ties tag classes to Figure 7: s=1, d=0
+// at N=8 has 4 link-paths, hence 4 classes with sizes 4, 2, 1, 1.
+func TestTagClassCountEqualsPathCount(t *testing.T) {
+	classes, err := TagClasses(p8, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) != 4 {
+		t.Fatalf("classes = %d, want 4", len(classes))
+	}
+	sizes := map[int]int{}
+	for _, cl := range classes {
+		sizes[len(cl.Tags)]++
+	}
+	if sizes[4] != 1 || sizes[2] != 1 || sizes[1] != 2 {
+		t.Errorf("class sizes = %v, want {4:1, 2:1, 1:2}", sizes)
+	}
+}
+
+func TestTagClassesInvalidEndpoints(t *testing.T) {
+	if _, err := TagClasses(p8, -1, 0); err == nil {
+		t.Error("accepted invalid source")
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"iadm/internal/blockage"
+	"iadm/internal/topology"
+)
+
+// RerouteTrace runs algorithm REROUTE like Reroute but additionally
+// narrates every decision — which blockage was found, whether Corollary
+// 4.1 or algorithm BACKTRACK handled it, and what the tag became. The
+// trace is the executable counterpart of the paper's worked examples
+// (Section 4) and the explain mode of the CLI.
+func RerouteTrace(p topology.Params, blk *blockage.Set, s int, tag Tag) (Tag, Path, []string, error) {
+	var trace []string
+	if err := checkEndpoints(p, s, tag.Destination()); err != nil {
+		return Tag{}, Path{}, nil, err
+	}
+	trace = append(trace, fmt.Sprintf("start: source %d, destination %d, tag %s", s, tag.Destination(), tag))
+	for iter := 0; iter <= p.Stages(); iter++ {
+		path := tag.Follow(p, s)
+		i, hit := path.FirstBlocked(blk)
+		if !hit {
+			trace = append(trace, fmt.Sprintf("path %s is blockage-free — done", path))
+			return tag, path, trace, nil
+		}
+		desired := path.Links[i]
+		trace = append(trace, fmt.Sprintf("path %s blocked at stage %d: link %s", path, i, desired.StringIn(p)))
+		if desired.Kind.Nonstraight() &&
+			!blk.Blocked(topology.Link{Stage: i, From: desired.From, Kind: desired.Kind.Opposite()}) {
+			tag = tag.RerouteNonstraight(i)
+			trace = append(trace, fmt.Sprintf("Corollary 4.1: complement state bit b_%d -> tag %s (O(1))", p.Stages()+i, tag))
+			continue
+		}
+		kind := "straight link blockage"
+		if desired.Kind.Nonstraight() {
+			kind = "double nonstraight link blockage"
+		}
+		r, ok := path.NonstraightBefore(i)
+		if !ok {
+			trace = append(trace, fmt.Sprintf("BACKTRACK: %s at stage %d, but stages 0..%d are all straight — FAIL (Theorems 3.3/3.4)", kind, i, i-1))
+			return Tag{}, Path{}, trace, fmt.Errorf("core: %w (no preceding nonstraight link)", ErrNoPath)
+		}
+		trace = append(trace, fmt.Sprintf("BACKTRACK: %s at stage %d; nearest preceding nonstraight link at stage %d (%s) — Corollary 4.2 with k=%d", kind, i, r, path.Links[r].Kind, i-r))
+		newTag, err := Backtrack(blk, path, i, tag)
+		if err != nil {
+			trace = append(trace, fmt.Sprintf("BACKTRACK: FAIL — %v", err))
+			if errors.Is(err, ErrNoPath) {
+				return Tag{}, Path{}, trace, err
+			}
+			return Tag{}, Path{}, trace, err
+		}
+		changed := describeStateBitChanges(tag, newTag, p.Stages())
+		tag = newTag
+		trace = append(trace, fmt.Sprintf("BACKTRACK: new tag %s (%s)", tag, changed))
+	}
+	return Tag{}, Path{}, trace, fmt.Errorf("core: RerouteTrace did not converge (internal error)")
+}
+
+// describeStateBitChanges lists which state bits differ between two tags.
+func describeStateBitChanges(old, new Tag, n int) string {
+	var changed []string
+	for i := 0; i < n; i++ {
+		if old.StateBit(i) != new.StateBit(i) {
+			changed = append(changed, fmt.Sprintf("b_%d", n+i))
+		}
+	}
+	if len(changed) == 0 {
+		return "no state bits changed"
+	}
+	return "state bits changed: " + strings.Join(changed, ", ")
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"iadm/internal/blockage"
+	"iadm/internal/topology"
+)
+
+func TestRerouteTraceMatchesReroute(t *testing.T) {
+	rng := rand.New(rand.NewSource(2200))
+	for trial := 0; trial < 300; trial++ {
+		blk := blockage.NewSet(p8)
+		blk.RandomLinks(rng, rng.Intn(16))
+		s, d := rng.Intn(8), rng.Intn(8)
+		tagA, pathA, errA := Reroute(p8, blk, s, MustTag(p8, d))
+		tagB, pathB, trace, errB := RerouteTrace(p8, blk, s, MustTag(p8, d))
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("trace/plain disagree: %v vs %v", errA, errB)
+		}
+		if len(trace) == 0 {
+			t.Fatal("empty trace")
+		}
+		if errA != nil {
+			if !errors.Is(errB, ErrNoPath) {
+				t.Fatalf("trace error %v does not wrap ErrNoPath", errB)
+			}
+			continue
+		}
+		if tagA != tagB || !pathA.Equal(pathB) {
+			t.Fatalf("trace result differs from plain: %v/%v vs %v/%v", tagA, pathA, tagB, pathB)
+		}
+	}
+}
+
+func TestRerouteTraceNarration(t *testing.T) {
+	blk := blockage.NewSet(p8)
+	blk.Block(link(0, 1, topology.Minus))
+	blk.Block(link(1, 0, topology.Straight)) // unreachable after the first fix
+	_, _, trace, err := RerouteTrace(p8, blk, 1, MustTag(p8, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(trace, "\n")
+	for _, want := range []string{
+		"start: source 1, destination 0",
+		"Corollary 4.1: complement state bit b_3",
+		"blockage-free — done",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("trace missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestRerouteTraceBacktrackNarration(t *testing.T) {
+	blk := blockage.NewSet(p8)
+	blk.Block(link(1, 0, topology.Straight))
+	_, _, trace, err := RerouteTrace(p8, blk, 1, MustTag(p8, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(trace, "\n")
+	for _, want := range []string{
+		"straight link blockage at stage 1",
+		"Corollary 4.2 with k=1",
+		"state bits changed:",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("trace missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestRerouteTraceFailNarration(t *testing.T) {
+	blk := blockage.NewSet(p8)
+	blk.Block(link(1, 5, topology.Straight))
+	_, _, trace, err := RerouteTrace(p8, blk, 5, MustTag(p8, 5))
+	if !errors.Is(err, ErrNoPath) {
+		t.Fatalf("want ErrNoPath, got %v", err)
+	}
+	if !strings.Contains(strings.Join(trace, "\n"), "FAIL (Theorems 3.3/3.4)") {
+		t.Errorf("trace missing FAIL narration: %v", trace)
+	}
+}
+
+func TestRerouteTraceInvalidEndpoints(t *testing.T) {
+	blk := blockage.NewSet(p8)
+	if _, _, _, err := RerouteTrace(p8, blk, -1, MustTag(p8, 0)); err == nil {
+		t.Error("accepted invalid source")
+	}
+}

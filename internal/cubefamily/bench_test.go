@@ -1,0 +1,50 @@
+package cubefamily
+
+import (
+	"fmt"
+	"testing"
+
+	"iadm/internal/subgraph"
+)
+
+func BenchmarkRoute(b *testing.B) {
+	for _, kind := range Kinds() {
+		nw := MustNew(kind, 64)
+		b.Run(fmt.Sprintf("%v/N=64", kind), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := nw.Route(i%64, (i*7)%64); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAdmissible(b *testing.B) {
+	for _, kind := range []Kind{GeneralizedCube, Omega, Baseline} {
+		nw := MustNew(kind, 64)
+		perm := make([]int, 64)
+		for i := range perm {
+			perm[i] = i
+		}
+		b.Run(fmt.Sprintf("%v/N=64", kind), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				nw.Admissible(perm)
+			}
+		})
+	}
+}
+
+func BenchmarkIsomorphismCheck(b *testing.B) {
+	for _, N := range []int{8, 16} {
+		a := MustNew(Omega, N).Layered()
+		gc := MustNew(GeneralizedCube, N).Layered()
+		b.Run(fmt.Sprintf("N=%d", N), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !subgraph.Isomorphic(a, gc) {
+					b.Fatal("not isomorphic")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,298 @@
+package cubefamily
+
+import (
+	"math/rand"
+	"testing"
+
+	"iadm/internal/subgraph"
+	"iadm/internal/topology"
+)
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range Kinds() {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty name", int(k))
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind empty")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Omega, 12); err == nil {
+		t.Error("accepted non-power-of-two size")
+	}
+	if _, err := New(Kind(99), 8); err == nil {
+		t.Error("accepted unknown kind")
+	}
+}
+
+// TestBanyanProperty: every network has exactly one path between every
+// input/output pair (full access + unique path).
+func TestBanyanProperty(t *testing.T) {
+	for _, kind := range Kinds() {
+		for _, N := range []int{4, 8, 16} {
+			nw := MustNew(kind, N)
+			for s := 0; s < N; s++ {
+				for d := 0; d < N; d++ {
+					if got := nw.CountPaths(s, d); got != 1 {
+						t.Fatalf("%v N=%d: CountPaths(%d,%d) = %d, want 1", kind, N, s, d, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRouteDelivers: destination-tag routing reaches every output from
+// every input on all networks.
+func TestRouteDelivers(t *testing.T) {
+	for _, kind := range Kinds() {
+		for _, N := range []int{4, 8, 32} {
+			nw := MustNew(kind, N)
+			for s := 0; s < N; s++ {
+				for d := 0; d < N; d++ {
+					lines, tag, err := nw.Route(s, d)
+					if err != nil {
+						t.Fatalf("%v N=%d: %v", kind, N, err)
+					}
+					if lines[len(lines)-1] != d {
+						t.Fatalf("%v N=%d: route ends at %d", kind, N, lines[len(lines)-1])
+					}
+					if len(tag) != nw.Params().Stages() {
+						t.Fatalf("%v: tag length %d", kind, len(tag))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestClosedFormTagsMatchOracle pins the textbook closed-form tag digits
+// against the generic reachability-based routing.
+func TestClosedFormTagsMatchOracle(t *testing.T) {
+	for _, kind := range []Kind{GeneralizedCube, ICube, Omega} {
+		nw := MustNew(kind, 16)
+		for s := 0; s < 16; s++ {
+			for d := 0; d < 16; d++ {
+				at := s
+				for k := 0; k < 4; k++ {
+					generic := nw.TagBit(k, at, d)
+					closed, ok := nw.ClosedFormTagBit(k, at, d)
+					if !ok {
+						t.Fatalf("%v: no closed form", kind)
+					}
+					if generic != closed {
+						t.Fatalf("%v s=%d d=%d stage %d line %d: generic %d != closed %d",
+							kind, s, d, k, at, generic, closed)
+					}
+					at = nw.Next(k, at, generic)
+				}
+			}
+		}
+	}
+	// Baseline and Flip route generically.
+	if _, ok := MustNew(Baseline, 8).ClosedFormTagBit(0, 0, 0); ok {
+		t.Error("Baseline unexpectedly has a closed form registered")
+	}
+}
+
+// TestICubeMatchesTopologyPackage: the family's ICube is exactly the
+// topology package's ICube (second graph model) as a layered graph.
+func TestICubeMatchesTopologyPackage(t *testing.T) {
+	for _, N := range []int{4, 8, 16} {
+		a := MustNew(ICube, N).Layered()
+		b := topology.ICubeLayered(N)
+		if !a.Equal(b) {
+			t.Errorf("N=%d: cubefamily ICube differs from topology.ICubeLayered", N)
+		}
+	}
+}
+
+// TestTopologicalEquivalence verifies the Section 1 claim mechanically:
+// all five cube-type networks are pairwise isomorphic as layered graphs
+// (stage-preserving bijections of line labels).
+func TestTopologicalEquivalence(t *testing.T) {
+	for _, N := range []int{4, 8, 16} {
+		graphs := make(map[Kind]*topology.LayeredGraph)
+		for _, kind := range Kinds() {
+			graphs[kind] = MustNew(kind, N).Layered()
+		}
+		base := graphs[GeneralizedCube]
+		for _, kind := range Kinds()[1:] {
+			if !subgraph.Isomorphic(graphs[kind], base) {
+				t.Errorf("N=%d: %v not isomorphic to the Generalized Cube", N, kind)
+			}
+		}
+	}
+}
+
+// TestNotEverythingIsIsomorphic guards the checker itself: a graph with a
+// deliberately broken stage is rejected.
+func TestNotEverythingIsIsomorphic(t *testing.T) {
+	a := MustNew(Omega, 8).Layered()
+	b := topology.NewLayeredGraph(3, 8)
+	nw := MustNew(Omega, 8)
+	for k := 0; k < 3; k++ {
+		for line := 0; line < 8; line++ {
+			if k == 1 {
+				// Corrupt stage 1: all straight (degenerate boxes).
+				b.AddEdge(k, line, line)
+				b.AddEdge(k, line, line)
+				continue
+			}
+			b.AddEdge(k, line, nw.Next(k, line, 0))
+			b.AddEdge(k, line, nw.Next(k, line, 1))
+		}
+	}
+	if subgraph.Isomorphic(a, b) {
+		t.Error("corrupted network accepted as isomorphic")
+	}
+}
+
+// TestAdmissibleIdentity: the identity permutation passes the straight-
+// wired networks; the baseline network's inter-stage inverse shuffles
+// conjugate its admissible set, and identity is NOT in it (two inputs
+// contend for line 0 after stage 0) — a concrete instance of why
+// reconfiguration functions are needed to transfer permutations [21].
+func TestAdmissibleIdentity(t *testing.T) {
+	id := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	for _, kind := range []Kind{GeneralizedCube, ICube, Omega, Flip} {
+		if !MustNew(kind, 8).Admissible(id) {
+			t.Errorf("%v: identity not admissible", kind)
+		}
+	}
+	if MustNew(Baseline, 8).Admissible(id) {
+		t.Error("baseline: identity unexpectedly admissible")
+	}
+}
+
+// TestAllStraightSettingAdmissible: for EVERY network, the permutation
+// realized by setting all boxes straight is admissible by construction
+// (each stage map with e=0 is a bijection of lines, so paths never meet).
+func TestAllStraightSettingAdmissible(t *testing.T) {
+	for _, kind := range Kinds() {
+		for _, N := range []int{4, 8, 16} {
+			nw := MustNew(kind, N)
+			perm := make([]int, N)
+			for s := 0; s < N; s++ {
+				at := s
+				for k := 0; k < nw.Params().Stages(); k++ {
+					at = nw.Next(k, at, 0)
+				}
+				perm[s] = at
+			}
+			if !nw.Admissible(perm) {
+				t.Errorf("%v N=%d: all-straight permutation %v not admissible", kind, N, perm)
+			}
+		}
+	}
+}
+
+// TestAdmissibleCountsAgreeAcrossFamily: topological equivalence does NOT
+// mean identical admissible sets (port labelings differ), but the COUNT of
+// admissible permutations is the same for all members: 2^(n*N/2) distinct
+// box settings, each realizing a distinct permutation.
+func TestAdmissibleCountsAgreeAcrossFamily(t *testing.T) {
+	N := 4
+	perms := allPerms(N)
+	want := 16 // 2^(2*2)
+	for _, kind := range Kinds() {
+		nw := MustNew(kind, N)
+		count := 0
+		for _, perm := range perms {
+			if nw.Admissible(perm) {
+				count++
+			}
+		}
+		if count != want {
+			t.Errorf("%v: %d admissible permutations at N=4, want %d", kind, count, want)
+		}
+	}
+}
+
+// TestAdmissibleSetRelations pins two structural facts about the family's
+// admissible permutation sets:
+//
+//  1. Omega ≡ Generalized Cube: the line occupied at stage k in the Omega
+//     network is a fixed rotation of the line occupied in the Generalized
+//     Cube network, so the conflict relations — and hence the admissible
+//     sets — coincide exactly.
+//  2. ICube ≢ Generalized Cube: consuming destination bits LSB-first vs
+//     MSB-first yields genuinely different admissible sets, which is why
+//     transferring permutations between family members needs the
+//     reconfiguration functions of [21].
+func TestAdmissibleSetRelations(t *testing.T) {
+	gc := MustNew(GeneralizedCube, 8)
+	om := MustNew(Omega, 8)
+	ic := MustNew(ICube, 8)
+	rng := rand.New(rand.NewSource(5))
+	icDiffers := false
+	for trial := 0; trial < 500; trial++ {
+		perm := rng.Perm(8)
+		g := gc.Admissible(perm)
+		if om.Admissible(perm) != g {
+			t.Fatalf("perm %v: Omega and Generalized Cube admissibility differ", perm)
+		}
+		if ic.Admissible(perm) != g {
+			icDiffers = true
+		}
+	}
+	if !icDiffers {
+		t.Error("ICube and Generalized Cube admissible sets identical on 500 samples (expected to differ)")
+	}
+}
+
+// TestAdmissibleMatchesConflictFreeSimulation cross-checks Admissible by
+// simulating all messages and watching for port collisions explicitly.
+func TestAdmissibleMatchesConflictFreeSimulation(t *testing.T) {
+	nw := MustNew(Baseline, 8)
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 200; trial++ {
+		perm := rng.Perm(8)
+		want := func() bool {
+			cur := make([]int, 8)
+			for s := range cur {
+				cur[s] = s
+			}
+			for k := 0; k < 3; k++ {
+				seen := map[int]bool{}
+				for s := 0; s < 8; s++ {
+					cur[s] = nw.Next(k, cur[s], nw.TagBit(k, cur[s], perm[s]))
+					if seen[cur[s]] {
+						return false
+					}
+					seen[cur[s]] = true
+				}
+			}
+			return true
+		}()
+		if got := nw.Admissible(perm); got != want {
+			t.Fatalf("perm %v: Admissible=%v, simulation=%v", perm, got, want)
+		}
+	}
+}
+
+func allPerms(N int) [][]int {
+	var out [][]int
+	perm := make([]int, N)
+	used := make([]bool, N)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == N {
+			out = append(out, append([]int(nil), perm...))
+			return
+		}
+		for v := 0; v < N; v++ {
+			if !used[v] {
+				used[v] = true
+				perm[i] = v
+				rec(i + 1)
+				used[v] = false
+			}
+		}
+	}
+	rec(0)
+	return out
+}

@@ -1,0 +1,48 @@
+package cubefamily
+
+import (
+	"iadm/internal/bitutil"
+)
+
+// BitReverseLabels returns the bit-reversal relabeling of 0..N-1.
+func BitReverseLabels(n int) []int {
+	N := 1 << uint(n)
+	out := make([]int, N)
+	for x := 0; x < N; x++ {
+		r := 0
+		for b := 0; b < n; b++ {
+			r |= int(bitutil.Bit(uint64(x), b)) << uint(n-1-b)
+		}
+		out[x] = r
+	}
+	return out
+}
+
+// ReconfigureICubeToGC is a reconfiguration function in the sense of Wu &
+// Feng [21]: it maps a permutation so that it passes the Generalized Cube
+// network iff the original passes the ICube network.
+//
+// The two networks consume destination bits in opposite orders (LSB-first
+// vs MSB-first), and the line occupied after stage k is the source label
+// with the first k consumed bits replaced. Conjugating by the bit-reversal
+// relabeling ρ therefore maps ICube stage-k occupancy bijectively onto
+// Generalized Cube stage-k occupancy:
+//
+//	ICube-admissible(perm)  ⇔  GC-admissible(ρ ∘ perm ∘ ρ).
+func ReconfigureICubeToGC(perm []int) []int {
+	n := 0
+	for 1<<uint(n) < len(perm) {
+		n++
+	}
+	rho := BitReverseLabels(n)
+	out := make([]int, len(perm))
+	for x := range out {
+		out[x] = rho[perm[rho[x]]]
+	}
+	return out
+}
+
+// ReconfigureFlipToOmega is the same conjugation between the Flip
+// (inverse Omega) and Omega networks, which likewise consume bits in
+// opposite orders.
+func ReconfigureFlipToOmega(perm []int) []int { return ReconfigureICubeToGC(perm) }

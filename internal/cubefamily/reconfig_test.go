@@ -1,0 +1,98 @@
+package cubefamily
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBitReverseLabels(t *testing.T) {
+	got := BitReverseLabels(3)
+	want := []int{0, 4, 2, 6, 1, 5, 3, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("BitReverseLabels = %v", got)
+		}
+	}
+	// Involution.
+	for x, r := range got {
+		if got[r] != x {
+			t.Fatalf("not an involution at %d", x)
+		}
+	}
+}
+
+// TestReconfigureICubeToGC: the reconfiguration function of [21] in
+// action — for every sampled permutation, ICube admissibility of perm
+// equals Generalized Cube admissibility of the conjugated permutation.
+func TestReconfigureICubeToGC(t *testing.T) {
+	for _, N := range []int{8, 16} {
+		ic := MustNew(ICube, N)
+		gc := MustNew(GeneralizedCube, N)
+		rng := rand.New(rand.NewSource(int64(2100 + N)))
+		matched, differedBefore := 0, 0
+		for trial := 0; trial < 400; trial++ {
+			perm := rng.Perm(N)
+			re := ReconfigureICubeToGC(perm)
+			if ic.Admissible(perm) != gc.Admissible(re) {
+				t.Fatalf("N=%d perm %v: ICube %v but GC(reconfigured) %v",
+					N, perm, ic.Admissible(perm), gc.Admissible(re))
+			}
+			matched++
+			if ic.Admissible(perm) != gc.Admissible(perm) {
+				differedBefore++
+			}
+		}
+		// At N=16 a random permutation is admissible with probability
+		// ~2^(nN/2)/N! ≈ 0.02%, so the "reconfiguration mattered" check is
+		// only meaningful at N=8.
+		if N == 8 && differedBefore == 0 {
+			t.Errorf("N=%d: reconfiguration never mattered in %d samples (suspicious)", N, matched)
+		}
+	}
+	// Structured permutations where the bit orders genuinely disagree:
+	// the ICube passes exchange-bit-0 trivially; the GC passes its
+	// conjugate. Verified on the identity-like family at N=16 too.
+	ic := MustNew(ICube, 16)
+	gc := MustNew(GeneralizedCube, 16)
+	for b := 0; b < 4; b++ {
+		perm := make([]int, 16)
+		for x := range perm {
+			perm[x] = x ^ (1 << uint(b))
+		}
+		if ic.Admissible(perm) != gc.Admissible(ReconfigureICubeToGC(perm)) {
+			t.Errorf("exchange-bit-%d: reconfiguration equivalence broken", b)
+		}
+	}
+}
+
+// TestReconfigureFlipToOmega: same conjugation bridges Flip and Omega.
+func TestReconfigureFlipToOmega(t *testing.T) {
+	fl := MustNew(Flip, 8)
+	om := MustNew(Omega, 8)
+	rng := rand.New(rand.NewSource(2111))
+	for trial := 0; trial < 400; trial++ {
+		perm := rng.Perm(8)
+		re := ReconfigureFlipToOmega(perm)
+		if fl.Admissible(perm) != om.Admissible(re) {
+			t.Fatalf("perm %v: Flip %v but Omega(reconfigured) %v",
+				perm, fl.Admissible(perm), om.Admissible(re))
+		}
+	}
+}
+
+// TestReconfigurationPreservesPermutationness: the conjugation outputs a
+// valid permutation.
+func TestReconfigurationPreservesPermutationness(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		perm := rng.Perm(16)
+		re := ReconfigureICubeToGC(perm)
+		seen := make([]bool, 16)
+		for _, v := range re {
+			if v < 0 || v >= 16 || seen[v] {
+				t.Fatalf("reconfigured %v is not a permutation", re)
+			}
+			seen[v] = true
+		}
+	}
+}

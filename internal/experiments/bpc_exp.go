@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"iadm/internal/bpc"
+	"iadm/internal/cubefamily"
+	"iadm/internal/gamma"
+	"iadm/internal/icube"
+	"iadm/internal/permroute"
+	"iadm/internal/subgraph"
+	"iadm/internal/topology"
+)
+
+func init() {
+	register("E25", "BPC permutation families across the network zoo", runE25)
+}
+
+func runE25() (string, error) {
+	var sb strings.Builder
+	sb.WriteString("bit-permute-complement permutation families (Lawrie [6], Pease [15]) on each network, N=16:\n\n")
+	sb.WriteString(header("family", "ICube", "GenCube", "Omega", "Baseline", "IADM(any relabel)", "Gamma"))
+	p := topology.MustParams(16)
+	ic := cubefamily.MustNew(cubefamily.ICube, 16)
+	gc := cubefamily.MustNew(cubefamily.GeneralizedCube, 16)
+	om := cubefamily.MustNew(cubefamily.Omega, 16)
+	bl := cubefamily.MustNew(cubefamily.Baseline, 16)
+
+	yes := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "no"
+	}
+	for _, fam := range bpc.Catalog(4) {
+		perm := fam.Perm()
+		ints := []int(perm)
+		iadmAny := false
+		for x := 0; x < 16 && !iadmAny; x++ {
+			iadmAny = permroute.Passes(p, perm, subgraph.RelabeledState(p, x))
+		}
+		gam := gamma.Passable(p, perm)
+		fmt.Fprintf(&sb, "%-16s  %5s  %7s  %5s  %8s  %17s  %5s\n",
+			fam.Name, yes(icube.Admissible(p, perm)), yes(gc.Admissible(ints)),
+			yes(om.Admissible(ints)), yes(bl.Admissible(ints)), yes(iadmAny), yes(gam))
+		// Sanity: the ICube column must agree between the icube package
+		// and the cubefamily model.
+		if icube.Admissible(p, perm) != ic.Admissible(ints) {
+			return "", fmt.Errorf("%s: icube and cubefamily disagree", fam.Name)
+		}
+		// Gamma must dominate the IADM relabeling family.
+		if iadmAny && !gam {
+			return "", fmt.Errorf("%s: IADM-passable but not Gamma-passable", fam.Name)
+		}
+	}
+	sb.WriteString("\nthe IADM column uses the Theorem 6.1 cube-subgraph family (any relabeling);\nGamma's crossbars dominate everything, as they must (switch-disjoint => link-disjoint)\n")
+	return sb.String(), nil
+}

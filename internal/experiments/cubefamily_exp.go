@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"iadm/internal/cubefamily"
+	"iadm/internal/subgraph"
+)
+
+func init() {
+	register("E22", "Cube-type network family: topological equivalence of GC/ICube/Omega/Flip/Baseline", runE22)
+}
+
+func runE22() (string, error) {
+	var sb strings.Builder
+	sb.WriteString("the five classic cube-type networks of Section 1, N=8:\n\n")
+	sb.WriteString(header("network", "banyan (1 path/pair)", "routes deliver", "iso to Generalized Cube"))
+	base := cubefamily.MustNew(cubefamily.GeneralizedCube, 8).Layered()
+	for _, kind := range cubefamily.Kinds() {
+		nw := cubefamily.MustNew(kind, 8)
+		banyan, delivers := true, true
+		for s := 0; s < 8 && banyan; s++ {
+			for d := 0; d < 8; d++ {
+				if nw.CountPaths(s, d) != 1 {
+					banyan = false
+					break
+				}
+				if lines, _, err := nw.Route(s, d); err != nil || lines[len(lines)-1] != d {
+					delivers = false
+				}
+			}
+		}
+		iso := subgraph.Isomorphic(nw.Layered(), base)
+		fmt.Fprintf(&sb, "%-16s  %20v  %14v  %23v\n", kind, banyan, delivers, iso)
+		if !banyan || !delivers || !iso {
+			return "", fmt.Errorf("%v failed a family property", kind)
+		}
+	}
+
+	// Same admissible-permutation count, different admissible sets.
+	sb.WriteString("\nadmissible permutations, N=8 (sampled) — equal counts would be coincidence, equal\ncapability is by reconfiguration [21]; the sets genuinely differ:\n")
+	sb.WriteString(header("network", "admissible of 300 random", "agrees with GC on"))
+	rng := rand.New(rand.NewSource(22))
+	perms := make([][]int, 300)
+	for i := range perms {
+		perms[i] = rng.Perm(8)
+	}
+	gc := cubefamily.MustNew(cubefamily.GeneralizedCube, 8)
+	for _, kind := range cubefamily.Kinds() {
+		nw := cubefamily.MustNew(kind, 8)
+		count, agree := 0, 0
+		for _, perm := range perms {
+			a := nw.Admissible(perm)
+			if a {
+				count++
+			}
+			if a == gc.Admissible(perm) {
+				agree++
+			}
+		}
+		fmt.Fprintf(&sb, "%-16s  %24d  %18d\n", kind, count, agree)
+	}
+	sb.WriteString("\nexhaustive N=4: every member passes exactly 16 = 2^(n*N/2) of the 24 permutations\n(one per interchange-box setting; verified in the test suite)\n")
+	return sb.String(), nil
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIDsOrderedAndComplete(t *testing.T) {
+	ids := IDs()
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23", "E24", "E25", "E26", "E27", "E28"}
+	if len(ids) != len(want) {
+		t.Fatalf("IDs = %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("IDs = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("E99"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestTitlesNonEmpty(t *testing.T) {
+	for _, id := range IDs() {
+		if Title(id) == "" {
+			t.Errorf("%s has no title", id)
+		}
+	}
+}
+
+// TestRunAllExperiments executes the full harness. Every experiment embeds
+// its own pass/fail assertions (mismatches return errors), so this is an
+// end-to-end reproduction check.
+func TestRunAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment harness skipped in -short mode")
+	}
+	results, err := RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(IDs()) {
+		t.Fatalf("ran %d experiments, want %d", len(results), len(IDs()))
+	}
+	for _, r := range results {
+		if strings.TrimSpace(r.Body) == "" {
+			t.Errorf("%s produced empty output", r.ID)
+		}
+	}
+}
+
+func TestHeaderFormat(t *testing.T) {
+	h := header("a", "bb")
+	if h != "a  bb\n-  --\n" {
+		t.Errorf("header = %q", h)
+	}
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the experiment golden files")
+
+// TestGoldenOutputs locks the byte-exact output of every experiment: all
+// randomness is seeded, so any drift means a behavioural change in the
+// reproduction. Regenerate intentionally with:
+//
+//	go test ./internal/experiments -run Golden -update
+func TestGoldenOutputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden comparison skipped in -short mode")
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := Run(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", id+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(res.Body), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if string(want) != res.Body {
+				t.Errorf("%s output drifted from golden file; run with -update if intentional.\n--- got ---\n%s\n--- want ---\n%s",
+					id, res.Body, want)
+			}
+		})
+	}
+}

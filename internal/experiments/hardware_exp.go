@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"iadm/internal/blockage"
+	"iadm/internal/core"
+	"iadm/internal/switchsim"
+	"iadm/internal/topology"
+)
+
+func init() {
+	register("E26", "Hardware model: structural switch elements match the behavioral schemes", runE26)
+}
+
+func runE26() (string, error) {
+	var sb strings.Builder
+	sb.WriteString("per-switch hardware cost of each scheme (Section 4's implementation discussion):\n\n")
+	sb.WriteString(header("scheme", "config bits", "state storage", "tag width", "blockage inputs", "reroute cost"))
+	fmt.Fprintf(&sb, "%-6s  %11s  %13s  %9s  %15s  %12s\n", "TSDT", "1 (parity)", "none", "2n bits", "none (sender)", "O(1)/O(k)")
+	fmt.Fprintf(&sb, "%-6s  %11s  %13s  %9s  %15s  %12s\n", "SSDT", "1 (parity)", "1 flip-flop", "n bits", "3 ports", "O(1)")
+	fmt.Fprintf(&sb, "%-6s  %11s  %13s  %9s  %15s  %12s\n", "MS[9]", "none", "adder+cmpl", "n bits+sign", "3 ports", "O(log N)")
+
+	// Equivalence sweep: the gate-level fabric must agree with the
+	// behavioral router on every probe.
+	p := topology.MustParams(16)
+	f := switchsim.NewFabric(p)
+	rng := rand.New(rand.NewSource(26))
+	tsdtChecks, ssdtChecks := 0, 0
+	for trial := 0; trial < 500; trial++ {
+		s := rng.Intn(16)
+		tagBits := rng.Intn(1 << 8)
+		tag := core.MustTag(p, tagBits&15).WithStateField(0, 3, uint64(tagBits>>4))
+		structural, err := f.RouteTSDT(s, tag)
+		if err != nil {
+			return "", err
+		}
+		if !structural.Equal(tag.Follow(p, s)) {
+			return "", fmt.Errorf("TSDT fabric diverged at s=%d tag=%v", s, tag)
+		}
+		tsdtChecks++
+	}
+	for trial := 0; trial < 500; trial++ {
+		blk := blockage.NewSet(p)
+		blk.RandomLinks(rng, rng.Intn(16))
+		s, d := rng.Intn(16), rng.Intn(16)
+		fab := switchsim.NewFabric(p)
+		ns := core.NewNetworkState(p)
+		structural, serr := fab.RouteSSDT(s, d, blk)
+		behavioral, berr := core.RouteSSDT(p, s, d, ns, blk)
+		if (serr == nil) != (berr == nil) {
+			return "", fmt.Errorf("SSDT fabric/behavioral disagree on feasibility (s=%d d=%d)", s, d)
+		}
+		if serr == nil && !structural.Equal(behavioral.Path) {
+			return "", fmt.Errorf("SSDT fabric path diverged at s=%d d=%d", s, d)
+		}
+		ssdtChecks++
+	}
+	fmt.Fprintf(&sb, "\ngate-level fabric vs behavioral router: %d TSDT probes and %d SSDT fault scenarios, 0 divergences\n",
+		tsdtChecks, ssdtChecks)
+	sb.WriteString("(the TSDT element is a pure combinational decode — Lemma A1.1 — with zero storage;\nthe SSDT element adds exactly one flip-flop, matching the paper's 'negligible hardware' claim)\n")
+	return sb.String(), nil
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"iadm/internal/multicast"
+	"iadm/internal/topology"
+)
+
+func init() {
+	register("E24", "Extension: multicast trees via the switches' broadcast states", runE24)
+}
+
+func runE24() (string, error) {
+	var sb strings.Builder
+	sb.WriteString("one-to-many routing using the broadcast states the paper sets aside\n")
+	sb.WriteString("(\"connects it to one or more of its three output links\", Section 1):\n\n")
+	sb.WriteString(header("N", "|dests|", "tree links (mean)", "unicast links", "savings"))
+	rng := rand.New(rand.NewSource(240))
+	for _, N := range []int{16, 64} {
+		p := topology.MustParams(N)
+		for _, k := range []int{2, 4, N / 2, N} {
+			totalTree, totalUni, trials := 0, 0, 200
+			for t := 0; t < trials; t++ {
+				s := rng.Intn(N)
+				dests := rng.Perm(N)[:k]
+				tree, err := multicast.Route(p, s, dests, nil)
+				if err != nil {
+					return "", err
+				}
+				if err := tree.Validate(); err != nil {
+					return "", err
+				}
+				totalTree += tree.LinkCount()
+				totalUni += multicast.UnicastLinkTotal(p, s, dests)
+			}
+			mean := float64(totalTree) / float64(trials)
+			uni := float64(totalUni) / float64(trials)
+			fmt.Fprintf(&sb, "%2d  %7d  %17.1f  %13.1f  %6.1f%%\n",
+				N, k, mean, uni, 100*(1-mean/uni))
+		}
+	}
+	// Full broadcast closed form: sum_i min(2^(i+1), N).
+	sb.WriteString("\nfull broadcast link counts (closed form sum_i min(2^(i+1), N)):\n")
+	for _, N := range []int{8, 64, 1024} {
+		p := topology.MustParams(N)
+		tree, err := multicast.Broadcast(p, 0, nil)
+		if err != nil {
+			return "", err
+		}
+		want := 0
+		for i := 0; i < p.Stages(); i++ {
+			w := 2 << uint(i)
+			if w > N {
+				w = N
+			}
+			want += w
+		}
+		fmt.Fprintf(&sb, "  N=%4d: %d links (closed form %d), vs %d for N separate unicasts\n",
+			N, tree.LinkCount(), want, N*p.Stages())
+		if tree.LinkCount() != want {
+			return "", fmt.Errorf("broadcast link count %d != closed form %d", tree.LinkCount(), want)
+		}
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"iadm/internal/partition"
+	"iadm/internal/topology"
+)
+
+func init() {
+	register("E27", "Partitionability: disabling one stage splits the cube into two independent halves", runE27)
+}
+
+func runE27() (string, error) {
+	var sb strings.Builder
+	sb.WriteString("partitioning the ICube network (one of Section 1's advantages of cube-type\nnetworks, inherited by the IADM network operating as a cube subgraph):\n\n")
+	sb.WriteString(header("N", "disabled stage", "classes isolated + ICube(N/2)-isomorphic", "intra-class pairs routable"))
+	for _, N := range []int{8, 16, 32} {
+		p := topology.MustParams(N)
+		for b := 0; b < p.Stages(); b++ {
+			if err := partition.Verify(N, b); err != nil {
+				return "", err
+			}
+			routable := 0
+			for s := 0; s < N; s++ {
+				for d := 0; d < N; d++ {
+					if _, err := partition.RouteWithin(p, b, s, d); err == nil {
+						routable++
+					}
+				}
+			}
+			want := 2 * (N / 2) * (N / 2)
+			fmt.Fprintf(&sb, "%2d  %14d  %40v  %15d / %d\n", N, b, true, routable, want)
+			if routable != want {
+				return "", fmt.Errorf("N=%d b=%d: %d routable pairs, want %d", N, b, routable, want)
+			}
+		}
+	}
+	sb.WriteString("\nevery choice of disabled stage yields two isolated halves, each exactly an\nICube network of size N/2 after deleting the partition bit; the 2·(N/2)^2\nintra-class pairs remain routable and no inter-class pair is\n")
+	return sb.String(), nil
+}

@@ -1,0 +1,33 @@
+package gamma
+
+import (
+	"math/rand"
+	"testing"
+
+	"iadm/internal/icube"
+	"iadm/internal/topology"
+)
+
+func BenchmarkPassableShift(b *testing.B) {
+	p := topology.MustParams(16)
+	perm := icube.Shift(16, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !Passable(p, perm) {
+			b.Fatal("shift should pass")
+		}
+	}
+}
+
+func BenchmarkPassableRandom(b *testing.B) {
+	p := topology.MustParams(8)
+	rng := rand.New(rand.NewSource(1))
+	perms := make([]icube.Perm, 32)
+	for i := range perms {
+		perms[i] = icube.Perm(rng.Perm(8))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Passable(p, perms[i%len(perms)])
+	}
+}

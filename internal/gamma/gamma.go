@@ -1,0 +1,117 @@
+// Package gamma models the Gamma network. "The Gamma and the IADM
+// networks are topologically equivalent; however, they use switches of
+// different types. Each 3x3 crossbar switch used in the Gamma network can
+// connect simultaneously all three inputs to all three outputs whereas
+// each switch used in the IADM network can connect only one of its three
+// inputs to one or more of its three outputs" (Section 1).
+//
+// Routing is therefore identical to the IADM network (the paper's
+// destination tag schemes apply unchanged), but permutation capability
+// differs: a permutation passes the Gamma network iff there is a choice of
+// one routing path per source/destination pair such that the paths are
+// pairwise link-disjoint (switch sharing is allowed), whereas the IADM
+// network additionally requires switch-disjointness. Every
+// IADM/ICube-passable permutation is thus Gamma-passable, and the Gamma
+// network passes strictly more (cf. Varma & Raghavendra [19]).
+package gamma
+
+import (
+	"sort"
+
+	"iadm/internal/core"
+	"iadm/internal/icube"
+	"iadm/internal/paths"
+	"iadm/internal/topology"
+)
+
+// Passable reports whether the permutation can be realized by the Gamma
+// network in one pass: a backtracking search over each source's candidate
+// routing paths under a pairwise link-disjointness constraint. Sources
+// with the fewest candidate paths are placed first (fail-fast ordering).
+// Exponential in the worst case; intended for the N <= 16 experiment
+// sizes.
+func Passable(p topology.Params, perm icube.Perm) bool {
+	_, ok := PassableWithPaths(p, perm)
+	return ok
+}
+
+// PassableWithPaths is Passable returning one witness path per source
+// (indexed by source) when the permutation passes.
+func PassableWithPaths(p topology.Params, perm icube.Perm) ([]core.Path, bool) {
+	if err := perm.Validate(p.Size()); err != nil {
+		return nil, false
+	}
+	N := p.Size()
+	cand := make([][]core.Path, N)
+	order := make([]int, N)
+	for s := 0; s < N; s++ {
+		cand[s] = paths.Enumerate(p, s, perm[s])
+		order[s] = s
+	}
+	sort.Slice(order, func(a, b int) bool { return len(cand[order[a]]) < len(cand[order[b]]) })
+
+	used := make([]bool, 3*N*p.Stages())
+	chosen := make([]core.Path, N)
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == N {
+			return true
+		}
+		s := order[k]
+		for _, pa := range cand[s] {
+			conflict := false
+			for _, l := range pa.Links {
+				if used[l.Index(p)] {
+					conflict = true
+					break
+				}
+			}
+			if conflict {
+				continue
+			}
+			for _, l := range pa.Links {
+				used[l.Index(p)] = true
+			}
+			chosen[s] = pa
+			if rec(k + 1) {
+				return true
+			}
+			for _, l := range pa.Links {
+				used[l.Index(p)] = false
+			}
+		}
+		return false
+	}
+	if !rec(0) {
+		return nil, false
+	}
+	return chosen, true
+}
+
+// CountPassable enumerates all N! permutations and counts the
+// Gamma-passable ones; exponential, for N <= 4 ground-truth experiments.
+func CountPassable(p topology.Params) int {
+	N := p.Size()
+	perm := make(icube.Perm, N)
+	usedDst := make([]bool, N)
+	count := 0
+	var rec func(i int)
+	rec = func(i int) {
+		if i == N {
+			if Passable(p, perm) {
+				count++
+			}
+			return
+		}
+		for d := 0; d < N; d++ {
+			if !usedDst[d] {
+				usedDst[d] = true
+				perm[i] = d
+				rec(i + 1)
+				usedDst[d] = false
+			}
+		}
+	}
+	rec(0)
+	return count
+}

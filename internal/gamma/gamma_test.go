@@ -1,0 +1,144 @@
+package gamma
+
+import (
+	"math/rand"
+	"testing"
+
+	"iadm/internal/icube"
+	"iadm/internal/subgraph"
+	"iadm/internal/topology"
+
+	"iadm/internal/permroute"
+)
+
+var p8 = topology.MustParams(8)
+
+func TestIdentityPassable(t *testing.T) {
+	for _, N := range []int{4, 8, 16} {
+		p := topology.MustParams(N)
+		if !Passable(p, icube.Identity(N)) {
+			t.Errorf("N=%d: identity not Gamma-passable", N)
+		}
+	}
+}
+
+func TestInvalidPermRejected(t *testing.T) {
+	if Passable(p8, icube.Perm{0, 0, 1, 2, 3, 4, 5, 6}) {
+		t.Error("invalid permutation accepted")
+	}
+}
+
+func TestWitnessPathsAreLinkDisjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		perm := icube.Perm(rng.Perm(8))
+		chosen, ok := PassableWithPaths(p8, perm)
+		if !ok {
+			continue
+		}
+		used := map[topology.Link]int{}
+		for s, pa := range chosen {
+			if pa.Destination() != perm[s] || pa.Source != s {
+				t.Fatalf("witness path endpoints wrong for source %d", s)
+			}
+			if err := pa.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			for _, l := range pa.Links {
+				used[l]++
+				if used[l] > 1 {
+					t.Fatalf("perm %v: link %v used twice", perm, l)
+				}
+			}
+		}
+	}
+}
+
+// TestICubeAdmissibleImpliesGammaPassable: switch-disjoint paths are
+// link-disjoint, so every cube-admissible permutation passes the Gamma
+// network.
+func TestICubeAdmissibleImpliesGammaPassable(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	checked := 0
+	for trial := 0; trial < 400 && checked < 40; trial++ {
+		perm := icube.Perm(rng.Perm(8))
+		if !icube.Admissible(p8, perm) {
+			continue
+		}
+		checked++
+		if !Passable(p8, perm) {
+			t.Fatalf("cube-admissible perm %v not Gamma-passable", perm)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no admissible permutations sampled")
+	}
+}
+
+// TestIADMRelabelingPassableImpliesGammaPassable extends the implication
+// to the whole Theorem 6.1 family.
+func TestIADMRelabelingPassableImpliesGammaPassable(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	checked := 0
+	for trial := 0; trial < 400 && checked < 40; trial++ {
+		perm := icube.Perm(rng.Perm(8))
+		passes := false
+		for x := 0; x < 8 && !passes; x++ {
+			passes = permroute.Passes(p8, perm, subgraph.RelabeledState(p8, x))
+		}
+		if !passes {
+			continue
+		}
+		checked++
+		if !Passable(p8, perm) {
+			t.Fatalf("IADM-passable perm %v not Gamma-passable", perm)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no IADM-passable permutations sampled")
+	}
+}
+
+// TestGammaStrictlyMoreCapable: the Gamma network passes permutations the
+// ICube network (all-C IADM) cannot.
+func TestGammaStrictlyMoreCapable(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	found := false
+	for trial := 0; trial < 500 && !found; trial++ {
+		perm := icube.Perm(rng.Perm(8))
+		if !icube.Admissible(p8, perm) && Passable(p8, perm) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("found no permutation separating Gamma from ICube capability")
+	}
+}
+
+// TestCountPassableN4 ground-truths the capability gap at N=4: the ICube
+// network passes 16 of 24 permutations; the Gamma network must pass at
+// least as many.
+func TestCountPassableN4(t *testing.T) {
+	p := topology.MustParams(4)
+	gammaCount := CountPassable(p)
+	cubeCount := icube.CountAdmissible(p)
+	if cubeCount != 16 {
+		t.Fatalf("cube count = %d, want 16", cubeCount)
+	}
+	if gammaCount < cubeCount {
+		t.Errorf("Gamma passes %d < ICube's %d", gammaCount, cubeCount)
+	}
+	t.Logf("N=4: Gamma passes %d of 24 permutations (ICube: %d)", gammaCount, cubeCount)
+}
+
+func TestBitReverseGamma(t *testing.T) {
+	// Bit reverse is cube-inadmissible at N=8; record whether the Gamma
+	// network's extra freedom rescues it (it should: the Gamma network has
+	// redundant paths precisely where the cube network conflicts).
+	perm := icube.BitReverse(8)
+	if icube.Admissible(p8, perm) {
+		t.Fatal("setup: bit reverse should not be cube-admissible at N=8")
+	}
+	got := Passable(p8, perm)
+	t.Logf("bit reverse (N=8): Gamma-passable = %v", got)
+}

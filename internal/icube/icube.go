@@ -1,0 +1,234 @@
+// Package icube provides destination-tag routing and permutation
+// admissibility for the Indirect binary n-cube (ICube) network, the
+// cube-type substrate the paper's state model correlates with the IADM
+// network.
+//
+// The package works in the paper's second graph model, in which the ICube
+// network is literally a subgraph of the IADM network: routing a message in
+// the ICube network is identical to routing it in the IADM network with
+// every switch in state C (Section 3). A permutation is admissible
+// (passable in one pass) iff the N destination-tag paths are
+// switch-disjoint at every stage — each switch can connect only one of its
+// input links to its outputs.
+package icube
+
+import (
+	"fmt"
+
+	"iadm/internal/bitutil"
+	"iadm/internal/core"
+	"iadm/internal/topology"
+)
+
+// Perm is a permutation of 0..N-1: Perm[s] is the destination of source s.
+type Perm []int
+
+// Identity returns the identity permutation of size N.
+func Identity(N int) Perm {
+	p := make(Perm, N)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// Shift returns the uniform-shift permutation sigma(s) = (s + x) mod N —
+// the permutation family Theorem 6.1's relabeling construction makes
+// passable through the IADM network.
+func Shift(N, x int) Perm {
+	p := make(Perm, N)
+	for i := range p {
+		p[i] = ((i+x)%N + N) % N
+	}
+	return p
+}
+
+// BitReverse returns the bit-reversal permutation of size N = 2^n.
+func BitReverse(N int) Perm {
+	n := bitutil.Log2(N)
+	p := make(Perm, N)
+	for i := range p {
+		r := 0
+		for b := 0; b < n; b++ {
+			r |= int(bitutil.Bit(uint64(i), b)) << uint(n-1-b)
+		}
+		p[i] = r
+	}
+	return p
+}
+
+// BitComplement returns the permutation complementing every address bit
+// (sigma(s) = N-1-s), a classic cube-admissible permutation.
+func BitComplement(N int) Perm {
+	p := make(Perm, N)
+	for i := range p {
+		p[i] = N - 1 - i
+	}
+	return p
+}
+
+// Exchange returns the permutation complementing address bit b.
+func Exchange(N, b int) Perm {
+	p := make(Perm, N)
+	for i := range p {
+		p[i] = int(bitutil.FlipBit(uint64(i), b))
+	}
+	return p
+}
+
+// Validate reports whether p is a permutation of 0..N-1.
+func (p Perm) Validate(N int) error {
+	if len(p) != N {
+		return fmt.Errorf("icube: permutation has %d entries, want %d", len(p), N)
+	}
+	seen := make([]bool, N)
+	for s, d := range p {
+		if d < 0 || d >= N {
+			return fmt.Errorf("icube: entry %d -> %d out of range", s, d)
+		}
+		if seen[d] {
+			return fmt.Errorf("icube: destination %d duplicated", d)
+		}
+		seen[d] = true
+	}
+	return nil
+}
+
+// Compose returns the permutation q∘p (apply p first, then q).
+func (p Perm) Compose(q Perm) Perm {
+	out := make(Perm, len(p))
+	for i := range p {
+		out[i] = q[p[i]]
+	}
+	return out
+}
+
+// Route returns the unique ICube destination-tag path from s to d: the
+// stage-i switch examines bit i of d (this is the IADM network with every
+// switch in state C).
+func Route(p topology.Params, s, d int) core.Path {
+	links := make([]topology.Link, p.Stages())
+	j := s
+	for i := 0; i < p.Stages(); i++ {
+		t := int(bitutil.Bit(uint64(d), i))
+		l := core.LinkFor(i, j, t, core.StateC)
+		links[i] = l
+		j = l.To(p)
+	}
+	pa, err := core.NewPath(p, s, links)
+	if err != nil {
+		panic(fmt.Sprintf("icube: route construction failed: %v", err))
+	}
+	return pa
+}
+
+// Conflict records two sources whose ICube paths collide in a switch.
+type Conflict struct {
+	Stage   int
+	Switch  int
+	SourceA int
+	SourceB int
+}
+
+// String renders the conflict.
+func (c Conflict) String() string {
+	return fmt.Sprintf("sources %d and %d collide at %d∈S_%d", c.SourceA, c.SourceB, c.Switch, c.Stage)
+}
+
+// Conflicts routes the whole permutation and returns every switch conflict:
+// pairs of messages that need the same switch at the same stage. An empty
+// result means the permutation is admissible.
+func Conflicts(p topology.Params, perm Perm) []Conflict {
+	var out []Conflict
+	n := p.Stages()
+	for stage := 1; stage <= n; stage++ {
+		occupant := make([]int, p.Size())
+		for i := range occupant {
+			occupant[i] = -1
+		}
+		for s := 0; s < p.Size(); s++ {
+			j := switchOnRoute(p, s, perm[s], stage)
+			if prev := occupant[j]; prev >= 0 {
+				out = append(out, Conflict{Stage: stage, Switch: j, SourceA: prev, SourceB: s})
+			} else {
+				occupant[j] = s
+			}
+		}
+	}
+	return out
+}
+
+// Admissible reports whether the permutation passes the ICube network in a
+// single conflict-free pass.
+func Admissible(p topology.Params, perm Perm) bool {
+	n := p.Stages()
+	for stage := 1; stage <= n; stage++ {
+		var occupied uint64
+		if p.Size() > 64 {
+			return admissibleLarge(p, perm)
+		}
+		for s := 0; s < p.Size(); s++ {
+			j := switchOnRoute(p, s, perm[s], stage)
+			if occupied&(1<<uint(j)) != 0 {
+				return false
+			}
+			occupied |= 1 << uint(j)
+		}
+	}
+	return true
+}
+
+func admissibleLarge(p topology.Params, perm Perm) bool {
+	occupied := make([]bool, p.Size())
+	for stage := 1; stage <= p.Stages(); stage++ {
+		for i := range occupied {
+			occupied[i] = false
+		}
+		for s := 0; s < p.Size(); s++ {
+			j := switchOnRoute(p, s, perm[s], stage)
+			if occupied[j] {
+				return false
+			}
+			occupied[j] = true
+		}
+	}
+	return true
+}
+
+// switchOnRoute returns the switch the (s -> d) ICube path occupies at the
+// given stage (1..n): label d_{0/stage-1} s_{stage/n-1}, the closed form of
+// Lemma 2.1 / Section 4.
+func switchOnRoute(p topology.Params, s, d, stage int) int {
+	return int(bitutil.ReplaceField(uint64(s), 0, stage-1, uint64(d)))
+}
+
+// CountAdmissible enumerates all N! permutations and counts the admissible
+// ones; exponential, intended for N <= 8 sanity experiments. The expected
+// count is N^(N/2) = 2^(n*N/2): one admissible permutation per setting of
+// the N/2 interchange boxes in each of the n stages of the first graph
+// model.
+func CountAdmissible(p topology.Params) int {
+	N := p.Size()
+	perm := make(Perm, N)
+	used := make([]bool, N)
+	count := 0
+	var rec func(i int)
+	rec = func(i int) {
+		if i == N {
+			if Admissible(p, perm) {
+				count++
+			}
+			return
+		}
+		for d := 0; d < N; d++ {
+			if !used[d] {
+				used[d] = true
+				perm[i] = d
+				rec(i + 1)
+				used[d] = false
+			}
+		}
+	}
+	rec(0)
+	return count
+}

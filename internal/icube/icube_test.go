@@ -1,0 +1,186 @@
+package icube
+
+import (
+	"math/rand"
+	"testing"
+
+	"iadm/internal/bitutil"
+	"iadm/internal/core"
+	"iadm/internal/topology"
+)
+
+var p8 = topology.MustParams(8)
+
+func TestPermConstructors(t *testing.T) {
+	for _, perm := range []Perm{Identity(8), Shift(8, 3), BitReverse(8), BitComplement(8), Exchange(8, 1)} {
+		if err := perm.Validate(8); err != nil {
+			t.Errorf("constructor produced invalid permutation: %v", err)
+		}
+	}
+	if BitReverse(8)[1] != 4 || BitReverse(8)[3] != 6 {
+		t.Errorf("BitReverse wrong: %v", BitReverse(8))
+	}
+	if Shift(8, 3)[6] != 1 {
+		t.Errorf("Shift wrong: %v", Shift(8, 3))
+	}
+	if BitComplement(8)[0] != 7 {
+		t.Errorf("BitComplement wrong: %v", BitComplement(8))
+	}
+	if Exchange(8, 1)[0] != 2 || Exchange(8, 1)[3] != 1 {
+		t.Errorf("Exchange wrong: %v", Exchange(8, 1))
+	}
+}
+
+func TestPermValidate(t *testing.T) {
+	if err := (Perm{0, 1}).Validate(3); err == nil {
+		t.Error("short permutation accepted")
+	}
+	if err := (Perm{0, 0, 2}).Validate(3); err == nil {
+		t.Error("duplicate destination accepted")
+	}
+	if err := (Perm{0, 3, 1}).Validate(3); err == nil {
+		t.Error("out-of-range destination accepted")
+	}
+}
+
+func TestCompose(t *testing.T) {
+	s := Shift(8, 1)
+	ss := s.Compose(s)
+	for i := range ss {
+		if ss[i] != (i+2)%8 {
+			t.Fatalf("Compose wrong: %v", ss)
+		}
+	}
+}
+
+func TestRouteMatchesAllCState(t *testing.T) {
+	ns := core.NewNetworkState(p8)
+	for s := 0; s < 8; s++ {
+		for d := 0; d < 8; d++ {
+			a := Route(p8, s, d)
+			b := core.FollowState(p8, s, d, ns)
+			if !a.Equal(b) {
+				t.Fatalf("Route(%d,%d) = %v, all-C state gives %v", s, d, a, b)
+			}
+			if a.Destination() != d {
+				t.Fatalf("Route(%d,%d) ends at %d", s, d, a.Destination())
+			}
+		}
+	}
+}
+
+func TestRouteUsesOnlyICubeLinks(t *testing.T) {
+	cube := topology.MustICube(16)
+	p := topology.MustParams(16)
+	for s := 0; s < 16; s++ {
+		for d := 0; d < 16; d++ {
+			for _, l := range Route(p, s, d).Links {
+				if !cube.Contains(l) {
+					t.Fatalf("Route(%d,%d) used non-ICube link %v", s, d, l)
+				}
+			}
+		}
+	}
+}
+
+func TestSwitchOnRouteClosedForm(t *testing.T) {
+	// The switch at stage k on the (s -> d) path is d_{0/k-1} s_{k/n-1}.
+	p := topology.MustParams(32)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		s, d := rng.Intn(32), rng.Intn(32)
+		pa := Route(p, s, d)
+		for k := 1; k <= p.Stages(); k++ {
+			want := int(bitutil.ReplaceField(uint64(s), 0, k-1, uint64(d)))
+			if got := pa.SwitchAt(k); got != want {
+				t.Fatalf("s=%d d=%d stage %d: switch %d, want %d", s, d, k, got, want)
+			}
+			if got := switchOnRoute(p, s, d, k); got != want {
+				t.Fatalf("switchOnRoute(%d,%d,%d) = %d, want %d", s, d, k, got, want)
+			}
+		}
+	}
+}
+
+func TestIdentityAdmissible(t *testing.T) {
+	for _, N := range []int{4, 8, 16, 128} {
+		p := topology.MustParams(N)
+		if !Admissible(p, Identity(N)) {
+			t.Errorf("N=%d: identity not admissible", N)
+		}
+		if c := Conflicts(p, Identity(N)); len(c) != 0 {
+			t.Errorf("N=%d: identity conflicts: %v", N, c)
+		}
+	}
+}
+
+func TestExchangeAdmissible(t *testing.T) {
+	// Complementing a single address bit is cube-admissible: at each stage
+	// the paths pair up in the interchange boxes without conflict.
+	for _, N := range []int{8, 16} {
+		p := topology.MustParams(N)
+		for b := 0; b < p.Stages(); b++ {
+			if !Admissible(p, Exchange(N, b)) {
+				t.Errorf("N=%d: Exchange(bit %d) not admissible", N, b)
+			}
+		}
+		if !Admissible(p, BitComplement(N)) {
+			t.Errorf("N=%d: BitComplement not admissible", N)
+		}
+	}
+}
+
+func TestConflictsConsistentWithAdmissible(t *testing.T) {
+	p := topology.MustParams(16)
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 300; trial++ {
+		perm := Perm(rng.Perm(16))
+		adm := Admissible(p, perm)
+		conf := Conflicts(p, perm)
+		if adm != (len(conf) == 0) {
+			t.Fatalf("perm %v: Admissible=%v but %d conflicts", perm, adm, len(conf))
+		}
+	}
+}
+
+// TestCountAdmissibleN4 verifies the classic cube-network count: the number
+// of admissible permutations equals the number of distinct interchange-box
+// settings, 2^(n*N/2) = N^(N/2); for N=4 that is 16 of the 24 permutations.
+func TestCountAdmissibleN4(t *testing.T) {
+	p := topology.MustParams(4)
+	if got := CountAdmissible(p); got != 16 {
+		t.Errorf("CountAdmissible(4) = %d, want 16", got)
+	}
+}
+
+func TestAdmissibleLargeNetworkPath(t *testing.T) {
+	// Exercise the >64 fallback path.
+	p := topology.MustParams(128)
+	if !Admissible(p, Identity(128)) {
+		t.Error("identity not admissible at N=128")
+	}
+	// Bit reversal is the textbook inadmissible permutation for
+	// shuffle/cube-type networks at large N.
+	if Admissible(p, BitReverse(128)) {
+		t.Error("bit-reverse unexpectedly admissible at N=128")
+	}
+	if len(Conflicts(p, BitReverse(128))) == 0 {
+		t.Error("Conflicts disagrees with Admissible for bit-reverse")
+	}
+	// A transposition of two addresses sharing low bits collides.
+	perm := Identity(128)
+	perm[0], perm[64] = perm[64], perm[0]
+	_ = perm.Validate(128)
+	got := Admissible(p, perm)
+	want := len(Conflicts(p, perm)) == 0
+	if got != want {
+		t.Errorf("Admissible=%v but conflicts say %v", got, want)
+	}
+}
+
+func TestConflictString(t *testing.T) {
+	c := Conflict{Stage: 1, Switch: 2, SourceA: 0, SourceB: 3}
+	if c.String() != "sources 0 and 3 collide at 2∈S_1" {
+		t.Errorf("Conflict.String = %q", c.String())
+	}
+}

@@ -1,0 +1,34 @@
+package multicast
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"iadm/internal/topology"
+)
+
+func BenchmarkBroadcast(b *testing.B) {
+	for _, N := range []int{8, 256, 4096} {
+		p := topology.MustParams(N)
+		b.Run(fmt.Sprintf("N=%d", N), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Broadcast(p, i%N, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRouteSparseSet(b *testing.B) {
+	p := topology.MustParams(256)
+	rng := rand.New(rand.NewSource(1))
+	dests := rng.Perm(256)[:8]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Route(p, i%256, dests, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

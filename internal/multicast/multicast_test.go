@@ -1,0 +1,224 @@
+package multicast
+
+import (
+	"math/rand"
+	"testing"
+
+	"iadm/internal/core"
+	"iadm/internal/topology"
+)
+
+var p8 = topology.MustParams(8)
+
+func TestRouteSingleDestinationEqualsUnicast(t *testing.T) {
+	for s := 0; s < 8; s++ {
+		for d := 0; d < 8; d++ {
+			tree, err := Route(p8, s, []int{d}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tree.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			got := tree.Destinations()
+			if len(got) != 1 || got[0] != d {
+				t.Fatalf("s=%d d=%d: destinations %v", s, d, got)
+			}
+			if tree.LinkCount() != 3 {
+				t.Fatalf("single-destination tree has %d links, want 3", tree.LinkCount())
+			}
+			// The tree path must equal the unicast all-C path.
+			uni := core.FollowState(p8, s, d, core.NewNetworkState(p8))
+			for i, l := range uni.Links {
+				if tree.Stages[i][0] != l {
+					t.Fatalf("s=%d d=%d: tree link %v differs from unicast %v", s, d, tree.Stages[i][0], l)
+				}
+			}
+		}
+	}
+}
+
+func TestRouteReachesAllDestinations(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for _, N := range []int{8, 16, 64} {
+		p := topology.MustParams(N)
+		for trial := 0; trial < 100; trial++ {
+			s := rng.Intn(N)
+			k := 1 + rng.Intn(N)
+			dests := rng.Perm(N)[:k]
+			tree, err := Route(p, s, dests, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tree.Validate(); err != nil {
+				t.Fatalf("N=%d s=%d dests=%v: %v", N, s, dests, err)
+			}
+			got := tree.Destinations()
+			want := append([]int(nil), dests...)
+			sortInts(want)
+			if len(got) != len(want) {
+				t.Fatalf("N=%d: reached %v, want %v", N, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("N=%d: reached %v, want %v", N, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRouteDeduplicatesDestinations(t *testing.T) {
+	tree, err := Route(p8, 1, []int{3, 3, 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Destinations(); len(got) != 1 || got[0] != 3 {
+		t.Errorf("Destinations = %v", got)
+	}
+}
+
+func TestRouteValidation(t *testing.T) {
+	if _, err := Route(p8, 9, []int{0}, nil); err == nil {
+		t.Error("accepted bad source")
+	}
+	if _, err := Route(p8, 0, nil, nil); err == nil {
+		t.Error("accepted empty destination set")
+	}
+	if _, err := Route(p8, 0, []int{8}, nil); err == nil {
+		t.Error("accepted bad destination")
+	}
+}
+
+func TestTreeSharingBeatsUnicasts(t *testing.T) {
+	// For destination sets sharing prefixes, the tree uses strictly fewer
+	// link traversals than separate unicasts.
+	dests := []int{0, 4} // differ only in the last examined bit
+	tree, err := Route(p8, 5, dests, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.LinkCount() != 4 { // shared at stages 0,1; forked at stage 2
+		t.Errorf("LinkCount = %d, want 4", tree.LinkCount())
+	}
+	if uni := UnicastLinkTotal(p8, 5, dests); uni != 6 || tree.LinkCount() >= uni {
+		t.Errorf("tree %d vs unicast %d", tree.LinkCount(), uni)
+	}
+}
+
+func TestBroadcastTreeShape(t *testing.T) {
+	// A full broadcast forks at every stage: stage i carries
+	// min(2^(i+1), N) links; total for N=8 is 2+4+8 = 14.
+	for _, N := range []int{4, 8, 16} {
+		p := topology.MustParams(N)
+		tree, err := Broadcast(p, 3%N, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tree.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if got := len(tree.Destinations()); got != N {
+			t.Fatalf("N=%d: broadcast reached %d outputs", N, got)
+		}
+		want := 0
+		for i := 0; i < p.Stages(); i++ {
+			w := 2 << uint(i)
+			if w > N {
+				w = N
+			}
+			want += w
+		}
+		if tree.LinkCount() != want {
+			t.Errorf("N=%d: broadcast uses %d links, want %d", N, tree.LinkCount(), want)
+		}
+	}
+}
+
+func TestRouteUnderRandomStates(t *testing.T) {
+	// Theorem 3.1 extends to trees: any network state delivers the
+	// multicast to exactly its destination set.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		ns := core.RandomState(p8, rng)
+		s := rng.Intn(8)
+		dests := rng.Perm(8)[:1+rng.Intn(8)]
+		tree, err := Route(p8, s, dests, ns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tree.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		got := tree.Destinations()
+		want := append([]int(nil), dests...)
+		sortInts(want)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("state-dependent delivery: got %v want %v", got, want)
+			}
+		}
+	}
+}
+
+func TestTreeSwitchFanOutBounded(t *testing.T) {
+	// Each switch forwards on at most two output links (straight + the
+	// state-selected nonstraight): the hardware broadcast states suffice.
+	tree, err := Broadcast(p8, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ls := range tree.Stages {
+		perSwitch := map[int]int{}
+		for _, l := range ls {
+			perSwitch[l.From]++
+			if perSwitch[l.From] > 2 {
+				t.Fatalf("stage %d: switch %d forwards on %d links", i, l.From, perSwitch[l.From])
+			}
+		}
+	}
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for k := i; k > 0 && s[k-1] > s[k]; k-- {
+			s[k-1], s[k] = s[k], s[k-1]
+		}
+	}
+}
+
+func TestTreeParamsAndValidateFailures(t *testing.T) {
+	tree, err := Route(p8, 1, []int{0, 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Params().Size() != 8 {
+		t.Error("Params wrong")
+	}
+	// Structural failure modes.
+	short := tree
+	short.Stages = tree.Stages[:2]
+	if short.Validate() == nil {
+		t.Error("accepted short tree")
+	}
+	wrongStage := Tree{p: tree.p, Source: 1, Stages: [][]topology.Link{
+		{{Stage: 1, From: 1, Kind: topology.Straight}},
+		{{Stage: 1, From: 1, Kind: topology.Straight}},
+		{{Stage: 2, From: 1, Kind: topology.Straight}},
+	}}
+	if wrongStage.Validate() == nil {
+		t.Error("accepted wrong stage slot")
+	}
+	orphan := Tree{p: tree.p, Source: 1, Stages: [][]topology.Link{
+		{{Stage: 0, From: 5, Kind: topology.Straight}},
+		{{Stage: 1, From: 5, Kind: topology.Straight}},
+		{{Stage: 2, From: 5, Kind: topology.Straight}},
+	}}
+	if orphan.Validate() == nil {
+		t.Error("accepted orphan link")
+	}
+	empty := Tree{p: tree.p, Source: 1, Stages: [][]topology.Link{{}, {}, {}}}
+	if empty.Validate() == nil {
+		t.Error("accepted empty stage")
+	}
+}

@@ -1,0 +1,141 @@
+// Package partition implements the partitionability of cube-type networks,
+// one of the "main advantages" Section 1 lists for them (and which the
+// IADM network inherits whenever it operates as one of its cube subgraphs).
+//
+// Disabling stage b of the ICube network — forcing every stage-b switch
+// straight — splits the switches into two independent halves by bit b of
+// their labels: no remaining link crosses between the halves, and each
+// half, with bit b deleted from its labels, is exactly an ICube network of
+// size N/2. Each half can then serve an independent sub-machine.
+package partition
+
+import (
+	"fmt"
+
+	"iadm/internal/bitutil"
+	"iadm/internal/core"
+	"iadm/internal/topology"
+)
+
+// Classes returns the two switch classes induced by disabling stage b:
+// Classes(p, b)[c] lists the switches whose bit b equals c.
+func Classes(p topology.Params, b int) [2][]int {
+	var out [2][]int
+	for j := 0; j < p.Size(); j++ {
+		c := bitutil.Bit(uint64(j), b)
+		out[c] = append(out[c], j)
+	}
+	return out
+}
+
+// Compress deletes bit b from a label: bits below b stay, bits above b
+// shift down one position. It is the label isomorphism between a partition
+// class and the size-N/2 ICube network.
+func Compress(label, b int) int {
+	low := label & ((1 << uint(b)) - 1)
+	high := label >> uint(b+1)
+	return low | high<<uint(b)
+}
+
+// Expand is the inverse of Compress for class c: it reinserts bit b = c.
+func Expand(compressed, b, c int) int {
+	low := compressed & ((1 << uint(b)) - 1)
+	high := compressed >> uint(b)
+	return low | c<<uint(b) | high<<uint(b+1)
+}
+
+// Verify checks the partition property of the size-N ICube network with
+// stage b disabled:
+//
+//  1. isolation: no link of any stage other than b joins switches of
+//     different classes;
+//  2. isomorphism: contracting bit b maps each class's links, stage by
+//     stage (original stage i maps to i for i < b and to i-1 for i > b),
+//     exactly onto the links of the size-N/2 ICube network.
+func Verify(N, b int) error {
+	p, err := topology.NewParams(N)
+	if err != nil {
+		return err
+	}
+	if b < 0 || b >= p.Stages() {
+		return fmt.Errorf("partition: stage %d out of range", b)
+	}
+	if N < 4 {
+		return fmt.Errorf("partition: N=%d too small to partition", N)
+	}
+	cube := topology.MustICube(N)
+	half := topology.MustICube(N / 2)
+
+	// Collect, per class, the compressed links of every stage != b.
+	type edge struct{ stage, from, to int }
+	for c := 0; c < 2; c++ {
+		got := map[edge]bool{}
+		count := 0
+		var iterErr error
+		cube.Links(func(l topology.Link) bool {
+			if l.Stage == b {
+				return true
+			}
+			fromClass := int(bitutil.Bit(uint64(l.From), b))
+			toClass := int(bitutil.Bit(uint64(l.To(p)), b))
+			if fromClass != toClass {
+				iterErr = fmt.Errorf("partition: link %v crosses classes", l)
+				return false
+			}
+			if fromClass != c {
+				return true
+			}
+			stage := l.Stage
+			if stage > b {
+				stage--
+			}
+			got[edge{stage, Compress(l.From, b), Compress(l.To(p), b)}] = true
+			count++
+			return true
+		})
+		if iterErr != nil {
+			return iterErr
+		}
+		// Compare against the size-N/2 ICube link set.
+		want := map[edge]bool{}
+		half.Links(func(l topology.Link) bool {
+			want[edge{l.Stage, l.From, l.To(half.Params)}] = true
+			return true
+		})
+		if count != half.NumLinks() {
+			return fmt.Errorf("partition: class %d has %d links, want %d", c, count, half.NumLinks())
+		}
+		for e := range got {
+			if !want[e] {
+				return fmt.Errorf("partition: class %d link %+v not an ICube(N/2) link", c, e)
+			}
+		}
+		for e := range want {
+			if !got[e] {
+				return fmt.Errorf("partition: class %d missing ICube(N/2) link %+v", c, e)
+			}
+		}
+	}
+	return nil
+}
+
+// RouteWithin routes s to d in the partitioned network (stage b forced
+// straight, all other switches in state C). It fails if s and d are in
+// different classes — the partition makes them unreachable by design.
+func RouteWithin(p topology.Params, b, s, d int) (core.Path, error) {
+	if bitutil.Bit(uint64(s), b) != bitutil.Bit(uint64(d), b) {
+		return core.Path{}, fmt.Errorf("partition: %d and %d are in different classes of the bit-%d partition", s, d, b)
+	}
+	links := make([]topology.Link, p.Stages())
+	j := s
+	for i := 0; i < p.Stages(); i++ {
+		t := int(bitutil.Bit(uint64(d), i))
+		if i == b {
+			t = int(bitutil.Bit(uint64(j), i)) // forced straight
+		}
+		l := core.LinkFor(i, j, t, core.StateC)
+		links[i] = l
+		j = l.To(p)
+	}
+	return core.NewPath(p, s, links)
+}

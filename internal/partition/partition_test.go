@@ -1,0 +1,97 @@
+package partition
+
+import (
+	"testing"
+
+	"iadm/internal/bitutil"
+	"iadm/internal/topology"
+)
+
+func TestCompressExpandRoundTrip(t *testing.T) {
+	for b := 0; b < 4; b++ {
+		for label := 0; label < 32; label++ {
+			c := int(bitutil.Bit(uint64(label), b))
+			compressed := Compress(label, b)
+			if got := Expand(compressed, b, c); got != label {
+				t.Fatalf("b=%d label=%d: Expand(Compress) = %d", b, label, got)
+			}
+		}
+	}
+	// Spot values: deleting bit 1 of 0b110 (6) gives 0b10 (2)... bits:
+	// low = 0, high = 0b11 -> 0b110? No: high = 6>>2 = 1, low = 6&1 = 0,
+	// result = 0 | 1<<1 = 2.
+	if Compress(6, 1) != 2 {
+		t.Errorf("Compress(6,1) = %d, want 2", Compress(6, 1))
+	}
+	if Expand(2, 1, 1) != 6 {
+		t.Errorf("Expand(2,1,1) = %d, want 6", Expand(2, 1, 1))
+	}
+}
+
+func TestClasses(t *testing.T) {
+	p := topology.MustParams(8)
+	cl := Classes(p, 1)
+	want0 := []int{0, 1, 4, 5}
+	want1 := []int{2, 3, 6, 7}
+	for i := range want0 {
+		if cl[0][i] != want0[i] || cl[1][i] != want1[i] {
+			t.Fatalf("Classes = %v", cl)
+		}
+	}
+}
+
+// TestVerifyAllStages: the partition property holds for every choice of
+// disabled stage at several sizes.
+func TestVerifyAllStages(t *testing.T) {
+	for _, N := range []int{4, 8, 16, 32} {
+		p := topology.MustParams(N)
+		for b := 0; b < p.Stages(); b++ {
+			if err := Verify(N, b); err != nil {
+				t.Errorf("N=%d b=%d: %v", N, b, err)
+			}
+		}
+	}
+}
+
+func TestVerifyValidation(t *testing.T) {
+	if err := Verify(6, 0); err == nil {
+		t.Error("accepted non-power-of-two")
+	}
+	if err := Verify(8, 3); err == nil {
+		t.Error("accepted out-of-range stage")
+	}
+	if err := Verify(2, 0); err == nil {
+		t.Error("accepted unpartitionable N=2")
+	}
+}
+
+func TestRouteWithin(t *testing.T) {
+	p := topology.MustParams(16)
+	for b := 0; b < 4; b++ {
+		for s := 0; s < 16; s++ {
+			for d := 0; d < 16; d++ {
+				pa, err := RouteWithin(p, b, s, d)
+				sameClass := bitutil.Bit(uint64(s), b) == bitutil.Bit(uint64(d), b)
+				if sameClass != (err == nil) {
+					t.Fatalf("b=%d s=%d d=%d: err=%v, sameClass=%v", b, s, d, err, sameClass)
+				}
+				if err != nil {
+					continue
+				}
+				if pa.Destination() != d {
+					t.Fatalf("b=%d s=%d d=%d: delivered to %d", b, s, d, pa.Destination())
+				}
+				// The path never leaves the class.
+				for i := 0; i <= p.Stages(); i++ {
+					if bitutil.Bit(uint64(pa.SwitchAt(i)), b) != bitutil.Bit(uint64(s), b) {
+						t.Fatalf("b=%d s=%d d=%d: path leaves its class at stage %d", b, s, d, i)
+					}
+				}
+				// Stage b is straight.
+				if pa.Links[b].Kind != topology.Straight {
+					t.Fatalf("b=%d: stage-%d link %v not straight", b, b, pa.Links[b])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package paths
+
+import (
+	"fmt"
+	"testing"
+
+	"iadm/internal/blockage"
+	"iadm/internal/topology"
+)
+
+func BenchmarkExists(b *testing.B) {
+	for _, N := range []int{8, 256, 4096} {
+		p := topology.MustParams(N)
+		blk := blockage.NewSet(p)
+		blk.RandomLinks(newRand(1), 16)
+		b.Run(fmt.Sprintf("N=%d", N), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Exists(p, i%N, (i*7)%N, blk)
+			}
+		})
+	}
+}
+
+func BenchmarkFind(b *testing.B) {
+	p := topology.MustParams(256)
+	blk := blockage.NewSet(p)
+	blk.RandomLinks(newRand(2), 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Find(p, i%256, (i*7)%256, blk)
+	}
+}
+
+func BenchmarkPivots(b *testing.B) {
+	for _, N := range []int{8, 1024} {
+		p := topology.MustParams(N)
+		b.Run(fmt.Sprintf("N=%d", N), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Pivots(p, i%N, (i*3)%N)
+			}
+		})
+	}
+}
+
+func BenchmarkCountPaths(b *testing.B) {
+	p := topology.MustParams(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CountPaths(p, i%4096, (i*7)%4096)
+	}
+}
+
+func BenchmarkEnumerateWorstCase(b *testing.B) {
+	// Distance with representation choices at every stage.
+	p := topology.MustParams(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := Enumerate(p, 1, 0); len(got) == 0 {
+			b.Fatal("no paths")
+		}
+	}
+}

@@ -1,0 +1,234 @@
+// Package paths provides the path theory of the IADM network: enumeration
+// of all routing paths between a source/destination pair, the pivot
+// structure of Lemma A2.1, and an exact oracle that decides whether a
+// blockage-free path exists (used as ground truth against which the paper's
+// universal REROUTE algorithm is verified).
+//
+// The key structural fact (Lemma A2.1) is that for a given (s, d) pair
+// every stage holds at most two switches that lie on any routing path
+// ("pivots"): exactly one up to the stage k̂ of the first possible
+// nonstraight link, exactly two afterwards, and the two differ by 2^k.
+// Consequently reachability with blocked links can be decided by a
+// frontier walk that carries at most two switches per stage — an O(n)
+// exact decision procedure.
+package paths
+
+import (
+	"fmt"
+
+	"iadm/internal/bitutil"
+	"iadm/internal/blockage"
+	"iadm/internal/core"
+	"iadm/internal/topology"
+)
+
+// NextLinks returns the participating output links of switch j at stage i
+// on routes to destination d: the straight link alone when bit i of j
+// already equals d_i, or the two oppositely signed nonstraight links
+// (the state-C link first) otherwise. This is Theorem 3.2 in link form:
+// the participating output links of a switch are its straight link or both
+// of its nonstraight links, never all three.
+func NextLinks(p topology.Params, i, j, d int) []topology.Link {
+	t := int(bitutil.Bit(uint64(d), i))
+	cLink := core.LinkFor(i, j, t, core.StateC)
+	if !cLink.Kind.Nonstraight() {
+		return []topology.Link{cLink}
+	}
+	return []topology.Link{cLink, core.LinkFor(i, j, t, core.StateCBar)}
+}
+
+// Enumerate returns every routing path from s to d, as link sequences; the
+// two parallel links of stage n-1 yield distinct paths. The number of paths
+// is exponential in the number of divergent stages, so this is intended for
+// small networks (figures, exhaustive tests); use CountPaths for counting
+// and Exists/Find for reachability.
+func Enumerate(p topology.Params, s, d int) []core.Path {
+	var out []core.Path
+	links := make([]topology.Link, p.Stages())
+	var dfs func(i, j int)
+	dfs = func(i, j int) {
+		if i == p.Stages() {
+			pa, err := core.NewPath(p, s, append([]topology.Link(nil), links...))
+			if err != nil {
+				panic(fmt.Sprintf("paths: enumerated invalid path: %v", err))
+			}
+			out = append(out, pa)
+			return
+		}
+		for _, l := range NextLinks(p, i, j, d) {
+			links[i] = l
+			dfs(i+1, l.To(p))
+		}
+	}
+	dfs(0, s)
+	return out
+}
+
+// CountPaths returns the number of distinct link-paths and switch-paths
+// from s to d. Link-paths distinguish the parallel +-2^{n-1} links of the
+// last stage; switch-paths identify paths visiting the same switches.
+// Computed by dynamic programming over the (at most two) pivots per stage.
+func CountPaths(p topology.Params, s, d int) (linkPaths, switchPaths int) {
+	type cnt struct{ links, switches int }
+	cur := map[int]cnt{s: {1, 1}}
+	for i := 0; i < p.Stages(); i++ {
+		next := make(map[int]cnt, 2)
+		for j, c := range cur {
+			seen := make(map[int]bool, 2)
+			for _, l := range NextLinks(p, i, j, d) {
+				to := l.To(p)
+				acc := next[to]
+				acc.links += c.links
+				if !seen[to] {
+					acc.switches += c.switches
+					seen[to] = true
+				}
+				next[to] = acc
+			}
+		}
+		cur = next
+	}
+	c := cur[d]
+	return c.links, c.switches
+}
+
+// Pivots returns, for each stage 0..n, the sorted set of switches that lie
+// on at least one routing path from s to d (Lemma A2.1's pivots). The
+// result has exactly one switch per stage up to the first divergence and
+// exactly two afterwards (for s != d).
+func Pivots(p topology.Params, s, d int) [][]int {
+	out := make([][]int, p.Stages()+1)
+	cur := []int{s}
+	out[0] = []int{s}
+	for i := 0; i < p.Stages(); i++ {
+		var next []int
+		for _, j := range cur {
+			for _, l := range NextLinks(p, i, j, d) {
+				to := l.To(p)
+				if !contains(next, to) {
+					next = append(next, to)
+				}
+			}
+		}
+		sortInts(next)
+		out[i+1] = next
+		cur = next
+	}
+	return out
+}
+
+// FirstDivergence returns k̂, the smallest stage at which a routing path
+// from s to d can use a nonstraight link: the index of the lowest bit where
+// s and d differ. For s == d it returns (0, false): every stage is forced
+// straight and the path is unique.
+func FirstDivergence(p topology.Params, s, d int) (int, bool) {
+	x := uint64(s ^ d)
+	if x == 0 {
+		return 0, false
+	}
+	for i := 0; ; i++ {
+		if bitutil.Bit(x, i) == 1 {
+			return i, true
+		}
+	}
+}
+
+// Exists reports whether a blockage-free routing path from s to d exists
+// under blk. It is exact: the frontier of reachable pivots per stage has at
+// most two members (Lemma A2.1), so a full frontier walk costs O(n). This
+// is the ground-truth oracle for algorithm REROUTE.
+func Exists(p topology.Params, s, d int, blk *blockage.Set) bool {
+	cur := []int{s}
+	for i := 0; i < p.Stages(); i++ {
+		var next []int
+		for _, j := range cur {
+			for _, l := range NextLinks(p, i, j, d) {
+				if blk.Blocked(l) {
+					continue
+				}
+				to := l.To(p)
+				if !contains(next, to) {
+					next = append(next, to)
+				}
+			}
+		}
+		if len(next) == 0 {
+			return false
+		}
+		cur = next
+	}
+	return contains(cur, d)
+}
+
+// Find returns a blockage-free routing path from s to d if one exists,
+// using the same frontier walk as Exists with parent links.
+func Find(p topology.Params, s, d int, blk *blockage.Set) (core.Path, bool) {
+	type node struct {
+		via  topology.Link
+		prev int // index into previous frontier
+	}
+	frontiers := make([][]int, p.Stages()+1)
+	parents := make([][]node, p.Stages()+1)
+	frontiers[0] = []int{s}
+	parents[0] = []node{{}}
+	for i := 0; i < p.Stages(); i++ {
+		var next []int
+		var par []node
+		for fi, j := range frontiers[i] {
+			for _, l := range NextLinks(p, i, j, d) {
+				if blk.Blocked(l) {
+					continue
+				}
+				to := l.To(p)
+				if !contains(next, to) {
+					next = append(next, to)
+					par = append(par, node{via: l, prev: fi})
+				}
+			}
+		}
+		if len(next) == 0 {
+			return core.Path{}, false
+		}
+		frontiers[i+1] = next
+		parents[i+1] = par
+	}
+	// Walk back from d.
+	at := -1
+	for fi, j := range frontiers[p.Stages()] {
+		if j == d {
+			at = fi
+			break
+		}
+	}
+	if at < 0 {
+		return core.Path{}, false
+	}
+	links := make([]topology.Link, p.Stages())
+	for i := p.Stages(); i > 0; i-- {
+		nd := parents[i][at]
+		links[i-1] = nd.via
+		at = nd.prev
+	}
+	pa, err := core.NewPath(p, s, links)
+	if err != nil {
+		panic(fmt.Sprintf("paths: Find constructed invalid path: %v", err))
+	}
+	return pa, true
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for k := i; k > 0 && s[k-1] > s[k]; k-- {
+			s[k-1], s[k] = s[k], s[k-1]
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package paths
+
+import (
+	"testing"
+
+	"iadm/internal/blockage"
+	"iadm/internal/core"
+	"iadm/internal/topology"
+)
+
+var p8 = topology.MustParams(8)
+
+// TestFigure7Enumeration reproduces Figure 7: all routing paths from 1∈S_0
+// to 0∈S_3 in an N=8 IADM network. There are 3 distinct switch sequences
+// (1,0,0,0), (1,2,0,0), (1,2,4,0) and 4 link-paths (the last uses either of
+// the parallel +-4 links).
+func TestFigure7Enumeration(t *testing.T) {
+	paths := Enumerate(p8, 1, 0)
+	if len(paths) != 4 {
+		t.Fatalf("enumerated %d link-paths, want 4: %v", len(paths), paths)
+	}
+	want := map[string]int{
+		"1∈S_0 → 0∈S_1 → 0∈S_2 → 0∈S_3": 1,
+		"1∈S_0 → 2∈S_1 → 0∈S_2 → 0∈S_3": 1,
+		"1∈S_0 → 2∈S_1 → 4∈S_2 → 0∈S_3": 2, // parallel ±4 links
+	}
+	got := map[string]int{}
+	for _, pa := range paths {
+		got[pa.String()]++
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("path %q enumerated %d times, want %d (all: %v)", k, got[k], v, got)
+		}
+	}
+	links, switches := CountPaths(p8, 1, 0)
+	if links != 4 || switches != 3 {
+		t.Errorf("CountPaths = (%d, %d), want (4, 3)", links, switches)
+	}
+}
+
+func TestEnumerateUniquePathForEqualEndpoints(t *testing.T) {
+	for s := 0; s < 8; s++ {
+		paths := Enumerate(p8, s, s)
+		if len(paths) != 1 {
+			t.Fatalf("s=d=%d: %d paths, want 1", s, len(paths))
+		}
+		for _, l := range paths[0].Links {
+			if l.Kind != topology.Straight {
+				t.Errorf("s=d=%d: nonstraight link %v on unique path", s, l)
+			}
+		}
+	}
+}
+
+func TestEnumerateMatchesCount(t *testing.T) {
+	for _, N := range []int{4, 8, 16} {
+		p := topology.MustParams(N)
+		for s := 0; s < N; s++ {
+			for d := 0; d < N; d++ {
+				paths := Enumerate(p, s, d)
+				links, switches := CountPaths(p, s, d)
+				if len(paths) != links {
+					t.Fatalf("N=%d s=%d d=%d: enumerated %d, counted %d", N, s, d, len(paths), links)
+				}
+				seen := map[string]bool{}
+				for _, pa := range paths {
+					if pa.Destination() != d {
+						t.Fatalf("N=%d s=%d d=%d: path to %d", N, s, d, pa.Destination())
+					}
+					if err := pa.Validate(); err != nil {
+						t.Fatal(err)
+					}
+					seen[pa.String()] = true
+				}
+				if len(seen) != switches {
+					t.Fatalf("N=%d s=%d d=%d: %d switch-paths, counted %d", N, s, d, len(seen), switches)
+				}
+			}
+		}
+	}
+}
+
+// TestLemmaA21Pivots verifies Lemma A2.1: exactly one pivot per stage up to
+// k̂ (the first divergence), exactly two pivots at stages k̂+1..n-1, and
+// the two pivots of a stage k” differ by 2^k” mod N.
+func TestLemmaA21Pivots(t *testing.T) {
+	for _, N := range []int{4, 8, 16, 32} {
+		p := topology.MustParams(N)
+		for s := 0; s < N; s++ {
+			for d := 0; d < N; d++ {
+				piv := Pivots(p, s, d)
+				khat, diverges := FirstDivergence(p, s, d)
+				for i := 0; i <= p.Stages(); i++ {
+					want := 2
+					if !diverges || i <= khat || i == p.Stages() {
+						want = 1
+					}
+					if len(piv[i]) != want {
+						t.Fatalf("N=%d s=%d d=%d stage %d: %d pivots %v, want %d",
+							N, s, d, i, len(piv[i]), piv[i], want)
+					}
+					if len(piv[i]) == 2 {
+						diff := p.Mod(piv[i][1] - piv[i][0])
+						if diff != 1<<uint(i) && diff != p.Size()-1<<uint(i) {
+							t.Fatalf("N=%d s=%d d=%d stage %d: pivots %v not 2^%d apart",
+								N, s, d, i, piv[i], i)
+						}
+					}
+				}
+				// The single pivot at stages k' <= k̂ is d_{0/k'-1}s_{k'/n-1};
+				// with s and d agreeing below k̂ this is just s.
+				if piv[0][0] != s {
+					t.Fatalf("stage-0 pivot %v, want %d", piv[0], s)
+				}
+			}
+		}
+	}
+}
+
+func TestFirstDivergence(t *testing.T) {
+	cases := []struct {
+		s, d  int
+		want  int
+		someD bool
+	}{
+		{1, 0, 0, true},
+		{0, 4, 2, true},
+		{5, 5, 0, false},
+		{2, 6, 2, true},
+		{7, 6, 0, true},
+	}
+	for _, c := range cases {
+		got, ok := FirstDivergence(p8, c.s, c.d)
+		if ok != c.someD || (ok && got != c.want) {
+			t.Errorf("FirstDivergence(%d,%d) = (%d,%v), want (%d,%v)", c.s, c.d, got, ok, c.want, c.someD)
+		}
+	}
+}
+
+func TestNextLinksParticipation(t *testing.T) {
+	// Theorem 3.2 in link form: participating out-links are the straight
+	// link alone or both nonstraight links.
+	p := topology.MustParams(16)
+	for i := 0; i < p.Stages(); i++ {
+		for j := 0; j < 16; j++ {
+			for d := 0; d < 16; d++ {
+				ls := NextLinks(p, i, j, d)
+				switch len(ls) {
+				case 1:
+					if ls[0].Kind != topology.Straight {
+						t.Fatalf("single participating link %v not straight", ls[0])
+					}
+				case 2:
+					if !ls[0].Kind.Nonstraight() || !ls[1].Kind.Nonstraight() || ls[0].Kind == ls[1].Kind {
+						t.Fatalf("pair %v not opposite nonstraight", ls)
+					}
+				default:
+					t.Fatalf("NextLinks returned %d links", len(ls))
+				}
+			}
+		}
+	}
+}
+
+func TestExistsAndFindClearNetwork(t *testing.T) {
+	blk := blockage.NewSet(p8)
+	for s := 0; s < 8; s++ {
+		for d := 0; d < 8; d++ {
+			if !Exists(p8, s, d, blk) {
+				t.Fatalf("Exists(%d,%d) = false on clear network", s, d)
+			}
+			pa, ok := Find(p8, s, d, blk)
+			if !ok || pa.Destination() != d || pa.Source != s {
+				t.Fatalf("Find(%d,%d) failed", s, d)
+			}
+		}
+	}
+}
+
+func TestExistsAgainstEnumeration(t *testing.T) {
+	// Ground-truth the fast frontier oracle against brute-force
+	// enumeration under random blockage sets.
+	p := topology.MustParams(8)
+	m := topology.MustIADM(8)
+	var allLinks []topology.Link
+	m.Links(func(l topology.Link) bool { allLinks = append(allLinks, l); return true })
+
+	rng := newRand(12345)
+	for trial := 0; trial < 400; trial++ {
+		blk := blockage.NewSet(p)
+		nblk := rng.Intn(10)
+		blk.RandomLinks(rng, nblk)
+		s, d := rng.Intn(8), rng.Intn(8)
+		want := false
+		for _, pa := range Enumerate(p, s, d) {
+			if _, hit := pa.FirstBlocked(blk); !hit {
+				want = true
+				break
+			}
+		}
+		if got := Exists(p, s, d, blk); got != want {
+			t.Fatalf("trial %d (s=%d d=%d blk=%v): Exists = %v, enumeration says %v",
+				trial, s, d, blk, got, want)
+		}
+		pa, ok := Find(p, s, d, blk)
+		if ok != want {
+			t.Fatalf("Find disagrees with Exists")
+		}
+		if ok {
+			if _, hit := pa.FirstBlocked(blk); hit {
+				t.Fatalf("Find returned blocked path")
+			}
+			if pa.Destination() != d {
+				t.Fatalf("Find returned path to %d, want %d", pa.Destination(), d)
+			}
+		}
+	}
+}
+
+func TestFindUsesParallelLink(t *testing.T) {
+	// Block the Minus parallel link at the last stage; Find must take Plus.
+	blk := blockage.NewSet(p8)
+	blk.Block(topology.Link{Stage: 2, From: 4, Kind: topology.Minus})
+	pa, ok := Find(p8, 4, 0, blk)
+	if !ok {
+		t.Fatal("no path found")
+	}
+	if pa.Links[2].Kind != topology.Plus {
+		t.Errorf("expected Plus parallel link, got %v", pa.Links[2])
+	}
+	_ = core.Path(pa) // type identity documentation
+}

@@ -1,0 +1,108 @@
+package paths
+
+import (
+	"testing"
+	"testing/quick"
+
+	"iadm/internal/blockage"
+	"iadm/internal/core"
+	"iadm/internal/topology"
+)
+
+// Property: the pivot frontier never exceeds two switches (Lemma A2.1),
+// even at large N.
+func TestQuickPivotBound(t *testing.T) {
+	p := topology.MustParams(1 << 10)
+	f := func(sv, dv uint16) bool {
+		s := int(sv) & (p.Size() - 1)
+		d := int(dv) & (p.Size() - 1)
+		for _, set := range Pivots(p, s, d) {
+			if len(set) < 1 || len(set) > 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: blocking more links never creates reachability (monotonicity
+// of Exists).
+func TestQuickExistsMonotone(t *testing.T) {
+	p := topology.MustParams(32)
+	rng := newRand(31)
+	f := func(sv, dv, n1, n2 uint8) bool {
+		s, d := int(sv)&31, int(dv)&31
+		blk := blockage.NewSet(p)
+		blk.RandomLinks(rng, int(n1)%40)
+		before := Exists(p, s, d, blk)
+		blk.RandomLinks(rng, 1+int(n2)%10)
+		after := Exists(p, s, d, blk)
+		return before || !after
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every enumerated path stays within the pivot sets.
+func TestQuickPathsWithinPivots(t *testing.T) {
+	p := topology.MustParams(16)
+	f := func(sv, dv uint8) bool {
+		s, d := int(sv)&15, int(dv)&15
+		piv := Pivots(p, s, d)
+		for _, pa := range Enumerate(p, s, d) {
+			for i := 0; i <= p.Stages(); i++ {
+				if !contains(piv[i], pa.SwitchAt(i)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 256}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: link-path count >= switch-path count >= 1, and they differ only
+// via the last-stage parallel links.
+func TestQuickCountRelations(t *testing.T) {
+	p := topology.MustParams(64)
+	f := func(sv, dv uint8) bool {
+		s, d := int(sv)&63, int(dv)&63
+		links, switches := CountPaths(p, s, d)
+		if switches < 1 || links < switches {
+			return false
+		}
+		// Parallel divergence only doubles the final hop of paths whose
+		// last link is nonstraight: links <= 2 * switches.
+		return links <= 2*switches
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRerouteOracleLargerN pushes the REROUTE-vs-oracle agreement to
+// N = 64 and 128.
+func TestRerouteOracleLargerN(t *testing.T) {
+	for _, N := range []int{64, 128} {
+		p := topology.MustParams(N)
+		rng := newRand(int64(N))
+		for trial := 0; trial < 60; trial++ {
+			blk := blockage.NewSet(p)
+			blk.RandomLinks(rng, rng.Intn(3*N/2))
+			for rep := 0; rep < 4; rep++ {
+				s, d := rng.Intn(N), rng.Intn(N)
+				want := Exists(p, s, d, blk)
+				_, _, err := core.Reroute(p, blk, s, core.MustTag(p, d))
+				if (err == nil) != want {
+					t.Fatalf("N=%d s=%d d=%d: REROUTE=%v oracle=%v", N, s, d, err == nil, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package paths
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"iadm/internal/blockage"
+	"iadm/internal/core"
+	"iadm/internal/topology"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// checkRerouteAgainstOracle runs REROUTE for one (s, d, blockages) instance
+// and cross-checks it against the exact Exists oracle: the paper claims
+// REROUTE "finds a blockage-free path for any combination of multiple
+// blockages if there exists such a path, and indicates absence of such a
+// path if there exists none".
+func checkRerouteAgainstOracle(t *testing.T, p topology.Params, blk *blockage.Set, s, d int) {
+	t.Helper()
+	want := Exists(p, s, d, blk)
+	tag, path, err := core.Reroute(p, blk, s, core.MustTag(p, d))
+	if err != nil {
+		if !errors.Is(err, core.ErrNoPath) {
+			t.Fatalf("s=%d d=%d blk=%v: unexpected error %v", s, d, blk, err)
+		}
+		if want {
+			pa, _ := Find(p, s, d, blk)
+			t.Fatalf("s=%d d=%d blk=%v: REROUTE returned FAIL but path %v exists", s, d, blk, pa)
+		}
+		return
+	}
+	if !want {
+		t.Fatalf("s=%d d=%d blk=%v: REROUTE returned path %v but oracle says none exists", s, d, blk, path)
+	}
+	if stage, hit := path.FirstBlocked(blk); hit {
+		t.Fatalf("s=%d d=%d: REROUTE path %v blocked at stage %d", s, d, path, stage)
+	}
+	if path.Destination() != d || path.Source != s {
+		t.Fatalf("s=%d d=%d: REROUTE path %v has wrong endpoints", s, d, path)
+	}
+	if got := tag.Follow(p, s); !got.Equal(path) {
+		t.Fatalf("s=%d d=%d: returned tag does not reproduce returned path", s, d)
+	}
+	if err := path.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRerouteUniversalityExhaustiveSmall exhaustively verifies REROUTE
+// against the oracle for N=4: every (s, d) pair against every 0-, 1- and
+// 2-link blockage set (325 sets x 16 pairs = 5200 instances).
+func TestRerouteUniversalityExhaustiveSmall(t *testing.T) {
+	p := topology.MustParams(4)
+	m := topology.MustIADM(4)
+	var all []topology.Link
+	m.Links(func(l topology.Link) bool { all = append(all, l); return true })
+
+	runAll := func(blk *blockage.Set) {
+		for s := 0; s < 4; s++ {
+			for d := 0; d < 4; d++ {
+				checkRerouteAgainstOracle(t, p, blk, s, d)
+			}
+		}
+	}
+
+	runAll(blockage.NewSet(p))
+	for a := 0; a < len(all); a++ {
+		blk := blockage.NewSet(p)
+		blk.Block(all[a])
+		runAll(blk)
+		for b := a + 1; b < len(all); b++ {
+			blk2 := blk.Clone()
+			blk2.Block(all[b])
+			runAll(blk2)
+		}
+	}
+}
+
+// TestRerouteUniversalityExhaustiveTriples verifies all 3-link blockage
+// sets for N=4 (2300 sets x 16 pairs).
+func TestRerouteUniversalityExhaustiveTriples(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive triples skipped in -short mode")
+	}
+	p := topology.MustParams(4)
+	m := topology.MustIADM(4)
+	var all []topology.Link
+	m.Links(func(l topology.Link) bool { all = append(all, l); return true })
+	for a := 0; a < len(all); a++ {
+		for b := a + 1; b < len(all); b++ {
+			for c := b + 1; c < len(all); c++ {
+				blk := blockage.NewSet(p)
+				blk.Block(all[a])
+				blk.Block(all[b])
+				blk.Block(all[c])
+				for s := 0; s < 4; s++ {
+					for d := 0; d < 4; d++ {
+						checkRerouteAgainstOracle(t, p, blk, s, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRerouteUniversalityRandom sweeps random multi-blockage scenarios over
+// N in {8, 16, 32} and blockage counts up to a third of the network.
+func TestRerouteUniversalityRandom(t *testing.T) {
+	trials := 300
+	if testing.Short() {
+		trials = 60
+	}
+	for _, N := range []int{8, 16, 32} {
+		p := topology.MustParams(N)
+		rng := newRand(int64(1000 + N))
+		maxBlk := p.Size() * p.Stages() // a third of all links
+		for trial := 0; trial < trials; trial++ {
+			blk := blockage.NewSet(p)
+			blk.RandomLinks(rng, rng.Intn(maxBlk))
+			for rep := 0; rep < 8; rep++ {
+				s, d := rng.Intn(N), rng.Intn(N)
+				checkRerouteAgainstOracle(t, p, blk, s, d)
+			}
+		}
+	}
+}
+
+// TestRerouteUniversalityHeavyBlockage stresses near-saturated networks
+// where FAIL is the common outcome.
+func TestRerouteUniversalityHeavyBlockage(t *testing.T) {
+	p := topology.MustParams(16)
+	rng := newRand(777)
+	total := 3 * 16 * 4
+	for trial := 0; trial < 200; trial++ {
+		blk := blockage.NewSet(p)
+		blk.RandomLinks(rng, total/2+rng.Intn(total/2))
+		for rep := 0; rep < 8; rep++ {
+			checkRerouteAgainstOracle(t, p, blk, rng.Intn(16), rng.Intn(16))
+		}
+	}
+}
+
+// TestRerouteNonstraightOnlyBlockages mirrors the SSDT fault model: with
+// only nonstraight links blocked, a path always survives unless a switch
+// loses both nonstraight links right where it needs one.
+func TestRerouteNonstraightOnlyBlockages(t *testing.T) {
+	p := topology.MustParams(16)
+	rng := newRand(4242)
+	for trial := 0; trial < 300; trial++ {
+		blk := blockage.NewSet(p)
+		blk.RandomNonstraight(rng, rng.Intn(24))
+		for rep := 0; rep < 6; rep++ {
+			checkRerouteAgainstOracle(t, p, blk, rng.Intn(16), rng.Intn(16))
+		}
+	}
+}
+
+// TestRerouteUniversalityExhaustiveN8 verifies REROUTE against the oracle
+// for N=8 over every single-link blockage (72 sets) and every 2-link
+// blockage set (2556 sets), each against all 64 (s, d) pairs — about 168k
+// instances.
+func TestRerouteUniversalityExhaustiveN8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive N=8 sweep skipped in -short mode")
+	}
+	p := topology.MustParams(8)
+	m := topology.MustIADM(8)
+	var all []topology.Link
+	m.Links(func(l topology.Link) bool { all = append(all, l); return true })
+	for a := 0; a < len(all); a++ {
+		blk := blockage.NewSet(p)
+		blk.Block(all[a])
+		for s := 0; s < 8; s++ {
+			for d := 0; d < 8; d++ {
+				checkRerouteAgainstOracle(t, p, blk, s, d)
+			}
+		}
+		for b := a + 1; b < len(all); b++ {
+			blk2 := blk.Clone()
+			blk2.Block(all[b])
+			for s := 0; s < 8; s++ {
+				for d := 0; d < 8; d++ {
+					checkRerouteAgainstOracle(t, p, blk2, s, d)
+				}
+			}
+		}
+	}
+}
+
+// TestRerouteWithSwitchBlockages mixes the paper's switch-blockage
+// transformation with random link blockages and checks REROUTE against
+// the oracle.
+func TestRerouteWithSwitchBlockages(t *testing.T) {
+	for _, N := range []int{16, 64} {
+		p := topology.MustParams(N)
+		rng := newRand(int64(1900 + N))
+		for trial := 0; trial < 150; trial++ {
+			blk := blockage.NewSet(p)
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				sw := topology.Switch{Stage: 1 + rng.Intn(p.Stages()-1), Index: rng.Intn(N)}
+				if err := blk.BlockSwitch(sw); err != nil {
+					t.Fatal(err)
+				}
+			}
+			blk.RandomLinks(rng, rng.Intn(N/2))
+			for rep := 0; rep < 6; rep++ {
+				checkRerouteAgainstOracle(t, p, blk, rng.Intn(N), rng.Intn(N))
+			}
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package permroute
+
+import (
+	"fmt"
+
+	"iadm/internal/core"
+	"iadm/internal/icube"
+	"iadm/internal/topology"
+)
+
+// MultiPass partitions an arbitrary permutation into rounds, each of which
+// passes the IADM network conflict-free under the given network state
+// (nil means all-C). This is the store-and-forward complement to Section
+// 6: permutations outside the cube-admissible set — which every
+// single-pass scheme must reject — are still realizable by time-sharing
+// the network over a few passes.
+//
+// The partition is greedy: each round admits the lowest-numbered pending
+// sources whose paths stay switch-disjoint with the round so far. Greedy
+// is not optimal in general, but it terminates (every round admits at
+// least one message) and small: the experiment harness measures the pass
+// distribution.
+func MultiPass(p topology.Params, perm icube.Perm, ns *core.NetworkState) ([][]int, error) {
+	if err := perm.Validate(p.Size()); err != nil {
+		return nil, err
+	}
+	if ns == nil {
+		ns = core.NewNetworkState(p)
+	}
+	paths := make([]core.Path, p.Size())
+	for s := 0; s < p.Size(); s++ {
+		paths[s] = core.FollowState(p, s, perm[s], ns)
+	}
+	pending := make([]int, p.Size())
+	for s := range pending {
+		pending[s] = s
+	}
+	var rounds [][]int
+	occupied := make([]bool, (p.Stages()+1)*p.Size())
+	for len(pending) > 0 {
+		for i := range occupied {
+			occupied[i] = false
+		}
+		var round, rest []int
+		for _, s := range pending {
+			conflict := false
+			for stage := 1; stage <= p.Stages(); stage++ {
+				if occupied[stage*p.Size()+paths[s].SwitchAt(stage)] {
+					conflict = true
+					break
+				}
+			}
+			if conflict {
+				rest = append(rest, s)
+				continue
+			}
+			for stage := 1; stage <= p.Stages(); stage++ {
+				occupied[stage*p.Size()+paths[s].SwitchAt(stage)] = true
+			}
+			round = append(round, s)
+		}
+		if len(round) == 0 {
+			return nil, fmt.Errorf("permroute: multipass made no progress (internal error)")
+		}
+		rounds = append(rounds, round)
+		pending = rest
+	}
+	return rounds, nil
+}
+
+// Passes returns the number of rounds MultiPass needs for the permutation.
+func PassCount(p topology.Params, perm icube.Perm, ns *core.NetworkState) (int, error) {
+	rounds, err := MultiPass(p, perm, ns)
+	if err != nil {
+		return 0, err
+	}
+	return len(rounds), nil
+}

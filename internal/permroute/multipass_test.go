@@ -1,0 +1,115 @@
+package permroute
+
+import (
+	"math/rand"
+	"testing"
+
+	"iadm/internal/core"
+	"iadm/internal/icube"
+	"iadm/internal/topology"
+)
+
+func TestMultiPassAdmissibleIsOnePass(t *testing.T) {
+	rng := rand.New(rand.NewSource(2300))
+	checked := 0
+	for trial := 0; trial < 400 && checked < 30; trial++ {
+		perm := icube.Perm(rng.Perm(8))
+		if !icube.Admissible(p8, perm) {
+			continue
+		}
+		checked++
+		rounds, err := MultiPass(p8, perm, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rounds) != 1 {
+			t.Fatalf("admissible perm %v needed %d passes", perm, len(rounds))
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no admissible permutations sampled")
+	}
+}
+
+func TestMultiPassCoversEverySourceOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2301))
+	for trial := 0; trial < 200; trial++ {
+		perm := icube.Perm(rng.Perm(16))
+		p16 := topology.MustParams(16)
+		rounds, err := MultiPass(p16, perm, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make([]bool, 16)
+		for _, round := range rounds {
+			// Each round must itself be conflict-free.
+			occupied := map[[2]int]bool{}
+			for _, s := range round {
+				if seen[s] {
+					t.Fatalf("source %d scheduled twice", s)
+				}
+				seen[s] = true
+				path := core.FollowState(p16, s, perm[s], core.NewNetworkState(p16))
+				for stage := 1; stage <= p16.Stages(); stage++ {
+					key := [2]int{stage, path.SwitchAt(stage)}
+					if occupied[key] {
+						t.Fatalf("round %v conflicts at stage %d switch %d", round, stage, path.SwitchAt(stage))
+					}
+					occupied[key] = true
+				}
+			}
+		}
+		for s, ok := range seen {
+			if !ok {
+				t.Fatalf("source %d never scheduled", s)
+			}
+		}
+	}
+}
+
+func TestMultiPassBitReverse(t *testing.T) {
+	// The classically inadmissible bit-reversal completes in a small
+	// number of passes.
+	rounds, err := MultiPass(p8, icube.BitReverse(8), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) < 2 {
+		t.Fatalf("bit reverse should need >1 pass, got %d", len(rounds))
+	}
+	if len(rounds) > 4 {
+		t.Errorf("bit reverse needed %d passes (expected <= 4 at N=8)", len(rounds))
+	}
+}
+
+func TestMultiPassInvalidPerm(t *testing.T) {
+	if _, err := MultiPass(p8, icube.Perm{0, 0, 1, 2, 3, 4, 5, 6}, nil); err == nil {
+		t.Error("accepted invalid permutation")
+	}
+}
+
+func TestPassCountDistributionN8(t *testing.T) {
+	// Every permutation of N=8 should complete within a handful of passes.
+	rng := rand.New(rand.NewSource(2302))
+	maxPasses := 0
+	for trial := 0; trial < 500; trial++ {
+		perm := icube.Perm(rng.Perm(8))
+		n, err := PassCount(p8, perm, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n > maxPasses {
+			maxPasses = n
+		}
+	}
+	if maxPasses > 6 {
+		t.Errorf("greedy multipass needed %d passes at N=8", maxPasses)
+	}
+	t.Logf("max passes over 500 random permutations at N=8: %d", maxPasses)
+}
+
+func TestPassCountInvalidPerm(t *testing.T) {
+	if _, err := PassCount(p8, icube.Perm{0}, nil); err == nil {
+		t.Error("accepted invalid permutation")
+	}
+}

@@ -1,0 +1,151 @@
+// Package permroute implements permutation routing on the IADM network
+// (Section 6 of the paper): passing a full permutation in one conflict-free
+// pass by operating the network as one of its cube subgraphs, and
+// reconfiguring to a different cube subgraph when nonstraight links fail.
+package permroute
+
+import (
+	"fmt"
+
+	"iadm/internal/blockage"
+	"iadm/internal/core"
+	"iadm/internal/icube"
+	"iadm/internal/subgraph"
+	"iadm/internal/topology"
+)
+
+// Conflict records two sources whose paths collide in a switch when a
+// permutation is routed under a given network state.
+type Conflict struct {
+	Stage   int
+	Switch  int
+	SourceA int
+	SourceB int
+}
+
+// String renders the conflict.
+func (c Conflict) String() string {
+	return fmt.Sprintf("sources %d and %d collide at %d∈S_%d", c.SourceA, c.SourceB, c.Switch, c.Stage)
+}
+
+// RoutePermutation routes every (s, perm[s]) pair through the IADM network
+// under the given network state (plain n-bit destination tags, Theorem 3.1)
+// and reports the paths plus any switch conflicts. Since each IADM switch
+// connects only one of its input links to its outputs, a permutation
+// passes in one conflict-free pass iff no two paths share a switch at any
+// stage.
+func RoutePermutation(p topology.Params, perm icube.Perm, ns *core.NetworkState) ([]core.Path, []Conflict) {
+	paths := make([]core.Path, p.Size())
+	var conflicts []Conflict
+	for s := 0; s < p.Size(); s++ {
+		paths[s] = core.FollowState(p, s, perm[s], ns)
+	}
+	for stage := 1; stage <= p.Stages(); stage++ {
+		occupant := make([]int, p.Size())
+		for i := range occupant {
+			occupant[i] = -1
+		}
+		for s := 0; s < p.Size(); s++ {
+			j := paths[s].SwitchAt(stage)
+			if prev := occupant[j]; prev >= 0 {
+				conflicts = append(conflicts, Conflict{Stage: stage, Switch: j, SourceA: prev, SourceB: s})
+			} else {
+				occupant[j] = s
+			}
+		}
+	}
+	return paths, conflicts
+}
+
+// Passes reports whether the permutation routes conflict-free under ns.
+func Passes(p topology.Params, perm icube.Perm, ns *core.NetworkState) bool {
+	_, conflicts := RoutePermutation(p, perm, ns)
+	return len(conflicts) == 0
+}
+
+// PassesShifted implements the Section 6 observation: the IADM network can
+// perform every ICube-admissible permutation, plus "the same set of
+// permutations with a given x added to both the source and destination
+// labels". Under the relabeling-x cube state, the physical permutation
+// performable is sigma_x(s) = perm(s + x) - x taken over logical labels;
+// equivalently, a physical permutation pi passes under relabeling x iff
+// the logical permutation s' -> pi(s' - x) + x is ICube-admissible.
+func PassesShifted(p topology.Params, perm icube.Perm, x int) bool {
+	logical := make(icube.Perm, p.Size())
+	for ls := 0; ls < p.Size(); ls++ {
+		s := p.Mod(ls - x)
+		logical[ls] = p.Mod(perm[s] + x)
+	}
+	return icube.Admissible(p, logical)
+}
+
+// ReconfigureResult describes a successful fault-avoiding reconfiguration.
+type ReconfigureResult struct {
+	X        int                // relabeling used
+	LastMask uint64             // last-stage parallel-link choices
+	State    *core.NetworkState // the reconfigured network state
+}
+
+// ReconfigureAndRoute finds a cube subgraph avoiding all faults (Section 6:
+// possible for nonstraight link faults) and routes the permutation through
+// it. The permutation must be admissible on the chosen cube subgraph —
+// i.e. its logical version must be ICube-admissible. It returns an error
+// if no fault-free cube subgraph exists or if the permutation conflicts on
+// every fault-free subgraph found.
+func ReconfigureAndRoute(p topology.Params, perm icube.Perm, faults *blockage.Set) (ReconfigureResult, []core.Path, error) {
+	if err := perm.Validate(p.Size()); err != nil {
+		return ReconfigureResult{}, nil, err
+	}
+	for _, l := range faults.Links() {
+		if l.Kind == topology.Straight {
+			return ReconfigureResult{}, nil, fmt.Errorf("permroute: straight link fault %v: no cube subgraph avoids it", l)
+		}
+	}
+	var firstErr error
+	for x := 0; x < p.Size(); x++ {
+		// Build the relabeling-x state and patch last-stage faults with the
+		// parallel spare links.
+		scoped := faults.Clone()
+		xx, mask, ns, ok := findWithFixedX(p, scoped, x)
+		if !ok {
+			continue
+		}
+		paths, conflicts := RoutePermutation(p, perm, ns)
+		if len(conflicts) == 0 {
+			return ReconfigureResult{X: xx, LastMask: mask, State: ns}, paths, nil
+		}
+		if firstErr == nil {
+			firstErr = fmt.Errorf("permroute: permutation conflicts under relabeling x=%d: %v", xx, conflicts[0])
+		}
+	}
+	if firstErr != nil {
+		return ReconfigureResult{}, nil, firstErr
+	}
+	return ReconfigureResult{}, nil, fmt.Errorf("permroute: every cube subgraph of the family intersects the faults")
+}
+
+// findWithFixedX is subgraph.FindFaultFreeCubeState restricted to a single
+// relabeling x.
+func findWithFixedX(p topology.Params, blk *blockage.Set, x int) (int, uint64, *core.NetworkState, bool) {
+	cand := subgraph.RelabeledState(p, x)
+	last := p.Stages() - 1
+	var mask uint64
+	for i := 0; i < p.Stages(); i++ {
+		for j := 0; j < p.Size(); j++ {
+			l := subgraph.ActiveNonstraight(i, j, cand.Get(i, j))
+			if !blk.Blocked(l) {
+				continue
+			}
+			if i != last {
+				return 0, 0, nil, false
+			}
+			alt := topology.Link{Stage: i, From: j, Kind: l.Kind.Opposite()}
+			if blk.Blocked(alt) {
+				return 0, 0, nil, false
+			}
+			cand.Flip(i, j)
+			mask |= 1 << uint(j)
+		}
+	}
+	return x, mask, cand, true
+}

@@ -1,0 +1,177 @@
+package permroute
+
+import (
+	"math/rand"
+	"testing"
+
+	"iadm/internal/blockage"
+	"iadm/internal/core"
+	"iadm/internal/icube"
+	"iadm/internal/subgraph"
+	"iadm/internal/topology"
+)
+
+var p8 = topology.MustParams(8)
+
+func TestRoutePermutationIdentity(t *testing.T) {
+	ns := core.NewNetworkState(p8)
+	paths, conflicts := RoutePermutation(p8, icube.Identity(8), ns)
+	if len(conflicts) != 0 {
+		t.Fatalf("identity conflicts: %v", conflicts)
+	}
+	for s, pa := range paths {
+		if pa.Destination() != s {
+			t.Fatalf("source %d delivered to %d", s, pa.Destination())
+		}
+	}
+}
+
+func TestPassesMatchesICubeAdmissible(t *testing.T) {
+	// Under the all-C state, an arbitrary permutation passes the IADM
+	// network iff it is ICube-admissible.
+	ns := core.NewNetworkState(p8)
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 300; trial++ {
+		perm := icube.Perm(rng.Perm(8))
+		if got, want := Passes(p8, perm, ns), icube.Admissible(p8, perm); got != want {
+			t.Fatalf("perm %v: Passes=%v, Admissible=%v", perm, got, want)
+		}
+	}
+}
+
+// TestRelabeledStateRoutesLikeShiftedICube verifies the Section 6
+// correspondence: routing with physical destination tags under the
+// relabeling-x state passes a permutation iff the logically shifted
+// permutation is ICube-admissible.
+func TestRelabeledStateRoutesLikeShiftedICube(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	for _, N := range []int{8, 16} {
+		p := topology.MustParams(N)
+		for trial := 0; trial < 150; trial++ {
+			perm := icube.Perm(rng.Perm(N))
+			x := rng.Intn(N)
+			ns := subgraph.RelabeledState(p, x)
+			if got, want := Passes(p, perm, ns), PassesShifted(p, perm, x); got != want {
+				t.Fatalf("N=%d x=%d perm %v: Passes=%v, PassesShifted=%v", N, x, perm, got, want)
+			}
+		}
+	}
+}
+
+// TestShiftedAdmissiblePermutationsPass: the paper's claim that the IADM
+// network can perform the ICube-admissible permutations "with a given x
+// added to both the source and destination labels". If perm is admissible,
+// then pi(s) = perm(s - x) + x passes under relabeling x.
+func TestShiftedAdmissiblePermutationsPass(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		// Build an admissible permutation from random interchange-box
+		// settings: route all sources with a random network state made of
+		// per-stage... simplest: compose exchanges, which stay admissible
+		// only in special cases. Instead sample random permutations and
+		// keep the admissible ones.
+		perm := icube.Perm(rng.Perm(8))
+		if !icube.Admissible(p8, perm) {
+			continue
+		}
+		x := rng.Intn(8)
+		// The shift-conjugated permutation pi(t) = perm(t - x) + x.
+		shifted := make(icube.Perm, 8)
+		for ls := 0; ls < 8; ls++ {
+			s := p8.Mod(ls - x)
+			shifted[ls] = p8.Mod(perm[s] + x)
+		}
+		// Conjugations compose: relabeling by N-x undoes the shift, so the
+		// logical permutation seen by the cube subgraph is perm itself.
+		ns := subgraph.RelabeledState(p8, p8.Mod(-x))
+		if !Passes(p8, shifted, ns) {
+			t.Fatalf("admissible perm %v shifted by %d does not pass under relabeling %d", perm, x, p8.Mod(-x))
+		}
+	}
+}
+
+func TestReconfigureAndRouteCleanNetwork(t *testing.T) {
+	faults := blockage.NewSet(p8)
+	res, paths, err := ReconfigureAndRoute(p8, icube.Identity(8), faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.X != 0 {
+		t.Errorf("clean network should use x=0, got %d", res.X)
+	}
+	for s, pa := range paths {
+		if pa.Destination() != s {
+			t.Fatalf("source %d delivered to %d", s, pa.Destination())
+		}
+	}
+}
+
+func TestReconfigureAndRouteAvoidsFault(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 100; trial++ {
+		faults := blockage.NewSet(p8)
+		faults.RandomNonstraight(rng, 1)
+		perm := icube.Shift(8, rng.Intn(8))
+		res, paths, err := ReconfigureAndRoute(p8, perm, faults)
+		if err != nil {
+			t.Fatalf("fault %v perm %v: %v", faults, perm, err)
+		}
+		for s, pa := range paths {
+			if pa.Destination() != perm[s] {
+				t.Fatalf("source %d delivered to %d, want %d", s, pa.Destination(), perm[s])
+			}
+			for _, l := range pa.Links {
+				if faults.Blocked(l) {
+					t.Fatalf("x=%d: path of source %d uses faulty link %v", res.X, s, l)
+				}
+			}
+		}
+	}
+}
+
+func TestReconfigureAndRouteStraightFaultFails(t *testing.T) {
+	faults := blockage.NewSet(p8)
+	faults.Block(topology.Link{Stage: 0, From: 0, Kind: topology.Straight})
+	if _, _, err := ReconfigureAndRoute(p8, icube.Identity(8), faults); err == nil {
+		t.Error("straight fault accepted")
+	}
+}
+
+func TestReconfigureAndRouteInvalidPerm(t *testing.T) {
+	faults := blockage.NewSet(p8)
+	if _, _, err := ReconfigureAndRoute(p8, icube.Perm{0, 0, 1, 2, 3, 4, 5, 6}, faults); err == nil {
+		t.Error("invalid permutation accepted")
+	}
+}
+
+func TestShiftPermutationsAlwaysPassSomeRelabeling(t *testing.T) {
+	// Uniform shifts sigma_x are exactly the image of the identity under
+	// relabeling; they must pass under the corresponding cube state.
+	for x := 0; x < 8; x++ {
+		perm := icube.Shift(8, x)
+		passed := false
+		for rx := 0; rx < 8 && !passed; rx++ {
+			passed = Passes(p8, perm, subgraph.RelabeledState(p8, rx))
+		}
+		if !passed {
+			t.Errorf("shift by %d passes under no relabeling", x)
+		}
+	}
+}
+
+func TestConflictString(t *testing.T) {
+	c := Conflict{Stage: 2, Switch: 5, SourceA: 1, SourceB: 4}
+	if c.String() != "sources 1 and 4 collide at 5∈S_2" {
+		t.Errorf("Conflict.String = %q", c.String())
+	}
+}
+
+func TestReconfigureAndRouteConflictingPerm(t *testing.T) {
+	// Bit reverse passes no relabeling (E16); with a fault present the
+	// reconfigure-and-route call must report the conflict, not crash.
+	faults := blockage.NewSet(p8)
+	faults.Block(topology.Link{Stage: 0, From: 0, Kind: topology.Plus})
+	if _, _, err := ReconfigureAndRoute(p8, icube.BitReverse(8), faults); err == nil {
+		t.Error("inadmissible permutation accepted")
+	}
+}

@@ -1,0 +1,99 @@
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"iadm/internal/core"
+	"iadm/internal/paths"
+	"iadm/internal/topology"
+)
+
+// PathGrid draws a path on an N x (n+1) grid — rows are switch indices,
+// columns are stages — marking the visited switches and annotating each
+// hop's link kind underneath. The shape of Figure 7 in character form:
+//
+//	       S_0   S_1   S_2   S_3
+//	  0:    ·     ·     ·     ●
+//	  1:    ●     ·     ·     ·
+//	  2:    ·     ●     ·     ·
+//	  4:    ·     ·     ●     ·
+//	hops:     +2^0  +2^1  -2^2
+func PathGrid(pa core.Path) string {
+	p := pa.Params()
+	n := p.Stages()
+	visited := make(map[[2]int]bool, n+1)
+	rows := map[int]bool{}
+	for i := 0; i <= n; i++ {
+		visited[[2]int{pa.SwitchAt(i), i}] = true
+		rows[pa.SwitchAt(i)] = true
+	}
+	var sb strings.Builder
+	sb.WriteString("      ")
+	for i := 0; i <= n; i++ {
+		fmt.Fprintf(&sb, " S_%-3d", i)
+	}
+	sb.WriteByte('\n')
+	for r := 0; r < p.Size(); r++ {
+		if !rows[r] {
+			continue
+		}
+		fmt.Fprintf(&sb, "%4d: ", r)
+		for i := 0; i <= n; i++ {
+			if visited[[2]int{r, i}] {
+				sb.WriteString("  ●   ")
+			} else {
+				sb.WriteString("  ·   ")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("hops: ")
+	for _, l := range pa.Links {
+		kind := " str "
+		switch l.Kind {
+		case topology.Minus:
+			kind = fmt.Sprintf("-2^%d ", l.Stage)
+		case topology.Plus:
+			kind = fmt.Sprintf("+2^%d ", l.Stage)
+		}
+		fmt.Fprintf(&sb, "  %s", kind)
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+// PivotGrid draws all pivots (switches on any routing path) for a pair,
+// the Figure 7 overview: every row that hosts a pivot at some stage.
+func PivotGrid(p topology.Params, s, d int) string {
+	piv := paths.Pivots(p, s, d)
+	rows := map[int]bool{}
+	at := make(map[[2]int]bool)
+	for i, set := range piv {
+		for _, j := range set {
+			rows[j] = true
+			at[[2]int{j, i}] = true
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "pivot grid for %d → %d (N=%d):\n      ", s, d, p.Size())
+	for i := 0; i <= p.Stages(); i++ {
+		fmt.Fprintf(&sb, " S_%-3d", i)
+	}
+	sb.WriteByte('\n')
+	for r := 0; r < p.Size(); r++ {
+		if !rows[r] {
+			continue
+		}
+		fmt.Fprintf(&sb, "%4d: ", r)
+		for i := 0; i <= p.Stages(); i++ {
+			if at[[2]int{r, i}] {
+				sb.WriteString("  ●   ")
+			} else {
+				sb.WriteString("  ·   ")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

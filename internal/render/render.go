@@ -1,0 +1,130 @@
+// Package render produces plain-text renderings of the networks, paths and
+// subgraphs studied in the paper — the textual equivalents of Figures 1-3,
+// 7 and 8 — for the experiment harness and the CLI.
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"iadm/internal/core"
+	"iadm/internal/paths"
+	"iadm/internal/subgraph"
+	"iadm/internal/topology"
+)
+
+// IADMTable renders the IADM network as a per-stage adjacency table with
+// even_i/odd_i annotations (the content of Figure 2).
+func IADMTable(N int) string {
+	m := topology.MustIADM(N)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "IADM network, N=%d, %d stages (+ output column S_%d)\n", N, m.Stages(), m.Stages())
+	for i := 0; i < m.Stages(); i++ {
+		fmt.Fprintf(&sb, "stage %d:\n", i)
+		for j := 0; j < N; j++ {
+			parity := "even"
+			if core.IsOdd(i, j) {
+				parity = "odd "
+			}
+			out := m.OutLinks(i, j)
+			fmt.Fprintf(&sb, "  switch %2d (%s_%d): -2^%d→%-2d  straight→%-2d  +2^%d→%-2d\n",
+				j, parity, i, i, out[0].To(m.Params), out[1].To(m.Params), i, out[2].To(m.Params))
+		}
+	}
+	return sb.String()
+}
+
+// ICubeTable renders the ICube network (second graph model, the subgraph of
+// the IADM network; Figure 3).
+func ICubeTable(N int) string {
+	c := topology.MustICube(N)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "ICube network, N=%d, %d stages (+ output column S_%d)\n", N, c.Stages(), c.Stages())
+	for i := 0; i < c.Stages(); i++ {
+		fmt.Fprintf(&sb, "stage %d:\n", i)
+		for j := 0; j < N; j++ {
+			out := c.OutLinks(i, j)
+			fmt.Fprintf(&sb, "  switch %2d: straight→%-2d  %s→%-2d\n",
+				j, out[0].To(c.Params), out[1].Kind, out[1].To(c.Params))
+		}
+	}
+	return sb.String()
+}
+
+// PathLine renders one path with its link kinds, e.g.
+// "1∈S_0 -(-2^0)→ 0∈S_1 -(straight)→ 0∈S_2 -(straight)→ 0∈S_3".
+func PathLine(pa core.Path) string {
+	var sb strings.Builder
+	for i, l := range pa.Links {
+		if i == 0 {
+			fmt.Fprintf(&sb, "%d∈S_0", pa.Source)
+		}
+		fmt.Fprintf(&sb, " -(%s)→ %d∈S_%d", l.Kind, l.To(pa.Params()), i+1)
+	}
+	return sb.String()
+}
+
+// AllPathsFigure regenerates the content of Figure 7: every routing path
+// between a source and a destination, one line each, followed by the pivot
+// grid (the switches on at least one routing path, per stage).
+func AllPathsFigure(p topology.Params, s, d int) string {
+	var sb strings.Builder
+	list := paths.Enumerate(p, s, d)
+	fmt.Fprintf(&sb, "all routing paths from %d to %d (N=%d): %d link-paths\n", s, d, p.Size(), len(list))
+	for _, pa := range list {
+		fmt.Fprintf(&sb, "  %s\n", PathLine(pa))
+	}
+	piv := paths.Pivots(p, s, d)
+	sb.WriteString("pivots per stage:")
+	for i, set := range piv {
+		fmt.Fprintf(&sb, "  S_%d=%v", i, set)
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+// SubgraphTable renders a network state's active links per stage — the
+// content of Figure 8 when applied to a relabeled cube state. Each cell
+// shows the sign of the active nonstraight link of that switch.
+func SubgraphTable(ns *core.NetworkState) string {
+	p := ns.Params()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "active nonstraight links (every straight link is always active):\n")
+	sb.WriteString("switch:")
+	for j := 0; j < p.Size(); j++ {
+		fmt.Fprintf(&sb, " %2d", j)
+	}
+	sb.WriteByte('\n')
+	for i := 0; i < p.Stages(); i++ {
+		fmt.Fprintf(&sb, "stage %d:", i)
+		for j := 0; j < p.Size(); j++ {
+			l := subgraph.ActiveNonstraight(i, j, ns.Get(i, j))
+			if l.Kind == topology.Plus {
+				sb.WriteString("  +")
+			} else {
+				sb.WriteString("  -")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TagTrace renders a TSDT routing trace: for each stage, the switch, its
+// parity, the tag bit pair and the link taken.
+func TagTrace(p topology.Params, s int, tag core.Tag) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "TSDT tag %s from source %d (destination %d):\n", tag, s, tag.Destination())
+	j := s
+	for i := 0; i < p.Stages(); i++ {
+		l := tag.LinkAt(i, j)
+		parity := "even"
+		if core.IsOdd(i, j) {
+			parity = "odd "
+		}
+		fmt.Fprintf(&sb, "  stage %d: switch %2d (%s_%d) b_%d b_%d = %d%d → %s → %d\n",
+			i, j, parity, i, i, p.Stages()+i, tag.DestBit(i), tag.StateBit(i), l.Kind, l.To(p))
+		j = l.To(p)
+	}
+	return sb.String()
+}

@@ -1,0 +1,157 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"iadm/internal/core"
+	"iadm/internal/subgraph"
+	"iadm/internal/topology"
+)
+
+var p8 = topology.MustParams(8)
+
+func TestIADMTable(t *testing.T) {
+	s := IADMTable(8)
+	for _, want := range []string{
+		"IADM network, N=8, 3 stages (+ output column S_3)",
+		"stage 0:",
+		"stage 2:",
+		"switch  1 (odd _0)",
+		"switch  0 (even_0)",
+		"-2^0→7",  // switch 0 stage 0 wraps to 7
+		"+2^2→0 ", // switch 4 stage 2 wraps to 0
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("IADMTable missing %q\n%s", want, s)
+		}
+	}
+}
+
+func TestICubeTable(t *testing.T) {
+	s := ICubeTable(8)
+	for _, want := range []string{
+		"ICube network, N=8",
+		"stage 1:",
+		"+2^i→2", // switch 0 stage 1
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("ICubeTable missing %q\n%s", want, s)
+		}
+	}
+	// ICube rows have exactly two links.
+	if strings.Contains(s, "-2^0→7") && strings.Contains(s, "+2^0→1") &&
+		strings.Count(s, "switch  0:") != 3 {
+		t.Errorf("unexpected ICube rows:\n%s", s)
+	}
+}
+
+func TestPathLine(t *testing.T) {
+	tag := core.MustTag(p8, 0)
+	line := PathLine(tag.Follow(p8, 1))
+	want := "1∈S_0 -(-2^i)→ 0∈S_1 -(straight)→ 0∈S_2 -(straight)→ 0∈S_3"
+	if line != want {
+		t.Errorf("PathLine = %q, want %q", line, want)
+	}
+}
+
+func TestAllPathsFigure(t *testing.T) {
+	s := AllPathsFigure(p8, 1, 0)
+	for _, want := range []string{
+		"all routing paths from 1 to 0 (N=8): 4 link-paths",
+		"1∈S_0 -(-2^i)→ 0∈S_1",
+		"1∈S_0 -(+2^i)→ 2∈S_1",
+		"pivots per stage:",
+		"S_1=[0 2]",
+		"S_2=[0 4]",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("AllPathsFigure missing %q\n%s", want, s)
+		}
+	}
+}
+
+func TestSubgraphTable(t *testing.T) {
+	// Under the all-C state: even_i switches show +, odd_i show -.
+	s := SubgraphTable(core.NewNetworkState(p8))
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("SubgraphTable has %d lines:\n%s", len(lines), s)
+	}
+	if !strings.Contains(lines[2], "stage 0:  +  -  +  -  +  -  +  -") {
+		t.Errorf("stage 0 row wrong: %q", lines[2])
+	}
+	if !strings.Contains(lines[4], "stage 2:  +  +  +  +  -  -  -  -") {
+		t.Errorf("stage 2 row wrong: %q", lines[4])
+	}
+	// Figure 8's relabeled state renders differently.
+	r := SubgraphTable(subgraph.RelabeledState(p8, 1))
+	if r == s {
+		t.Error("relabeled subgraph table identical to all-C table")
+	}
+}
+
+func TestTagTrace(t *testing.T) {
+	tag, err := core.ParseTag(3, "000110")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := TagTrace(p8, 1, tag)
+	for _, want := range []string{
+		"TSDT tag 000110 from source 1 (destination 0):",
+		"stage 0: switch  1 (odd _0) b_0 b_3 = 01 → +2^i → 2",
+		"stage 1: switch  2 (odd _1) b_1 b_4 = 01 → +2^i → 4",
+		"stage 2: switch  4 (odd _2) b_2 b_5 = 00 → -2^i → 0",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("TagTrace missing %q\n%s", want, s)
+		}
+	}
+}
+
+func TestPathGrid(t *testing.T) {
+	tag, err := core.ParseTag(3, "000110")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := PathGrid(tag.Follow(p8, 1))
+	for _, want := range []string{
+		"S_0", "S_3",
+		"   1:   ●     ·     ·     ·",
+		"   2:   ·     ●     ·     ·",
+		"   4:   ·     ·     ●     ·",
+		"   0:   ·     ·     ·     ●",
+		"hops:   +2^0   +2^1   -2^2",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("PathGrid missing %q\n%s", want, s)
+		}
+	}
+	// Rows not on the path are omitted entirely.
+	if strings.Contains(s, "   3:") || strings.Contains(s, "   7:") {
+		t.Errorf("PathGrid shows unused rows:\n%s", s)
+	}
+}
+
+func TestPathGridStraightHops(t *testing.T) {
+	tag := core.MustTag(p8, 5)
+	s := PathGrid(tag.Follow(p8, 5))
+	if !strings.Contains(s, "str") {
+		t.Errorf("PathGrid missing straight hop label:\n%s", s)
+	}
+}
+
+func TestPivotGrid(t *testing.T) {
+	s := PivotGrid(p8, 1, 0)
+	for _, want := range []string{
+		"pivot grid for 1 → 0 (N=8):",
+		"   0:   ·     ●     ●     ●",
+		"   1:   ●     ·     ·     ·",
+		"   2:   ·     ●     ·     ·",
+		"   4:   ·     ·     ●     ·",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("PivotGrid missing %q\n%s", want, s)
+		}
+	}
+}

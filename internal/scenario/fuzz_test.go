@@ -1,0 +1,28 @@
+package scenario
+
+import "testing"
+
+// FuzzParse: arbitrary scenario text must parse cleanly or be rejected
+// with an error — never panic — and accepted scenarios must round-trip
+// through Format.
+func FuzzParse(f *testing.F) {
+	f.Add("n 8\nlink 0 1 -\n")
+	f.Add("n 8\nswitch 1 3\n")
+	f.Add("# only a comment\n")
+	f.Add("n 8\nlink 0 1 -\nlink 0 1 -\n")
+	f.Add("n 2\nlink 0 0 +\n")
+	f.Add("garbage everywhere")
+	f.Fuzz(func(t *testing.T, body string) {
+		s, err := ParseString(body)
+		if err != nil {
+			return
+		}
+		re, err := ParseString(s.String())
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\n%s", err, s.String())
+		}
+		if re.Blocked.Count() != s.Blocked.Count() {
+			t.Fatalf("round trip changed blockage count %d -> %d", s.Blocked.Count(), re.Blocked.Count())
+		}
+	})
+}

@@ -1,0 +1,161 @@
+// Package scenario defines a small text format for describing fault
+// scenarios — a network size plus a set of blocked links and switches — so
+// that experiments are reproducible from files and the command line.
+//
+// Format (one directive per line; '#' starts a comment):
+//
+//	n 8                 # network size (must come first)
+//	link 0 1 -          # stage 0, switch 1, -2^i link
+//	link 1 2 0          # stage 1, switch 2, straight link
+//	link 2 4 +          # stage 2, switch 4, +2^i link
+//	switch 1 3          # switch 3 of stage 1 (blocks its input links)
+//
+// Link kinds are written -, 0, + exactly as in the iadmsim CLI.
+package scenario
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"iadm/internal/blockage"
+	"iadm/internal/topology"
+)
+
+// Scenario is a parsed fault scenario.
+type Scenario struct {
+	Params   topology.Params
+	Blocked  *blockage.Set
+	Switches []topology.Switch // switch blockages, already expanded into Blocked
+}
+
+// Parse reads a scenario from r.
+func Parse(r io.Reader) (*Scenario, error) {
+	sc := bufio.NewScanner(r)
+	var out *Scenario
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "n":
+			if out != nil {
+				return nil, fmt.Errorf("scenario: line %d: duplicate size directive", lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("scenario: line %d: usage: n <size>", lineNo)
+			}
+			N, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("scenario: line %d: bad size %q", lineNo, fields[1])
+			}
+			p, err := topology.NewParams(N)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: line %d: %v", lineNo, err)
+			}
+			out = &Scenario{Params: p, Blocked: blockage.NewSet(p)}
+		case "link":
+			if out == nil {
+				return nil, fmt.Errorf("scenario: line %d: size directive must come first", lineNo)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("scenario: line %d: usage: link <stage> <switch> <kind>", lineNo)
+			}
+			l, err := parseLink(out.Params, fields[1], fields[2], fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("scenario: line %d: %v", lineNo, err)
+			}
+			out.Blocked.Block(l)
+		case "switch":
+			if out == nil {
+				return nil, fmt.Errorf("scenario: line %d: size directive must come first", lineNo)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("scenario: line %d: usage: switch <stage> <index>", lineNo)
+			}
+			stage, err1 := strconv.Atoi(fields[1])
+			index, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("scenario: line %d: bad switch coordinates", lineNo)
+			}
+			sw := topology.Switch{Stage: stage, Index: index}
+			if err := out.Blocked.BlockSwitch(sw); err != nil {
+				return nil, fmt.Errorf("scenario: line %d: %v", lineNo, err)
+			}
+			out.Switches = append(out.Switches, sw)
+		default:
+			return nil, fmt.Errorf("scenario: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("scenario: %v", err)
+	}
+	if out == nil {
+		return nil, fmt.Errorf("scenario: missing size directive")
+	}
+	return out, nil
+}
+
+// ParseString parses a scenario held in a string.
+func ParseString(s string) (*Scenario, error) { return Parse(strings.NewReader(s)) }
+
+// Format writes the scenario in the text format; parsing the output
+// reproduces the same blocked-link set. Switch blockages are emitted as
+// their expanded links (the transformation is not inverted).
+func (s *Scenario) Format(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "n %d\n", s.Params.Size()); err != nil {
+		return err
+	}
+	for _, l := range s.Blocked.Links() {
+		kind := "0"
+		switch l.Kind {
+		case topology.Minus:
+			kind = "-"
+		case topology.Plus:
+			kind = "+"
+		}
+		if _, err := fmt.Fprintf(w, "link %d %d %s\n", l.Stage, l.From, kind); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the scenario in the text format.
+func (s *Scenario) String() string {
+	var sb strings.Builder
+	_ = s.Format(&sb)
+	return sb.String()
+}
+
+func parseLink(p topology.Params, stageS, fromS, kindS string) (topology.Link, error) {
+	stage, err := strconv.Atoi(stageS)
+	if err != nil || !p.ValidStage(stage) {
+		return topology.Link{}, fmt.Errorf("bad stage %q", stageS)
+	}
+	from, err := strconv.Atoi(fromS)
+	if err != nil || !p.ValidSwitch(from) {
+		return topology.Link{}, fmt.Errorf("bad switch %q", fromS)
+	}
+	var kind topology.LinkKind
+	switch kindS {
+	case "-":
+		kind = topology.Minus
+	case "0":
+		kind = topology.Straight
+	case "+":
+		kind = topology.Plus
+	default:
+		return topology.Link{}, fmt.Errorf("bad kind %q (want -, 0 or +)", kindS)
+	}
+	return topology.Link{Stage: stage, From: from, Kind: kind}, nil
+}

@@ -1,0 +1,120 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"iadm/internal/topology"
+)
+
+func TestParseBasic(t *testing.T) {
+	s, err := ParseString(`
+# paper figure 7 rerouting scenario
+n 8
+link 0 1 -    # -2^0 from switch 1
+link 1 2 -
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Params.Size() != 8 {
+		t.Errorf("size = %d", s.Params.Size())
+	}
+	if s.Blocked.Count() != 2 {
+		t.Errorf("blocked = %d", s.Blocked.Count())
+	}
+	if !s.Blocked.Blocked(topology.Link{Stage: 0, From: 1, Kind: topology.Minus}) {
+		t.Error("missing first link")
+	}
+	if !s.Blocked.Blocked(topology.Link{Stage: 1, From: 2, Kind: topology.Minus}) {
+		t.Error("missing second link")
+	}
+}
+
+func TestParseSwitchDirective(t *testing.T) {
+	s, err := ParseString("n 8\nswitch 1 4\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Blocked.Count() != 3 {
+		t.Errorf("switch blockage expanded to %d links, want 3", s.Blocked.Count())
+	}
+	if len(s.Switches) != 1 || s.Switches[0] != (topology.Switch{Stage: 1, Index: 4}) {
+		t.Errorf("Switches = %v", s.Switches)
+	}
+}
+
+func TestParseAllKinds(t *testing.T) {
+	s, err := ParseString("n 8\nlink 0 0 -\nlink 0 0 0\nlink 0 0 +\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []topology.LinkKind{topology.Minus, topology.Straight, topology.Plus} {
+		if !s.Blocked.Blocked(topology.Link{Stage: 0, From: 0, Kind: k}) {
+			t.Errorf("kind %v not blocked", k)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                  // missing size
+		"link 0 1 -\n",      // link before size
+		"switch 1 1\n",      // switch before size
+		"n 8\nn 8\n",        // duplicate size
+		"n 7\n",             // bad size
+		"n x\n",             // non-numeric size
+		"n 8\nlink 0 1\n",   // short link
+		"n 8\nlink 9 1 -\n", // bad stage
+		"n 8\nlink 0 9 -\n", // bad switch
+		"n 8\nlink 0 1 *\n", // bad kind
+		"n 8\nlink a 1 -\n", // non-numeric stage
+		"n 8\nlink 0 b -\n", // non-numeric switch
+		"n 8\nswitch 0 1\n", // input-column switch
+		"n 8\nswitch 1\n",   // short switch
+		"n 8\nswitch x y\n", // non-numeric switch
+		"n 8\nbogus\n",      // unknown directive
+		"n\n",               // short size
+	}
+	for _, c := range cases {
+		if _, err := ParseString(c); err == nil {
+			t.Errorf("accepted invalid scenario %q", c)
+		}
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	s, err := ParseString("# header\n\nn 8\n   \n# mid\nlink 0 1 + # trailing\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Blocked.Count() != 1 {
+		t.Errorf("blocked = %d", s.Blocked.Count())
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	orig, err := ParseString("n 16\nlink 0 1 -\nlink 3 9 +\nswitch 2 5\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := ParseString(orig.String())
+	if err != nil {
+		t.Fatalf("round trip parse: %v\n%s", err, orig.String())
+	}
+	if re.Params.Size() != 16 {
+		t.Errorf("size = %d", re.Params.Size())
+	}
+	a, b := orig.Blocked.Links(), re.Blocked.Links()
+	if len(a) != len(b) {
+		t.Fatalf("link counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("links differ at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if !strings.HasPrefix(orig.String(), "n 16\n") {
+		t.Errorf("Format output: %q", orig.String())
+	}
+}

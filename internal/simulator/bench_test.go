@@ -1,0 +1,37 @@
+package simulator
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkCyclesPerSecond(b *testing.B) {
+	for _, N := range []int{8, 64} {
+		for _, pol := range []Policy{StaticC, AdaptiveSSDT} {
+			b.Run(fmt.Sprintf("N=%d/%s", N, pol), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					_, err := Run(Config{
+						N: N, Policy: pol, Load: 0.5, QueueCap: 4,
+						Cycles: 100, Warmup: 10, Seed: int64(i), Traffic: Uniform,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkHotspotRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := Run(Config{
+			N: 16, Policy: AdaptiveSSDT, Load: 0.6, QueueCap: 4,
+			Cycles: 200, Warmup: 20, Seed: int64(i),
+			Traffic: Hotspot, HotspotDest: 0, HotspotFrac: 0.3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

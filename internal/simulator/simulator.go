@@ -1,0 +1,509 @@
+// Package simulator is a synchronous, cycle-level packet-switching
+// simulator for the IADM network, built to measure the load-balancing
+// behaviour the paper claims for the SSDT scheme (Section 4): "when both
+// nonstraight links are busy due to message traffic congestion, a switch
+// can choose which nonstraight buffer to assign a message to ... based on
+// the number of messages present in the buffers in order to evenly
+// distribute the message load".
+//
+// Model: every output link of every switch has a FIFO buffer. Each cycle,
+// every link forwards its head packet to a buffer of the next stage (chosen
+// by the routing policy at the receiving switch) provided that buffer has
+// space; sources inject fresh packets Bernoulli(load) per cycle. Packets
+// carry plain n-bit destination tags; by Theorem 3.1 every buffer choice
+// still delivers the packet, which is precisely the freedom the policies
+// below exploit.
+package simulator
+
+import (
+	"fmt"
+	"math/rand"
+
+	"iadm/internal/bitutil"
+	"iadm/internal/blockage"
+	"iadm/internal/stats"
+	"iadm/internal/topology"
+)
+
+// Policy selects among the nonstraight buffers when a packet needs to
+// complement the current stage's address bit.
+type Policy int
+
+const (
+	// StaticC always uses the state-C link (the network behaves as the
+	// embedded ICube network; no load balancing).
+	StaticC Policy = iota
+	// RandomState picks one of the two nonstraight buffers uniformly at
+	// random per packet.
+	RandomState
+	// AdaptiveSSDT picks the nonstraight buffer currently holding fewer
+	// packets (ties go to the state-C link) — the paper's SSDT
+	// load-balancing rule.
+	AdaptiveSSDT
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case StaticC:
+		return "static-C"
+	case RandomState:
+		return "random-state"
+	case AdaptiveSSDT:
+		return "adaptive-SSDT"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// TrafficKind selects the destination distribution of injected packets.
+type TrafficKind int
+
+const (
+	// Uniform sends each packet to an independently uniform destination.
+	Uniform TrafficKind = iota
+	// Hotspot sends a configured fraction of packets to one destination
+	// and the rest uniformly.
+	Hotspot
+	// PermutationTraffic sends every packet from source s to Perm[s].
+	PermutationTraffic
+	// BitComplementTraffic sends from s to N-1-s, the classic worst-case
+	// pattern that maximizes path lengths in data manipulator networks.
+	BitComplementTraffic
+	// Tornado sends from s to s + N/2 - 1 mod N, the adversarial pattern
+	// for ring-like stride networks.
+	Tornado
+)
+
+// String names the traffic kind.
+func (t TrafficKind) String() string {
+	switch t {
+	case Uniform:
+		return "uniform"
+	case Hotspot:
+		return "hotspot"
+	case PermutationTraffic:
+		return "permutation"
+	case BitComplementTraffic:
+		return "bit-complement"
+	case Tornado:
+		return "tornado"
+	default:
+		return fmt.Sprintf("TrafficKind(%d)", int(t))
+	}
+}
+
+// SwitchModel selects the switch hardware semantics (Section 1): the
+// Gamma network's 3x3 crossbars move a packet on every output link each
+// cycle, while an IADM switch "can connect only one of its three inputs to
+// one or more of its three outputs" — at most one packet traverses it per
+// cycle.
+type SwitchModel int
+
+const (
+	// Crossbar: up to three packets may pass through a switch per cycle
+	// (Gamma semantics).
+	Crossbar SwitchModel = iota
+	// SingleInput: at most one packet passes through a switch per cycle
+	// (IADM semantics).
+	SingleInput
+)
+
+// String names the switch model.
+func (m SwitchModel) String() string {
+	switch m {
+	case Crossbar:
+		return "crossbar"
+	case SingleInput:
+		return "single-input"
+	default:
+		return fmt.Sprintf("SwitchModel(%d)", int(m))
+	}
+}
+
+// Config parameterizes a simulation run.
+type Config struct {
+	N        int     // network size (power of two)
+	Policy   Policy  // nonstraight buffer selection policy
+	Load     float64 // injection probability per source per cycle, 0..1
+	QueueCap int     // buffer capacity per link (packets)
+	Cycles   int     // measured cycles
+	Warmup   int     // cycles run before measurement starts
+	Seed     int64   // PRNG seed (deterministic runs)
+
+	Traffic     TrafficKind
+	HotspotDest int     // Hotspot: the favoured destination
+	HotspotFrac float64 // Hotspot: fraction of traffic to HotspotDest
+	Perm        []int   // PermutationTraffic: the fixed destination map
+
+	// Switches selects crossbar (Gamma) or single-input (IADM) switch
+	// semantics; the zero value is Crossbar.
+	Switches SwitchModel
+
+	// Blocked, if non-nil, marks links that cannot carry packets; packets
+	// with no usable buffer are dropped and counted.
+	Blocked *blockage.Set
+
+	// FaultRate, if positive, makes each link fail independently with this
+	// probability per cycle; a failed link recovers after RepairCycles
+	// cycles. Transiently failed links behave like blocked ones.
+	FaultRate    float64
+	RepairCycles int
+
+	// Bursty, if true, modulates each source with an independent two-state
+	// on/off Markov process (BurstOn/BurstOff are the expected sojourn
+	// times in cycles; defaults 10/10 when zero). While "on" a source
+	// injects with probability Load, while "off" it is silent, so the
+	// long-run offered load is Load * on/(on+off).
+	Bursty   bool
+	BurstOn  int
+	BurstOff int
+}
+
+// Metrics reports the outcome of a run.
+type Metrics struct {
+	Injected  int // packets injected during measurement
+	Delivered int // packets delivered during measurement
+	Dropped   int // packets dropped (blockage with no alternative)
+	Refused   int // injections refused because the first buffer was full
+
+	Latency    stats.Sample // cycles from injection to delivery
+	MaxQueue   int          // largest buffer occupancy observed
+	MeanQueue  float64      // time-average of per-link occupancy
+	Throughput float64      // delivered per cycle per source
+
+	// Per-link utilization (packets forwarded per measured cycle),
+	// aggregated by link kind. Under uniform traffic at load L the
+	// analytic steady-state values are L/2 for straight links and, for the
+	// nonstraight links, mean L/4 with near-zero spread under the
+	// load-balancing policies versus a 0-or-L/2 bimodal split under
+	// static-C routing (each switch then always uses the same sign).
+	UtilStraight    stats.Sample
+	UtilNonstraight stats.Sample
+}
+
+type packet struct {
+	dst  int
+	born int
+}
+
+type sim struct {
+	cfg    Config
+	p      topology.Params
+	rng    *rand.Rand
+	queues [][]packet // indexed by link index
+	m      Metrics
+
+	// switchBusy marks stage-1..n switches that already passed a packet
+	// this cycle (SingleInput model); indexed stage*N + switch with stage
+	// counted from 1.
+	switchBusy []bool
+
+	// failUntil[link] is the first cycle at which a transiently failed
+	// link works again (FaultRate model).
+	failUntil []int
+	now       int
+
+	// forwards[link] counts packets forwarded out of the link's buffer
+	// during measured cycles.
+	forwards []int
+
+	// burstOn[src] is the on/off state of each bursty source.
+	burstOn []bool
+
+	queueSamples int
+	queueSum     int64
+}
+
+// Run executes the simulation and returns its metrics.
+func Run(cfg Config) (Metrics, error) {
+	p, err := topology.NewParams(cfg.N)
+	if err != nil {
+		return Metrics{}, err
+	}
+	if cfg.Load < 0 || cfg.Load > 1 {
+		return Metrics{}, fmt.Errorf("simulator: load %v out of [0,1]", cfg.Load)
+	}
+	if cfg.QueueCap < 1 {
+		return Metrics{}, fmt.Errorf("simulator: queue capacity %d < 1", cfg.QueueCap)
+	}
+	if cfg.Cycles < 1 {
+		return Metrics{}, fmt.Errorf("simulator: cycles %d < 1", cfg.Cycles)
+	}
+	if cfg.Traffic == PermutationTraffic {
+		if len(cfg.Perm) != cfg.N {
+			return Metrics{}, fmt.Errorf("simulator: permutation has %d entries, want %d", len(cfg.Perm), cfg.N)
+		}
+	}
+	if cfg.Traffic == Hotspot && (cfg.HotspotDest < 0 || cfg.HotspotDest >= cfg.N) {
+		return Metrics{}, fmt.Errorf("simulator: hotspot destination %d out of range", cfg.HotspotDest)
+	}
+	if cfg.FaultRate < 0 || cfg.FaultRate > 1 {
+		return Metrics{}, fmt.Errorf("simulator: fault rate %v out of [0,1]", cfg.FaultRate)
+	}
+	s := &sim{
+		cfg:        cfg,
+		p:          p,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		queues:     make([][]packet, 3*cfg.N*p.Stages()),
+		switchBusy: make([]bool, (p.Stages()+1)*cfg.N),
+		failUntil:  make([]int, 3*cfg.N*p.Stages()),
+		forwards:   make([]int, 3*cfg.N*p.Stages()),
+	}
+	if cfg.Bursty {
+		if s.cfg.BurstOn <= 0 {
+			s.cfg.BurstOn = 10
+		}
+		if s.cfg.BurstOff <= 0 {
+			s.cfg.BurstOff = 10
+		}
+		s.burstOn = make([]bool, cfg.N)
+		for i := range s.burstOn {
+			s.burstOn[i] = s.rng.Intn(2) == 0
+		}
+	}
+	for cycle := 0; cycle < cfg.Warmup+cfg.Cycles; cycle++ {
+		s.step(cycle, cycle >= cfg.Warmup)
+	}
+	if cfg.Cycles > 0 {
+		s.m.Throughput = float64(s.m.Delivered) / float64(cfg.Cycles) / float64(cfg.N)
+	}
+	if s.queueSamples > 0 {
+		s.m.MeanQueue = float64(s.queueSum) / float64(s.queueSamples)
+	}
+	for idx, count := range s.forwards {
+		util := float64(count) / float64(cfg.Cycles)
+		if topology.LinkFromIndex(p, idx).Kind.Nonstraight() {
+			s.m.UtilNonstraight.Add(util)
+		} else {
+			s.m.UtilStraight.Add(util)
+		}
+	}
+	return s.m, nil
+}
+
+// blocked reports whether a link is statically blocked or transiently
+// failed right now.
+func (s *sim) blocked(l topology.Link) bool {
+	if s.cfg.Blocked != nil && s.cfg.Blocked.Blocked(l) {
+		return true
+	}
+	return s.cfg.FaultRate > 0 && s.failUntil[l.Index(s.p)] > s.now
+}
+
+// busy reports (and busyMark sets) the SingleInput per-cycle usage of the
+// switch at the given stage (1..n).
+func (s *sim) busy(stage, sw int) bool {
+	return s.cfg.Switches == SingleInput && s.switchBusy[stage*s.cfg.N+sw]
+}
+
+func (s *sim) busyMark(stage, sw int) {
+	if s.cfg.Switches == SingleInput {
+		s.switchBusy[stage*s.cfg.N+sw] = true
+	}
+}
+
+// chooseQueue picks the output buffer of switch j at stage i for a packet
+// to dst, honouring the policy and blockages. ok=false means the packet
+// must be dropped.
+func (s *sim) chooseQueue(i, j, dst int) (topology.Link, bool) {
+	if bitutil.Bit(uint64(j), i) == bitutil.Bit(uint64(dst), i) {
+		l := topology.Link{Stage: i, From: j, Kind: topology.Straight}
+		return l, !s.blocked(l)
+	}
+	plus := topology.Link{Stage: i, From: j, Kind: topology.Plus}
+	minus := topology.Link{Stage: i, From: j, Kind: topology.Minus}
+	pOK, mOK := !s.blocked(plus), !s.blocked(minus)
+	switch {
+	case !pOK && !mOK:
+		return topology.Link{}, false
+	case pOK && !mOK:
+		return plus, true
+	case mOK && !pOK:
+		return minus, true
+	}
+	switch s.cfg.Policy {
+	case StaticC:
+		// State C: even_i uses +2^i, odd_i uses -2^i.
+		if core := bitutil.Bit(uint64(j), i); core == 0 {
+			return plus, true
+		}
+		return minus, true
+	case RandomState:
+		if s.rng.Intn(2) == 0 {
+			return plus, true
+		}
+		return minus, true
+	default: // AdaptiveSSDT
+		lp := len(s.queues[plus.Index(s.p)])
+		lm := len(s.queues[minus.Index(s.p)])
+		switch {
+		case lp < lm:
+			return plus, true
+		case lm < lp:
+			return minus, true
+		default:
+			// Tie: fall back to the state-C default.
+			if bitutil.Bit(uint64(j), i) == 0 {
+				return plus, true
+			}
+			return minus, true
+		}
+	}
+}
+
+// enqueue places a packet in the buffer of l if there is room.
+func (s *sim) enqueue(l topology.Link, pk packet) bool {
+	idx := l.Index(s.p)
+	if len(s.queues[idx]) >= s.cfg.QueueCap {
+		return false
+	}
+	s.queues[idx] = append(s.queues[idx], pk)
+	if ln := len(s.queues[idx]); ln > s.m.MaxQueue {
+		s.m.MaxQueue = ln
+	}
+	return true
+}
+
+// step advances the simulation one cycle. Stages are processed from the
+// output side back to the input side so a packet advances at most one stage
+// per cycle.
+func (s *sim) step(cycle int, measured bool) {
+	n := s.p.Stages()
+	s.now = cycle
+	// Reset per-cycle switch usage (SingleInput model).
+	if s.cfg.Switches == SingleInput {
+		for i := range s.switchBusy {
+			s.switchBusy[i] = false
+		}
+	}
+	// Inject and expire transient link failures.
+	if s.cfg.FaultRate > 0 {
+		for idx := range s.failUntil {
+			if s.failUntil[idx] <= cycle && s.rng.Float64() < s.cfg.FaultRate {
+				s.failUntil[idx] = cycle + s.cfg.RepairCycles
+			}
+		}
+	}
+	// Deliver from the last stage.
+	for j := 0; j < s.cfg.N; j++ {
+		for _, k := range [...]topology.LinkKind{topology.Minus, topology.Straight, topology.Plus} {
+			l := topology.Link{Stage: n - 1, From: j, Kind: k}
+			idx := l.Index(s.p)
+			if len(s.queues[idx]) == 0 {
+				continue
+			}
+			to := l.To(s.p)
+			if s.busy(n, to) {
+				continue // output switch already consumed a packet
+			}
+			pk := s.queues[idx][0]
+			s.queues[idx] = s.queues[idx][1:]
+			if to != pk.dst {
+				panic(fmt.Sprintf("simulator: packet for %d delivered to %d via %v", pk.dst, to, l))
+			}
+			s.busyMark(n, to)
+			if measured {
+				s.m.Delivered++
+				s.m.Latency.AddInt(cycle - pk.born)
+				s.forwards[idx]++
+			}
+		}
+	}
+	// Advance intermediate stages, highest first.
+	for i := n - 2; i >= 0; i-- {
+		for j := 0; j < s.cfg.N; j++ {
+			for _, k := range [...]topology.LinkKind{topology.Minus, topology.Straight, topology.Plus} {
+				l := topology.Link{Stage: i, From: j, Kind: k}
+				idx := l.Index(s.p)
+				if len(s.queues[idx]) == 0 {
+					continue
+				}
+				pk := s.queues[idx][0]
+				at := l.To(s.p) // switch the packet is arriving at (stage i+1)
+				if s.busy(i+1, at) {
+					continue // IADM switch already passed its packet
+				}
+				out, ok := s.chooseQueue(i+1, at, pk.dst)
+				if !ok {
+					s.queues[idx] = s.queues[idx][1:]
+					if measured {
+						s.m.Dropped++
+					}
+					continue
+				}
+				if s.enqueue(out, pk) {
+					s.queues[idx] = s.queues[idx][1:]
+					s.busyMark(i+1, at)
+					if measured {
+						s.forwards[idx]++
+					}
+				}
+				// Otherwise the packet stalls in place this cycle.
+			}
+		}
+	}
+	// Inject new packets.
+	for src := 0; src < s.cfg.N; src++ {
+		if s.cfg.Bursty {
+			// Two-state Markov modulation with mean sojourn BurstOn/BurstOff.
+			if s.burstOn[src] {
+				if s.rng.Float64() < 1/float64(s.cfg.BurstOn) {
+					s.burstOn[src] = false
+				}
+			} else if s.rng.Float64() < 1/float64(s.cfg.BurstOff) {
+				s.burstOn[src] = true
+			}
+			if !s.burstOn[src] {
+				continue
+			}
+		}
+		if s.rng.Float64() >= s.cfg.Load {
+			continue
+		}
+		dst := s.pickDestination(src)
+		pk := packet{dst: dst, born: cycle}
+		out, ok := s.chooseQueue(0, src, dst)
+		if !ok {
+			if measured {
+				s.m.Dropped++
+			}
+			continue
+		}
+		if !s.enqueue(out, pk) {
+			if measured {
+				s.m.Refused++
+			}
+			continue
+		}
+		if measured {
+			s.m.Injected++
+		}
+	}
+	// Sample queue occupancy.
+	if measured {
+		for _, q := range s.queues {
+			s.queueSum += int64(len(q))
+			s.queueSamples++
+		}
+	}
+}
+
+// pickDestination draws a destination for a packet from src.
+func (s *sim) pickDestination(src int) int {
+	switch s.cfg.Traffic {
+	case Hotspot:
+		if s.rng.Float64() < s.cfg.HotspotFrac {
+			return s.cfg.HotspotDest
+		}
+		return s.rng.Intn(s.cfg.N)
+	case PermutationTraffic:
+		return s.cfg.Perm[src]
+	case BitComplementTraffic:
+		return s.cfg.N - 1 - src
+	case Tornado:
+		return (src + s.cfg.N/2 - 1) % s.cfg.N
+	default:
+		return s.rng.Intn(s.cfg.N)
+	}
+}

@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.N() != 0 || s.Mean() != 0 || s.Variance() != 0 || s.Min() != 0 || s.Max() != 0 || s.Percentile(50) != 0 {
+		t.Error("empty sample statistics not all zero")
+	}
+}
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if !almost(s.Mean(), 5) {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	// Sample variance of this classic set: population sd is 2, sample
+	// variance = 32/7.
+	if !almost(s.Variance(), 32.0/7.0) {
+		t.Errorf("Variance = %v", s.Variance())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSingleObservationVariance(t *testing.T) {
+	var s Sample
+	s.Add(3)
+	if s.Variance() != 0 || s.StdDev() != 0 {
+		t.Error("single observation should have zero variance")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.AddInt(i)
+	}
+	if got := s.Percentile(50); got != 50 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := s.Percentile(99); got != 99 {
+		t.Errorf("p99 = %v", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := s.Percentile(100); got != 100 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := s.Percentile(-5); got != 1 {
+		t.Errorf("p-5 = %v", got)
+	}
+	if got := s.Percentile(150); got != 100 {
+		t.Errorf("p150 = %v", got)
+	}
+}
+
+func TestPercentileUnsortedInput(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{9, 1, 5, 3, 7} {
+		s.Add(x)
+	}
+	if got := s.Percentile(50); got != 5 {
+		t.Errorf("p50 = %v, want 5", got)
+	}
+	// Percentile must not mutate the sample order (Mean unaffected anyway,
+	// but Min of a fresh call still works).
+	if s.Min() != 1 || s.Max() != 9 {
+		t.Error("sample disturbed by Percentile")
+	}
+}
+
+func TestSampleString(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	if s.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int{3, 1, 3, 2, 3} {
+		h.Add(v)
+	}
+	if h.Total() != 5 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if h.Count(3) != 3 || h.Count(1) != 1 || h.Count(7) != 0 {
+		t.Error("Count wrong")
+	}
+	b := h.Buckets()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("Buckets = %v", b)
+		}
+	}
+	if h.String() != "1:1 2:1 3:3" {
+		t.Errorf("String = %q", h.String())
+	}
+}

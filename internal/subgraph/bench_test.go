@@ -1,0 +1,55 @@
+package subgraph
+
+import (
+	"fmt"
+	"testing"
+
+	"iadm/internal/core"
+	"iadm/internal/topology"
+)
+
+func BenchmarkRelabeledState(b *testing.B) {
+	for _, N := range []int{8, 256, 1024} {
+		p := topology.MustParams(N)
+		b.Run(fmt.Sprintf("N=%d", N), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				RelabeledState(p, i%N)
+			}
+		})
+	}
+}
+
+func BenchmarkFromState(b *testing.B) {
+	p := topology.MustParams(64)
+	ns := core.NewNetworkState(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FromState(ns)
+	}
+}
+
+func BenchmarkIsomorphicICube(b *testing.B) {
+	for _, N := range []int{4, 8} {
+		cube := topology.ICubeLayered(N)
+		p := topology.MustParams(N)
+		g := FromState(RelabeledState(p, 1))
+		b.Run(fmt.Sprintf("N=%d", N), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !Isomorphic(g, cube) {
+					b.Fatal("not isomorphic")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkExplicitIso(b *testing.B) {
+	p := topology.MustParams(1024)
+	ns := RelabeledState(p, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ExplicitIsoToICube(ns, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package subgraph
+
+import (
+	"iadm/internal/core"
+	"iadm/internal/topology"
+)
+
+// ExhaustiveCubeSubgraphCount enumerates every network state of the size-N
+// IADM network (2^(N*n) states — use only for N <= 4), extracts each active
+// subgraph, and returns the number of distinct subgraphs (by link set) and
+// how many of those are isomorphic to the ICube network under the general
+// layered-graph isomorphism checker. Theorem 6.1 guarantees the second
+// count is at least (N/2)*2^N; the exhaustive value measures the slack in
+// the bound.
+func ExhaustiveCubeSubgraphCount(N int) (distinct, isomorphic int) {
+	p := topology.MustParams(N)
+	n := p.Stages()
+	switches := N * n
+	cube := topology.ICubeLayered(N)
+	seen := make(map[string]bool)
+	for bits := uint64(0); bits < 1<<uint(switches); bits++ {
+		ns := core.NewNetworkState(p)
+		for k := 0; k < switches; k++ {
+			if bits&(1<<uint(k)) != 0 {
+				ns.Set(k/N, k%N, core.StateCBar)
+			}
+		}
+		fp := LinkFingerprint(ns)
+		if seen[fp] {
+			continue
+		}
+		seen[fp] = true
+		distinct++
+		if Isomorphic(FromState(ns), cube) {
+			isomorphic++
+		}
+	}
+	return distinct, isomorphic
+}

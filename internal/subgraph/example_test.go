@@ -1,0 +1,34 @@
+package subgraph_test
+
+import (
+	"fmt"
+
+	"iadm/internal/blockage"
+	"iadm/internal/subgraph"
+	"iadm/internal/topology"
+)
+
+// Reconfigure the IADM network around a nonstraight link fault (the
+// Section 6 application): find a cube subgraph from the Theorem 6.1
+// family that avoids the fault.
+func ExampleFindFaultFreeCubeState() {
+	p := topology.MustParams(8)
+	faults := blockage.NewSet(p)
+	faults.Block(topology.Link{Stage: 0, From: 0, Kind: topology.Plus})
+
+	x, mask, _, ok := subgraph.FindFaultFreeCubeState(p, faults)
+	fmt.Printf("reconfigured: relabeling x=%d, last-stage mask=%#x, ok=%v\n", x, mask, ok)
+	// Output:
+	// reconfigured: relabeling x=1, last-stage mask=0x0, ok=true
+}
+
+func ExampleVerifyTheorem61() {
+	count, err := subgraph.VerifyTheorem61(8, []uint64{0, 0xFF})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("distinct cube subgraphs verified: %.0f\n", count)
+	// Output:
+	// distinct cube subgraphs verified: 1024
+}

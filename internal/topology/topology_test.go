@@ -1,0 +1,362 @@
+package topology
+
+import (
+	"testing"
+
+	"iadm/internal/bitutil"
+)
+
+func TestNewParams(t *testing.T) {
+	for _, N := range []int{2, 4, 8, 16, 1024} {
+		p, err := NewParams(N)
+		if err != nil {
+			t.Fatalf("NewParams(%d): %v", N, err)
+		}
+		if p.Size() != N || p.Stages() != bitutil.Log2(N) {
+			t.Errorf("NewParams(%d) = %+v", N, p)
+		}
+	}
+	for _, N := range []int{0, 1, 3, 6, -8, 100} {
+		if _, err := NewParams(N); err == nil {
+			t.Errorf("NewParams(%d) accepted invalid size", N)
+		}
+	}
+}
+
+func TestMod(t *testing.T) {
+	p := MustParams(8)
+	cases := []struct{ in, want int }{
+		{0, 0}, {7, 7}, {8, 0}, {9, 1}, {-1, 7}, {-8, 0}, {-9, 7}, {23, 7},
+	}
+	for _, c := range cases {
+		if got := p.Mod(c.in); got != c.want {
+			t.Errorf("Mod(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestLinkTo(t *testing.T) {
+	p := MustParams(8)
+	cases := []struct {
+		l    Link
+		want int
+	}{
+		{Link{0, 1, Minus}, 0},
+		{Link{0, 1, Straight}, 1},
+		{Link{0, 1, Plus}, 2},
+		{Link{1, 2, Plus}, 4},
+		{Link{1, 2, Minus}, 0},
+		{Link{2, 4, Plus}, 0},  // wraps: 4+4 = 8 ≡ 0
+		{Link{2, 4, Minus}, 0}, // 4-4 = 0: parallel with Plus at stage n-1
+		{Link{2, 1, Minus}, 5}, // 1-4 = -3 ≡ 5
+		{Link{0, 0, Minus}, 7},
+	}
+	for _, c := range cases {
+		if got := c.l.To(p); got != c.want {
+			t.Errorf("%v.To = %d, want %d", c.l, got, c.want)
+		}
+	}
+}
+
+func TestLinkIndexRoundTrip(t *testing.T) {
+	p := MustParams(16)
+	m := MustIADM(16)
+	seen := make(map[int]bool)
+	m.Links(func(l Link) bool {
+		idx := l.Index(p)
+		if idx < 0 || idx >= m.NumLinks() {
+			t.Fatalf("index %d of %v out of range", idx, l)
+		}
+		if seen[idx] {
+			t.Fatalf("duplicate index %d for %v", idx, l)
+		}
+		seen[idx] = true
+		if got := LinkFromIndex(p, idx); got != l {
+			t.Fatalf("LinkFromIndex(%d) = %v, want %v", idx, got, l)
+		}
+		return true
+	})
+	if len(seen) != m.NumLinks() {
+		t.Errorf("enumerated %d links, want %d", len(seen), m.NumLinks())
+	}
+}
+
+func TestIADMInOutLinksAgree(t *testing.T) {
+	m := MustIADM(8)
+	// Every out-link of stage i appears among the in-links of its target.
+	m.Links(func(l Link) bool {
+		to := l.To(m.Params)
+		found := false
+		for _, in := range m.InLinks(l.Stage, to) {
+			if in == l {
+				found = true
+			}
+			if in.To(m.Params) != to {
+				t.Errorf("InLinks(%d,%d) returned %v which leads to %d", l.Stage, to, in, in.To(m.Params))
+			}
+		}
+		if !found {
+			t.Errorf("link %v missing from InLinks of its target %d", l, to)
+		}
+		return true
+	})
+}
+
+func TestIADMLinkCounts(t *testing.T) {
+	for _, N := range []int{2, 4, 8, 32} {
+		m := MustIADM(N)
+		count := 0
+		m.Links(func(Link) bool { count++; return true })
+		if count != m.NumLinks() || count != 3*N*m.Stages() {
+			t.Errorf("N=%d: counted %d links, want %d", N, count, 3*N*m.Stages())
+		}
+	}
+}
+
+func TestICubeLinkCounts(t *testing.T) {
+	for _, N := range []int{2, 4, 8, 32} {
+		c := MustICube(N)
+		count := 0
+		c.Links(func(Link) bool { count++; return true })
+		if count != c.NumLinks() || count != 2*N*c.Stages() {
+			t.Errorf("N=%d: counted %d links, want %d", N, count, 2*N*c.Stages())
+		}
+	}
+}
+
+func TestICubeNonstraightComplementsBit(t *testing.T) {
+	// The defining ICube property: the nonstraight link from j at stage i
+	// leads to a switch differing from j exactly in bit i (Lemma 2.1 /
+	// Figure 3).
+	for _, N := range []int{4, 8, 16, 64} {
+		c := MustICube(N)
+		for i := 0; i < c.Stages(); i++ {
+			for j := 0; j < N; j++ {
+				l := Link{Stage: i, From: j, Kind: c.NonstraightKind(i, j)}
+				to := l.To(c.Params)
+				if to != int(bitutil.FlipBit(uint64(j), i)) {
+					t.Fatalf("N=%d stage %d switch %d: nonstraight leads to %d, want bit-%d flip %d",
+						N, i, j, to, i, bitutil.FlipBit(uint64(j), i))
+				}
+			}
+		}
+	}
+}
+
+func TestICubeIsSubgraphOfIADM(t *testing.T) {
+	for _, N := range []int{4, 8, 16} {
+		c := MustICube(N)
+		m := MustIADM(N)
+		// Every ICube link is an IADM link (trivially true by construction,
+		// but Contains must agree with Links).
+		inCube := make(map[Link]bool)
+		c.Links(func(l Link) bool { inCube[l] = true; return true })
+		m.Links(func(l Link) bool {
+			if c.Contains(l) != inCube[l] {
+				t.Fatalf("N=%d: Contains(%v) = %v, enumeration says %v", N, l, c.Contains(l), inCube[l])
+			}
+			return true
+		})
+		if len(inCube) != c.NumLinks() {
+			t.Errorf("N=%d: ICube enumerated %d distinct links, want %d", N, len(inCube), c.NumLinks())
+		}
+	}
+}
+
+func TestOppositeKind(t *testing.T) {
+	if Plus.Opposite() != Minus || Minus.Opposite() != Plus {
+		t.Error("Opposite() wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Straight.Opposite() did not panic")
+		}
+	}()
+	Straight.Opposite()
+}
+
+func TestKindStrings(t *testing.T) {
+	if Minus.String() != "-2^i" || Plus.String() != "+2^i" || Straight.String() != "straight" {
+		t.Error("LinkKind strings wrong")
+	}
+	if !Plus.Nonstraight() || !Minus.Nonstraight() || Straight.Nonstraight() {
+		t.Error("Nonstraight() wrong")
+	}
+}
+
+func TestSwitchString(t *testing.T) {
+	s := Switch{Stage: 2, Index: 4}
+	if s.String() != "4∈S_2" {
+		t.Errorf("Switch.String = %q", s.String())
+	}
+}
+
+func TestLayeredGraphBasics(t *testing.T) {
+	g := NewLayeredGraph(2, 4)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(0, 1, 0)
+	g.AddEdge(0, 1, 2) // parallel edge
+	g.AddEdge(1, 2, 3)
+	if got := g.OutDegree(0, 1); got != 3 {
+		t.Errorf("OutDegree = %d, want 3", got)
+	}
+	succ := g.Succ(0, 1)
+	want := []int{0, 2, 2}
+	for i := range want {
+		if succ[i] != want[i] {
+			t.Fatalf("Succ = %v, want %v", succ, want)
+		}
+	}
+	if g.NumEdges() != 4 {
+		t.Errorf("NumEdges = %d, want 4", g.NumEdges())
+	}
+}
+
+func TestLayeredGraphEqualAndFingerprint(t *testing.T) {
+	a := ICubeLayered(8)
+	b := ICubeLayered(8)
+	if !a.Equal(b) {
+		t.Error("identical ICube layered graphs not Equal")
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("identical graphs have different fingerprints")
+	}
+	b.AddEdge(0, 0, 3)
+	if a.Equal(b) {
+		t.Error("modified graph still Equal")
+	}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("modified graph has same fingerprint")
+	}
+}
+
+func TestIADMLayeredEdgeCount(t *testing.T) {
+	g := IADMLayered(8)
+	if g.NumEdges() != 3*8*3 {
+		t.Errorf("IADM layered edges = %d, want 72", g.NumEdges())
+	}
+	// Stage n-1 must contain parallel edges (+4 and -4 coincide mod 8).
+	if d := g.OutDegree(2, 0); d != 3 {
+		t.Errorf("stage 2 out-degree = %d, want 3", d)
+	}
+	succ := g.Succ(2, 0)
+	// 0-4=4, 0 straight, 0+4=4: multiset {0, 4, 4}.
+	want := []int{0, 4, 4}
+	for i := range want {
+		if succ[i] != want[i] {
+			t.Fatalf("stage 2 Succ(0) = %v, want %v", succ, want)
+		}
+	}
+}
+
+func TestICubeLayeredMatchesNetwork(t *testing.T) {
+	g := ICubeLayered(8)
+	if g.NumEdges() != 2*8*3 {
+		t.Errorf("ICube layered edges = %d, want 48", g.NumEdges())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 8; j++ {
+			if d := g.OutDegree(i, j); d != 2 {
+				t.Errorf("ICube out-degree(%d,%d) = %d, want 2", i, j, d)
+			}
+		}
+	}
+}
+
+func TestLinkStrings(t *testing.T) {
+	p := MustParams(8)
+	l := Link{Stage: 1, From: 0, Kind: Straight}
+	if l.String() != "(0∈S_1 straight)" {
+		t.Errorf("String = %q", l.String())
+	}
+	if l.StringIn(p) != "(0∈S_1 straight 0∈S_2)" {
+		t.Errorf("StringIn = %q", l.StringIn(p))
+	}
+	m := Link{Stage: 1, From: 2, Kind: Minus}
+	if m.StringIn(p) != "(2∈S_1 -2^i 0∈S_2)" {
+		t.Errorf("StringIn = %q", m.StringIn(p))
+	}
+}
+
+func TestSmallestNetworkN2(t *testing.T) {
+	// N=2 is the degenerate edge case: one stage, and ALL nonstraight
+	// links are parallel (+1 == -1 mod 2).
+	p := MustParams(2)
+	if p.Stages() != 1 {
+		t.Fatalf("Stages = %d", p.Stages())
+	}
+	m := MustIADM(2)
+	if m.NumLinks() != 6 {
+		t.Errorf("NumLinks = %d, want 6", m.NumLinks())
+	}
+	for j := 0; j < 2; j++ {
+		plus := Link{Stage: 0, From: j, Kind: Plus}
+		minus := Link{Stage: 0, From: j, Kind: Minus}
+		if plus.To(p) != minus.To(p) || plus.To(p) != 1-j {
+			t.Errorf("switch %d: parallel links broken", j)
+		}
+	}
+	c := MustICube(2)
+	if c.NumLinks() != 4 {
+		t.Errorf("ICube NumLinks = %d, want 4", c.NumLinks())
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if _, err := NewIADM(5); err == nil {
+		t.Error("NewIADM accepted invalid size")
+	}
+	if _, err := NewICube(5); err == nil {
+		t.Error("NewICube accepted invalid size")
+	}
+	m := MustIADM(8)
+	out := m.OutLinks(1, 2)
+	if out[0].Kind != Minus || out[1].Kind != Straight || out[2].Kind != Plus {
+		t.Errorf("OutLinks = %v", out)
+	}
+	if !m.ValidStage(0) || m.ValidStage(3) || m.ValidSwitch(-1) {
+		t.Error("stage/switch validation wrong")
+	}
+	if LinkKind(9).String() == "" {
+		t.Error("unknown kind String empty")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustParams(3) did not panic")
+			}
+		}()
+		MustParams(3)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustIADM(3) did not panic")
+			}
+		}()
+		MustIADM(3)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustICube(3) did not panic")
+			}
+		}()
+		MustICube(3)
+	}()
+}
+
+func TestLayeredGraphEqualDims(t *testing.T) {
+	a := NewLayeredGraph(2, 4)
+	b := NewLayeredGraph(3, 4)
+	c := NewLayeredGraph(2, 5)
+	if a.Equal(b) || a.Equal(c) {
+		t.Error("dimension mismatch not detected")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("AddEdge out of range did not panic")
+		}
+	}()
+	a.AddEdge(5, 0, 0)
+}

@@ -1,0 +1,37 @@
+# Tier-1 check plus the perf-tracking targets. `make check` is what CI
+# runs: formatting, vet, build and the full test suite.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench bench-json fuzz
+
+check: fmt vet build test
+
+# gofmt -l prints unformatted files; fail if any.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The simulator worker pool and RunMany fan-out under the race detector.
+race:
+	$(GO) test -race ./internal/simulator
+
+# Tracked simulator numbers (steady-state cycle loop; expect 0 allocs/op).
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkCyclesPerSecond -benchmem ./internal/simulator
+
+# Emit BENCH_simulator.json for CI tracking.
+bench-json:
+	$(GO) run ./cmd/benchjson
+
+fuzz:
+	$(GO) test -run FuzzRingQueue -fuzz FuzzRingQueue -fuzztime 30s ./internal/simulator

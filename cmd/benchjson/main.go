@@ -1,0 +1,169 @@
+// Command benchjson runs the simulator benchmark suite and writes the
+// parsed results as JSON, so CI (or a developer) can track the tracked
+// numbers — ns/op and allocs/op of the cycle loop — across commits
+// without scraping `go test -bench` text by hand.
+//
+// Usage:
+//
+//	benchjson [-bench regex] [-pkg path] [-count N] [-o file]
+//
+// Defaults run BenchmarkCyclesPerSecond in ./internal/simulator with
+// -count 5 and write BENCH_simulator.json. With -count > 1 every sample
+// is kept and each benchmark also reports the min and mean ns/op across
+// its samples (min is the stable number to compare across machines).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Sample is one `go test -bench` result line.
+type Sample struct {
+	Runs        int     `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Benchmark aggregates the samples of one benchmark name.
+type Benchmark struct {
+	Name        string   `json:"name"`
+	Samples     []Sample `json:"samples"`
+	MinNsPerOp  float64  `json:"min_ns_per_op"`
+	MeanNsPerOp float64  `json:"mean_ns_per_op"`
+	AllocsPerOp int64    `json:"allocs_per_op"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	Package    string      `json:"package"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkCyclesPerSecond/N=8/static-C-4   500   56556 ns/op   25360 B/op   13 allocs/op
+//
+// The trailing -4 is GOMAXPROCS and is stripped from the name; the B/op
+// and allocs/op columns are only present under -benchmem.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// parse reads `go test -bench` output and groups the result lines by
+// benchmark name, preserving first-seen order. Header lines (goos, goarch,
+// cpu, pkg) fill the report metadata.
+func parse(r io.Reader) (Report, error) {
+	var rep Report
+	index := map[string]int{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Package = strings.TrimPrefix(line, "pkg: ")
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		runs, err := strconv.Atoi(m[2])
+		if err != nil {
+			return rep, fmt.Errorf("benchjson: bad runs in %q: %v", line, err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return rep, fmt.Errorf("benchjson: bad ns/op in %q: %v", line, err)
+		}
+		s := Sample{Runs: runs, NsPerOp: ns, BytesPerOp: -1, AllocsPerOp: -1}
+		if m[4] != "" {
+			s.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			s.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		i, ok := index[m[1]]
+		if !ok {
+			i = len(rep.Benchmarks)
+			index[m[1]] = i
+			rep.Benchmarks = append(rep.Benchmarks, Benchmark{Name: m[1]})
+		}
+		rep.Benchmarks[i].Samples = append(rep.Benchmarks[i].Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return rep, err
+	}
+	for i := range rep.Benchmarks {
+		b := &rep.Benchmarks[i]
+		min, sum := 0.0, 0.0
+		for j, s := range b.Samples {
+			if j == 0 || s.NsPerOp < min {
+				min = s.NsPerOp
+			}
+			sum += s.NsPerOp
+		}
+		b.MinNsPerOp = min
+		b.MeanNsPerOp = sum / float64(len(b.Samples))
+		b.AllocsPerOp = b.Samples[0].AllocsPerOp
+	}
+	return rep, nil
+}
+
+func main() {
+	bench := flag.String("bench", "BenchmarkCyclesPerSecond", "benchmark regex passed to go test -bench")
+	pkg := flag.String("pkg", "./internal/simulator", "package to benchmark")
+	count := flag.Int("count", 5, "samples per benchmark (go test -count)")
+	out := flag.String("o", "BENCH_simulator.json", "output file (- for stdout)")
+	flag.Parse()
+	if err := run(*bench, *pkg, *count, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench, pkg string, count int, out string) error {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", bench, "-benchmem", "-count", strconv.Itoa(count), pkg)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go test: %w", err)
+	}
+	rep, err := parse(strings.NewReader(string(raw)))
+	if err != nil {
+		return err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark results matched %q in %s", bench, pkg)
+	}
+	doc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(doc)
+		return err
+	}
+	return os.WriteFile(out, doc, 0o644)
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: iadm/internal/simulator
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkCyclesPerSecond/N=8/static-C-4         	    1000	     50000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkCyclesPerSecond/N=8/static-C-4         	    1000	     48000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkCyclesPerSecond/N=64/adaptive-SSDT-4   	     200	    650000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkHotspotRun-4                           	     500	    123456.5 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	iadm/internal/simulator	2.345s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Package != "iadm/internal/simulator" {
+		t.Errorf("metadata wrong: %+v", rep)
+	}
+	if !strings.Contains(rep.CPU, "Xeon") {
+		t.Errorf("cpu wrong: %q", rep.CPU)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+	first := rep.Benchmarks[0]
+	if first.Name != "BenchmarkCyclesPerSecond/N=8/static-C" {
+		t.Errorf("name (GOMAXPROCS suffix must be stripped): %q", first.Name)
+	}
+	if len(first.Samples) != 2 {
+		t.Fatalf("repeated lines must group: %d samples", len(first.Samples))
+	}
+	if first.MinNsPerOp != 48000 || first.MeanNsPerOp != 49000 {
+		t.Errorf("aggregates wrong: min %v mean %v", first.MinNsPerOp, first.MeanNsPerOp)
+	}
+	if first.AllocsPerOp != 0 || first.Samples[0].BytesPerOp != 0 {
+		t.Errorf("benchmem columns wrong: %+v", first)
+	}
+	if got := rep.Benchmarks[2]; got.Name != "BenchmarkHotspotRun" || got.Samples[0].NsPerOp != 123456.5 {
+		t.Errorf("fractional ns/op wrong: %+v", got)
+	}
+}
+
+func TestParseWithoutBenchmem(t *testing.T) {
+	rep, err := parse(strings.NewReader("BenchmarkX-8   100   42 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 {
+		t.Fatalf("got %d benchmarks", len(rep.Benchmarks))
+	}
+	s := rep.Benchmarks[0].Samples[0]
+	if s.NsPerOp != 42 || s.Runs != 100 {
+		t.Errorf("sample wrong: %+v", s)
+	}
+	if s.BytesPerOp != -1 || s.AllocsPerOp != -1 {
+		t.Errorf("missing benchmem columns must read -1: %+v", s)
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	rep, err := parse(strings.NewReader("PASS\nok  \tiadm\t1.2s\nrandom text\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Errorf("noise parsed as benchmarks: %+v", rep.Benchmarks)
+	}
+}

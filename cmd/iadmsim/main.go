@@ -13,7 +13,9 @@
 //	iadmsim [-n N] subgraph <x>             # cube subgraph for relabeling x
 //	iadmsim scenario <file> <s> <d>         # REROUTE under a scenario file
 //	iadmsim [-n N] connectivity <file>      # pair connectivity under a scenario
-//	iadmsim [-n N] simulate <policy> <load> # packet simulation (static|random|adaptive)
+//	iadmsim [-n N] [-workers K] simulate <policy> <load> [replicas]
+//	                                        # packet simulation (static|random|adaptive);
+//	                                        # replicas > 1 fans seeds out over K workers
 //	iadmsim [-n N] equiv                    # cube-type family equivalence table
 //	iadmsim [-n N] multicast <s> <d>...     # one-to-many routing tree
 //	iadmsim [-n N] reliability <s> <d> <q>  # exact pair reliability at link-failure prob q
@@ -42,20 +44,22 @@ import (
 	"iadm/internal/render"
 	"iadm/internal/scenario"
 	"iadm/internal/simulator"
+	"iadm/internal/stats"
 	"iadm/internal/subgraph"
 	"iadm/internal/topology"
 )
 
 func main() {
 	n := flag.Int("n", 8, "network size N (power of two)")
+	workers := flag.Int("workers", 0, "worker goroutines for multi-run commands (0 = GOMAXPROCS)")
 	flag.Parse()
-	if err := run(os.Stdout, *n, flag.Args()); err != nil {
+	if err := run(os.Stdout, *n, *workers, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "iadmsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, N int, args []string) error {
+func run(w io.Writer, N, workers int, args []string) error {
 	p, err := topology.NewParams(N)
 	if err != nil {
 		return err
@@ -172,8 +176,8 @@ func run(w io.Writer, N int, args []string) error {
 		fmt.Fprintf(w, "connectivity: %d/%d pairs routable (%.1f%%)\n", ok, NN*NN, 100*float64(ok)/float64(NN*NN))
 		return nil
 	case "simulate":
-		if len(args) != 3 {
-			return fmt.Errorf("usage: simulate <static|random|adaptive> <load>")
+		if len(args) < 3 || len(args) > 4 {
+			return fmt.Errorf("usage: simulate <static|random|adaptive> <load> [replicas]")
 		}
 		var pol simulator.Policy
 		switch args[1] {
@@ -190,15 +194,40 @@ func run(w io.Writer, N int, args []string) error {
 		if err != nil {
 			return fmt.Errorf("bad load %q", args[2])
 		}
-		m, err := simulator.Run(simulator.Config{
+		replicas := 1
+		if len(args) == 4 {
+			replicas, err = strconv.Atoi(args[3])
+			if err != nil || replicas < 1 {
+				return fmt.Errorf("bad replica count %q", args[3])
+			}
+		}
+		base := simulator.Config{
 			N: N, Policy: pol, Load: load, QueueCap: 4,
 			Cycles: 5000, Warmup: 500, Seed: 1, Traffic: simulator.Uniform,
-		})
+		}
+		if replicas == 1 {
+			m, err := simulator.Run(base)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "policy %s load %.2f: throughput %.4f, latency %s, maxQueue %d, refused %d\n",
+				pol, load, m.Throughput, m.Latency.String(), m.MaxQueue, m.Refused)
+			return nil
+		}
+		// Independent seeds fanned out over the worker pool; results come
+		// back in seed order regardless of scheduling.
+		ms, err := simulator.Sweep(base, replicas, workers, nil)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "policy %s load %.2f: throughput %.4f, latency %s, maxQueue %d, refused %d\n",
-			pol, load, m.Throughput, m.Latency.String(), m.MaxQueue, m.Refused)
+		var tput, lat stats.Sample
+		for i, m := range ms {
+			fmt.Fprintf(w, "seed %d: throughput %.4f, latency %s\n", base.Seed+int64(i), m.Throughput, m.Latency.String())
+			tput.Add(m.Throughput)
+			lat.Add(m.Latency.Mean())
+		}
+		fmt.Fprintf(w, "policy %s load %.2f over %d replicas: throughput %.4f ± %.4f, mean latency %.2f ± %.2f\n",
+			pol, load, replicas, tput.Mean(), tput.StdDev(), lat.Mean(), lat.StdDev())
 		return nil
 	case "equiv":
 		base := cubefamily.MustNew(cubefamily.GeneralizedCube, N).Layered()

@@ -11,7 +11,7 @@ import (
 func runOK(t *testing.T, N int, args ...string) string {
 	t.Helper()
 	var sb strings.Builder
-	if err := run(&sb, N, args); err != nil {
+	if err := run(&sb, N, 0, args); err != nil {
 		t.Fatalf("run(%v): %v", args, err)
 	}
 	return sb.String()
@@ -20,7 +20,7 @@ func runOK(t *testing.T, N int, args ...string) string {
 func runErr(t *testing.T, N int, args ...string) {
 	t.Helper()
 	var sb strings.Builder
-	if err := run(&sb, N, args); err == nil {
+	if err := run(&sb, N, 0, args); err == nil {
 		t.Fatalf("run(%v) unexpectedly succeeded:\n%s", args, sb.String())
 	}
 }
@@ -160,6 +160,28 @@ func TestSimulateCommand(t *testing.T) {
 	runErr(t, 8, "simulate", "bogus", "0.3")
 	runErr(t, 8, "simulate", "static", "x")
 	runErr(t, 8, "simulate", "static")
+}
+
+func TestSimulateReplicas(t *testing.T) {
+	out := runOK(t, 8, "simulate", "adaptive", "0.3", "4")
+	if strings.Count(out, "seed ") != 4 {
+		t.Errorf("want 4 per-seed lines:\n%s", out)
+	}
+	if !strings.Contains(out, "over 4 replicas") {
+		t.Errorf("missing aggregate line:\n%s", out)
+	}
+	// The fan-out must not depend on worker count: explicit workers give
+	// the same report.
+	var sb strings.Builder
+	if err := run(&sb, 8, 3, []string{"simulate", "adaptive", "0.3", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != out {
+		t.Errorf("workers=3 report differs from workers=0:\n%s\nvs\n%s", sb.String(), out)
+	}
+	runErr(t, 8, "simulate", "adaptive", "0.3", "0")
+	runErr(t, 8, "simulate", "adaptive", "0.3", "zz")
+	runErr(t, 8, "simulate", "adaptive", "0.3", "4", "5")
 }
 
 func TestEquivCommand(t *testing.T) {

@@ -154,6 +154,16 @@ func (ns *NetworkState) Flip(i, j int) State {
 	return ns.st[idx]
 }
 
+// Reset returns every switch to state C (the state NewNetworkState
+// creates), reusing the storage. Callers that route repeatedly against a
+// mutating scheme (RouteSSDT flips switch states to repair around
+// blockages) use this to restore a known state between routes.
+func (ns *NetworkState) Reset() {
+	for i := range ns.st {
+		ns.st[i] = StateC
+	}
+}
+
 // Clone returns an independent copy of the network state.
 func (ns *NetworkState) Clone() *NetworkState {
 	c := &NetworkState{p: ns.p, st: make([]State, len(ns.st))}

@@ -7,8 +7,11 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Result is the output of one experiment.
@@ -73,6 +76,48 @@ func RunAll() ([]Result, error) {
 			return out, err
 		}
 		out = append(out, r)
+	}
+	return out, nil
+}
+
+// parmap evaluates f(0..n-1) across a GOMAXPROCS-bounded worker pool and
+// returns the results in index order, so experiments can fan their
+// independent computations out without changing their report text. f must
+// be safe for concurrent calls (draw from a shared RNG before the parmap,
+// not inside it). On failure the first error by index is returned.
+func parmap[T any](n int, f func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i], errs[i] = f(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					out[i], errs[i] = f(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("task %d: %w", i, err)
+		}
 	}
 	return out, nil
 }

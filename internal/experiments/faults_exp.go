@@ -19,33 +19,47 @@ func init() {
 }
 
 func runE12() (string, error) {
-	var sb strings.Builder
-	sb.WriteString("cycle-level simulation, N=16, uniform traffic, queue capacity 4, 4000 cycles:\n")
-	sb.WriteString(header("load", "policy", "throughput", "mean lat", "p99 lat", "max queue", "refused"))
-	for _, load := range []float64{0.2, 0.4, 0.6, 0.8} {
-		for _, pol := range []simulator.Policy{simulator.StaticC, simulator.RandomState, simulator.AdaptiveSSDT} {
-			m, err := simulator.Run(simulator.Config{
+	policies := []simulator.Policy{simulator.StaticC, simulator.RandomState, simulator.AdaptiveSSDT}
+	loads := []float64{0.2, 0.4, 0.6, 0.8}
+	// Build the whole grid of independent runs, fan it out across the
+	// worker pool, then render the (order-preserved) results.
+	var cfgs []simulator.Config
+	for _, load := range loads {
+		for _, pol := range policies {
+			cfgs = append(cfgs, simulator.Config{
 				N: 16, Policy: pol, Load: load, QueueCap: 4,
 				Cycles: 4000, Warmup: 500, Seed: 7, Traffic: simulator.Uniform,
 			})
-			if err != nil {
-				return "", err
-			}
+		}
+	}
+	for _, pol := range policies {
+		cfgs = append(cfgs, simulator.Config{
+			N: 16, Policy: pol, Load: 0.4, QueueCap: 4,
+			Cycles: 4000, Warmup: 500, Seed: 7,
+			Traffic: simulator.Hotspot, HotspotDest: 0, HotspotFrac: 0.25,
+		})
+	}
+	ms, err := simulator.RunMany(cfgs)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString("cycle-level simulation, N=16, uniform traffic, queue capacity 4, 4000 cycles:\n")
+	sb.WriteString(header("load", "policy", "throughput", "mean lat", "p99 lat", "max queue", "refused"))
+	i := 0
+	for _, load := range loads {
+		for _, pol := range policies {
+			m := ms[i]
+			i++
 			fmt.Fprintf(&sb, "%4.1f  %-13s  %10.4f  %8.2f  %7.0f  %9d  %7d\n",
 				load, pol, m.Throughput, m.Latency.Mean(), m.Latency.Percentile(99), m.MaxQueue, m.Refused)
 		}
 	}
 	sb.WriteString("\nhotspot traffic (25% of packets to destination 0), load 0.4:\n")
 	sb.WriteString(header("policy", "throughput", "mean lat", "p99 lat", "max queue", "refused"))
-	for _, pol := range []simulator.Policy{simulator.StaticC, simulator.RandomState, simulator.AdaptiveSSDT} {
-		m, err := simulator.Run(simulator.Config{
-			N: 16, Policy: pol, Load: 0.4, QueueCap: 4,
-			Cycles: 4000, Warmup: 500, Seed: 7,
-			Traffic: simulator.Hotspot, HotspotDest: 0, HotspotFrac: 0.25,
-		})
-		if err != nil {
-			return "", err
-		}
+	for _, pol := range policies {
+		m := ms[i]
+		i++
 		fmt.Fprintf(&sb, "%-13s  %10.4f  %8.2f  %7.0f  %9d  %7d\n",
 			pol, m.Throughput, m.Latency.Mean(), m.Latency.Percentile(99), m.MaxQueue, m.Refused)
 	}
@@ -58,7 +72,11 @@ func runE13() (string, error) {
 	sb.WriteString(header("faults", "static", "Lee-Lee", "MS reroute", "MS lookahead", "SSDT", "TSDT+REROUTE", "oracle"))
 	p := topology.MustParams(16)
 	N := 16
-	for _, nf := range []int{1, 2, 4, 8, 16} {
+	faultCounts := []int{1, 2, 4, 8, 16}
+	// Each fault count seeds its own RNG, so the rows are independent and
+	// can be computed in parallel without changing the report.
+	rows, err := parmap(len(faultCounts), func(row int) (string, error) {
+		nf := faultCounts[row]
 		rng := rand.New(rand.NewSource(int64(1300 + nf)))
 		var ok [7]int
 		total := 0
@@ -101,11 +119,17 @@ func runE13() (string, error) {
 			}
 		}
 		pct := func(i int) float64 { return 100 * float64(ok[i]) / float64(total) }
-		fmt.Fprintf(&sb, "%6d  %5.1f%%  %6.1f%%  %9.1f%%  %11.1f%%  %4.1f%%  %11.1f%%  %5.1f%%\n",
-			nf, pct(0), pct(1), pct(2), pct(3), pct(4), pct(5), pct(6))
 		if ok[5] != ok[6] {
 			return "", fmt.Errorf("TSDT+REROUTE (%d) differs from the oracle (%d) at %d faults", ok[5], ok[6], nf)
 		}
+		return fmt.Sprintf("%6d  %5.1f%%  %6.1f%%  %9.1f%%  %11.1f%%  %4.1f%%  %11.1f%%  %5.1f%%\n",
+			nf, pct(0), pct(1), pct(2), pct(3), pct(4), pct(5), pct(6)), nil
+	})
+	if err != nil {
+		return "", err
+	}
+	for _, row := range rows {
+		sb.WriteString(row)
 	}
 	sb.WriteString("\nTSDT+REROUTE must equal the oracle column exactly (universality); the other schemes trail it\n")
 	return sb.String(), nil

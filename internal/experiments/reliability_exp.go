@@ -21,17 +21,33 @@ func runE23() (string, error) {
 		p := topology.MustParams(N)
 		for _, q := range []float64{0.01, 0.05, 0.1} {
 			cube := analysis.ICubePairReliability(p, q)
-			worst, best := 1.0, 0.0
-			worstPair := [2]int{0, 0}
-			for s := 0; s < N; s++ {
+			// The pair-reliability DP is deterministic, so the N rows can
+			// be computed in parallel and folded in scan order.
+			rows, err := parmap(N, func(s int) ([]float64, error) {
+				out := make([]float64, N)
 				for d := 0; d < N; d++ {
 					if s == d {
 						continue // same-pair = series system, equals ICube
 					}
 					r, err := analysis.PairReliability(p, s, d, q)
 					if err != nil {
-						return "", err
+						return nil, err
 					}
+					out[d] = r
+				}
+				return out, nil
+			})
+			if err != nil {
+				return "", err
+			}
+			worst, best := 1.0, 0.0
+			worstPair := [2]int{0, 0}
+			for s := 0; s < N; s++ {
+				for d := 0; d < N; d++ {
+					if s == d {
+						continue
+					}
+					r := rows[s][d]
 					if r < worst {
 						worst, worstPair = r, [2]int{s, d}
 					}

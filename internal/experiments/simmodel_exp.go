@@ -15,25 +15,39 @@ func init() {
 }
 
 func runE20() (string, error) {
-	var sb strings.Builder
-	sb.WriteString("cycle-level simulation, N=16, adaptive-SSDT policy, queue capacity 4:\n")
-	sb.WriteString(header("traffic", "load", "switch model", "throughput", "mean lat", "p99 lat"))
 	type tr struct {
 		kind simulator.TrafficKind
 		frac float64
 	}
-	for _, traffic := range []tr{{simulator.Uniform, 0}, {simulator.Hotspot, 0.4}} {
-		for _, load := range []float64{0.4, 0.8} {
-			for _, model := range []simulator.SwitchModel{simulator.Crossbar, simulator.SingleInput} {
-				m, err := simulator.Run(simulator.Config{
+	traffics := []tr{{simulator.Uniform, 0}, {simulator.Hotspot, 0.4}}
+	loads := []float64{0.4, 0.8}
+	models := []simulator.SwitchModel{simulator.Crossbar, simulator.SingleInput}
+	var cfgs []simulator.Config
+	for _, traffic := range traffics {
+		for _, load := range loads {
+			for _, model := range models {
+				cfgs = append(cfgs, simulator.Config{
 					N: 16, Policy: simulator.AdaptiveSSDT, Load: load, QueueCap: 4,
 					Cycles: 4000, Warmup: 500, Seed: 20,
 					Traffic: traffic.kind, HotspotDest: 0, HotspotFrac: traffic.frac,
 					Switches: model,
 				})
-				if err != nil {
-					return "", err
-				}
+			}
+		}
+	}
+	ms, err := simulator.RunMany(cfgs)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString("cycle-level simulation, N=16, adaptive-SSDT policy, queue capacity 4:\n")
+	sb.WriteString(header("traffic", "load", "switch model", "throughput", "mean lat", "p99 lat"))
+	i := 0
+	for _, traffic := range traffics {
+		for _, load := range loads {
+			for _, model := range models {
+				m := ms[i]
+				i++
 				fmt.Fprintf(&sb, "%-7s  %4.1f  %-12s  %10.4f  %8.2f  %7.0f\n",
 					traffic.kind, load, model, m.Throughput, m.Latency.Mean(), m.Latency.Percentile(99))
 			}
@@ -47,15 +61,21 @@ func runE21() (string, error) {
 	var sb strings.Builder
 	sb.WriteString("transient link failures (each link fails with rate f per cycle, repairs after 30 cycles),\nN=16, load 0.4, adaptive-SSDT routing:\n")
 	sb.WriteString(header("fault rate", "delivered", "dropped", "drop rate", "mean lat"))
-	for _, f := range []float64{0, 0.001, 0.005, 0.02} {
-		m, err := simulator.Run(simulator.Config{
+	rates := []float64{0, 0.001, 0.005, 0.02}
+	cfgs := make([]simulator.Config, len(rates))
+	for i, f := range rates {
+		cfgs[i] = simulator.Config{
 			N: 16, Policy: simulator.AdaptiveSSDT, Load: 0.4, QueueCap: 4,
 			Cycles: 4000, Warmup: 500, Seed: 21, Traffic: simulator.Uniform,
 			FaultRate: f, RepairCycles: 30,
-		})
-		if err != nil {
-			return "", err
 		}
+	}
+	ms, err := simulator.RunMany(cfgs)
+	if err != nil {
+		return "", err
+	}
+	for i, f := range rates {
+		m := ms[i]
 		tot := m.Delivered + m.Dropped
 		rate := 0.0
 		if tot > 0 {

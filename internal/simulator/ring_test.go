@@ -1,0 +1,94 @@
+package simulator
+
+import "testing"
+
+// FuzzRingQueue drives one ringQueues instance with an arbitrary
+// operation tape and checks it against a reference slice-of-slices model:
+// same contents, same pop order, same rejection behaviour at capacity,
+// and an occupancy bitset that always mirrors the sizes.
+func FuzzRingQueue(f *testing.F) {
+	f.Add(2, 3, []byte{0, 1, 2, 0x80, 0x81, 0, 0x80})
+	f.Add(1, 1, []byte{0, 0, 0x80, 0x80})
+	f.Add(70, 2, []byte{0, 65, 69, 0x80, 0xC1})
+	f.Fuzz(func(t *testing.T, links, capacity int, ops []byte) {
+		if links < 1 || links > 256 || capacity < 1 || capacity > 16 {
+			t.Skip()
+		}
+		q := newRingQueues(links, capacity)
+		ref := make([][]packet, links)
+		for step, op := range ops {
+			i := int(op&0x7f) % links
+			if op&0x80 == 0 {
+				// push
+				pk := packet{dst: int32(step), born: int32(i)}
+				ln, ok := q.push(i, pk)
+				wantOK := len(ref[i]) < capacity
+				if ok != wantOK {
+					t.Fatalf("step %d: push(%d) ok=%v, want %v", step, i, ok, wantOK)
+				}
+				if ok {
+					ref[i] = append(ref[i], pk)
+					if int(ln) != len(ref[i]) {
+						t.Fatalf("step %d: push(%d) occupancy %d, want %d", step, i, ln, len(ref[i]))
+					}
+				} else if int(ln) != capacity {
+					t.Fatalf("step %d: full push(%d) occupancy %d, want %d", step, i, ln, capacity)
+				}
+			} else if len(ref[i]) > 0 {
+				// pop (front first, then pop, as the advance loop does)
+				if got, want := q.front(i), ref[i][0]; got != want {
+					t.Fatalf("step %d: front(%d) = %+v, want %+v", step, i, got, want)
+				}
+				if got, want := q.pop(i), ref[i][0]; got != want {
+					t.Fatalf("step %d: pop(%d) = %+v, want %+v", step, i, got, want)
+				}
+				ref[i] = ref[i][1:]
+			}
+			if got, want := q.len(i), int32(len(ref[i])); got != want {
+				t.Fatalf("step %d: len(%d) = %d, want %d", step, i, got, want)
+			}
+			occBit := q.occ[i>>6]>>(uint(i)&63)&1 == 1
+			if occBit != (len(ref[i]) > 0) {
+				t.Fatalf("step %d: occ bit for %d is %v with %d queued", step, i, occBit, len(ref[i]))
+			}
+		}
+		// Drain everything and verify full FIFO order and a clean bitset.
+		for i := range ref {
+			for len(ref[i]) > 0 {
+				if got, want := q.pop(i), ref[i][0]; got != want {
+					t.Fatalf("drain: pop(%d) = %+v, want %+v", i, got, want)
+				}
+				ref[i] = ref[i][1:]
+			}
+		}
+		for w, word := range q.occ {
+			if word != 0 {
+				t.Fatalf("drained bitset word %d = %#x, want 0", w, word)
+			}
+		}
+	})
+}
+
+// TestRingQueueReset checks that reset restores the empty state.
+func TestRingQueueReset(t *testing.T) {
+	q := newRingQueues(5, 3)
+	for i := 0; i < 5; i++ {
+		q.push(i, packet{dst: int32(i)})
+	}
+	q.reset()
+	for i := 0; i < 5; i++ {
+		if q.len(i) != 0 {
+			t.Errorf("after reset, len(%d) = %d", i, q.len(i))
+		}
+	}
+	for w, word := range q.occ {
+		if word != 0 {
+			t.Errorf("after reset, occ[%d] = %#x", w, word)
+		}
+	}
+	// The rings must be usable again.
+	q.push(2, packet{dst: 9})
+	if q.pop(2) != (packet{dst: 9}) {
+		t.Error("push/pop after reset broken")
+	}
+}

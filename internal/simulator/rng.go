@@ -1,0 +1,70 @@
+package simulator
+
+import "math"
+
+// splitmix is the splitmix64 generator (Steele, Lea & Flood, OOPSLA 2014):
+// a single 64-bit additive counter pushed through a full-avalanche mix.
+// It is allocation-free, branch-free and seedable from any 64-bit value,
+// which is exactly what the per-run RNGs of RunMany need; math/rand's
+// *rand.Rand costs an interface call plus a large seeded table per run.
+type splitmix struct {
+	state uint64
+}
+
+func newSplitmix(seed int64) splitmix { return splitmix{state: uint64(seed)} }
+
+// next returns the next 64 uniformly random bits.
+func (r *splitmix) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform value in [0, n) for n a power of two.
+func (r *splitmix) intn(mask uint64) int { return int(r.next() & mask) }
+
+// bit returns a fair coin flip.
+func (r *splitmix) bit() bool { return r.next()&1 == 0 }
+
+// bernoulliThreshold converts a probability into an integer threshold t
+// such that next() < t holds with probability p, so per-cycle Bernoulli
+// draws in the hot loop are a single integer compare instead of a float
+// conversion. p >= 1 maps to MaxUint64 (a miss then has probability 2^-64,
+// i.e. it will not occur within any feasible simulation length).
+func bernoulliThreshold(p float64) uint64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.MaxUint64
+	}
+	return uint64(p * float64(1<<63) * 2)
+}
+
+// hit reports one Bernoulli(t) draw against a precomputed threshold.
+func (r *splitmix) hit(t uint64) bool { return r.next() < t }
+
+// unitOpen returns a uniform float64 in (0, 1], suitable as the argument
+// of a logarithm.
+func (r *splitmix) unitOpen() float64 {
+	return (float64(r.next()>>11) + 1) * (1.0 / (1 << 53))
+}
+
+// geometricSkip draws the number of Bernoulli(p) trials up to and
+// including the next success, via inversion: 1 + floor(ln U / ln(1-p)).
+// invLn1mP must be 1/ln(1-p) (precomputed once per run); p >= 1 is
+// signalled by invLn1mP == 0 and yields a skip of 1 (every trial hits).
+// Replacing the per-link-per-cycle fault draws with this skip makes fault
+// injection cost O(faults) instead of O(links * cycles).
+func (r *splitmix) geometricSkip(invLn1mP float64) int64 {
+	if invLn1mP == 0 {
+		return 1
+	}
+	skip := int64(math.Log(r.unitOpen())*invLn1mP) + 1
+	if skip < 1 {
+		return 1
+	}
+	return skip
+}

@@ -1,0 +1,82 @@
+package simulator
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// RunMany executes every config as an independent run, fanning out across
+// a worker pool of GOMAXPROCS goroutines. Each run uses its own
+// deterministically seeded RNG (cfg.Seed), so results are bit-identical to
+// calling Run on each config serially, in the same order as cfgs,
+// regardless of worker count or scheduling. On error the first failing
+// config (by index) is reported.
+func RunMany(cfgs []Config) ([]Metrics, error) {
+	return RunManyWorkers(cfgs, 0)
+}
+
+// RunManyWorkers is RunMany with an explicit worker bound; workers <= 0
+// means GOMAXPROCS.
+func RunManyWorkers(cfgs []Config, workers int) ([]Metrics, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	results := make([]Metrics, len(cfgs))
+	errs := make([]error, len(cfgs))
+	if workers <= 1 {
+		for i := range cfgs {
+			results[i], errs[i] = Run(cfgs[i])
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(cfgs) {
+						return
+					}
+					results[i], errs[i] = Run(cfgs[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("simulator: run %d: %w", i, err)
+		}
+	}
+	return results, nil
+}
+
+// Sweep builds and runs `points` configs derived from base: point i copies
+// base, decorrelates the seed to base.Seed + i (splitmix64 streams from
+// adjacent seeds are independent), then applies vary(i, &cfg) if vary is
+// non-nil — vary may override any field, including the seed. The runs fan
+// out across RunManyWorkers(workers) and the results come back in point
+// order. This is the replica-sweep shape of the EXPERIMENTS.md workloads:
+// many independent seeds (or operating points) of one scenario.
+func Sweep(base Config, points, workers int, vary func(i int, cfg *Config)) ([]Metrics, error) {
+	if points < 0 {
+		return nil, fmt.Errorf("simulator: sweep points %d < 0", points)
+	}
+	cfgs := make([]Config, points)
+	for i := range cfgs {
+		cfg := base
+		cfg.Seed = base.Seed + int64(i)
+		if vary != nil {
+			vary(i, &cfg)
+		}
+		cfgs[i] = cfg
+	}
+	return RunManyWorkers(cfgs, workers)
+}

@@ -13,13 +13,23 @@
 // carry plain n-bit destination tags; by Theorem 3.1 every buffer choice
 // still delivers the packet, which is precisely the freedom the policies
 // below exploit.
+//
+// The hot path is allocation-free: per-link FIFOs live in one flat ring
+// buffer (ringQueues), random draws are integer threshold compares against
+// an inlined splitmix64 generator, transient faults are injected by
+// geometric skip-sampling instead of one draw per link per cycle, and the
+// latency distribution accumulates into a stats.Stream (streaming moments
+// plus a fixed-width histogram) rather than one float64 per delivered
+// packet. Use a Runner to amortize even the setup allocations across many
+// seeds of one configuration, and RunMany/Sweep to fan independent runs
+// out across a worker pool.
 package simulator
 
 import (
 	"fmt"
-	"math/rand"
+	"math"
+	"math/bits"
 
-	"iadm/internal/bitutil"
 	"iadm/internal/blockage"
 	"iadm/internal/stats"
 	"iadm/internal/topology"
@@ -128,7 +138,7 @@ type Config struct {
 	Load     float64 // injection probability per source per cycle, 0..1
 	QueueCap int     // buffer capacity per link (packets)
 	Cycles   int     // measured cycles
-	Warmup   int     // cycles run before measurement starts
+	Warmup   int     // cycles run before measurement starts (>= 0)
 	Seed     int64   // PRNG seed (deterministic runs)
 
 	Traffic     TrafficKind
@@ -141,7 +151,8 @@ type Config struct {
 	Switches SwitchModel
 
 	// Blocked, if non-nil, marks links that cannot carry packets; packets
-	// with no usable buffer are dropped and counted.
+	// with no usable buffer are dropped and counted. The set is snapshot
+	// at run start.
 	Blocked *blockage.Set
 
 	// FaultRate, if positive, makes each link fail independently with this
@@ -167,7 +178,7 @@ type Metrics struct {
 	Dropped   int // packets dropped (blockage with no alternative)
 	Refused   int // injections refused because the first buffer was full
 
-	Latency    stats.Sample // cycles from injection to delivery
+	Latency    stats.Stream // cycles from injection to delivery
 	MaxQueue   int          // largest buffer occupancy observed
 	MeanQueue  float64      // time-average of per-link occupancy
 	Throughput float64      // delivered per cycle per source
@@ -178,165 +189,344 @@ type Metrics struct {
 	// nonstraight links, mean L/4 with near-zero spread under the
 	// load-balancing policies versus a 0-or-L/2 bimodal split under
 	// static-C routing (each switch then always uses the same sign).
-	UtilStraight    stats.Sample
-	UtilNonstraight stats.Sample
+	UtilStraight    stats.Stream
+	UtilNonstraight stats.Stream
 }
 
+// packet is the unit of traffic. int32 fields keep the flat ring buffer
+// half the size of the naive int layout (N < 2^31 and cycle counts < 2^31
+// are enforced by validation).
 type packet struct {
-	dst  int
-	born int
+	dst  int32
+	born int32
 }
 
+// sim holds the preallocated state of one simulation configuration. All
+// arrays are indexed by the dense link index (stage*N+from)*3 + kind, so a
+// stage's links occupy one contiguous window and the per-stage sweeps are
+// linear scans.
 type sim struct {
-	cfg    Config
-	p      topology.Params
-	rng    *rand.Rand
-	queues [][]packet // indexed by link index
-	m      Metrics
+	cfg Config
+	p   topology.Params
+
+	n int // stages
+	N int // switches per stage
+	L int // 3*N*n links
+
+	rng splitmix
+	q   ringQueues
+
+	// toOf[link] is the switch the link leads to at the next stage.
+	toOf []int32
+
+	// staticBlocked is the snapshot of cfg.Blocked; blockable is true when
+	// any link can ever be unusable (static blockage or transient faults),
+	// letting the routing fast path skip blockage checks entirely.
+	staticBlocked []bool
+	hasStatic     bool
+	blockable     bool
 
 	// switchBusy marks stage-1..n switches that already passed a packet
 	// this cycle (SingleInput model); indexed stage*N + switch with stage
 	// counted from 1.
-	switchBusy []bool
+	switchBusy  []bool
+	singleInput bool
+	policy      Policy
+	traffic     TrafficKind
 
 	// failUntil[link] is the first cycle at which a transiently failed
 	// link works again (FaultRate model).
-	failUntil []int
-	now       int
+	failUntil []int32
+	faulty    bool
 
 	// forwards[link] counts packets forwarded out of the link's buffer
 	// during measured cycles.
-	forwards []int
+	forwards []int32
 
 	// burstOn[src] is the on/off state of each bursty source.
 	burstOn []bool
+	bursty  bool
 
-	queueSamples int
+	// Precomputed integer Bernoulli thresholds and the uniform destination
+	// mask (N is a power of two, so a masked draw is exact).
+	loadT, hotT, burstStopT, burstStartT uint64
+	dstMask                              uint64
+
+	// invLn1mF is 1/ln(1-FaultRate) for geometric skip-sampling (0 when
+	// FaultRate >= 1: every trial hits).
+	invLn1mF       float64
+	nextFaultTrial int64
+
+	nowCycle int
+
+	// latHist accumulates delivery latencies as bare counter increments;
+	// it is folded into the lat stream once at the end of the run, so the
+	// per-delivery cost in the cycle loop is a single int32 increment.
+	// Latencies at or beyond the last bucket are clamped into it.
+	latHist []int32
+
+	// occupied is the total number of queued packets, maintained
+	// incrementally so per-cycle occupancy sampling is O(1), not O(links).
+	occupied     int64
 	queueSum     int64
+	queueSamples int64
+	maxQueue     int32
+
+	lat, utilS, utilN stats.Stream
+
+	m Metrics
+}
+
+// validate checks cfg against the documented ranges. cfg must already be
+// normalized.
+func validate(cfg *Config) error {
+	if cfg.Load < 0 || cfg.Load > 1 {
+		return fmt.Errorf("simulator: load %v out of [0,1]", cfg.Load)
+	}
+	if cfg.QueueCap < 1 {
+		return fmt.Errorf("simulator: queue capacity %d < 1", cfg.QueueCap)
+	}
+	if cfg.Cycles < 1 {
+		return fmt.Errorf("simulator: cycles %d < 1", cfg.Cycles)
+	}
+	if cfg.Warmup < 0 {
+		return fmt.Errorf("simulator: warmup %d < 0 (a negative warmup would skew the measurement window)", cfg.Warmup)
+	}
+	if cfg.Warmup+cfg.Cycles >= math.MaxInt32 {
+		return fmt.Errorf("simulator: warmup+cycles %d overflows the cycle counter", cfg.Warmup+cfg.Cycles)
+	}
+	if cfg.Traffic == PermutationTraffic {
+		if len(cfg.Perm) != cfg.N {
+			return fmt.Errorf("simulator: permutation has %d entries, want %d", len(cfg.Perm), cfg.N)
+		}
+	}
+	if cfg.Traffic == Hotspot && (cfg.HotspotDest < 0 || cfg.HotspotDest >= cfg.N) {
+		return fmt.Errorf("simulator: hotspot destination %d out of range", cfg.HotspotDest)
+	}
+	if cfg.FaultRate < 0 || cfg.FaultRate > 1 {
+		return fmt.Errorf("simulator: fault rate %v out of [0,1]", cfg.FaultRate)
+	}
+	if cfg.FaultRate > 0 && cfg.RepairCycles < 0 {
+		return fmt.Errorf("simulator: repair cycles %d < 0 with fault rate %v", cfg.RepairCycles, cfg.FaultRate)
+	}
+	return nil
+}
+
+// newSim validates cfg and allocates every buffer a run needs; reset must
+// be called before run.
+func newSim(cfg Config) (*sim, error) {
+	p, err := topology.NewParams(cfg.N)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Bursty {
+		if cfg.BurstOn <= 0 {
+			cfg.BurstOn = 10
+		}
+		if cfg.BurstOff <= 0 {
+			cfg.BurstOff = 10
+		}
+	}
+	if err := validate(&cfg); err != nil {
+		return nil, err
+	}
+	n, N := p.Stages(), cfg.N
+	L := 3 * N * n
+	s := &sim{
+		cfg:         cfg,
+		p:           p,
+		n:           n,
+		N:           N,
+		L:           L,
+		q:           newRingQueues(L, cfg.QueueCap),
+		toOf:        make([]int32, L),
+		switchBusy:  make([]bool, (n+1)*N),
+		failUntil:   make([]int32, L),
+		forwards:    make([]int32, L),
+		singleInput: cfg.Switches == SingleInput,
+		policy:      cfg.Policy,
+		traffic:     cfg.Traffic,
+		faulty:      cfg.FaultRate > 0,
+		bursty:      cfg.Bursty,
+		loadT:       bernoulliThreshold(cfg.Load),
+		hotT:        bernoulliThreshold(cfg.HotspotFrac),
+		dstMask:     uint64(N - 1),
+	}
+	for idx := 0; idx < L; idx++ {
+		s.toOf[idx] = int32(topology.LinkFromIndex(p, idx).To(p))
+	}
+	if cfg.Blocked != nil {
+		s.staticBlocked = make([]bool, L)
+		for idx := 0; idx < L; idx++ {
+			if cfg.Blocked.Blocked(topology.LinkFromIndex(p, idx)) {
+				s.staticBlocked[idx] = true
+				s.hasStatic = true
+			}
+		}
+	}
+	if s.bursty {
+		s.burstOn = make([]bool, N)
+		s.burstStopT = bernoulliThreshold(1 / float64(cfg.BurstOn))
+		s.burstStartT = bernoulliThreshold(1 / float64(cfg.BurstOff))
+	}
+	if s.faulty && cfg.FaultRate < 1 {
+		s.invLn1mF = 1 / math.Log(1-cfg.FaultRate)
+	}
+	s.blockable = s.hasStatic || s.faulty
+	latBuckets := cfg.Warmup + cfg.Cycles + 1
+	if latBuckets > 1<<16 {
+		latBuckets = 1 << 16
+	}
+	s.latHist = make([]int32, latBuckets)
+	s.lat = stats.NewStream(1, latBuckets)
+	s.utilS = stats.NewStream(1.0/1024, 1025)
+	s.utilN = stats.NewStream(1.0/1024, 1025)
+	return s, nil
+}
+
+// reset rewinds the sim to cycle 0 with a fresh RNG stream, reusing every
+// buffer.
+func (s *sim) reset(seed int64) {
+	s.rng = newSplitmix(seed)
+	s.q.reset()
+	clear(s.switchBusy)
+	clear(s.failUntil)
+	clear(s.forwards)
+	clear(s.latHist)
+	s.occupied, s.queueSum, s.queueSamples = 0, 0, 0
+	s.maxQueue = 0
+	s.nowCycle = 0
+	s.m = Metrics{}
+	s.lat.Reset()
+	s.utilS.Reset()
+	s.utilN.Reset()
+	if s.bursty {
+		for i := range s.burstOn {
+			s.burstOn[i] = s.rng.bit()
+		}
+	}
+	if s.faulty {
+		s.nextFaultTrial = s.rng.geometricSkip(s.invLn1mF) - 1
+	}
+}
+
+// run executes the configured cycles and finalizes metrics. The returned
+// Metrics' stream fields share storage with the sim and are valid until
+// the next reset.
+func (s *sim) run() Metrics {
+	total := s.cfg.Warmup + s.cfg.Cycles
+	for cycle := 0; cycle < total; cycle++ {
+		s.step(cycle, cycle >= s.cfg.Warmup)
+	}
+	s.m.Throughput = float64(s.m.Delivered) / float64(s.cfg.Cycles) / float64(s.N)
+	if s.queueSamples > 0 {
+		s.m.MeanQueue = float64(s.queueSum) / float64(s.queueSamples)
+	}
+	s.m.MaxQueue = int(s.maxQueue)
+	for v, c := range s.latHist {
+		s.lat.AddN(float64(v), int(c))
+	}
+	for idx := 0; idx < s.L; idx++ {
+		util := float64(s.forwards[idx]) / float64(s.cfg.Cycles)
+		if idx%3 != 1 { // kinds are Minus(0), Straight(1), Plus(2)
+			s.utilN.Add(util)
+		} else {
+			s.utilS.Add(util)
+		}
+	}
+	s.m.Latency = s.lat
+	s.m.UtilStraight = s.utilS
+	s.m.UtilNonstraight = s.utilN
+	return s.m
 }
 
 // Run executes the simulation and returns its metrics.
 func Run(cfg Config) (Metrics, error) {
-	p, err := topology.NewParams(cfg.N)
+	s, err := newSim(cfg)
 	if err != nil {
 		return Metrics{}, err
 	}
-	if cfg.Load < 0 || cfg.Load > 1 {
-		return Metrics{}, fmt.Errorf("simulator: load %v out of [0,1]", cfg.Load)
-	}
-	if cfg.QueueCap < 1 {
-		return Metrics{}, fmt.Errorf("simulator: queue capacity %d < 1", cfg.QueueCap)
-	}
-	if cfg.Cycles < 1 {
-		return Metrics{}, fmt.Errorf("simulator: cycles %d < 1", cfg.Cycles)
-	}
-	if cfg.Traffic == PermutationTraffic {
-		if len(cfg.Perm) != cfg.N {
-			return Metrics{}, fmt.Errorf("simulator: permutation has %d entries, want %d", len(cfg.Perm), cfg.N)
-		}
-	}
-	if cfg.Traffic == Hotspot && (cfg.HotspotDest < 0 || cfg.HotspotDest >= cfg.N) {
-		return Metrics{}, fmt.Errorf("simulator: hotspot destination %d out of range", cfg.HotspotDest)
-	}
-	if cfg.FaultRate < 0 || cfg.FaultRate > 1 {
-		return Metrics{}, fmt.Errorf("simulator: fault rate %v out of [0,1]", cfg.FaultRate)
-	}
-	s := &sim{
-		cfg:        cfg,
-		p:          p,
-		rng:        rand.New(rand.NewSource(cfg.Seed)),
-		queues:     make([][]packet, 3*cfg.N*p.Stages()),
-		switchBusy: make([]bool, (p.Stages()+1)*cfg.N),
-		failUntil:  make([]int, 3*cfg.N*p.Stages()),
-		forwards:   make([]int, 3*cfg.N*p.Stages()),
-	}
-	if cfg.Bursty {
-		if s.cfg.BurstOn <= 0 {
-			s.cfg.BurstOn = 10
-		}
-		if s.cfg.BurstOff <= 0 {
-			s.cfg.BurstOff = 10
-		}
-		s.burstOn = make([]bool, cfg.N)
-		for i := range s.burstOn {
-			s.burstOn[i] = s.rng.Intn(2) == 0
-		}
-	}
-	for cycle := 0; cycle < cfg.Warmup+cfg.Cycles; cycle++ {
-		s.step(cycle, cycle >= cfg.Warmup)
-	}
-	if cfg.Cycles > 0 {
-		s.m.Throughput = float64(s.m.Delivered) / float64(cfg.Cycles) / float64(cfg.N)
-	}
-	if s.queueSamples > 0 {
-		s.m.MeanQueue = float64(s.queueSum) / float64(s.queueSamples)
-	}
-	for idx, count := range s.forwards {
-		util := float64(count) / float64(cfg.Cycles)
-		if topology.LinkFromIndex(p, idx).Kind.Nonstraight() {
-			s.m.UtilNonstraight.Add(util)
-		} else {
-			s.m.UtilStraight.Add(util)
-		}
-	}
-	return s.m, nil
+	s.reset(cfg.Seed)
+	return s.run(), nil
 }
 
-// blocked reports whether a link is statically blocked or transiently
+// Runner executes repeated simulations of one configuration without
+// reallocating any per-run state, so the steady-state cycle loop performs
+// zero heap allocations. The Metrics returned by Run/RunSeed share their
+// latency and utilization stream storage with the Runner and are
+// invalidated by the next call; copy the numbers out (or use the one-shot
+// Run function) if you need them to survive.
+type Runner struct {
+	s *sim
+}
+
+// NewRunner validates cfg and preallocates a reusable simulation.
+func NewRunner(cfg Config) (*Runner, error) {
+	s, err := newSim(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{s: s}, nil
+}
+
+// Run executes one run with the configured seed.
+func (r *Runner) Run() Metrics { return r.RunSeed(r.s.cfg.Seed) }
+
+// RunSeed executes one run with the given seed, reusing all buffers.
+func (r *Runner) RunSeed(seed int64) Metrics {
+	r.s.reset(seed)
+	return r.s.run()
+}
+
+// linkBlocked reports whether a link is statically blocked or transiently
 // failed right now.
-func (s *sim) blocked(l topology.Link) bool {
-	if s.cfg.Blocked != nil && s.cfg.Blocked.Blocked(l) {
+func (s *sim) linkBlocked(idx int) bool {
+	if s.hasStatic && s.staticBlocked[idx] {
 		return true
 	}
-	return s.cfg.FaultRate > 0 && s.failUntil[l.Index(s.p)] > s.now
+	return s.faulty && int(s.failUntil[idx]) > s.nowCycle
 }
 
-// busy reports (and busyMark sets) the SingleInput per-cycle usage of the
-// switch at the given stage (1..n).
-func (s *sim) busy(stage, sw int) bool {
-	return s.cfg.Switches == SingleInput && s.switchBusy[stage*s.cfg.N+sw]
-}
-
-func (s *sim) busyMark(stage, sw int) {
-	if s.cfg.Switches == SingleInput {
-		s.switchBusy[stage*s.cfg.N+sw] = true
+// chooseQueue picks the output buffer of switch sw at the given stage for
+// a packet to dst, honouring the policy and blockages. ok=false means the
+// packet must be dropped. The returned value is a dense link index. When
+// no link can ever be blocked (the common case) the whole blockage ladder
+// is skipped.
+func (s *sim) chooseQueue(stage, sw, dst int) (int, bool) {
+	base := (stage*s.N + sw) * 3
+	if ((sw^dst)>>uint(stage))&1 == 0 {
+		idx := base + 1 // straight
+		if s.blockable && s.linkBlocked(idx) {
+			return 0, false
+		}
+		return idx, true
 	}
-}
-
-// chooseQueue picks the output buffer of switch j at stage i for a packet
-// to dst, honouring the policy and blockages. ok=false means the packet
-// must be dropped.
-func (s *sim) chooseQueue(i, j, dst int) (topology.Link, bool) {
-	if bitutil.Bit(uint64(j), i) == bitutil.Bit(uint64(dst), i) {
-		l := topology.Link{Stage: i, From: j, Kind: topology.Straight}
-		return l, !s.blocked(l)
+	minus, plus := base, base+2
+	if s.blockable {
+		mOK, pOK := !s.linkBlocked(minus), !s.linkBlocked(plus)
+		switch {
+		case !pOK && !mOK:
+			return 0, false
+		case pOK && !mOK:
+			return plus, true
+		case mOK && !pOK:
+			return minus, true
+		}
 	}
-	plus := topology.Link{Stage: i, From: j, Kind: topology.Plus}
-	minus := topology.Link{Stage: i, From: j, Kind: topology.Minus}
-	pOK, mOK := !s.blocked(plus), !s.blocked(minus)
-	switch {
-	case !pOK && !mOK:
-		return topology.Link{}, false
-	case pOK && !mOK:
-		return plus, true
-	case mOK && !pOK:
-		return minus, true
-	}
-	switch s.cfg.Policy {
+	switch s.policy {
 	case StaticC:
 		// State C: even_i uses +2^i, odd_i uses -2^i.
-		if core := bitutil.Bit(uint64(j), i); core == 0 {
+		if (sw>>uint(stage))&1 == 0 {
 			return plus, true
 		}
 		return minus, true
 	case RandomState:
-		if s.rng.Intn(2) == 0 {
+		if s.rng.bit() {
 			return plus, true
 		}
 		return minus, true
 	default: // AdaptiveSSDT
-		lp := len(s.queues[plus.Index(s.p)])
-		lm := len(s.queues[minus.Index(s.p)])
+		lp, lm := s.q.len(plus), s.q.len(minus)
 		switch {
 		case lp < lm:
 			return plus, true
@@ -344,7 +534,7 @@ func (s *sim) chooseQueue(i, j, dst int) (topology.Link, bool) {
 			return minus, true
 		default:
 			// Tie: fall back to the state-C default.
-			if bitutil.Bit(uint64(j), i) == 0 {
+			if (sw>>uint(stage))&1 == 0 {
 				return plus, true
 			}
 			return minus, true
@@ -352,89 +542,115 @@ func (s *sim) chooseQueue(i, j, dst int) (topology.Link, bool) {
 	}
 }
 
-// enqueue places a packet in the buffer of l if there is room.
-func (s *sim) enqueue(l topology.Link, pk packet) bool {
-	idx := l.Index(s.p)
-	if len(s.queues[idx]) >= s.cfg.QueueCap {
-		return false
-	}
-	s.queues[idx] = append(s.queues[idx], pk)
-	if ln := len(s.queues[idx]); ln > s.m.MaxQueue {
-		s.m.MaxQueue = ln
-	}
-	return true
-}
-
 // step advances the simulation one cycle. Stages are processed from the
 // output side back to the input side so a packet advances at most one stage
-// per cycle.
+// per cycle. Link iteration within a stage is a linear scan: the dense
+// index orders links by (stage, switch, kind) with kinds Minus, Straight,
+// Plus, matching the seed implementation's sweep order exactly.
 func (s *sim) step(cycle int, measured bool) {
-	n := s.p.Stages()
-	s.now = cycle
+	s.nowCycle = cycle
 	// Reset per-cycle switch usage (SingleInput model).
-	if s.cfg.Switches == SingleInput {
-		for i := range s.switchBusy {
-			s.switchBusy[i] = false
-		}
+	if s.singleInput {
+		clear(s.switchBusy)
 	}
-	// Inject and expire transient link failures.
-	if s.cfg.FaultRate > 0 {
-		for idx := range s.failUntil {
-			if s.failUntil[idx] <= cycle && s.rng.Float64() < s.cfg.FaultRate {
-				s.failUntil[idx] = cycle + s.cfg.RepairCycles
+	// Inject and expire transient link failures. Instead of one Bernoulli
+	// draw per link per cycle, skip-sample the flattened (cycle, link)
+	// trial sequence geometrically: expected cost is FaultRate*L per cycle
+	// rather than L. Trials landing on an already-failed link are
+	// discarded, which leaves every working link failing with exactly
+	// FaultRate per cycle (the seed semantics).
+	if s.faulty {
+		start := int64(cycle) * int64(s.L)
+		end := start + int64(s.L)
+		for s.nextFaultTrial < end {
+			idx := int(s.nextFaultTrial - start)
+			if int(s.failUntil[idx]) <= cycle {
+				s.failUntil[idx] = int32(cycle + s.cfg.RepairCycles)
 			}
+			s.nextFaultTrial += s.rng.geometricSkip(s.invLn1mF)
 		}
 	}
+	// The stage sweeps below iterate only the nonempty queues via the
+	// occupancy bitset: set bits are consumed lowest-first, so the visit
+	// order within a stage is still ascending link index (the seed sweep
+	// order). Stage windows are not word-aligned, so the first and last
+	// word of each range are masked; pushes always target the next stage
+	// up, whose range was already processed this cycle, so mutating the
+	// bitset mid-sweep never perturbs the snapshot word being drained.
+	occ := s.q.occ
 	// Deliver from the last stage.
-	for j := 0; j < s.cfg.N; j++ {
-		for _, k := range [...]topology.LinkKind{topology.Minus, topology.Straight, topology.Plus} {
-			l := topology.Link{Stage: n - 1, From: j, Kind: k}
-			idx := l.Index(s.p)
-			if len(s.queues[idx]) == 0 {
-				continue
-			}
-			to := l.To(s.p)
-			if s.busy(n, to) {
+	outBusyBase := s.n * s.N
+	lo := (s.n - 1) * s.N * 3
+	for w := lo >> 6; w < len(occ); w++ {
+		word := occ[w]
+		if w == lo>>6 {
+			word &= ^uint64(0) << uint(lo&63)
+		}
+		for word != 0 {
+			idx := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			to := int(s.toOf[idx])
+			if s.singleInput && s.switchBusy[outBusyBase+to] {
 				continue // output switch already consumed a packet
 			}
-			pk := s.queues[idx][0]
-			s.queues[idx] = s.queues[idx][1:]
-			if to != pk.dst {
-				panic(fmt.Sprintf("simulator: packet for %d delivered to %d via %v", pk.dst, to, l))
+			pk := s.q.pop(idx)
+			s.occupied--
+			if int(pk.dst) != to {
+				panic(fmt.Sprintf("simulator: packet for %d delivered to %d via %v",
+					pk.dst, to, topology.LinkFromIndex(s.p, idx)))
 			}
-			s.busyMark(n, to)
+			if s.singleInput {
+				s.switchBusy[outBusyBase+to] = true
+			}
 			if measured {
 				s.m.Delivered++
-				s.m.Latency.AddInt(cycle - pk.born)
+				lat := cycle - int(pk.born)
+				if lat >= len(s.latHist) {
+					lat = len(s.latHist) - 1
+				}
+				s.latHist[lat]++
 				s.forwards[idx]++
 			}
 		}
 	}
 	// Advance intermediate stages, highest first.
-	for i := n - 2; i >= 0; i-- {
-		for j := 0; j < s.cfg.N; j++ {
-			for _, k := range [...]topology.LinkKind{topology.Minus, topology.Straight, topology.Plus} {
-				l := topology.Link{Stage: i, From: j, Kind: k}
-				idx := l.Index(s.p)
-				if len(s.queues[idx]) == 0 {
-					continue
-				}
-				pk := s.queues[idx][0]
-				at := l.To(s.p) // switch the packet is arriving at (stage i+1)
-				if s.busy(i+1, at) {
+	for i := s.n - 2; i >= 0; i-- {
+		busyBase := (i + 1) * s.N
+		base := i * s.N * 3
+		hi := base + 3*s.N
+		for w := base >> 6; w <= (hi-1)>>6; w++ {
+			word := occ[w]
+			if w == base>>6 {
+				word &= ^uint64(0) << uint(base&63)
+			}
+			if w == hi>>6 {
+				word &= uint64(1)<<uint(hi&63) - 1
+			}
+			for word != 0 {
+				idx := w<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				at := int(s.toOf[idx]) // switch the packet is arriving at (stage i+1)
+				if s.singleInput && s.switchBusy[busyBase+at] {
 					continue // IADM switch already passed its packet
 				}
-				out, ok := s.chooseQueue(i+1, at, pk.dst)
+				pk := s.q.front(idx)
+				out, ok := s.chooseQueue(i+1, at, int(pk.dst))
 				if !ok {
-					s.queues[idx] = s.queues[idx][1:]
+					s.q.pop(idx)
+					s.occupied--
 					if measured {
 						s.m.Dropped++
 					}
 					continue
 				}
-				if s.enqueue(out, pk) {
-					s.queues[idx] = s.queues[idx][1:]
-					s.busyMark(i+1, at)
+				if ln, pushed := s.q.push(out, pk); pushed {
+					if ln > s.maxQueue {
+						s.maxQueue = ln
+					}
+					s.q.pop(idx)
+					if s.singleInput {
+						s.switchBusy[busyBase+at] = true
+					}
 					if measured {
 						s.forwards[idx]++
 					}
@@ -444,25 +660,29 @@ func (s *sim) step(cycle int, measured bool) {
 		}
 	}
 	// Inject new packets.
-	for src := 0; src < s.cfg.N; src++ {
-		if s.cfg.Bursty {
+	for src := 0; src < s.N; src++ {
+		if s.bursty {
 			// Two-state Markov modulation with mean sojourn BurstOn/BurstOff.
 			if s.burstOn[src] {
-				if s.rng.Float64() < 1/float64(s.cfg.BurstOn) {
+				if s.rng.hit(s.burstStopT) {
 					s.burstOn[src] = false
 				}
-			} else if s.rng.Float64() < 1/float64(s.cfg.BurstOff) {
+			} else if s.rng.hit(s.burstStartT) {
 				s.burstOn[src] = true
 			}
 			if !s.burstOn[src] {
 				continue
 			}
 		}
-		if s.rng.Float64() >= s.cfg.Load {
+		if !s.rng.hit(s.loadT) {
 			continue
 		}
-		dst := s.pickDestination(src)
-		pk := packet{dst: dst, born: cycle}
+		var dst int
+		if s.traffic == Uniform {
+			dst = s.rng.intn(s.dstMask)
+		} else {
+			dst = s.pickDestination(src)
+		}
 		out, ok := s.chooseQueue(0, src, dst)
 		if !ok {
 			if measured {
@@ -470,40 +690,41 @@ func (s *sim) step(cycle int, measured bool) {
 			}
 			continue
 		}
-		if !s.enqueue(out, pk) {
-			if measured {
-				s.m.Refused++
+		if ln, pushed := s.q.push(out, packet{dst: int32(dst), born: int32(cycle)}); pushed {
+			if ln > s.maxQueue {
+				s.maxQueue = ln
 			}
-			continue
-		}
-		if measured {
-			s.m.Injected++
+			s.occupied++
+			if measured {
+				s.m.Injected++
+			}
+		} else if measured {
+			s.m.Refused++
 		}
 	}
-	// Sample queue occupancy.
+	// Sample queue occupancy (running total: O(1) per cycle).
 	if measured {
-		for _, q := range s.queues {
-			s.queueSum += int64(len(q))
-			s.queueSamples++
-		}
+		s.queueSum += s.occupied
+		s.queueSamples += int64(s.L)
 	}
 }
 
-// pickDestination draws a destination for a packet from src.
+// pickDestination draws a destination for a packet from src (non-Uniform
+// traffic kinds; Uniform is inlined at the call site).
 func (s *sim) pickDestination(src int) int {
-	switch s.cfg.Traffic {
+	switch s.traffic {
 	case Hotspot:
-		if s.rng.Float64() < s.cfg.HotspotFrac {
+		if s.rng.hit(s.hotT) {
 			return s.cfg.HotspotDest
 		}
-		return s.rng.Intn(s.cfg.N)
+		return s.rng.intn(s.dstMask)
 	case PermutationTraffic:
 		return s.cfg.Perm[src]
 	case BitComplementTraffic:
-		return s.cfg.N - 1 - src
+		return s.N - 1 - src
 	case Tornado:
-		return (src + s.cfg.N/2 - 1) % s.cfg.N
+		return (src + s.N/2 - 1) % s.N
 	default:
-		return s.rng.Intn(s.cfg.N)
+		return s.rng.intn(s.dstMask)
 	}
 }

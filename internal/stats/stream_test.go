@@ -1,0 +1,201 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// TestStreamMatchesSample checks every summary statistic against the
+// exact Sample implementation on the same data. With integer data and
+// unit-width buckets the percentiles must agree exactly; moments agree up
+// to floating-point rounding.
+func TestStreamMatchesSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var sm Sample
+	st := NewStream(1, 256)
+	for i := 0; i < 10000; i++ {
+		x := rng.Intn(200)
+		sm.AddInt(x)
+		st.AddInt(x)
+	}
+	if st.N() != sm.N() {
+		t.Fatalf("N: stream %d, sample %d", st.N(), sm.N())
+	}
+	checks := []struct {
+		name      string
+		got, want float64
+		tol       float64
+	}{
+		{"mean", st.Mean(), sm.Mean(), 1e-12},
+		{"variance", st.Variance(), sm.Variance(), 1e-9},
+		{"stddev", st.StdDev(), sm.StdDev(), 1e-9},
+		{"min", st.Min(), sm.Min(), 0},
+		{"max", st.Max(), sm.Max(), 0},
+		{"p25", st.Percentile(25), sm.Percentile(25), 0},
+		{"p50", st.Percentile(50), sm.Percentile(50), 0},
+		{"p90", st.Percentile(90), sm.Percentile(90), 0},
+		{"p99", st.Percentile(99), sm.Percentile(99), 0},
+		{"p0", st.Percentile(0), sm.Percentile(0), 0},
+		{"p100", st.Percentile(100), sm.Percentile(100), 0},
+	}
+	for _, c := range checks {
+		if !almostEqual(c.got, c.want, c.tol) {
+			t.Errorf("%s: stream %v, sample %v", c.name, c.got, c.want)
+		}
+	}
+	if st.String() != sm.String() {
+		t.Errorf("String:\nstream %s\nsample %s", st.String(), sm.String())
+	}
+}
+
+// TestStreamZeroValue checks that the zero value works with the default
+// geometry.
+func TestStreamZeroValue(t *testing.T) {
+	var st Stream
+	if st.N() != 0 || st.Mean() != 0 || st.StdDev() != 0 || st.Percentile(50) != 0 {
+		t.Error("empty stream must report zeros")
+	}
+	st.Add(3)
+	st.Add(5)
+	if st.N() != 2 || st.Mean() != 4 || st.Min() != 3 || st.Max() != 5 {
+		t.Errorf("zero-value stream broken: %+v", st)
+	}
+	var st2 Stream
+	st2.AddN(7, 3)
+	if st2.N() != 3 || st2.Mean() != 7 || st2.Percentile(50) != 7 {
+		t.Errorf("zero-value AddN broken: %+v", st2)
+	}
+}
+
+// TestStreamAddN checks that bulk ingestion is equivalent to repeated Add.
+func TestStreamAddN(t *testing.T) {
+	a := NewStream(1, 64)
+	b := NewStream(1, 64)
+	data := map[float64]int{0: 5, 3: 2, 17: 7, 63: 1}
+	for x, c := range data {
+		a.AddN(x, c)
+		for i := 0; i < c; i++ {
+			b.Add(x)
+		}
+	}
+	for _, p := range []float64{0, 10, 50, 90, 100} {
+		if a.Percentile(p) != b.Percentile(p) {
+			t.Errorf("p%v: AddN %v, Add %v", p, a.Percentile(p), b.Percentile(p))
+		}
+	}
+	if !almostEqual(a.Mean(), b.Mean(), 1e-12) || !almostEqual(a.Variance(), b.Variance(), 1e-12) {
+		t.Errorf("moments differ: AddN (%v, %v) vs Add (%v, %v)", a.Mean(), a.Variance(), b.Mean(), b.Variance())
+	}
+	a.AddN(5, 0)
+	a.AddN(5, -3)
+	if a.N() != b.N() {
+		t.Error("AddN with count <= 0 must be a no-op")
+	}
+}
+
+// TestStreamOverflow checks the overflow bin: values beyond the histogram
+// range keep exact moments and min/max, and rank into Max for percentiles.
+func TestStreamOverflow(t *testing.T) {
+	st := NewStream(1, 4) // buckets cover [0,4); anything >= 4 overflows
+	for _, x := range []float64{1, 2, 100, 200} {
+		st.Add(x)
+	}
+	if st.Max() != 200 || st.Min() != 1 {
+		t.Errorf("min/max: %v/%v", st.Min(), st.Max())
+	}
+	if got := st.Percentile(99); got != 200 {
+		t.Errorf("p99 in overflow region: %v, want 200 (Max)", got)
+	}
+	if got := st.Percentile(25); got != 1 {
+		t.Errorf("p25: %v, want 1", got)
+	}
+	if !almostEqual(st.Mean(), 75.75, 1e-12) {
+		t.Errorf("mean: %v, want 75.75", st.Mean())
+	}
+	// Negative values clamp into the first bucket.
+	st2 := NewStream(1, 4)
+	st2.Add(-3)
+	st2.Add(2)
+	if st2.Min() != -3 {
+		t.Errorf("min: %v", st2.Min())
+	}
+	if got := st2.Percentile(10); got != -3 {
+		t.Errorf("p10 with negative data: %v, want -3 (min)", got)
+	}
+}
+
+// TestStreamReset checks that Reset clears state but keeps the geometry.
+func TestStreamReset(t *testing.T) {
+	st := NewStream(0.5, 8)
+	for i := 0; i < 10; i++ {
+		st.Add(float64(i) / 4)
+	}
+	st.Reset()
+	if st.N() != 0 || st.Mean() != 0 || st.Max() != 0 || st.Percentile(50) != 0 {
+		t.Errorf("after reset: %+v", st)
+	}
+	st.Add(1.0)
+	if st.N() != 1 || st.Percentile(50) != 1.0 {
+		t.Errorf("stream unusable after reset: %+v", st)
+	}
+}
+
+// TestStreamWidth checks non-unit bucket widths quantize percentiles to
+// the bucket grid while moments stay exact.
+func TestStreamWidth(t *testing.T) {
+	st := NewStream(0.25, 8) // covers [0, 2)
+	for _, x := range []float64{0.1, 0.3, 0.8, 1.9} {
+		st.Add(x)
+	}
+	if got := st.Percentile(50); got != 0.25 {
+		t.Errorf("p50: %v, want 0.25 (bucket floor of 0.3)", got)
+	}
+	if !almostEqual(st.Mean(), 0.775, 1e-12) {
+		t.Errorf("mean: %v", st.Mean())
+	}
+}
+
+// TestStreamConstantData checks variance does not go negative on
+// near-constant data (floating-point cancellation).
+func TestStreamConstantData(t *testing.T) {
+	st := NewStream(1, 16)
+	for i := 0; i < 1000; i++ {
+		st.Add(7)
+	}
+	if v := st.Variance(); v != 0 {
+		t.Errorf("variance of constant data: %v", v)
+	}
+	if sd := st.StdDev(); sd != 0 || math.IsNaN(sd) {
+		t.Errorf("stddev of constant data: %v", sd)
+	}
+}
+
+// TestNewStreamPanics checks geometry validation.
+func TestNewStreamPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		width   float64
+		buckets int
+	}{
+		{"zero width", 0, 4},
+		{"negative width", -1, 4},
+		{"zero buckets", 1, 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: want panic", tc.name)
+				}
+			}()
+			NewStream(tc.width, tc.buckets)
+		}()
+	}
+}

@@ -1,11 +1,13 @@
 # Tier-1 check plus the perf-tracking targets. `make check` is what CI
-# runs: formatting, vet, build and the full test suite.
+# runs: formatting, vet, build, the full test suite, the race detector
+# with per-cycle invariants armed, and a bounded fuzz smoke over the two
+# structure-sensitive fuzz targets.
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-json fuzz
+.PHONY: check fmt vet build test race bench bench-json fuzz fuzz-smoke
 
-check: fmt vet build test
+check: fmt vet build test race fuzz-smoke
 
 # gofmt -l prints unformatted files; fail if any.
 fmt:
@@ -21,9 +23,11 @@ build:
 test:
 	$(GO) test ./...
 
-# The simulator worker pool and RunMany fan-out under the race detector.
+# The whole tree under the race detector, with the simulator's per-cycle
+# invariant checker (conservation, bitset/ring agreement, latency mass)
+# defaulted on via the simcheck build tag.
 race:
-	$(GO) test -race ./internal/simulator
+	$(GO) test -race -tags simcheck ./...
 
 # Tracked simulator numbers (steady-state cycle loop; expect 0 allocs/op).
 bench:
@@ -35,3 +39,9 @@ bench-json:
 
 fuzz:
 	$(GO) test -run FuzzRingQueue -fuzz FuzzRingQueue -fuzztime 30s ./internal/simulator
+
+# Bounded fuzz pass for CI: the ring-buffer model check and the
+# optimized-vs-reference differential oracle, 10s each.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzRingQueue -fuzztime 10s ./internal/simulator
+	$(GO) test -run '^$$' -fuzz FuzzDifferential -fuzztime 10s ./internal/refsim

@@ -1,0 +1,217 @@
+package refsim_test
+
+import (
+	"math"
+	"testing"
+
+	"iadm/internal/refsim"
+	"iadm/internal/simulator"
+	"iadm/internal/stats"
+)
+
+// closeTo reports |a-b| <= tol relative to the larger magnitude (with a
+// floor of 1 so values near zero compare absolutely).
+func closeTo(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	if m < 1 {
+		m = 1
+	}
+	return math.Abs(a-b) <= tol*m
+}
+
+// checkStreamExact compares two stats.Streams built from the same
+// observation multiset. Counts, extrema and every percentile are derived
+// from the histogram and must match exactly; Mean and Variance may differ
+// by accumulation order (the optimized core folds its latency histogram
+// via AddN while refsim adds one observation per delivery), so they get
+// an ulp-scale tolerance.
+func checkStreamExact(t *testing.T, name string, got, want stats.Stream) {
+	t.Helper()
+	if got.N() != want.N() {
+		t.Errorf("%s.N = %d, want %d", name, got.N(), want.N())
+	}
+	if got.Min() != want.Min() || got.Max() != want.Max() {
+		t.Errorf("%s range = [%v,%v], want [%v,%v]",
+			name, got.Min(), got.Max(), want.Min(), want.Max())
+	}
+	if !closeTo(got.Mean(), want.Mean(), 1e-9) {
+		t.Errorf("%s.Mean = %v, want %v", name, got.Mean(), want.Mean())
+	}
+	if !closeTo(got.Variance(), want.Variance(), 1e-6) {
+		t.Errorf("%s.Variance = %v, want %v", name, got.Variance(), want.Variance())
+	}
+	for _, p := range []float64{0, 1, 5, 25, 50, 75, 90, 95, 99, 100} {
+		if g, w := got.Percentile(p), want.Percentile(p); g != w {
+			t.Errorf("%s.Percentile(%v) = %v, want %v", name, p, g, w)
+		}
+	}
+}
+
+// checkExact asserts the optimized core and the reference agree exactly
+// on cfg. Valid only for FaultRate == 0, where the two implementations
+// consume the random stream identically (see the refsim package comment).
+func checkExact(t *testing.T, cfg simulator.Config) {
+	t.Helper()
+	if cfg.FaultRate != 0 {
+		t.Fatalf("checkExact on a faulty config (FaultRate=%v): use checkStatistical", cfg.FaultRate)
+	}
+	want, err := refsim.Run(cfg)
+	if err != nil {
+		t.Fatalf("refsim.Run: %v", err)
+	}
+	got, err := simulator.Run(cfg)
+	if err != nil {
+		t.Fatalf("simulator.Run: %v", err)
+	}
+	if got.Injected != want.Injected {
+		t.Errorf("Injected = %d, want %d", got.Injected, want.Injected)
+	}
+	if got.Delivered != want.Delivered {
+		t.Errorf("Delivered = %d, want %d", got.Delivered, want.Delivered)
+	}
+	if got.Dropped != want.Dropped {
+		t.Errorf("Dropped = %d, want %d", got.Dropped, want.Dropped)
+	}
+	if got.Refused != want.Refused {
+		t.Errorf("Refused = %d, want %d", got.Refused, want.Refused)
+	}
+	if got.MaxQueue != want.MaxQueue {
+		t.Errorf("MaxQueue = %d, want %d", got.MaxQueue, want.MaxQueue)
+	}
+	// Both are single float divisions over identical integers, so even
+	// these are bit-equal.
+	if got.Throughput != want.Throughput {
+		t.Errorf("Throughput = %v, want %v", got.Throughput, want.Throughput)
+	}
+	if got.MeanQueue != want.MeanQueue {
+		t.Errorf("MeanQueue = %v, want %v", got.MeanQueue, want.MeanQueue)
+	}
+	checkStreamExact(t, "Latency", got.Latency, want.Latency)
+	// The utilization streams are built by the same Add sequence over the
+	// same per-link forward counts in both implementations, so every
+	// moment is bit-equal, not merely close.
+	for _, u := range []struct {
+		name      string
+		got, want stats.Stream
+	}{
+		{"UtilStraight", got.UtilStraight, want.UtilStraight},
+		{"UtilNonstraight", got.UtilNonstraight, want.UtilNonstraight},
+	} {
+		if u.got.N() != u.want.N() || u.got.Mean() != u.want.Mean() ||
+			u.got.Variance() != u.want.Variance() ||
+			u.got.Min() != u.want.Min() || u.got.Max() != u.want.Max() {
+			t.Errorf("%s = %v, want %v", u.name, u.got, u.want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("config: %+v", cfg)
+	}
+}
+
+// checkStatistical compares a faulty config, where the two
+// implementations spend fault draws differently (per-link-per-cycle
+// versus geometric skip-sampling) and the runs are independent samples of
+// the same process. Counters must agree within a loose relative band plus
+// an absolute floor for near-empty runs.
+func checkStatistical(t *testing.T, cfg simulator.Config) {
+	t.Helper()
+	want, err := refsim.Run(cfg)
+	if err != nil {
+		t.Fatalf("refsim.Run: %v", err)
+	}
+	got, err := simulator.Run(cfg)
+	if err != nil {
+		t.Fatalf("simulator.Run: %v", err)
+	}
+	counters := []struct {
+		name      string
+		got, want int
+	}{
+		{"Injected", got.Injected, want.Injected},
+		{"Delivered", got.Delivered, want.Delivered},
+	}
+	for _, c := range counters {
+		diff := math.Abs(float64(c.got - c.want))
+		limit := 0.25*math.Max(float64(c.got), float64(c.want)) + 25
+		if diff > limit {
+			t.Errorf("%s = %d, want within %.0f of %d", c.name, c.got, limit, c.want)
+		}
+	}
+	if d := math.Abs(got.Latency.Mean() - want.Latency.Mean()); d > 0.25*math.Max(got.Latency.Mean(), want.Latency.Mean())+2 {
+		t.Errorf("Latency.Mean = %v, want near %v", got.Latency.Mean(), want.Latency.Mean())
+	}
+	if t.Failed() {
+		t.Logf("config: %+v", cfg)
+	}
+}
+
+// TestRefsimDeterminism: the reference itself must be a pure function of
+// its config.
+func TestRefsimDeterminism(t *testing.T) {
+	cfg := simulator.Config{
+		N: 8, Policy: simulator.AdaptiveSSDT, Load: 0.7, QueueCap: 3,
+		Cycles: 300, Warmup: 40, Seed: 11, Switches: simulator.SingleInput,
+	}
+	a, err := refsim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := refsim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Injected != b.Injected || a.Delivered != b.Delivered ||
+		a.Dropped != b.Dropped || a.Refused != b.Refused ||
+		a.MaxQueue != b.MaxQueue || a.MeanQueue != b.MeanQueue ||
+		a.Latency.Mean() != b.Latency.Mean() {
+		t.Fatalf("refsim not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+// TestRefsimRejectsWhatSimulatorRejects: the shared validation contract.
+func TestRefsimRejectsWhatSimulatorRejects(t *testing.T) {
+	bad := []simulator.Config{
+		{N: 7, Policy: simulator.StaticC, Load: 0.5, QueueCap: 2, Cycles: 10},
+		{N: 8, Policy: simulator.StaticC, Load: 1.5, QueueCap: 2, Cycles: 10},
+		{N: 8, Policy: simulator.StaticC, Load: 0.5, QueueCap: 0, Cycles: 10},
+		{N: 8, Load: 0.5, QueueCap: 2, Cycles: 10, Traffic: simulator.PermutationTraffic, Perm: []int{0, 1, 2, 3, 4, 5, 6, 8}},
+		{N: 8, Load: 0.5, QueueCap: 2, Cycles: 10, Traffic: simulator.Hotspot, HotspotFrac: 1.5},
+		{N: 2, Load: 0.5, QueueCap: 2, Cycles: 10, Traffic: simulator.Tornado},
+	}
+	for i, cfg := range bad {
+		if _, err := refsim.Run(cfg); err == nil {
+			t.Errorf("config %d: refsim accepted a config the simulator rejects", i)
+		}
+		if _, err := simulator.Run(cfg); err == nil {
+			t.Errorf("config %d: expected the simulator to reject this too", i)
+		}
+	}
+}
+
+// TestRefsimZeroLoad: nothing in, nothing out.
+func TestRefsimZeroLoad(t *testing.T) {
+	m, err := refsim.Run(simulator.Config{
+		N: 8, Policy: simulator.StaticC, Load: 0, QueueCap: 2, Cycles: 100, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Injected != 0 || m.Delivered != 0 || m.Dropped != 0 || m.MaxQueue != 0 {
+		t.Fatalf("zero-load run produced traffic: %+v", m)
+	}
+}
+
+// TestDifferentialSmoke: one plain config per policy, exact agreement.
+// The stratified sweep in diff_test.go is the heavyweight version.
+func TestDifferentialSmoke(t *testing.T) {
+	for _, pol := range []simulator.Policy{simulator.StaticC, simulator.RandomState, simulator.AdaptiveSSDT} {
+		cfg := simulator.Config{
+			N: 8, Policy: pol, Load: 0.8, QueueCap: 2,
+			Cycles: 400, Warmup: 50, Seed: 42,
+		}
+		t.Run(pol.String(), func(t *testing.T) { checkExact(t, cfg) })
+	}
+}

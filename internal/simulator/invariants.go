@@ -1,0 +1,86 @@
+package simulator
+
+import "fmt"
+
+// The invariant checker is the simulator's in-core half of the
+// correctness tooling built around internal/refsim: after every cycle it
+// re-derives the structural invariants the allocation-free hot path is
+// supposed to preserve and panics on the first violation, naming the
+// cycle and the state that broke. It is opt-in because the checks cost
+// O(links) per cycle: the `simcheck` build tag turns it on for a whole
+// test run (`go test -tags simcheck ./...`, what `make race` uses), and
+// tests can flip invariantsEnabled directly for targeted runs.
+//
+// Checked invariants:
+//
+//  1. Packet conservation: every packet ever accepted into a stage-0
+//     buffer is delivered, dropped, or still queued —
+//     injected == delivered + dropped + occupied, counted from cycle 0
+//     (warmup included) so the balance is exact at every cycle.
+//  2. Occupancy-bitset / ring agreement: bit i of the occupancy bitset is
+//     set iff ring queue i is nonempty; ring sizes stay within
+//     [0, QueueCap], heads within [0, QueueCap); and the incrementally
+//     maintained total occupancy equals the sum of ring sizes.
+//  3. Latency histogram mass (end of run): sum(latHist) == Delivered, and
+//     the folded stats.Stream holds exactly one sample per delivery.
+var invariantsEnabled = invariantsDefault
+
+// invariantCounters shadow the Metrics counters from cycle 0 (Metrics
+// only counts the measured window, so it cannot anchor a per-cycle
+// balance). dropped counts in-flight drops only: a packet refused a
+// stage-0 buffer by blockage was never accepted into the network, and is
+// visible in Metrics.Dropped but not in the conservation balance.
+type invariantCounters struct {
+	injected  int64
+	delivered int64
+	dropped   int64
+}
+
+// checkInvariants verifies invariants 1 and 2 after a cycle. It panics
+// (rather than returning an error) because a violation means the core's
+// state is corrupt and every later metric would be garbage.
+func (s *sim) checkInvariants(cycle int) {
+	var total int64
+	for i := 0; i < s.L; i++ {
+		n := s.q.size[i]
+		if n < 0 || n > s.q.cap {
+			panic(fmt.Sprintf("simulator invariant: cycle %d: queue %d size %d outside [0,%d]",
+				cycle, i, n, s.q.cap))
+		}
+		if h := s.q.head[i]; h < 0 || h >= s.q.cap {
+			panic(fmt.Sprintf("simulator invariant: cycle %d: queue %d head %d outside [0,%d)",
+				cycle, i, h, s.q.cap))
+		}
+		bit := s.q.occ[i>>6]&(1<<uint(i&63)) != 0
+		if (n > 0) != bit {
+			panic(fmt.Sprintf("simulator invariant: cycle %d: queue %d length %d disagrees with occupancy bit %v",
+				cycle, i, n, bit))
+		}
+		total += int64(n)
+	}
+	if total != s.occupied {
+		panic(fmt.Sprintf("simulator invariant: cycle %d: incremental occupancy %d != sum of ring lengths %d",
+			cycle, s.occupied, total))
+	}
+	if s.ck.injected != s.ck.delivered+s.ck.dropped+total {
+		panic(fmt.Sprintf("simulator invariant: cycle %d: conservation broken: injected %d != delivered %d + dropped %d + occupied %d",
+			cycle, s.ck.injected, s.ck.delivered, s.ck.dropped, total))
+	}
+}
+
+// checkLatencyMass verifies invariant 3 once the run's latency histogram
+// has been folded into the metrics.
+func (s *sim) checkLatencyMass() {
+	var mass int64
+	for _, c := range s.latHist {
+		mass += int64(c)
+	}
+	if mass != int64(s.m.Delivered) {
+		panic(fmt.Sprintf("simulator invariant: latency histogram mass %d != delivered %d",
+			mass, s.m.Delivered))
+	}
+	if s.lat.N() != s.m.Delivered {
+		panic(fmt.Sprintf("simulator invariant: latency stream holds %d samples, delivered %d",
+			s.lat.N(), s.m.Delivered))
+	}
+}

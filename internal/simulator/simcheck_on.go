@@ -1,0 +1,9 @@
+//go:build simcheck
+
+package simulator
+
+// invariantsDefault is true under the simcheck build tag: every sim in
+// the process re-verifies packet conservation and queue-state agreement
+// after each cycle (see invariants.go). `make race` runs the full test
+// suite this way.
+const invariantsDefault = true

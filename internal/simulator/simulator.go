@@ -81,7 +81,9 @@ const (
 	// pattern that maximizes path lengths in data manipulator networks.
 	BitComplementTraffic
 	// Tornado sends from s to s + N/2 - 1 mod N, the adversarial pattern
-	// for ring-like stride networks.
+	// for ring-like stride networks. Requires N >= 4: at N=2 the stride
+	// is 0 and the pattern degenerates to self-traffic (rejected by
+	// validation).
 	Tornado
 )
 
@@ -274,7 +276,39 @@ type sim struct {
 
 	lat, utilS, utilN stats.Stream
 
+	// check snapshots invariantsEnabled at reset; ck holds the
+	// conservation shadow counters the per-cycle checker balances
+	// (see invariants.go).
+	check bool
+	ck    invariantCounters
+
 	m Metrics
+}
+
+// normalized returns cfg with the documented defaults applied (bursty
+// sojourn times), the form validate and the simulation operate on.
+func normalized(cfg Config) Config {
+	if cfg.Bursty {
+		if cfg.BurstOn <= 0 {
+			cfg.BurstOn = 10
+		}
+		if cfg.BurstOff <= 0 {
+			cfg.BurstOff = 10
+		}
+	}
+	return cfg
+}
+
+// Validate reports whether cfg would be accepted by Run, without
+// allocating any simulation state. It is the config contract shared with
+// the refsim differential oracle (internal/refsim), which must reject
+// exactly the configs this package rejects.
+func Validate(cfg Config) error {
+	if _, err := topology.NewParams(cfg.N); err != nil {
+		return err
+	}
+	cfg = normalized(cfg)
+	return validate(&cfg)
 }
 
 // validate checks cfg against the documented ranges. cfg must already be
@@ -299,9 +333,33 @@ func validate(cfg *Config) error {
 		if len(cfg.Perm) != cfg.N {
 			return fmt.Errorf("simulator: permutation has %d entries, want %d", len(cfg.Perm), cfg.N)
 		}
+		// Out-of-range entries used to slip through here and panic deep in
+		// the delivery sweep; repeated entries silently skewed the offered
+		// pattern. Require a genuine permutation of 0..N-1 up front.
+		seen := make([]bool, cfg.N)
+		for src, dst := range cfg.Perm {
+			if dst < 0 || dst >= cfg.N {
+				return fmt.Errorf("simulator: permutation maps source %d to %d, outside [0,%d)", src, dst, cfg.N)
+			}
+			if seen[dst] {
+				return fmt.Errorf("simulator: permutation maps two sources to destination %d", dst)
+			}
+			seen[dst] = true
+		}
 	}
-	if cfg.Traffic == Hotspot && (cfg.HotspotDest < 0 || cfg.HotspotDest >= cfg.N) {
-		return fmt.Errorf("simulator: hotspot destination %d out of range", cfg.HotspotDest)
+	if cfg.Traffic == Hotspot {
+		if cfg.HotspotDest < 0 || cfg.HotspotDest >= cfg.N {
+			return fmt.Errorf("simulator: hotspot destination %d out of range", cfg.HotspotDest)
+		}
+		if cfg.HotspotFrac < 0 || cfg.HotspotFrac > 1 {
+			return fmt.Errorf("simulator: hotspot fraction %v out of [0,1]", cfg.HotspotFrac)
+		}
+	}
+	if cfg.Traffic == Tornado && cfg.N < 4 {
+		// At N=2 the pattern (src + N/2 - 1) mod N is the identity: every
+		// packet targets its own source and the run measures straight-link
+		// self-traffic, not an adversarial stride workload.
+		return fmt.Errorf("simulator: tornado traffic degenerates to self-traffic at N=%d; need N >= 4", cfg.N)
 	}
 	if cfg.FaultRate < 0 || cfg.FaultRate > 1 {
 		return fmt.Errorf("simulator: fault rate %v out of [0,1]", cfg.FaultRate)
@@ -319,14 +377,7 @@ func newSim(cfg Config) (*sim, error) {
 	if err != nil {
 		return nil, err
 	}
-	if cfg.Bursty {
-		if cfg.BurstOn <= 0 {
-			cfg.BurstOn = 10
-		}
-		if cfg.BurstOff <= 0 {
-			cfg.BurstOff = 10
-		}
-	}
+	cfg = normalized(cfg)
 	if err := validate(&cfg); err != nil {
 		return nil, err
 	}
@@ -396,6 +447,8 @@ func (s *sim) reset(seed int64) {
 	s.occupied, s.queueSum, s.queueSamples = 0, 0, 0
 	s.maxQueue = 0
 	s.nowCycle = 0
+	s.check = invariantsEnabled
+	s.ck = invariantCounters{}
 	s.m = Metrics{}
 	s.lat.Reset()
 	s.utilS.Reset()
@@ -425,6 +478,9 @@ func (s *sim) run() Metrics {
 	s.m.MaxQueue = int(s.maxQueue)
 	for v, c := range s.latHist {
 		s.lat.AddN(float64(v), int(c))
+	}
+	if s.check {
+		s.checkLatencyMass()
 	}
 	for idx := 0; idx < s.L; idx++ {
 		util := float64(s.forwards[idx]) / float64(s.cfg.Cycles)
@@ -595,6 +651,9 @@ func (s *sim) step(cycle int, measured bool) {
 			}
 			pk := s.q.pop(idx)
 			s.occupied--
+			if s.check {
+				s.ck.delivered++
+			}
 			if int(pk.dst) != to {
 				panic(fmt.Sprintf("simulator: packet for %d delivered to %d via %v",
 					pk.dst, to, topology.LinkFromIndex(s.p, idx)))
@@ -638,6 +697,9 @@ func (s *sim) step(cycle int, measured bool) {
 				if !ok {
 					s.q.pop(idx)
 					s.occupied--
+					if s.check {
+						s.ck.dropped++
+					}
 					if measured {
 						s.m.Dropped++
 					}
@@ -695,6 +757,9 @@ func (s *sim) step(cycle int, measured bool) {
 				s.maxQueue = ln
 			}
 			s.occupied++
+			if s.check {
+				s.ck.injected++
+			}
 			if measured {
 				s.m.Injected++
 			}
@@ -706,6 +771,9 @@ func (s *sim) step(cycle int, measured bool) {
 	if measured {
 		s.queueSum += s.occupied
 		s.queueSamples += int64(s.L)
+	}
+	if s.check {
+		s.checkInvariants(cycle)
 	}
 }
 

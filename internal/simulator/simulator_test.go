@@ -29,12 +29,45 @@ func TestRunValidation(t *testing.T) {
 		func(c *Config) { c.Cycles = 0 },
 		func(c *Config) { c.Traffic = PermutationTraffic; c.Perm = []int{0, 1} },
 		func(c *Config) { c.Traffic = Hotspot; c.HotspotDest = 99 },
+		// Perm entries out of [0, N) used to panic in the delivery sweep.
+		func(c *Config) { c.Traffic = PermutationTraffic; c.Perm = []int{0, 1, 2, 3, 4, 5, 6, 8} },
+		func(c *Config) { c.Traffic = PermutationTraffic; c.Perm = []int{0, 1, 2, 3, 4, 5, 6, -1} },
+		// Repeated entries are not a permutation.
+		func(c *Config) { c.Traffic = PermutationTraffic; c.Perm = []int{0, 0, 2, 3, 4, 5, 6, 7} },
+		// HotspotFrac outside [0,1] was silently clamped by the Bernoulli
+		// threshold.
+		func(c *Config) { c.Traffic = Hotspot; c.HotspotFrac = -0.1 },
+		func(c *Config) { c.Traffic = Hotspot; c.HotspotFrac = 1.5 },
+		// Tornado at N=2 is pure self-traffic.
+		func(c *Config) { c.N = 2; c.Traffic = Tornado },
 	}
 	for i, mutate := range bad {
 		cfg := baseConfig()
 		mutate(&cfg)
 		if _, err := Run(cfg); err == nil {
 			t.Errorf("case %d: invalid config accepted", i)
+		}
+		// The exported Validate must agree with Run's acceptance.
+		if err := Validate(cfg); err == nil {
+			t.Errorf("case %d: Validate accepted a config Run rejects", i)
+		}
+	}
+	good := []func(*Config){
+		func(c *Config) {}, // the base config itself
+		func(c *Config) { c.Traffic = Hotspot; c.HotspotFrac = 0 },
+		func(c *Config) { c.Traffic = Hotspot; c.HotspotFrac = 1 },
+		// HotspotFrac is ignored (not validated) for non-hotspot traffic.
+		func(c *Config) { c.Traffic = Uniform; c.HotspotFrac = 7 },
+		func(c *Config) { c.N = 4; c.Traffic = Tornado },
+	}
+	for i, mutate := range good {
+		cfg := baseConfig()
+		mutate(&cfg)
+		if err := Validate(cfg); err != nil {
+			t.Errorf("good case %d: Validate rejected: %v", i, err)
+		}
+		if _, err := Run(cfg); err != nil {
+			t.Errorf("good case %d: Run rejected: %v", i, err)
 		}
 	}
 }

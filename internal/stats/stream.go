@@ -21,13 +21,13 @@ import (
 // buckets); use NewStream to pick the geometry explicitly. A Stream can be
 // reused across runs via Reset, which keeps the bucket storage.
 type Stream struct {
-	n          int
-	sum, sumsq float64
-	min, max   float64
-	width      float64
-	invWidth   float64
-	counts     []int
-	overflow   int
+	n        int
+	mean, m2 float64 // running mean and sum of squared deviations (Welford)
+	min, max float64
+	width    float64
+	invWidth float64
+	counts   []int
+	overflow int
 }
 
 // defaultStreamBuckets is the histogram size a zero-value Stream allocates
@@ -49,7 +49,7 @@ func NewStream(width float64, buckets int) Stream {
 // Reset clears all accumulated state, retaining the histogram storage.
 func (s *Stream) Reset() {
 	s.n, s.overflow = 0, 0
-	s.sum, s.sumsq, s.min, s.max = 0, 0, 0, 0
+	s.mean, s.m2, s.min, s.max = 0, 0, 0, 0
 	for i := range s.counts {
 		s.counts[i] = 0
 	}
@@ -72,8 +72,9 @@ func (s *Stream) Add(x float64) {
 			s.max = x
 		}
 	}
-	s.sum += x
-	s.sumsq += x * x
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
 	b := int(x * s.invWidth)
 	switch {
 	case b < 0:
@@ -110,9 +111,14 @@ func (s *Stream) AddN(x float64, count int) {
 			s.max = x
 		}
 	}
+	// Chan et al. parallel update: merge a batch of `count` identical
+	// observations (batch mean x, batch M2 = 0) into the running moments.
+	prev := float64(s.n)
+	c := float64(count)
 	s.n += count
-	s.sum += x * float64(count)
-	s.sumsq += x * x * float64(count)
+	delta := x - s.mean
+	s.mean += delta * c / float64(s.n)
+	s.m2 += delta * delta * prev * c / float64(s.n)
 	b := int(x * s.invWidth)
 	switch {
 	case b < 0:
@@ -128,24 +134,17 @@ func (s *Stream) AddN(x float64, count int) {
 func (s *Stream) N() int { return s.n }
 
 // Mean returns the arithmetic mean, or 0 for an empty stream.
-func (s *Stream) Mean() float64 {
-	if s.n == 0 {
-		return 0
-	}
-	return s.sum / float64(s.n)
-}
+func (s *Stream) Mean() float64 { return s.mean }
 
 // Variance returns the unbiased sample variance, or 0 for fewer than two
-// observations.
+// observations. The running M2 accumulator is a sum of nonnegative terms,
+// so unlike the textbook sum-of-squares formula it cannot cancel into a
+// negative value on near-constant data with a large mean.
 func (s *Stream) Variance() float64 {
 	if s.n < 2 {
 		return 0
 	}
-	v := (s.sumsq - s.sum*s.sum/float64(s.n)) / float64(s.n-1)
-	if v < 0 { // floating-point cancellation on near-constant data
-		return 0
-	}
-	return v
+	return s.m2 / float64(s.n-1)
 }
 
 // StdDev returns the sample standard deviation.

@@ -178,6 +178,126 @@ func TestStreamConstantData(t *testing.T) {
 	}
 }
 
+// TestStreamCatastrophicCancellation is the regression test for the
+// naive sumsq - sum²/n variance formula: at mean 1e9 with unit spread,
+// sumsq and sum²/n agree to ~18 digits and their float64 difference is
+// garbage (the old code clamped the often-negative result to 0). The
+// running-moment (Welford) update keeps full precision.
+func TestStreamCatastrophicCancellation(t *testing.T) {
+	st := NewStream(1, 8)
+	// 3000 observations at 1e9-1, 1e9, 1e9+1: exact sample variance is
+	// 2000*1/2999 * ... computed below against the two-pass Sample.
+	var sm Sample
+	for i := 0; i < 1000; i++ {
+		for _, x := range []float64{1e9 - 1, 1e9, 1e9 + 1} {
+			st.Add(x)
+			sm.Add(x)
+		}
+	}
+	want := sm.Variance() // two-pass, numerically safe: 2/3 * 3000/2999
+	if math.Abs(want-2.0/3.0) > 1e-3 {
+		t.Fatalf("two-pass reference variance %v implausible", want)
+	}
+	// Welford at mean 1e9 agrees with the two-pass reference to ~1e-8
+	// relative; the cancelled formula was off by its full magnitude.
+	if got := st.Variance(); !almostEqual(got, want, 1e-6) {
+		t.Errorf("variance at mean 1e9: got %v, want %v (catastrophic cancellation)", got, want)
+	}
+	if got := st.StdDev(); !almostEqual(got, math.Sqrt(want), 1e-6) {
+		t.Errorf("stddev at mean 1e9: got %v, want %v", got, math.Sqrt(want))
+	}
+	if !almostEqual(st.Mean(), 1e9, 1e-12) {
+		t.Errorf("mean: got %v, want 1e9", st.Mean())
+	}
+}
+
+// TestStreamAddNLargeMeanMatchesAdd checks AddN against repeated Add in
+// the regime the cancellation bug lived in: bulk counts at a large mean.
+func TestStreamAddNLargeMeanMatchesAdd(t *testing.T) {
+	a := NewStream(1, 8)
+	b := NewStream(1, 8)
+	data := []struct {
+		x float64
+		c int
+	}{{1e9 - 1, 700}, {1e9, 1600}, {1e9 + 1, 700}}
+	for _, d := range data {
+		a.AddN(d.x, d.c)
+		for i := 0; i < d.c; i++ {
+			b.Add(d.x)
+		}
+	}
+	if a.N() != b.N() {
+		t.Fatalf("N: AddN %d, Add %d", a.N(), b.N())
+	}
+	if !almostEqual(a.Mean(), b.Mean(), 1e-12) {
+		t.Errorf("mean: AddN %v, Add %v", a.Mean(), b.Mean())
+	}
+	// At mean 1e9 the running mean carries ~1e-7 of representation error
+	// into each M2 update, so the two ingestion orders agree to ~1e-6
+	// relative — sixteen orders of magnitude better than the cancelled
+	// sum-of-squares formula, which returned 0 here.
+	if !almostEqual(a.Variance(), b.Variance(), 1e-5) {
+		t.Errorf("variance: AddN %v, Add %v", a.Variance(), b.Variance())
+	}
+	if a.Variance() <= 0 {
+		t.Errorf("AddN variance %v lost to cancellation", a.Variance())
+	}
+	if a.Min() != b.Min() || a.Max() != b.Max() {
+		t.Errorf("min/max differ: (%v,%v) vs (%v,%v)", a.Min(), a.Max(), b.Min(), b.Max())
+	}
+}
+
+// TestStreamPercentileUnderflow pins the underflow-bucket geometry:
+// negative observations are counted in bucket 0, and any percentile rank
+// landing there reports the true minimum, not the bucket floor 0.
+func TestStreamPercentileUnderflow(t *testing.T) {
+	st := NewStream(1, 8)
+	for _, x := range []float64{-7.5, -2, 0.5, 3} {
+		st.Add(x)
+	}
+	// Ranks 1 and 2 land in bucket 0 (holding -7.5, -2 and 0.5): the
+	// bucket floor would be 0 but the reported value must clamp to min.
+	if got := st.Percentile(10); got != -7.5 {
+		t.Errorf("p10: %v, want -7.5 (min)", got)
+	}
+	if got := st.Percentile(50); got != -7.5 {
+		t.Errorf("p50 inside underflow bucket: %v, want -7.5 (min)", got)
+	}
+	if got := st.Percentile(100); got != 3 {
+		t.Errorf("p100: %v, want 3", got)
+	}
+	// AddN takes the same underflow path.
+	st2 := NewStream(1, 4)
+	st2.AddN(-3, 5)
+	st2.AddN(2, 1)
+	if got := st2.Percentile(50); got != -3 {
+		t.Errorf("AddN p50 underflow: %v, want -3", got)
+	}
+	if st2.Min() != -3 || st2.Max() != 2 {
+		t.Errorf("AddN min/max: %v/%v", st2.Min(), st2.Max())
+	}
+}
+
+// TestStreamPercentileOverflowRanks pins the overflow-bin geometry: every
+// rank that falls past the histogram's last bucket reports Max, for both
+// Add and AddN ingestion.
+func TestStreamPercentileOverflowRanks(t *testing.T) {
+	st := NewStream(1, 4) // in-range: [0,4)
+	st.AddN(1, 2)
+	st.AddN(1000, 6) // all six land in the overflow bin
+	if st.Max() != 1000 {
+		t.Fatalf("max: %v", st.Max())
+	}
+	for _, p := range []float64{30, 50, 90, 99} {
+		if got := st.Percentile(p); got != 1000 {
+			t.Errorf("p%v: %v, want 1000 (Max for overflow ranks)", p, got)
+		}
+	}
+	if got := st.Percentile(20); got != 1 {
+		t.Errorf("p20: %v, want 1 (still in range)", got)
+	}
+}
+
 // TestNewStreamPanics checks geometry validation.
 func TestNewStreamPanics(t *testing.T) {
 	for _, tc := range []struct {

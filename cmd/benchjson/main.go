@@ -5,16 +5,25 @@
 //
 // Usage:
 //
-//	benchjson [-bench regex] [-pkg path] [-count N] [-o file]
+//	benchjson [-bench regex] [-pkg path] [-count N] [-o file] [-compare file] [-tolerance frac]
 //
-// Defaults run BenchmarkCyclesPerSecond in ./internal/simulator with
-// -count 5 and write BENCH_simulator.json. With -count > 1 every sample
-// is kept and each benchmark also reports the min and mean ns/op across
-// its samples (min is the stable number to compare across machines).
+// Defaults run the tracked benchmarks (BenchmarkCyclesPerSecond and
+// BenchmarkLargeN) in ./internal/simulator with -count 5 and write
+// BENCH_simulator.json. With -count > 1 every sample is kept and each
+// benchmark also reports the min and mean ns/op across its samples (min
+// is the stable number to compare across machines). Reports record the
+// go version and the git commit they were produced at.
+//
+// With -compare, the fresh results are checked against a committed
+// baseline report and the command fails if any benchmark's mean_ns_per_op
+// regressed by more than -tolerance (default 0.10), or if a baseline
+// benchmark is missing from the new run — `make bench-compare` wires this
+// as the CI perf gate.
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -22,6 +31,7 @@ import (
 	"os"
 	"os/exec"
 	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -49,6 +59,8 @@ type Report struct {
 	Goos       string      `json:"goos,omitempty"`
 	Goarch     string      `json:"goarch,omitempty"`
 	CPU        string      `json:"cpu,omitempty"`
+	GoVersion  string      `json:"go_version,omitempty"`
+	Commit     string      `json:"commit,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
@@ -129,19 +141,59 @@ func parse(r io.Reader) (Report, error) {
 	return rep, nil
 }
 
+// compareReports checks fresh mean_ns_per_op numbers against a baseline:
+// a regression beyond tolerance (fractional, e.g. 0.10 = +10%) or a
+// baseline benchmark missing from the fresh run is a violation.
+// Benchmarks only present in the fresh run are fine (new coverage).
+func compareReports(baseline, fresh Report, tolerance float64) []string {
+	current := map[string]Benchmark{}
+	for _, b := range fresh.Benchmarks {
+		current[b.Name] = b
+	}
+	var violations []string
+	for _, base := range baseline.Benchmarks {
+		got, ok := current[base.Name]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s: present in baseline but missing from this run", base.Name))
+			continue
+		}
+		if base.MeanNsPerOp <= 0 {
+			continue
+		}
+		ratio := got.MeanNsPerOp / base.MeanNsPerOp
+		if ratio > 1+tolerance {
+			violations = append(violations, fmt.Sprintf("%s: mean %.0f ns/op vs baseline %.0f ns/op (%+.1f%%, tolerance %.0f%%)",
+				base.Name, got.MeanNsPerOp, base.MeanNsPerOp, (ratio-1)*100, tolerance*100))
+		}
+	}
+	return violations
+}
+
+// gitCommit returns the current HEAD hash, or "" when not in a git
+// checkout (the report is still useful without it).
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return string(bytes.TrimSpace(out))
+}
+
 func main() {
-	bench := flag.String("bench", "BenchmarkCyclesPerSecond", "benchmark regex passed to go test -bench")
+	bench := flag.String("bench", "BenchmarkCyclesPerSecond|BenchmarkLargeN", "benchmark regex passed to go test -bench")
 	pkg := flag.String("pkg", "./internal/simulator", "package to benchmark")
 	count := flag.Int("count", 5, "samples per benchmark (go test -count)")
 	out := flag.String("o", "BENCH_simulator.json", "output file (- for stdout)")
+	compare := flag.String("compare", "", "baseline report to compare against; fail on mean_ns_per_op regressions")
+	tolerance := flag.Float64("tolerance", 0.10, "fractional regression allowed by -compare (0.10 = +10%)")
 	flag.Parse()
-	if err := run(*bench, *pkg, *count, *out); err != nil {
+	if err := run(*bench, *pkg, *count, *out, *compare, *tolerance); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench, pkg string, count int, out string) error {
+func run(bench, pkg string, count int, out, compare string, tolerance float64) error {
 	cmd := exec.Command("go", "test", "-run", "^$",
 		"-bench", bench, "-benchmem", "-count", strconv.Itoa(count), pkg)
 	cmd.Stderr = os.Stderr
@@ -156,14 +208,37 @@ func run(bench, pkg string, count int, out string) error {
 	if len(rep.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmark results matched %q in %s", bench, pkg)
 	}
+	rep.GoVersion = runtime.Version()
+	rep.Commit = gitCommit()
 	doc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
 	}
 	doc = append(doc, '\n')
 	if out == "-" {
-		_, err = os.Stdout.Write(doc)
+		if _, err := os.Stdout.Write(doc); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(out, doc, 0o644); err != nil {
 		return err
 	}
-	return os.WriteFile(out, doc, 0o644)
+	if compare == "" {
+		return nil
+	}
+	baseRaw, err := os.ReadFile(compare)
+	if err != nil {
+		return fmt.Errorf("compare baseline: %w", err)
+	}
+	var baseline Report
+	if err := json.Unmarshal(baseRaw, &baseline); err != nil {
+		return fmt.Errorf("compare baseline %s: %w", compare, err)
+	}
+	if violations := compareReports(baseline, rep, tolerance); len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "benchjson: regression:", v)
+		}
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%% of %s", len(violations), tolerance*100, compare)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: no regressions beyond %.0f%% against %s\n", tolerance*100, compare)
+	return nil
 }

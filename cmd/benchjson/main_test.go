@@ -75,3 +75,31 @@ func TestParseIgnoresNoise(t *testing.T) {
 		t.Errorf("noise parsed as benchmarks: %+v", rep.Benchmarks)
 	}
 }
+
+func TestCompareReports(t *testing.T) {
+	mk := func(name string, mean float64) Benchmark {
+		return Benchmark{Name: name, MeanNsPerOp: mean}
+	}
+	baseline := Report{Benchmarks: []Benchmark{
+		mk("BenchmarkA/N=8", 1000),
+		mk("BenchmarkB", 2000),
+		mk("BenchmarkGone", 500),
+	}}
+	fresh := Report{Benchmarks: []Benchmark{
+		mk("BenchmarkA/N=8", 1099), // +9.9%: within a 10% tolerance
+		mk("BenchmarkB", 2300),     // +15%: regression
+		mk("BenchmarkNew", 100),    // new coverage: fine
+	}}
+	violations := compareReports(baseline, fresh, 0.10)
+	if len(violations) != 2 {
+		t.Fatalf("want 2 violations (regression + missing), got %d: %v", len(violations), violations)
+	}
+	for _, v := range violations {
+		if !strings.Contains(v, "BenchmarkB") && !strings.Contains(v, "BenchmarkGone") {
+			t.Errorf("unexpected violation %q", v)
+		}
+	}
+	if v := compareReports(baseline, fresh, 0.20); len(v) != 1 {
+		t.Errorf("at 20%% tolerance only the missing benchmark should remain, got %v", v)
+	}
+}

@@ -17,13 +17,21 @@ import (
 	"strings"
 
 	"iadm/internal/experiments"
+	"iadm/internal/profiling"
 )
 
 func main() {
 	runID := flag.String("run", "", "comma-separated experiment ids to run (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	intra := flag.Int("intra", 0, "worker goroutines inside each simulation run (0/1 = sequential; reports are bit-identical for every value)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	flag.Parse()
-	if err := run(os.Stdout, *runID, *list); err != nil {
+	experiments.IntraWorkers = *intra
+	err := profiling.WithProfiles(*cpuprofile, *memprofile, func() error {
+		return run(os.Stdout, *runID, *list)
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -41,6 +41,7 @@ import (
 	"iadm/internal/cubefamily"
 	"iadm/internal/multicast"
 	"iadm/internal/paths"
+	"iadm/internal/profiling"
 	"iadm/internal/render"
 	"iadm/internal/scenario"
 	"iadm/internal/simulator"
@@ -51,15 +52,21 @@ import (
 
 func main() {
 	n := flag.Int("n", 8, "network size N (power of two)")
-	workers := flag.Int("workers", 0, "worker goroutines for multi-run commands (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "worker goroutines for multi-run commands (0 = GOMAXPROCS/intra)")
+	intra := flag.Int("intra", 0, "worker goroutines inside each simulation run (0/1 = sequential; results are bit-identical for every value)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the command to this file")
+	memprofile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	flag.Parse()
-	if err := run(os.Stdout, *n, *workers, flag.Args()); err != nil {
+	err := profiling.WithProfiles(*cpuprofile, *memprofile, func() error {
+		return run(os.Stdout, *n, *workers, *intra, flag.Args())
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "iadmsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, N, workers int, args []string) error {
+func run(w io.Writer, N, workers, intra int, args []string) error {
 	p, err := topology.NewParams(N)
 	if err != nil {
 		return err
@@ -204,6 +211,7 @@ func run(w io.Writer, N, workers int, args []string) error {
 		base := simulator.Config{
 			N: N, Policy: pol, Load: load, QueueCap: 4,
 			Cycles: 5000, Warmup: 500, Seed: 1, Traffic: simulator.Uniform,
+			IntraWorkers: intra,
 		}
 		if replicas == 1 {
 			m, err := simulator.Run(base)
@@ -221,13 +229,18 @@ func run(w io.Writer, N, workers int, args []string) error {
 			return err
 		}
 		var tput, lat stats.Sample
+		var pooled stats.Stream
 		for i, m := range ms {
 			fmt.Fprintf(w, "seed %d: throughput %.4f, latency %s\n", base.Seed+int64(i), m.Throughput, m.Latency.String())
 			tput.Add(m.Throughput)
 			lat.Add(m.Latency.Mean())
+			pooled.Merge(&m.Latency)
 		}
 		fmt.Fprintf(w, "policy %s load %.2f over %d replicas: throughput %.4f ± %.4f, mean latency %.2f ± %.2f\n",
 			pol, load, replicas, tput.Mean(), tput.StdDev(), lat.Mean(), lat.StdDev())
+		// Per-packet latency pooled across replicas (Chan's parallel-moments
+		// merge), versus the per-replica means above.
+		fmt.Fprintf(w, "pooled latency: %s\n", pooled.String())
 		return nil
 	case "equiv":
 		base := cubefamily.MustNew(cubefamily.GeneralizedCube, N).Layered()

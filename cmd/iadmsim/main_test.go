@@ -11,7 +11,7 @@ import (
 func runOK(t *testing.T, N int, args ...string) string {
 	t.Helper()
 	var sb strings.Builder
-	if err := run(&sb, N, 0, args); err != nil {
+	if err := run(&sb, N, 0, 0, args); err != nil {
 		t.Fatalf("run(%v): %v", args, err)
 	}
 	return sb.String()
@@ -20,7 +20,7 @@ func runOK(t *testing.T, N int, args ...string) string {
 func runErr(t *testing.T, N int, args ...string) {
 	t.Helper()
 	var sb strings.Builder
-	if err := run(&sb, N, 0, args); err == nil {
+	if err := run(&sb, N, 0, 0, args); err == nil {
 		t.Fatalf("run(%v) unexpectedly succeeded:\n%s", args, sb.String())
 	}
 }
@@ -173,7 +173,7 @@ func TestSimulateReplicas(t *testing.T) {
 	// The fan-out must not depend on worker count: explicit workers give
 	// the same report.
 	var sb strings.Builder
-	if err := run(&sb, 8, 3, []string{"simulate", "adaptive", "0.3", "4"}); err != nil {
+	if err := run(&sb, 8, 3, 2, []string{"simulate", "adaptive", "0.3", "4"}); err != nil {
 		t.Fatal(err)
 	}
 	if sb.String() != out {

@@ -35,7 +35,7 @@ func runE20() (string, error) {
 			}
 		}
 	}
-	ms, err := simulator.RunMany(cfgs)
+	ms, err := runSims(cfgs)
 	if err != nil {
 		return "", err
 	}
@@ -70,7 +70,7 @@ func runE21() (string, error) {
 			FaultRate: f, RepairCycles: 30,
 		}
 	}
-	ms, err := simulator.RunMany(cfgs)
+	ms, err := runSims(cfgs)
 	if err != nil {
 		return "", err
 	}

@@ -1,0 +1,48 @@
+// Package profiling wraps runtime/pprof for the command-line front ends:
+// one call brackets an arbitrary workload with an optional CPU profile
+// and an optional end-of-run heap profile, so scaling regressions in the
+// simulator can be diagnosed from the shipped binaries without editing
+// code.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// WithProfiles runs fn, writing a CPU profile to cpuPath for its whole
+// duration and a heap profile to memPath after it returns, skipping
+// whichever path is empty. The heap profile is taken after a GC, so it
+// reflects live steady-state memory rather than collectible garbage.
+// Profile-file errors are returned rather than ignored: a silently
+// missing profile defeats the point of asking for one.
+func WithProfiles(cpuPath, memPath string, fn func() error) error {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return fmt.Errorf("cpu profile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpu profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if err := fn(); err != nil {
+		return err
+	}
+	if memPath != "" {
+		f, err := os.Create(memPath)
+		if err != nil {
+			return fmt.Errorf("heap profile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("heap profile: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package profiling
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWithProfilesWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	ran := false
+	if err := WithProfiles(cpu, mem, func() error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("workload did not run")
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestWithProfilesNoPaths(t *testing.T) {
+	if err := WithProfiles("", "", func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	want := errors.New("boom")
+	if err := WithProfiles("", "", func() error { return want }); !errors.Is(err, want) {
+		t.Fatalf("workload error not propagated: %v", err)
+	}
+}
+
+func TestWithProfilesBadPath(t *testing.T) {
+	if err := WithProfiles(filepath.Join(t.TempDir(), "no", "such", "dir", "x"), "", func() error { return nil }); err == nil {
+		t.Fatal("unwritable cpu profile path did not error")
+	}
+}

@@ -13,15 +13,21 @@
 // config accepted by one runs on both and the results can be compared
 // field by field.
 //
-// RNG contract: refsim advances the same splitmix64 stream as the
-// optimized core and spends draws in the same order (fault sweep, stage
-// sweeps output-side first, then injection source 0..N-1). For configs
-// with FaultRate == 0 the two implementations therefore make identical
-// random decisions and every counter, histogram bucket and utilization
+// RNG contract: both implementations draw from the same counter-based
+// generator — every draw is splitmix64-finalized from (seed, cycle,
+// entity, purpose), where the entity is the incoming-link index for
+// transit routing draws and the source index for injection-side draws,
+// and the purpose constants below are shared numerically with the
+// optimized core. Because a draw is a pure function of its coordinates
+// rather than a position in a stream, the two implementations make
+// identical random decisions no matter how differently they schedule the
+// work (including the optimized core's sharded engine), and for configs
+// with FaultRate == 0 every counter, histogram bucket and utilization
 // sample must match exactly — the strongest form of differential check.
-// A positive FaultRate is the one place the draw *counts* differ (one
-// draw per link per cycle here, O(faults) skip-sampling there), so the
-// streams diverge and fault configs are compared statistically instead.
+// The fault process is the one exception: refsim draws one Bernoulli per
+// link per cycle under its own purpose constant, while the optimized core
+// skip-samples a geometric chain, so fault configs are compared
+// statistically instead.
 package refsim
 
 import (
@@ -39,24 +45,48 @@ type pkt struct {
 	born int
 }
 
-// rng is splitmix64 (Steele, Lea & Flood, OOPSLA 2014), kept bit-for-bit
-// identical to the optimized core's generator — see the RNG contract in
-// the package comment. Reimplemented here rather than imported so the
-// reference stays self-contained and a regression in one copy cannot
-// hide in both.
-type rng struct{ state uint64 }
+// Draw-purpose domain separators, numerically identical to the optimized
+// core's (they are part of the RNG contract). refFault is refsim-only:
+// the per-link-per-cycle fault draws have no counterpart draw in the
+// optimized core, and a private domain keeps them from aliasing any
+// shared draw site.
+const (
+	drawLoad      = 0xa0761d6478bd642f
+	drawDst       = 0xe7037ed1a0b428db
+	drawHot       = 0x8ebc6af09c88c6e3
+	drawRoute     = 0x589965cc75374cc3
+	drawRouteInj  = 0x1d8e4e27c47d124f
+	drawBurst     = 0xeb44accab455d165
+	drawBurstInit = 0x2f9be6cc5be4f095
+	refFault      = 0x3c79ac492ba7b653 // refsim-only
+)
 
-func (r *rng) next() uint64 {
-	r.state += 0x9e3779b97f4a7c15
-	z := r.state
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
+// rng is the counter-based generator: each draw splitmix64-finalizes
+// (seed, cycle, entity, purpose), bit-for-bit identical to the optimized
+// core's — see the RNG contract in the package comment. Reimplemented
+// here rather than imported so the reference stays self-contained and a
+// regression in one copy cannot hide in both.
+type rng struct{ seed uint64 }
+
+func (r rng) word(cycle, entity, purpose uint64) uint64 {
+	mix := func(z uint64) uint64 {
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	z := r.seed ^ purpose
+	z += cycle * 0x9e3779b97f4a7c15
+	z += entity * 0xd1b54a32d192ed03
+	return mix(mix(z) + 0x9e3779b97f4a7c15)
 }
 
-func (r *rng) bit() bool                 { return r.next()&1 == 0 }
-func (r *rng) intn(mask uint64) int      { return int(r.next() & mask) }
-func (r *rng) hit(threshold uint64) bool { return r.next() < threshold }
+func (r rng) bit(cycle, entity, purpose uint64) bool { return r.word(cycle, entity, purpose)&1 == 0 }
+func (r rng) intn(mask, cycle, entity, purpose uint64) int {
+	return int(r.word(cycle, entity, purpose) & mask)
+}
+func (r rng) hit(threshold, cycle, entity, purpose uint64) bool {
+	return r.word(cycle, entity, purpose) < threshold
+}
 
 // threshold converts a probability into the integer compare threshold,
 // matching the optimized core's convention (p >= 1 maps to MaxUint64).
@@ -156,15 +186,15 @@ func Run(cfg simulator.Config) (simulator.Metrics, error) {
 	s.lat = stats.NewStream(1, latBuckets)
 	s.latClamp = latBuckets - 1
 
-	// Seed and pre-run draws in the optimized core's order: the burst
-	// states are initialized from the stream before anything else.
-	s.rng = rng{state: uint64(cfg.Seed)}
+	// Initial burst states use the optimized core's coordinates:
+	// (cycle 0, source, drawBurstInit).
+	s.rng = rng{seed: uint64(cfg.Seed)}
 	if cfg.Bursty {
 		s.burstOn = make([]bool, N)
 		s.burstStopT = threshold(1 / float64(cfg.BurstOn))
 		s.burstStartT = threshold(1 / float64(cfg.BurstOff))
 		for i := range s.burstOn {
-			s.burstOn[i] = s.rng.bit()
+			s.burstOn[i] = s.rng.bit(0, uint64(i), drawBurstInit)
 		}
 	}
 
@@ -184,10 +214,10 @@ func (s *state) linkBlocked(idx int) bool {
 // chooseQueue picks the output buffer of switch sw at the given stage for
 // a packet to dst: the straight link when the stage's address bit already
 // matches, otherwise one of the nonstraight links by policy, skipping
-// blocked links (ok=false when none is usable). The decision ladder —
-// including exactly when a random bit is consumed — mirrors the
-// optimized core.
-func (s *state) chooseQueue(stage, sw, dst int) (int, bool) {
+// blocked links (ok=false when none is usable). The decision ladder and
+// the RandomState draw coordinates (cycle, entity, purpose) mirror the
+// optimized core exactly.
+func (s *state) chooseQueue(stage, sw, dst, cycle int, entity, purpose uint64) (int, bool) {
 	base := (stage*s.N + sw) * 3
 	if ((sw^dst)>>uint(stage))&1 == 0 {
 		idx := base + 1 // straight
@@ -213,7 +243,7 @@ func (s *state) chooseQueue(stage, sw, dst int) (int, bool) {
 		}
 		return minus, true
 	case simulator.RandomState:
-		if s.rng.bit() {
+		if s.rng.bit(uint64(cycle), entity, purpose) {
 			return plus, true
 		}
 		return minus, true
@@ -257,13 +287,15 @@ func (s *state) step(cycle int, measured bool) {
 			s.switchBusy[i] = false
 		}
 	}
-	// One Bernoulli draw per link per cycle; a hit on an already-failed
-	// link is discarded, so every *working* link fails with exactly
-	// FaultRate per cycle — the semantics the optimized core reproduces
-	// by geometric skip-sampling.
+	// One Bernoulli draw per link per cycle, keyed (cycle, link) under the
+	// refsim-only refFault domain; a hit on an already-failed link is
+	// discarded, so every *working* link fails with exactly FaultRate per
+	// cycle — the semantics the optimized core reproduces by geometric
+	// skip-sampling over its own fault domain (the draws differ, so fault
+	// configs are compared statistically, not exactly).
 	if s.cfg.FaultRate > 0 {
 		for idx := 0; idx < s.L; idx++ {
-			if s.rng.hit(s.faultT) && s.failUntil[idx] <= cycle {
+			if s.rng.hit(s.faultT, uint64(cycle), uint64(idx), refFault) && s.failUntil[idx] <= cycle {
 				s.failUntil[idx] = cycle + s.cfg.RepairCycles
 			}
 		}
@@ -311,7 +343,7 @@ func (s *state) step(cycle int, measured bool) {
 				continue
 			}
 			pk := s.queues[idx][0]
-			out, ok := s.chooseQueue(i+1, at, pk.dst)
+			out, ok := s.chooseQueue(i+1, at, pk.dst, cycle, uint64(idx), drawRoute)
 			if !ok {
 				s.queues[idx] = s.queues[idx][1:]
 				if measured {
@@ -333,28 +365,29 @@ func (s *state) step(cycle int, measured bool) {
 	}
 	// Inject new packets.
 	for src := 0; src < s.N; src++ {
+		c, e := uint64(cycle), uint64(src)
 		if s.cfg.Bursty {
 			if s.burstOn[src] {
-				if s.rng.hit(s.burstStopT) {
+				if s.rng.hit(s.burstStopT, c, e, drawBurst) {
 					s.burstOn[src] = false
 				}
-			} else if s.rng.hit(s.burstStartT) {
+			} else if s.rng.hit(s.burstStartT, c, e, drawBurst) {
 				s.burstOn[src] = true
 			}
 			if !s.burstOn[src] {
 				continue
 			}
 		}
-		if !s.rng.hit(s.loadT) {
+		if !s.rng.hit(s.loadT, c, e, drawLoad) {
 			continue
 		}
 		var dst int
 		if s.cfg.Traffic == simulator.Uniform {
-			dst = s.rng.intn(s.dstMask)
+			dst = s.rng.intn(s.dstMask, c, e, drawDst)
 		} else {
-			dst = s.pickDestination(src)
+			dst = s.pickDestination(src, cycle)
 		}
-		out, ok := s.chooseQueue(0, src, dst)
+		out, ok := s.chooseQueue(0, src, dst, cycle, e, drawRouteInj)
 		if !ok {
 			if measured {
 				s.dropped++
@@ -381,13 +414,14 @@ func (s *state) step(cycle int, measured bool) {
 }
 
 // pickDestination draws a destination for a packet from src.
-func (s *state) pickDestination(src int) int {
+func (s *state) pickDestination(src, cycle int) int {
+	c, e := uint64(cycle), uint64(src)
 	switch s.cfg.Traffic {
 	case simulator.Hotspot:
-		if s.rng.hit(s.hotT) {
+		if s.rng.hit(s.hotT, c, e, drawHot) {
 			return s.cfg.HotspotDest
 		}
-		return s.rng.intn(s.dstMask)
+		return s.rng.intn(s.dstMask, c, e, drawDst)
 	case simulator.PermutationTraffic:
 		return s.cfg.Perm[src]
 	case simulator.BitComplementTraffic:
@@ -395,7 +429,7 @@ func (s *state) pickDestination(src int) int {
 	case simulator.Tornado:
 		return (src + s.N/2 - 1) % s.N
 	default:
-		return s.rng.intn(s.dstMask)
+		return s.rng.intn(s.dstMask, c, e, drawDst)
 	}
 }
 

@@ -17,11 +17,43 @@ func RunMany(cfgs []Config) ([]Metrics, error) {
 	return RunManyWorkers(cfgs, 0)
 }
 
+// configSummary renders the handful of Config fields that identify a run
+// in error messages, without dumping unbounded fields like Perm.
+func configSummary(cfg Config) string {
+	s := fmt.Sprintf("N=%d policy=%v load=%v qcap=%d cycles=%d warmup=%d seed=%d traffic=%v",
+		cfg.N, cfg.Policy, cfg.Load, cfg.QueueCap, cfg.Cycles, cfg.Warmup, cfg.Seed, cfg.Traffic)
+	if cfg.FaultRate > 0 {
+		s += fmt.Sprintf(" faultRate=%v repair=%d", cfg.FaultRate, cfg.RepairCycles)
+	}
+	if cfg.IntraWorkers != 0 {
+		s += fmt.Sprintf(" intraWorkers=%d", cfg.IntraWorkers)
+	}
+	return s
+}
+
+// maxIntraWorkers is the largest effective per-run shard count across the
+// batch, the divisor of the nested-parallelism budget.
+func maxIntraWorkers(cfgs []Config) int {
+	max := 1
+	for i := range cfgs {
+		if p := effectiveIntra(normalized(cfgs[i])); p > max {
+			max = p
+		}
+	}
+	return max
+}
+
 // RunManyWorkers is RunMany with an explicit worker bound; workers <= 0
-// means GOMAXPROCS.
+// means automatic sizing: GOMAXPROCS goroutines, divided by the largest
+// per-run IntraWorkers in the batch so the nested product
+// runs x shards stays within GOMAXPROCS (an explicit workers value is
+// taken as-is — the caller owns the oversubscription trade-off then).
 func RunManyWorkers(cfgs []Config, workers int) ([]Metrics, error) {
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = runtime.GOMAXPROCS(0) / maxIntraWorkers(cfgs)
+		if workers < 1 {
+			workers = 1
+		}
 	}
 	if workers > len(cfgs) {
 		workers = len(cfgs)
@@ -52,15 +84,19 @@ func RunManyWorkers(cfgs []Config, workers int) ([]Metrics, error) {
 	}
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("simulator: run %d: %w", i, err)
+			// Name both the index and the config: in a generated batch a
+			// validation failure from config k would otherwise be
+			// indistinguishable from config j's.
+			return nil, fmt.Errorf("simulator: run %d (%s): %w", i, configSummary(cfgs[i]), err)
 		}
 	}
 	return results, nil
 }
 
 // Sweep builds and runs `points` configs derived from base: point i copies
-// base, decorrelates the seed to base.Seed + i (splitmix64 streams from
-// adjacent seeds are independent), then applies vary(i, &cfg) if vary is
+// base, decorrelates the seed to base.Seed + i (the counter-based RNG
+// hashes the seed into every draw, so even adjacent seeds give
+// independent streams), then applies vary(i, &cfg) if vary is
 // non-nil — vary may override any field, including the seed. The runs fan
 // out across RunManyWorkers(workers) and the results come back in point
 // order. This is the replica-sweep shape of the EXPERIMENTS.md workloads:

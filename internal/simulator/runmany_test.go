@@ -128,8 +128,11 @@ func TestRunManyError(t *testing.T) {
 	if ms != nil {
 		t.Fatalf("want nil results on error, got %v", ms)
 	}
-	if want := "run 1:"; !contains(err.Error(), want) {
+	if want := "run 1 ("; !contains(err.Error(), want) {
 		t.Errorf("error %q does not name the first failing index (%q)", err, want)
+	}
+	if want := "load=2"; !contains(err.Error(), want) {
+		t.Errorf("error %q does not summarize the failing config (%q)", err, want)
 	}
 }
 
@@ -274,7 +277,7 @@ func ExampleSweep() {
 		fmt.Printf("replica %d: delivered=%d\n", i, m.Delivered)
 	}
 	// Output:
-	// replica 0: delivered=1652
-	// replica 1: delivered=1571
-	// replica 2: delivered=1578
+	// replica 0: delivered=1590
+	// replica 1: delivered=1641
+	// replica 2: delivered=1620
 }

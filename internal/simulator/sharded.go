@@ -1,0 +1,411 @@
+package simulator
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"iadm/internal/topology"
+)
+
+// The sharded engine steps one run's cycles on IntraWorkers goroutines
+// while producing bit-identical metrics to the sequential engine, for any
+// shard count. Two properties make that possible:
+//
+//  1. Every random draw is a pure function of (seed, cycle, entity,
+//     purpose) — see rng.go — so a draw's value does not depend on which
+//     worker evaluates it or when.
+//
+//  2. Ownership sharding: each phase partitions the 0..N-1 switch columns
+//     into contiguous ranges, and a worker touches only state owned by
+//     its columns. The deliver phase owns output ports, the per-stage
+//     phases own the receiving switches of that stage's links, and the
+//     inject phase owns sources. A link is popped only by the owner of
+//     its receiving switch; pushes target only the owner's own output
+//     queues; AdaptiveSSDT reads only the owner's queue lengths. In the
+//     sequential sweep, operations on different receiving switches
+//     commute (disjoint queues, counter increments), and the projection
+//     of the ascending-link-index sweep onto any single receiving switch
+//     is "its incoming links in ascending dense index" — exactly the
+//     order the prebuilt `in` table stores. Barriers between phases keep
+//     a stage's pushes from racing the next stage's pops.
+//
+// Per-shard accumulators are cumulative over the run and merged by exact
+// integer sums/maxes after each cycle (mergeCycle is a pure recompute),
+// so merged metrics are independent of both worker count and merge
+// timing. The latency histogram is summed once at end of run. The
+// occupancy bitset is not maintained in shard mode (its 64-link words
+// straddle shard boundaries); the workers go through pushQuiet/popQuiet
+// and iterate the `in` table instead.
+//
+// The pool's helper goroutines are persistent: they park on a channel
+// between runs and synchronize phases through an atomic counter with a
+// brief spin before yielding, so a steady-state Runner run still performs
+// zero heap allocations.
+
+// shardState is one shard's accumulator set. All counter fields are
+// cumulative from cycle 0 of the current run; mergeCycle recomputes the
+// sim-level totals from them, which keeps the merge order-independent
+// and lets the simcheck build verify the totals against the shard sums.
+// The pad keeps adjacent shards' hot counters off one cache line.
+type shardState struct {
+	injected, delivered, dropped, refused int64
+	occDelta                              int64 // net queued-packet delta (injected - delivered - droppedInFlight)
+	ckInjected, ckDelivered, ckDropped    int64 // conservation shadow counters (warmup included)
+	maxQueue                              int32
+	latHist                               []int32
+	_                                     [64]byte
+}
+
+func (sh *shardState) reset() {
+	sh.injected, sh.delivered, sh.dropped, sh.refused = 0, 0, 0, 0
+	sh.occDelta = 0
+	sh.ckInjected, sh.ckDelivered, sh.ckDropped = 0, 0, 0
+	sh.maxQueue = 0
+	clear(sh.latHist)
+}
+
+// Phase job kinds dispatched to the pool.
+const (
+	jobDeliver = iota // pop the last stage's links into the output ports
+	jobStage          // advance one intermediate stage (pool.stage)
+	jobInject         // per-source injection
+	jobEndRun         // park the helpers until the next run
+)
+
+// workerPool runs shard phases on persistent helper goroutines. The
+// coordinator (the goroutine inside runSharded) publishes a job in the
+// plain fields, bumps the phase counter, executes shard 0 itself, and
+// spins until every helper reports done; helpers spin on the phase
+// counter, yielding after a short burst so the scheme degrades gracefully
+// when shards outnumber cores. Between runs the helpers block on the
+// start channel; Close closes it, ending them.
+type workerPool struct {
+	s       *sim
+	helpers int
+	start   chan struct{}
+
+	phase atomic.Uint32
+	done  atomic.Uint32
+
+	// Job description; written by the coordinator before the phase bump,
+	// read by helpers after observing it (the atomic ordering makes the
+	// plain fields safe).
+	kind     int
+	stage    int
+	cycle    int
+	measured bool
+
+	closeOnce sync.Once
+}
+
+func newWorkerPool(s *sim, shards int) *workerPool {
+	p := &workerPool{s: s, helpers: shards - 1, start: make(chan struct{})}
+	for k := 1; k < shards; k++ {
+		go p.helper(k)
+	}
+	return p
+}
+
+// spinWait spins on cond with periodic yields. The yield matters beyond
+// politeness: with more shards than cores a pure spin could starve the
+// very workers it waits for.
+func spinWait(cond func() bool) {
+	for spins := 0; !cond(); {
+		spins++
+		if spins >= 64 {
+			spins = 0
+			runtime.Gosched()
+		}
+	}
+}
+
+func (p *workerPool) helper(k int) {
+	for range p.start { // one token per run; exits when Close closes the channel
+		last := uint32(0) // coordinator resets phase to 0 before unparking
+		for {
+			spinWait(func() bool { return p.phase.Load() != last })
+			last = p.phase.Load()
+			if p.kind == jobEndRun {
+				p.done.Add(1)
+				break
+			}
+			p.s.runShardPhase(k, p.kind, p.stage, p.cycle, p.measured)
+			p.done.Add(1)
+		}
+	}
+}
+
+// unpark readies the helpers for a run. Helpers are parked (or not yet
+// mid-run), so resetting the phase counter here cannot race them.
+func (p *workerPool) unpark() {
+	p.phase.Store(0)
+	for i := 0; i < p.helpers; i++ {
+		p.start <- struct{}{}
+	}
+}
+
+// dispatch publishes one phase, contributes shard 0 on the coordinator
+// goroutine, and waits for all helpers — the inter-phase barrier.
+func (p *workerPool) dispatch(kind, stage, cycle int, measured bool) {
+	p.done.Store(0)
+	p.kind, p.stage, p.cycle, p.measured = kind, stage, cycle, measured
+	p.phase.Add(1)
+	if kind != jobEndRun {
+		p.s.runShardPhase(0, kind, stage, cycle, measured)
+	}
+	target := uint32(p.helpers)
+	spinWait(func() bool { return p.done.Load() == target })
+}
+
+// Close ends the helper goroutines. Must not be called mid-run.
+func (p *workerPool) Close() {
+	p.closeOnce.Do(func() { close(p.start) })
+}
+
+// closePool releases the intra-run workers, if any.
+func (s *sim) closePool() {
+	if s.pool != nil {
+		s.pool.Close()
+	}
+}
+
+// buildSharding prepares the sharded engine: the per-switch incoming-link
+// table, the contiguous column partition, the per-shard accumulators, and
+// the worker pool.
+func (s *sim) buildSharding(latBuckets int) {
+	s.in = make([]int32, s.n*s.N*3)
+	fill := make([]int8, s.n*s.N)
+	for idx := 0; idx < s.L; idx++ {
+		stage := idx / (3 * s.N)
+		row := stage*s.N + int(s.toOf[idx]) // receiving switch is at stage+1; rows are (r-1)*N+sw
+		s.in[row*3+int(fill[row])] = int32(idx)
+		fill[row]++
+	}
+	for row, c := range fill {
+		if c != 3 {
+			panic(fmt.Sprintf("simulator: switch row %d has %d incoming links, want 3", row, c))
+		}
+	}
+	P := s.intraP
+	s.shardLo = make([]int32, P+1)
+	for k := 0; k <= P; k++ {
+		s.shardLo[k] = int32(k * s.N / P)
+	}
+	s.shards = make([]shardState, P)
+	for k := range s.shards {
+		s.shards[k].latHist = make([]int32, latBuckets)
+	}
+	s.pool = newWorkerPool(s, P)
+}
+
+// runShardPhase executes one shard's slice of one phase.
+func (s *sim) runShardPhase(k, kind, stage, cycle int, measured bool) {
+	switch kind {
+	case jobDeliver:
+		s.shardDeliver(k, cycle, measured)
+	case jobStage:
+		s.shardStage(k, stage, cycle, measured)
+	default:
+		s.shardInject(k, cycle, measured)
+	}
+}
+
+// runSharded is the sharded counterpart of the sequential cycle loop in
+// run(): the same phases in the same order, with barriers between them
+// and a deterministic merge after each cycle.
+func (s *sim) runSharded() Metrics {
+	total := s.cfg.Warmup + s.cfg.Cycles
+	s.pool.unpark()
+	for cycle := 0; cycle < total; cycle++ {
+		measured := cycle >= s.cfg.Warmup
+		s.nowCycle = cycle
+		if s.faulty {
+			s.stepFaults(cycle) // sequential: O(faults), read-only during phases
+		}
+		s.pool.dispatch(jobDeliver, 0, cycle, measured)
+		for i := s.n - 2; i >= 0; i-- {
+			s.pool.dispatch(jobStage, i, cycle, measured)
+		}
+		s.pool.dispatch(jobInject, 0, cycle, measured)
+		s.mergeCycle()
+		if measured {
+			s.queueSum += s.occupied
+			s.queueSamples += int64(s.L)
+		}
+		if s.check {
+			s.checkInvariants(cycle)
+		}
+	}
+	s.pool.dispatch(jobEndRun, 0, 0, false)
+	for k := range s.shards {
+		for v, c := range s.shards[k].latHist {
+			s.latHist[v] += c
+		}
+	}
+	if s.check {
+		s.checkShardMerge()
+	}
+	return s.finish()
+}
+
+// mergeCycle recomputes the sim-level totals from the cumulative
+// per-shard accumulators: exact integer sums and maxes, so the result is
+// identical for every shard count and unaffected by when the merge runs.
+func (s *sim) mergeCycle() {
+	var inj, del, drop, ref, occ int64
+	var ckI, ckD, ckX int64
+	var mq int32
+	for k := range s.shards {
+		sh := &s.shards[k]
+		inj += sh.injected
+		del += sh.delivered
+		drop += sh.dropped
+		ref += sh.refused
+		occ += sh.occDelta
+		ckI += sh.ckInjected
+		ckD += sh.ckDelivered
+		ckX += sh.ckDropped
+		if sh.maxQueue > mq {
+			mq = sh.maxQueue
+		}
+	}
+	s.m.Injected, s.m.Delivered, s.m.Dropped, s.m.Refused = int(inj), int(del), int(drop), int(ref)
+	s.occupied = occ
+	s.ck = invariantCounters{injected: ckI, delivered: ckD, dropped: ckX}
+	s.maxQueue = mq
+}
+
+// shardDeliver pops the last stage's links into the output ports owned by
+// shard k (SingleInput: the first nonempty incoming link wins the cycle).
+func (s *sim) shardDeliver(k, cycle int, measured bool) {
+	sh := &s.shards[k]
+	rowBase := (s.n - 1) * s.N
+	for to := int(s.shardLo[k]); to < int(s.shardLo[k+1]); to++ {
+		inBase := (rowBase + to) * 3
+		passed := false
+		for j := 0; j < 3; j++ {
+			idx := int(s.in[inBase+j])
+			if s.q.len(idx) == 0 {
+				continue
+			}
+			if s.singleInput && passed {
+				continue
+			}
+			pk := s.q.popQuiet(idx)
+			sh.occDelta--
+			if s.check {
+				sh.ckDelivered++
+			}
+			if int(pk.dst) != to {
+				panic(fmt.Sprintf("simulator: packet for %d delivered to %d via %v",
+					pk.dst, to, topology.LinkFromIndex(s.p, idx)))
+			}
+			passed = true
+			if measured {
+				sh.delivered++
+				lat := cycle - int(pk.born)
+				if lat >= len(sh.latHist) {
+					lat = len(sh.latHist) - 1
+				}
+				sh.latHist[lat]++
+				s.forwards[idx]++
+			}
+		}
+	}
+}
+
+// shardStage advances stage i's links into the stage-i+1 switches owned
+// by shard k.
+func (s *sim) shardStage(k, i, cycle int, measured bool) {
+	sh := &s.shards[k]
+	rowBase := i * s.N
+	for at := int(s.shardLo[k]); at < int(s.shardLo[k+1]); at++ {
+		inBase := (rowBase + at) * 3
+		passed := false
+		for j := 0; j < 3; j++ {
+			idx := int(s.in[inBase+j])
+			if s.q.len(idx) == 0 {
+				continue
+			}
+			if s.singleInput && passed {
+				continue
+			}
+			pk := s.q.front(idx)
+			out, ok := s.chooseQueue(i+1, at, int(pk.dst), cycle, uint64(idx), drawRoute)
+			if !ok {
+				s.q.popQuiet(idx)
+				sh.occDelta--
+				if s.check {
+					sh.ckDropped++
+				}
+				if measured {
+					sh.dropped++
+				}
+				continue
+			}
+			if ln, pushed := s.q.pushQuiet(out, pk); pushed {
+				if ln > sh.maxQueue {
+					sh.maxQueue = ln
+				}
+				s.q.popQuiet(idx)
+				passed = true
+				if measured {
+					s.forwards[idx]++
+				}
+			}
+			// Otherwise the packet stalls in place this cycle.
+		}
+	}
+}
+
+// shardInject runs the injection loop for the sources owned by shard k.
+func (s *sim) shardInject(k, cycle int, measured bool) {
+	sh := &s.shards[k]
+	for src := int(s.shardLo[k]); src < int(s.shardLo[k+1]); src++ {
+		c, e := uint64(cycle), uint64(src)
+		if s.bursty {
+			if s.burstOn[src] {
+				if s.rng.hit(s.burstStopT, c, e, drawBurst) {
+					s.burstOn[src] = false
+				}
+			} else if s.rng.hit(s.burstStartT, c, e, drawBurst) {
+				s.burstOn[src] = true
+			}
+			if !s.burstOn[src] {
+				continue
+			}
+		}
+		if !s.rng.hit(s.loadT, c, e, drawLoad) {
+			continue
+		}
+		var dst int
+		if s.traffic == Uniform {
+			dst = s.rng.intn(s.dstMask, c, e, drawDst)
+		} else {
+			dst = s.pickDestination(src, cycle)
+		}
+		out, ok := s.chooseQueue(0, src, dst, cycle, e, drawRouteInj)
+		if !ok {
+			if measured {
+				sh.dropped++
+			}
+			continue
+		}
+		if ln, pushed := s.q.pushQuiet(out, packet{dst: int32(dst), born: int32(cycle)}); pushed {
+			if ln > sh.maxQueue {
+				sh.maxQueue = ln
+			}
+			sh.occDelta++
+			if s.check {
+				sh.ckInjected++
+			}
+			if measured {
+				sh.injected++
+			}
+		} else if measured {
+			sh.refused++
+		}
+	}
+}

@@ -16,7 +16,8 @@
 //
 // The hot path is allocation-free: per-link FIFOs live in one flat ring
 // buffer (ringQueues), random draws are integer threshold compares against
-// an inlined splitmix64 generator, transient faults are injected by
+// a counter-based generator (a splitmix64-style hash of seed, cycle,
+// entity and draw purpose — see rng.go), transient faults are injected by
 // geometric skip-sampling instead of one draw per link per cycle, and the
 // latency distribution accumulates into a stats.Stream (streaming moments
 // plus a fixed-width histogram) rather than one float64 per delivered
@@ -29,6 +30,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"runtime"
 
 	"iadm/internal/blockage"
 	"iadm/internal/stats"
@@ -171,6 +173,19 @@ type Config struct {
 	Bursty   bool
 	BurstOn  int
 	BurstOff int
+
+	// IntraWorkers >= 2 steps each cycle on that many worker goroutines:
+	// every stage's receiving switches (and the injection sources) are
+	// partitioned into contiguous shards that own all state they touch,
+	// with a barrier between stages. Because every random draw is a pure
+	// function of (seed, cycle, entity, purpose) rather than a stream
+	// position, the metrics are bit-identical for every IntraWorkers
+	// value, including the sequential engine at 0 or 1 — the knob trades
+	// cores for wall-clock on a single large-N run, nothing else. Values
+	// above N are clamped to N. See also RunMany's nested-parallelism
+	// budget (runs x shards <= GOMAXPROCS when workers are chosen
+	// automatically).
+	IntraWorkers int
 }
 
 // Metrics reports the outcome of a run.
@@ -215,11 +230,25 @@ type sim struct {
 	N int // switches per stage
 	L int // 3*N*n links
 
-	rng splitmix
+	rng ctrRNG
 	q   ringQueues
 
 	// toOf[link] is the switch the link leads to at the next stage.
 	toOf []int32
+
+	// in[((r-1)*N+sw)*3 + j] is the j-th incoming link (in ascending dense
+	// index) of switch sw at stage r, for r = 1..n (r = n is the output
+	// column). Built only for the sharded engine, whose shards iterate
+	// receiving switches rather than sweeping the occupancy bitset.
+	in []int32
+
+	// intraP is the effective shard count (>= 2 selects the sharded
+	// engine); shards and pool are its per-shard accumulators and worker
+	// pool, and shard k owns switch columns [shardLo[k], shardLo[k+1]).
+	intraP  int
+	shards  []shardState
+	shardLo []int32
+	pool    *workerPool
 
 	// staticBlocked is the snapshot of cfg.Blocked; blockable is true when
 	// any link can ever be unusable (static blockage or transient faults),
@@ -367,7 +396,23 @@ func validate(cfg *Config) error {
 	if cfg.FaultRate > 0 && cfg.RepairCycles < 0 {
 		return fmt.Errorf("simulator: repair cycles %d < 0 with fault rate %v", cfg.RepairCycles, cfg.FaultRate)
 	}
+	if cfg.IntraWorkers < 0 {
+		return fmt.Errorf("simulator: intra workers %d < 0", cfg.IntraWorkers)
+	}
 	return nil
+}
+
+// effectiveIntra is the shard count a config actually steps with: at
+// least 1, at most one shard per switch column.
+func effectiveIntra(cfg Config) int {
+	p := cfg.IntraWorkers
+	if p < 1 {
+		p = 1
+	}
+	if p > cfg.N {
+		p = cfg.N
+	}
+	return p
 }
 
 // newSim validates cfg and allocates every buffer a run needs; reset must
@@ -432,13 +477,16 @@ func newSim(cfg Config) (*sim, error) {
 	s.lat = stats.NewStream(1, latBuckets)
 	s.utilS = stats.NewStream(1.0/1024, 1025)
 	s.utilN = stats.NewStream(1.0/1024, 1025)
+	if s.intraP = effectiveIntra(cfg); s.intraP > 1 {
+		s.buildSharding(latBuckets)
+	}
 	return s, nil
 }
 
-// reset rewinds the sim to cycle 0 with a fresh RNG stream, reusing every
+// reset rewinds the sim to cycle 0 with a fresh RNG seed, reusing every
 // buffer.
 func (s *sim) reset(seed int64) {
-	s.rng = newSplitmix(seed)
+	s.rng = newCtrRNG(seed)
 	s.q.reset()
 	clear(s.switchBusy)
 	clear(s.failUntil)
@@ -453,13 +501,46 @@ func (s *sim) reset(seed int64) {
 	s.lat.Reset()
 	s.utilS.Reset()
 	s.utilN.Reset()
+	for k := range s.shards {
+		s.shards[k].reset()
+	}
 	if s.bursty {
 		for i := range s.burstOn {
-			s.burstOn[i] = s.rng.bit()
+			s.burstOn[i] = s.rng.bit(0, uint64(i), drawBurstInit)
 		}
 	}
 	if s.faulty {
-		s.nextFaultTrial = s.rng.geometricSkip(s.invLn1mF) - 1
+		s.nextFaultTrial = s.advanceFaultTrial(-1)
+	}
+}
+
+// advanceFaultTrial walks the fault skip-chain one step: from trial
+// position pos (flattened cycle*L + link; -1 before the first trial) to
+// the next position whose Bernoulli(FaultRate) trial hits. Each skip draw
+// is keyed by the position it starts from, so the whole chain — and
+// therefore the fault pattern — is a pure function of the seed.
+func (s *sim) advanceFaultTrial(pos int64) int64 {
+	u := s.rng.word(uint64(pos+1), 0, drawFaultSkip)
+	return pos + geometricSkipFromWord(u, s.invLn1mF)
+}
+
+// stepFaults injects and expires transient link failures for one cycle.
+// Instead of one Bernoulli draw per link per cycle, the flattened
+// (cycle, link) trial sequence is skip-sampled geometrically: expected
+// cost is FaultRate*L per cycle rather than L. Trials landing on an
+// already-failed link are discarded, which leaves every working link
+// failing with exactly FaultRate per cycle. Both engines share this
+// sequential walk (it is O(faults), not worth sharding), and the sharded
+// engine runs it before the first barrier of the cycle.
+func (s *sim) stepFaults(cycle int) {
+	start := int64(cycle) * int64(s.L)
+	end := start + int64(s.L)
+	for s.nextFaultTrial < end {
+		idx := int(s.nextFaultTrial - start)
+		if int(s.failUntil[idx]) <= cycle {
+			s.failUntil[idx] = int32(cycle + s.cfg.RepairCycles)
+		}
+		s.nextFaultTrial = s.advanceFaultTrial(s.nextFaultTrial)
 	}
 }
 
@@ -467,10 +548,20 @@ func (s *sim) reset(seed int64) {
 // Metrics' stream fields share storage with the sim and are valid until
 // the next reset.
 func (s *sim) run() Metrics {
+	if s.intraP > 1 {
+		return s.runSharded()
+	}
 	total := s.cfg.Warmup + s.cfg.Cycles
 	for cycle := 0; cycle < total; cycle++ {
 		s.step(cycle, cycle >= s.cfg.Warmup)
 	}
+	return s.finish()
+}
+
+// finish derives the run-level metrics from the accumulated counters;
+// shared by the sequential and sharded engines (the latter merges its
+// per-shard accumulators first).
+func (s *sim) finish() Metrics {
 	s.m.Throughput = float64(s.m.Delivered) / float64(s.cfg.Cycles) / float64(s.N)
 	if s.queueSamples > 0 {
 		s.m.MeanQueue = float64(s.queueSum) / float64(s.queueSamples)
@@ -502,6 +593,7 @@ func Run(cfg Config) (Metrics, error) {
 	if err != nil {
 		return Metrics{}, err
 	}
+	defer s.closePool()
 	s.reset(cfg.Seed)
 	return s.run(), nil
 }
@@ -522,7 +614,11 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Runner{s: s}, nil
+	r := &Runner{s: s}
+	if s.pool != nil {
+		runtime.SetFinalizer(r, func(r *Runner) { r.s.closePool() })
+	}
+	return r, nil
 }
 
 // Run executes one run with the configured seed.
@@ -532,6 +628,15 @@ func (r *Runner) Run() Metrics { return r.RunSeed(r.s.cfg.Seed) }
 func (r *Runner) RunSeed(seed int64) Metrics {
 	r.s.reset(seed)
 	return r.s.run()
+}
+
+// Close releases the Runner's intra-run worker goroutines (a no-op when
+// IntraWorkers <= 1). The Runner must not be used afterwards. A forgotten
+// Close is backstopped by a finalizer, but deterministic shutdown — e.g.
+// before a goroutine-leak check in tests — needs the explicit call.
+func (r *Runner) Close() {
+	runtime.SetFinalizer(r, nil)
+	r.s.closePool()
 }
 
 // linkBlocked reports whether a link is statically blocked or transiently
@@ -547,8 +652,10 @@ func (s *sim) linkBlocked(idx int) bool {
 // a packet to dst, honouring the policy and blockages. ok=false means the
 // packet must be dropped. The returned value is a dense link index. When
 // no link can ever be blocked (the common case) the whole blockage ladder
-// is skipped.
-func (s *sim) chooseQueue(stage, sw, dst int) (int, bool) {
+// is skipped. (cycle, entity, purpose) are the draw coordinates of the
+// RandomState coin: the incoming link index under drawRoute for transit
+// packets, the source index under drawRouteInj at injection.
+func (s *sim) chooseQueue(stage, sw, dst, cycle int, entity, purpose uint64) (int, bool) {
 	base := (stage*s.N + sw) * 3
 	if ((sw^dst)>>uint(stage))&1 == 0 {
 		idx := base + 1 // straight
@@ -577,7 +684,7 @@ func (s *sim) chooseQueue(stage, sw, dst int) (int, bool) {
 		}
 		return minus, true
 	case RandomState:
-		if s.rng.bit() {
+		if s.rng.bit(uint64(cycle), entity, purpose) {
 			return plus, true
 		}
 		return minus, true
@@ -609,22 +716,8 @@ func (s *sim) step(cycle int, measured bool) {
 	if s.singleInput {
 		clear(s.switchBusy)
 	}
-	// Inject and expire transient link failures. Instead of one Bernoulli
-	// draw per link per cycle, skip-sample the flattened (cycle, link)
-	// trial sequence geometrically: expected cost is FaultRate*L per cycle
-	// rather than L. Trials landing on an already-failed link are
-	// discarded, which leaves every working link failing with exactly
-	// FaultRate per cycle (the seed semantics).
 	if s.faulty {
-		start := int64(cycle) * int64(s.L)
-		end := start + int64(s.L)
-		for s.nextFaultTrial < end {
-			idx := int(s.nextFaultTrial - start)
-			if int(s.failUntil[idx]) <= cycle {
-				s.failUntil[idx] = int32(cycle + s.cfg.RepairCycles)
-			}
-			s.nextFaultTrial += s.rng.geometricSkip(s.invLn1mF)
-		}
+		s.stepFaults(cycle)
 	}
 	// The stage sweeps below iterate only the nonempty queues via the
 	// occupancy bitset: set bits are consumed lowest-first, so the visit
@@ -693,7 +786,7 @@ func (s *sim) step(cycle int, measured bool) {
 					continue // IADM switch already passed its packet
 				}
 				pk := s.q.front(idx)
-				out, ok := s.chooseQueue(i+1, at, int(pk.dst))
+				out, ok := s.chooseQueue(i+1, at, int(pk.dst), cycle, uint64(idx), drawRoute)
 				if !ok {
 					s.q.pop(idx)
 					s.occupied--
@@ -723,29 +816,30 @@ func (s *sim) step(cycle int, measured bool) {
 	}
 	// Inject new packets.
 	for src := 0; src < s.N; src++ {
+		c, e := uint64(cycle), uint64(src)
 		if s.bursty {
 			// Two-state Markov modulation with mean sojourn BurstOn/BurstOff.
 			if s.burstOn[src] {
-				if s.rng.hit(s.burstStopT) {
+				if s.rng.hit(s.burstStopT, c, e, drawBurst) {
 					s.burstOn[src] = false
 				}
-			} else if s.rng.hit(s.burstStartT) {
+			} else if s.rng.hit(s.burstStartT, c, e, drawBurst) {
 				s.burstOn[src] = true
 			}
 			if !s.burstOn[src] {
 				continue
 			}
 		}
-		if !s.rng.hit(s.loadT) {
+		if !s.rng.hit(s.loadT, c, e, drawLoad) {
 			continue
 		}
 		var dst int
 		if s.traffic == Uniform {
-			dst = s.rng.intn(s.dstMask)
+			dst = s.rng.intn(s.dstMask, c, e, drawDst)
 		} else {
-			dst = s.pickDestination(src)
+			dst = s.pickDestination(src, cycle)
 		}
-		out, ok := s.chooseQueue(0, src, dst)
+		out, ok := s.chooseQueue(0, src, dst, cycle, e, drawRouteInj)
 		if !ok {
 			if measured {
 				s.m.Dropped++
@@ -779,13 +873,14 @@ func (s *sim) step(cycle int, measured bool) {
 
 // pickDestination draws a destination for a packet from src (non-Uniform
 // traffic kinds; Uniform is inlined at the call site).
-func (s *sim) pickDestination(src int) int {
+func (s *sim) pickDestination(src, cycle int) int {
+	c, e := uint64(cycle), uint64(src)
 	switch s.traffic {
 	case Hotspot:
-		if s.rng.hit(s.hotT) {
+		if s.rng.hit(s.hotT, c, e, drawHot) {
 			return s.cfg.HotspotDest
 		}
-		return s.rng.intn(s.dstMask)
+		return s.rng.intn(s.dstMask, c, e, drawDst)
 	case PermutationTraffic:
 		return s.cfg.Perm[src]
 	case BitComplementTraffic:
@@ -793,6 +888,6 @@ func (s *sim) pickDestination(src int) int {
 	case Tornado:
 		return (src + s.N/2 - 1) % s.N
 	default:
-		return s.rng.intn(s.dstMask)
+		return s.rng.intn(s.dstMask, c, e, drawDst)
 	}
 }

@@ -130,6 +130,54 @@ func (s *Stream) AddN(x float64, count int) {
 	}
 }
 
+// Merge folds another stream's observations into s, as if every
+// observation recorded into o had been recorded into s instead. Moments
+// combine by Chan et al.'s pairwise parallel formula and histograms by
+// bucket-wise addition, so merging per-worker streams costs O(buckets)
+// regardless of observation counts. Both streams must share the same
+// histogram geometry (width and bucket count); o is unchanged.
+//
+// Note that while counts, min/max and percentiles merge exactly, the
+// floating-point mean/M2 of a merged stream can differ in the last ulp
+// from the sequentially-accumulated ones — callers that need bit-identical
+// metrics across worker counts (the simulator's sharded engine) must
+// merge integer histograms instead and fold once at the end.
+func (s *Stream) Merge(o *Stream) {
+	if o.n == 0 {
+		return
+	}
+	if s.counts == nil && s.n == 0 {
+		// Adopt o's geometry: an untouched zero-value s merges like an
+		// empty stream of the same shape.
+		s.width, s.invWidth = o.width, o.invWidth
+		s.counts = make([]int, len(o.counts))
+	}
+	if s.width != o.width || len(s.counts) != len(o.counts) {
+		panic(fmt.Sprintf("stats: merging streams with different geometries: width %v/%d buckets vs width %v/%d buckets",
+			s.width, len(s.counts), o.width, len(o.counts)))
+	}
+	if s.n == 0 {
+		s.min, s.max = o.min, o.max
+	} else {
+		if o.min < s.min {
+			s.min = o.min
+		}
+		if o.max > s.max {
+			s.max = o.max
+		}
+	}
+	prev := float64(s.n)
+	c := float64(o.n)
+	s.n += o.n
+	delta := o.mean - s.mean
+	s.mean += delta * c / float64(s.n)
+	s.m2 += o.m2 + delta*delta*prev*c/float64(s.n)
+	for b, cnt := range o.counts {
+		s.counts[b] += cnt
+	}
+	s.overflow += o.overflow
+}
+
 // N returns the number of observations.
 func (s *Stream) N() int { return s.n }
 

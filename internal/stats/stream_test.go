@@ -319,3 +319,61 @@ func TestNewStreamPanics(t *testing.T) {
 		}()
 	}
 }
+
+// TestStreamMerge checks that merging split streams reproduces the
+// single-stream statistics: counts, min/max and percentiles exactly,
+// moments up to floating-point rounding (Chan's pairwise formula).
+func TestStreamMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	whole := NewStream(1, 256)
+	parts := []Stream{NewStream(1, 256), NewStream(1, 256), NewStream(1, 256)}
+	for i := 0; i < 9000; i++ {
+		x := rng.Intn(300) // 256..299 exercise the overflow bin
+		whole.AddInt(x)
+		parts[i%len(parts)].AddInt(x)
+	}
+	var merged Stream // zero value: adopts geometry from the first merge
+	for i := range parts {
+		merged.Merge(&parts[i])
+	}
+	if merged.N() != whole.N() {
+		t.Fatalf("N: merged %d, whole %d", merged.N(), whole.N())
+	}
+	if merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Errorf("min/max: merged %v/%v, whole %v/%v", merged.Min(), merged.Max(), whole.Min(), whole.Max())
+	}
+	for _, p := range []float64{0, 25, 50, 90, 99, 100} {
+		if merged.Percentile(p) != whole.Percentile(p) {
+			t.Errorf("p%v: merged %v, whole %v", p, merged.Percentile(p), whole.Percentile(p))
+		}
+	}
+	if !almostEqual(merged.Mean(), whole.Mean(), 1e-12) {
+		t.Errorf("mean: merged %v, whole %v", merged.Mean(), whole.Mean())
+	}
+	if !almostEqual(merged.Variance(), whole.Variance(), 1e-9) {
+		t.Errorf("variance: merged %v, whole %v", merged.Variance(), whole.Variance())
+	}
+}
+
+// TestStreamMergeEdges pins the empty-stream cases and the geometry check.
+func TestStreamMergeEdges(t *testing.T) {
+	a := NewStream(1, 16)
+	b := NewStream(1, 16)
+	a.AddInt(3)
+	a.Merge(&b) // merging an empty stream is a no-op
+	if a.N() != 1 || a.Mean() != 3 {
+		t.Fatalf("merge of empty stream changed state: %v", a.String())
+	}
+	b.Merge(&a) // merging into an empty stream copies it
+	if b.N() != 1 || b.Mean() != 3 || b.Min() != 3 || b.Max() != 3 {
+		t.Fatalf("merge into empty stream wrong: %v", b.String())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging mismatched geometries did not panic")
+		}
+	}()
+	c := NewStream(2, 16)
+	c.AddInt(1)
+	a.Merge(&c)
+}

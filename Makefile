@@ -5,7 +5,14 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-json bench-compare fuzz fuzz-smoke
+# The tracked routing benchmark suite: packed kernels and their preserved
+# legacy counterparts side by side (core), the frontier walks (paths), and
+# the packed-path consumers (permroute, multicast, analysis). The regex
+# fragments deliberately prefix-match their *Packed/*Legacy variants.
+ROUTING_PKGS = ./internal/core,./internal/paths,./internal/permroute,./internal/multicast,./internal/analysis
+ROUTING_BENCH = BenchmarkFollowState|BenchmarkTagFollow|BenchmarkRouteSSDT|BenchmarkRouteTSDTPacked|BenchmarkExists|BenchmarkFind|BenchmarkMultiPass|BenchmarkBroadcast|BenchmarkReroutablePairs
+
+.PHONY: check fmt vet build test race bench bench-routing bench-json bench-compare fuzz fuzz-smoke
 
 check: fmt vet build test race fuzz-smoke
 
@@ -34,9 +41,17 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkCyclesPerSecond|BenchmarkLargeN' -benchmem ./internal/simulator
 
-# Emit BENCH_simulator.json for CI tracking.
+# One human-readable pass over the tracked routing suite (expect 0
+# allocs/op on every packed kernel and frontier walk).
+bench-routing:
+	$(GO) test -run '^$$' -bench '$(ROUTING_BENCH)' -benchmem $(subst $(comma), ,$(ROUTING_PKGS))
+
+comma := ,
+
+# Emit BENCH_simulator.json and BENCH_routing.json for CI tracking.
 bench-json:
 	$(GO) run ./cmd/benchjson
+	$(GO) run ./cmd/benchjson -pkg '$(ROUTING_PKGS)' -bench '$(ROUTING_BENCH)' -o BENCH_routing.json
 
 # Perf gate: rerun the tracked benchmarks and fail if mean_ns_per_op
 # regressed against the committed BENCH_simulator.json. benchjson's
@@ -49,12 +64,16 @@ bench-json:
 # deliberately (via bench-json).
 bench-compare:
 	$(GO) run ./cmd/benchjson -count 5 -o /dev/null -tolerance 0.25 -compare BENCH_simulator.json
+	$(GO) run ./cmd/benchjson -count 5 -o /dev/null -tolerance 0.25 \
+		-pkg '$(ROUTING_PKGS)' -bench '$(ROUTING_BENCH)' -compare BENCH_routing.json
 
 fuzz:
 	$(GO) test -run FuzzRingQueue -fuzz FuzzRingQueue -fuzztime 30s ./internal/simulator
 
-# Bounded fuzz pass for CI: the ring-buffer model check and the
-# optimized-vs-reference differential oracle, 10s each.
+# Bounded fuzz pass for CI: the ring-buffer model check, the
+# optimized-vs-reference differential oracle, and the packed-path
+# round-trip/accessor-parity check, 10s each.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzRingQueue -fuzztime 10s ./internal/simulator
 	$(GO) test -run '^$$' -fuzz FuzzDifferential -fuzztime 10s ./internal/refsim
+	$(GO) test -run '^$$' -fuzz FuzzPackedRoundTrip -fuzztime 10s ./internal/core

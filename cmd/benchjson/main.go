@@ -14,6 +14,12 @@
 // is the stable number to compare across machines). Reports record the
 // go version and the git commit they were produced at.
 //
+// -pkg accepts a comma-separated package list (the routing suite spans
+// five packages); in multi-package reports every benchmark name is
+// qualified with its package's base element, e.g.
+// "paths.BenchmarkFind/N=4096", so the names -compare keys on stay
+// unique. Single-package reports keep the historical unqualified shape.
+//
 // With -compare, the fresh results are checked against a committed
 // baseline report and the command fails if any benchmark's mean_ns_per_op
 // regressed by more than -tolerance (default 0.10), or if a baseline
@@ -44,9 +50,13 @@ type Sample struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
-// Benchmark aggregates the samples of one benchmark name.
+// Benchmark aggregates the samples of one benchmark name. In
+// multi-package runs Name is qualified with the package's base element
+// ("paths.BenchmarkFind/N=4096") so names stay unique, and Package holds
+// the full import path.
 type Benchmark struct {
 	Name        string   `json:"name"`
+	Package     string   `json:"package,omitempty"`
 	Samples     []Sample `json:"samples"`
 	MinNsPerOp  float64  `json:"min_ns_per_op"`
 	MeanNsPerOp float64  `json:"mean_ns_per_op"`
@@ -73,11 +83,15 @@ type Report struct {
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 // parse reads `go test -bench` output and groups the result lines by
-// benchmark name, preserving first-seen order. Header lines (goos, goarch,
-// cpu, pkg) fill the report metadata.
+// (package, benchmark name), preserving first-seen order. Header lines
+// (goos, goarch, cpu, pkg) fill the report metadata; a multi-package run
+// emits one pkg: header per package and the result lines that follow one
+// belong to it, so samples are attributed to the current header.
 func parse(r io.Reader) (Report, error) {
 	var rep Report
-	index := map[string]int{}
+	var pkgs []string
+	curPkg := ""
+	index := map[[2]string]int{}
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		line := sc.Text()
@@ -92,7 +106,17 @@ func parse(r io.Reader) (Report, error) {
 			rep.CPU = strings.TrimPrefix(line, "cpu: ")
 			continue
 		case strings.HasPrefix(line, "pkg: "):
-			rep.Package = strings.TrimPrefix(line, "pkg: ")
+			curPkg = strings.TrimPrefix(line, "pkg: ")
+			seen := false
+			for _, p := range pkgs {
+				if p == curPkg {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				pkgs = append(pkgs, curPkg)
+			}
 			continue
 		}
 		m := benchLine.FindStringSubmatch(line)
@@ -114,16 +138,32 @@ func parse(r io.Reader) (Report, error) {
 		if m[5] != "" {
 			s.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
 		}
-		i, ok := index[m[1]]
+		key := [2]string{curPkg, m[1]}
+		i, ok := index[key]
 		if !ok {
 			i = len(rep.Benchmarks)
-			index[m[1]] = i
-			rep.Benchmarks = append(rep.Benchmarks, Benchmark{Name: m[1]})
+			index[key] = i
+			rep.Benchmarks = append(rep.Benchmarks, Benchmark{Name: m[1], Package: curPkg})
 		}
 		rep.Benchmarks[i].Samples = append(rep.Benchmarks[i].Samples, s)
 	}
 	if err := sc.Err(); err != nil {
 		return rep, err
+	}
+	rep.Package = strings.Join(pkgs, ",")
+	if len(pkgs) > 1 {
+		for i := range rep.Benchmarks {
+			b := &rep.Benchmarks[i]
+			if slash := strings.LastIndex(b.Package, "/"); slash >= 0 {
+				b.Name = b.Package[slash+1:] + "." + b.Name
+			}
+		}
+	} else {
+		// Single-package reports keep the historical shape: plain names, no
+		// per-benchmark package field.
+		for i := range rep.Benchmarks {
+			rep.Benchmarks[i].Package = ""
+		}
 	}
 	for i := range rep.Benchmarks {
 		b := &rep.Benchmarks[i]
@@ -181,7 +221,7 @@ func gitCommit() string {
 
 func main() {
 	bench := flag.String("bench", "BenchmarkCyclesPerSecond|BenchmarkLargeN", "benchmark regex passed to go test -bench")
-	pkg := flag.String("pkg", "./internal/simulator", "package to benchmark")
+	pkg := flag.String("pkg", "./internal/simulator", "package(s) to benchmark, comma-separated")
 	count := flag.Int("count", 5, "samples per benchmark (go test -count)")
 	out := flag.String("o", "BENCH_simulator.json", "output file (- for stdout)")
 	compare := flag.String("compare", "", "baseline report to compare against; fail on mean_ns_per_op regressions")
@@ -194,8 +234,10 @@ func main() {
 }
 
 func run(bench, pkg string, count int, out, compare string, tolerance float64) error {
-	cmd := exec.Command("go", "test", "-run", "^$",
-		"-bench", bench, "-benchmem", "-count", strconv.Itoa(count), pkg)
+	args := []string{"test", "-run", "^$",
+		"-bench", bench, "-benchmem", "-count", strconv.Itoa(count)}
+	args = append(args, strings.Split(pkg, ",")...)
+	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
 	raw, err := cmd.Output()
 	if err != nil {

@@ -66,6 +66,61 @@ func TestParseWithoutBenchmem(t *testing.T) {
 	}
 }
 
+const multiPkgOutput = `goos: linux
+goarch: amd64
+pkg: iadm/internal/core
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkRouteSSDTPacked/N=4096-4 	 4000000	        82.3 ns/op	       0 B/op	       0 allocs/op
+BenchmarkRouteSSDTPacked/N=4096-4 	 4000000	        81.9 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	iadm/internal/core	1.234s
+pkg: iadm/internal/paths
+BenchmarkFind/N=4096-4            	  500000	       661.0 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	iadm/internal/paths	0.567s
+`
+
+// TestParseMultiPackage: result lines are attributed to the preceding pkg:
+// header, names are qualified with the package base element, and the
+// report's package field lists every package.
+func TestParseMultiPackage(t *testing.T) {
+	rep, err := parse(strings.NewReader(multiPkgOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Package != "iadm/internal/core,iadm/internal/paths" {
+		t.Errorf("package list wrong: %q", rep.Package)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+	ssdt := rep.Benchmarks[0]
+	if ssdt.Name != "core.BenchmarkRouteSSDTPacked/N=4096" || ssdt.Package != "iadm/internal/core" {
+		t.Errorf("qualified name/package wrong: %+v", ssdt)
+	}
+	if len(ssdt.Samples) != 2 || ssdt.MinNsPerOp != 81.9 {
+		t.Errorf("sample grouping wrong: %+v", ssdt)
+	}
+	if find := rep.Benchmarks[1]; find.Name != "paths.BenchmarkFind/N=4096" || find.Package != "iadm/internal/paths" {
+		t.Errorf("qualified name/package wrong: %+v", find)
+	}
+}
+
+// TestParseSinglePackageShape: one-package reports keep unqualified names
+// and omit the per-benchmark package field, so the committed
+// BENCH_simulator.json baseline still compares.
+func TestParseSinglePackageShape(t *testing.T) {
+	rep, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range rep.Benchmarks {
+		if strings.Contains(b.Name, ".Benchmark") || b.Package != "" {
+			t.Errorf("single-package benchmark must stay unqualified: %+v", b)
+		}
+	}
+}
+
 func TestParseIgnoresNoise(t *testing.T) {
 	rep, err := parse(strings.NewReader("PASS\nok  \tiadm\t1.2s\nrandom text\n"))
 	if err != nil {

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+
+	"iadm/internal/blockage"
+	"iadm/internal/paths"
+	"iadm/internal/topology"
+)
+
+// TestReroutablePairsSequentialAgreement: the fanned-out count equals a
+// plain nested loop over paths.Exists.
+func TestReroutablePairsSequentialAgreement(t *testing.T) {
+	p := topology.MustParams(32)
+	rng := rand.New(rand.NewSource(8100))
+	for _, count := range []int{0, 8, 64, 200} {
+		blk := blockage.NewSet(p)
+		blk.RandomLinks(rng, count)
+		want := 0
+		for s := 0; s < 32; s++ {
+			for d := 0; d < 32; d++ {
+				if paths.Exists(p, s, d, blk) {
+					want++
+				}
+			}
+		}
+		if got := ReroutablePairs(p, blk, 0); got != want {
+			t.Fatalf("%d blockages: ReroutablePairs=%d, sequential=%d", count, got, want)
+		}
+	}
+}
+
+// TestReroutablePairsWorkerInvariance: identical counts for every worker
+// count, including more workers than sources.
+func TestReroutablePairsWorkerInvariance(t *testing.T) {
+	p := topology.MustParams(64)
+	blk := blockage.NewSet(p)
+	blk.RandomLinks(rand.New(rand.NewSource(8200)), 100)
+	base := ReroutablePairs(p, blk, 1)
+	if base == 0 || base == 64*64 {
+		t.Fatalf("degenerate baseline %d; pick a different blockage seed", base)
+	}
+	for _, workers := range []int{0, 2, 3, 5, 64, 200} {
+		if got := ReroutablePairs(p, blk, workers); got != base {
+			t.Fatalf("workers=%d: %d pairs, single-worker %d", workers, got, base)
+		}
+	}
+}
+
+// TestReroutablePairsCleanNetwork: with no blockages every pair routes.
+func TestReroutablePairsCleanNetwork(t *testing.T) {
+	p := topology.MustParams(16)
+	if got := ReroutablePairs(p, blockage.NewSet(p), 0); got != 16*16 {
+		t.Fatalf("clean network: %d pairs, want %d", got, 16*16)
+	}
+}
+
+// TestExpectedConnectivityExactWorkerInvariance: the row-ordered reduction
+// is bit-identical for every worker count (exact float equality, no
+// tolerance).
+func TestExpectedConnectivityExactWorkerInvariance(t *testing.T) {
+	p := topology.MustParams(16)
+	for _, q := range []float64{0, 0.05, 0.3, 1} {
+		base, err := ExpectedConnectivityExactWorkers(p, q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq, err := ExpectedConnectivityExact(p, q); err != nil || seq != base {
+			t.Fatalf("q=%v: ExpectedConnectivityExact=%v err=%v, workers=1 gives %v", q, seq, err, base)
+		}
+		for _, workers := range []int{0, 2, 3, 7, 16, 50} {
+			got, err := ExpectedConnectivityExactWorkers(p, q, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != base {
+				t.Fatalf("q=%v workers=%d: %v != %v (must be bit-identical)", q, workers, got, base)
+			}
+		}
+	}
+}
+
+// TestExpectedConnectivityExactWorkersValidation: q outside [0,1] errors.
+func TestExpectedConnectivityExactWorkersValidation(t *testing.T) {
+	p := topology.MustParams(4)
+	for _, q := range []float64{-0.1, 1.1} {
+		if _, err := ExpectedConnectivityExactWorkers(p, q, 0); err == nil {
+			t.Fatalf("q=%v: expected error", q)
+		}
+	}
+}
+
+func BenchmarkReroutablePairs(b *testing.B) {
+	p := topology.MustParams(256)
+	blk := blockage.NewSet(p)
+	blk.RandomLinks(rand.New(rand.NewSource(8300)), 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ReroutablePairs(p, blk, 0)
+	}
+}
+
+func BenchmarkExpectedConnectivityExactWorkers(b *testing.B) {
+	p := topology.MustParams(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExpectedConnectivityExactWorkers(p, 0.05, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -176,18 +176,9 @@ func PathCountDistribution(p topology.Params) (dist map[int]int, mean float64) {
 // ExpectedConnectivityExact computes E[fraction of routable pairs] under
 // i.i.d. link failure probability q exactly: by linearity of expectation
 // it is the average of PairReliability over all N^2 pairs, each of which
-// the pivot DP evaluates exactly.
+// the pivot DP evaluates exactly. It is the single-worker case of
+// ExpectedConnectivityExactWorkers (allpairs.go), whose row-ordered
+// reduction makes the result identical for every worker count.
 func ExpectedConnectivityExact(p topology.Params, q float64) (float64, error) {
-	N := p.Size()
-	sum := 0.0
-	for s := 0; s < N; s++ {
-		for d := 0; d < N; d++ {
-			r, err := PairReliability(p, s, d, q)
-			if err != nil {
-				return 0, err
-			}
-			sum += r
-		}
-	}
-	return sum / float64(N*N), nil
+	return ExpectedConnectivityExactWorkers(p, q, 1)
 }

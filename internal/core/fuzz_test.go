@@ -30,6 +30,53 @@ func FuzzParseTag(f *testing.F) {
 	})
 }
 
+// FuzzPackedRoundTrip: Path ⇄ PackedPath conversion must be lossless and
+// every packed accessor must agree with its slice-backed counterpart, for
+// arbitrary sizes, endpoints, and switch-state bitmaps.
+func FuzzPackedRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint8(0), uint8(0))
+	f.Add(uint64(0xFFFFFFFFFFFFFFFF), uint8(255), uint8(255))
+	f.Add(uint64(0x123456789ABCDEF), uint8(7), uint8(3))
+	f.Fuzz(func(t *testing.T, bits uint64, sv, nv uint8) {
+		n := 1 + int(nv)%5
+		p := topology.MustParams(1 << uint(n))
+		ns := NewNetworkState(p)
+		b := 0
+		for i := 0; i < p.Stages(); i++ {
+			for j := 0; j < p.Size(); j++ {
+				if bits>>uint(b%64)&1 == 1 {
+					ns.Flip(i, j)
+				}
+				b++
+			}
+		}
+		s := int(sv) & (p.Size() - 1)
+		d := int(bits>>32) & (p.Size() - 1)
+		pa := FollowState(p, s, d, ns)
+		pp := PackPath(pa)
+		if !pp.Unpack(p).Equal(pa) {
+			t.Fatalf("round trip: %v -> %v -> %v", pa, pp, pp.Unpack(p))
+		}
+		if err := pp.Validate(p); err != nil {
+			t.Fatalf("packed form of valid path invalid: %v", err)
+		}
+		if pp.Source() != pa.Source || pp.Stages() != len(pa.Links) || pp.Destination(p) != pa.Destination() {
+			t.Fatalf("endpoint accessors disagree: %v vs %v", pp, pa)
+		}
+		for i, l := range pa.Links {
+			if pp.KindAt(i) != l.Kind {
+				t.Fatalf("kind at stage %d: %v vs %v", i, pp.KindAt(i), l.Kind)
+			}
+			if pp.SwitchAt(p, i) != pa.SwitchAt(i) {
+				t.Fatalf("switch at stage %d: %d vs %d", i, pp.SwitchAt(p, i), pa.SwitchAt(i))
+			}
+		}
+		if got := FollowStatePacked(p, s, d, ns); got != pp {
+			t.Fatalf("FollowStatePacked %v, PackPath(FollowState) %v", got, pp)
+		}
+	})
+}
+
 // FuzzReroute: arbitrary blockage bitmaps and endpoints must never panic,
 // and successful reroutes must be sound.
 func FuzzReroute(f *testing.F) {

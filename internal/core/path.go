@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"iadm/internal/blockage"
@@ -44,12 +45,18 @@ func (pa Path) Destination() int { return pa.SwitchAt(len(pa.Links)) }
 
 // Switches returns the n+1 switch indices the path visits, stage by stage.
 func (pa Path) Switches() []int {
-	out := make([]int, len(pa.Links)+1)
-	out[0] = pa.Source
-	for i, l := range pa.Links {
-		out[i+1] = l.To(pa.p)
+	return pa.SwitchesInto(make([]int, 0, len(pa.Links)+1))
+}
+
+// SwitchesInto appends the n+1 switch indices the path visits to dst
+// (usually dst[:0] of a reused buffer) and returns the extended slice, so
+// callers iterating many paths avoid a fresh slice per path.
+func (pa Path) SwitchesInto(dst []int) []int {
+	dst = append(dst, pa.Source)
+	for _, l := range pa.Links {
+		dst = append(dst, l.To(pa.p))
 	}
-	return out
+	return dst
 }
 
 // Validate checks internal consistency: each link leaves the switch the
@@ -103,11 +110,17 @@ func (pa Path) NonstraightBefore(q int) (int, bool) {
 // "1∈S_0 → 2∈S_1 → 4∈S_2 → 0∈S_3".
 func (pa Path) String() string {
 	var sb strings.Builder
+	// "N∈S_i → " is at most 10 digits + 3-byte ∈ + 5 bytes of glue + the
+	// 5-byte arrow; 24 per element avoids regrows for every supported N.
+	sb.Grow(24 * (len(pa.Links) + 1))
+	var buf [20]byte
 	for i := 0; i <= len(pa.Links); i++ {
 		if i > 0 {
 			sb.WriteString(" → ")
 		}
-		fmt.Fprintf(&sb, "%d∈S_%d", pa.SwitchAt(i), i)
+		sb.Write(strconv.AppendInt(buf[:0], int64(pa.SwitchAt(i)), 10))
+		sb.WriteString("∈S_")
+		sb.Write(strconv.AppendInt(buf[:0], int64(i), 10))
 	}
 	return sb.String()
 }

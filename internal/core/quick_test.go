@@ -162,13 +162,17 @@ func TestQuickRerouteSoundness(t *testing.T) {
 	}
 }
 
-// Property: Path.Switches is consistent with SwitchAt and Destination.
+// Property: Path.SwitchesInto is consistent with SwitchAt and Destination.
+// The buffer is reused across quick.Check iterations, so the property also
+// covers the append-into-scratch contract (Switches itself is
+// SwitchesInto(nil)).
 func TestQuickPathAccessors(t *testing.T) {
 	p := topology.MustParams(64)
+	buf := make([]int, 0, p.Stages()+1)
 	f := func(bits uint16, src uint8) bool {
 		tag := Tag{n: p.Stages(), bits: uint64(bits) & (1<<12 - 1)}
 		path := tag.Follow(p, int(src)&63)
-		sw := path.Switches()
+		sw := path.SwitchesInto(buf[:0])
 		for i := range sw {
 			if sw[i] != path.SwitchAt(i) {
 				return false

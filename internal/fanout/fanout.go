@@ -1,0 +1,52 @@
+// Package fanout provides the deterministic sharded worker-pool pattern
+// shared by the all-pairs analyses (and pioneered by the simulator's
+// RunMany/IntraWorkers machinery): the row space 0..n-1 is partitioned into
+// at most `workers` contiguous shards, each shard runs on its own
+// goroutine, and the caller merges per-row results in row order afterwards.
+//
+// Determinism comes for free from the shape: every row belongs to exactly
+// one shard, shard boundaries depend only on (n, workers), and workers
+// write only to their own rows — so the result of a sharded sweep is
+// bit-identical for every worker count, including workers = 1.
+package fanout
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Rows partitions 0..n-1 into at most `workers` contiguous shards and runs
+// fn(lo, hi) for each shard [lo, hi) on its own goroutine, returning when
+// all shards complete. workers <= 0 means GOMAXPROCS. fn must confine its
+// writes to rows lo..hi-1 (or otherwise synchronize); reads of shared
+// immutable inputs need no synchronization.
+func Rows(n, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		fn(0, n)
+		verifyShards(n, [][2]int{{0, n}})
+		return
+	}
+	shards := make([][2]int, workers)
+	for w := 0; w < workers; w++ {
+		shards[w] = [2]int{w * n / workers, (w + 1) * n / workers}
+	}
+	verifyShards(n, shards)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(shards[w][0], shards[w][1])
+	}
+	wg.Wait()
+}

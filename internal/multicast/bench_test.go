@@ -5,15 +5,17 @@ import (
 	"math/rand"
 	"testing"
 
+	"iadm/internal/core"
 	"iadm/internal/topology"
 )
 
 func BenchmarkBroadcast(b *testing.B) {
 	for _, N := range []int{8, 256, 4096} {
 		p := topology.MustParams(N)
+		ns := core.NewNetworkState(p)
 		b.Run(fmt.Sprintf("N=%d", N), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := Broadcast(p, i%N, nil); err != nil {
+				if _, err := Broadcast(p, i%N, ns); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -22,6 +22,7 @@ import (
 
 	"iadm/internal/bitutil"
 	"iadm/internal/core"
+	"iadm/internal/fanout"
 	"iadm/internal/topology"
 )
 
@@ -87,9 +88,26 @@ func (t Tree) Validate() error {
 	return nil
 }
 
+// branch is a multicast frontier entry: a switch holding a copy of the
+// message plus the contiguous [lo, hi) segment of the destination buffer
+// it still serves.
+type branch struct {
+	at     int
+	lo, hi int
+}
+
 // Route builds the multicast tree from source s to the destination set
 // dests under the given network state (nil means all-C). Duplicate
 // destinations are accepted and deduplicated.
+//
+// The frontier walk keeps every branch's destination subset as a segment
+// of one shared buffer and splits segments by bit i into a second buffer
+// (zeros first, then ones — the same order the original per-branch slices
+// were appended), ping-ponging the two each stage. The convergence check
+// uses stage-stamped generation counters instead of a per-stage map. The
+// whole walk therefore costs a constant number of allocations regardless
+// of fan-out, where the slice-of-slices original allocated per branch per
+// stage.
 func Route(p topology.Params, s int, dests []int, ns *core.NetworkState) (Tree, error) {
 	if !p.ValidSwitch(s) {
 		return Tree{}, fmt.Errorf("multicast: source %d out of range", s)
@@ -97,16 +115,19 @@ func Route(p topology.Params, s int, dests []int, ns *core.NetworkState) (Tree, 
 	if len(dests) == 0 {
 		return Tree{}, fmt.Errorf("multicast: empty destination set")
 	}
-	set := map[int]bool{}
+	seen := make([]int32, p.Size()) // 0 = unseen; stage stamps start at 1
+	uniq := make([]int, 0, len(dests))
 	for _, d := range dests {
 		if !p.ValidSwitch(d) {
 			return Tree{}, fmt.Errorf("multicast: destination %d out of range", d)
 		}
-		set[d] = true
+		if seen[d] == 0 {
+			seen[d] = -1
+			uniq = append(uniq, d)
+		}
 	}
-	uniq := make([]int, 0, len(set))
-	for d := range set {
-		uniq = append(uniq, d)
+	for _, d := range uniq {
+		seen[d] = 0
 	}
 	sort.Ints(uniq)
 
@@ -115,38 +136,46 @@ func Route(p topology.Params, s int, dests []int, ns *core.NetworkState) (Tree, 
 	}
 	tree := Tree{p: p, Source: s, Stages: make([][]topology.Link, p.Stages())}
 
-	type branch struct {
-		at    int
-		dests []int
-	}
-	frontier := []branch{{at: s, dests: uniq}}
+	buf, nextBuf := uniq, make([]int, len(uniq))
+	frontier := make([]branch, 0, len(uniq))
+	next := make([]branch, 0, len(uniq))
+	frontier = append(frontier, branch{at: s, lo: 0, hi: len(uniq)})
 	for i := 0; i < p.Stages(); i++ {
-		var next []branch
-		seen := map[int]bool{}
+		next = next[:0]
+		at := 0 // write cursor into nextBuf
+		stamp := int32(i + 1)
 		for _, br := range frontier {
-			var zero, one []int
-			for _, d := range br.dests {
+			// Stable-partition the branch's segment by bit i: zeros first.
+			zlo := at
+			for _, d := range buf[br.lo:br.hi] {
 				if bitutil.Bit(uint64(d), i) == 0 {
-					zero = append(zero, d)
-				} else {
-					one = append(one, d)
+					nextBuf[at] = d
+					at++
 				}
 			}
-			for tb, group := range [][]int{zero, one} {
-				if len(group) == 0 {
+			olo := at
+			for _, d := range buf[br.lo:br.hi] {
+				if bitutil.Bit(uint64(d), i) == 1 {
+					nextBuf[at] = d
+					at++
+				}
+			}
+			for tb, seg := range [2][2]int{{zlo, olo}, {olo, at}} {
+				if seg[0] == seg[1] {
 					continue
 				}
 				l := core.LinkFor(i, br.at, tb, ns.Get(i, br.at))
 				tree.Stages[i] = append(tree.Stages[i], l)
 				to := l.To(p)
-				if seen[to] {
+				if seen[to] == stamp {
 					return Tree{}, fmt.Errorf("multicast: internal error: branches converge on %d∈S_%d", to, i+1)
 				}
-				seen[to] = true
-				next = append(next, branch{at: to, dests: group})
+				seen[to] = stamp
+				next = append(next, branch{at: to, lo: seg[0], hi: seg[1]})
 			}
 		}
-		frontier = next
+		buf, nextBuf = nextBuf, buf
+		frontier, next = next, frontier
 	}
 	return tree, nil
 }
@@ -170,4 +199,32 @@ func Broadcast(p topology.Params, s int, ns *core.NetworkState) (Tree, error) {
 		all[i] = i
 	}
 	return Route(p, s, all, ns)
+}
+
+// BroadcastSweep builds the one-to-all tree from every source and returns
+// the per-source link totals, fanning the N sources out over workers (0
+// means GOMAXPROCS) goroutines. Each source writes only its own slot, so
+// the result is identical for any worker count.
+func BroadcastSweep(p topology.Params, ns *core.NetworkState, workers int) ([]int, error) {
+	if ns == nil {
+		ns = core.NewNetworkState(p)
+	}
+	counts := make([]int, p.Size())
+	errs := make([]error, p.Size())
+	fanout.Rows(p.Size(), workers, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			tree, err := Broadcast(p, s, ns)
+			if err != nil {
+				errs[s] = err
+				continue
+			}
+			counts[s] = tree.LinkCount()
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return counts, nil
 }

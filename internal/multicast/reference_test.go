@@ -1,0 +1,176 @@
+package multicast
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"iadm/internal/bitutil"
+	"iadm/internal/core"
+	"iadm/internal/topology"
+)
+
+// routeRef preserves the original Route verbatim: per-branch destination
+// slices and map-based dedup/convergence checks. It is the differential
+// oracle for the segment-partition rewrite.
+func routeRef(p topology.Params, s int, dests []int, ns *core.NetworkState) (Tree, error) {
+	if !p.ValidSwitch(s) {
+		return Tree{}, fmt.Errorf("multicast: source %d out of range", s)
+	}
+	if len(dests) == 0 {
+		return Tree{}, fmt.Errorf("multicast: empty destination set")
+	}
+	set := map[int]bool{}
+	for _, d := range dests {
+		if !p.ValidSwitch(d) {
+			return Tree{}, fmt.Errorf("multicast: destination %d out of range", d)
+		}
+		set[d] = true
+	}
+	uniq := make([]int, 0, len(set))
+	for d := range set {
+		uniq = append(uniq, d)
+	}
+	sort.Ints(uniq)
+
+	if ns == nil {
+		ns = core.NewNetworkState(p)
+	}
+	tree := Tree{p: p, Source: s, Stages: make([][]topology.Link, p.Stages())}
+
+	type branch struct {
+		at    int
+		dests []int
+	}
+	frontier := []branch{{at: s, dests: uniq}}
+	for i := 0; i < p.Stages(); i++ {
+		var next []branch
+		seen := map[int]bool{}
+		for _, br := range frontier {
+			var zero, one []int
+			for _, d := range br.dests {
+				if bitutil.Bit(uint64(d), i) == 0 {
+					zero = append(zero, d)
+				} else {
+					one = append(one, d)
+				}
+			}
+			for tb, group := range [][]int{zero, one} {
+				if len(group) == 0 {
+					continue
+				}
+				l := core.LinkFor(i, br.at, tb, ns.Get(i, br.at))
+				tree.Stages[i] = append(tree.Stages[i], l)
+				to := l.To(p)
+				if seen[to] {
+					return Tree{}, fmt.Errorf("multicast: internal error: branches converge on %d∈S_%d", to, i+1)
+				}
+				seen[to] = true
+				next = append(next, branch{at: to, dests: group})
+			}
+		}
+		frontier = next
+	}
+	return tree, nil
+}
+
+// TestRouteMatchesReference: the segment-partition Route emits
+// link-for-link identical trees to the original slice-of-slices walk
+// across sizes, destination-set shapes, and network states.
+func TestRouteMatchesReference(t *testing.T) {
+	for _, N := range []int{2, 8, 64, 256} {
+		p := topology.MustParams(N)
+		rng := rand.New(rand.NewSource(int64(7100 + N)))
+		for trial := 0; trial < 60; trial++ {
+			s := rng.Intn(N)
+			var ns *core.NetworkState
+			if trial%2 == 1 {
+				ns = core.RandomState(p, rng)
+			}
+			var dests []int
+			switch trial % 3 {
+			case 0: // sparse random, with duplicates
+				for k := 0; k < 1+rng.Intn(N); k++ {
+					dests = append(dests, rng.Intn(N))
+				}
+			case 1: // full broadcast
+				for d := 0; d < N; d++ {
+					dests = append(dests, d)
+				}
+			default: // single destination
+				dests = []int{rng.Intn(N)}
+			}
+			want, wantErr := routeRef(p, s, dests, ns)
+			got, gotErr := Route(p, s, dests, ns)
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("N=%d s=%d: err=%v, reference err=%v", N, s, gotErr, wantErr)
+			}
+			if gotErr != nil {
+				continue
+			}
+			if !reflect.DeepEqual(got.Stages, want.Stages) || got.Source != want.Source {
+				t.Fatalf("N=%d s=%d dests=%v:\n  tree      %v\n  reference %v", N, s, dests, got.Stages, want.Stages)
+			}
+		}
+	}
+}
+
+// TestBroadcastSweepWorkerInvariance: the sweep returns identical counts
+// for every worker count, and each count matches a direct Broadcast call.
+func TestBroadcastSweepWorkerInvariance(t *testing.T) {
+	p := topology.MustParams(64)
+	ns := core.RandomState(p, rand.New(rand.NewSource(7200)))
+	base, err := BroadcastSweep(p, ns, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 64; s += 17 {
+		tree, err := Broadcast(p, s, ns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base[s] != tree.LinkCount() {
+			t.Fatalf("source %d: sweep %d links, direct %d", s, base[s], tree.LinkCount())
+		}
+	}
+	for _, workers := range []int{0, 2, 3, 7, 64, 100} {
+		got, err := BroadcastSweep(p, ns, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, base) {
+			t.Fatalf("workers=%d: sweep differs from single-worker result", workers)
+		}
+	}
+}
+
+func BenchmarkBroadcastSweep(b *testing.B) {
+	p := topology.MustParams(256)
+	ns := core.NewNetworkState(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BroadcastSweep(p, ns, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBroadcastLegacy(b *testing.B) {
+	for _, N := range []int{256, 4096} {
+		p := topology.MustParams(N)
+		ns := core.NewNetworkState(p)
+		all := make([]int, N)
+		for i := range all {
+			all[i] = i
+		}
+		b.Run(fmt.Sprintf("N=%d", N), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := routeRef(p, i%N, all, ns); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -8,11 +8,20 @@ import (
 	"iadm/internal/topology"
 )
 
+// The Exists/Find benchmarks run the packed frontier walks against their
+// preserved slice-based references (reference_test.go) at the same sizes,
+// so BENCH_routing.json records the packed-vs-legacy ratio directly.
+
+func benchBlockages(N, count, seed int) (topology.Params, *blockage.Set) {
+	p := topology.MustParams(N)
+	blk := blockage.NewSet(p)
+	blk.RandomLinks(newRand(int64(seed)), count)
+	return p, blk
+}
+
 func BenchmarkExists(b *testing.B) {
 	for _, N := range []int{8, 256, 4096} {
-		p := topology.MustParams(N)
-		blk := blockage.NewSet(p)
-		blk.RandomLinks(newRand(1), 16)
+		p, blk := benchBlockages(N, 16, 1)
 		b.Run(fmt.Sprintf("N=%d", N), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				Exists(p, i%N, (i*7)%N, blk)
@@ -21,13 +30,47 @@ func BenchmarkExists(b *testing.B) {
 	}
 }
 
+func BenchmarkExistsLegacy(b *testing.B) {
+	for _, N := range []int{8, 256, 4096} {
+		p, blk := benchBlockages(N, 16, 1)
+		b.Run(fmt.Sprintf("N=%d", N), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				existsRef(p, i%N, (i*7)%N, blk)
+			}
+		})
+	}
+}
+
 func BenchmarkFind(b *testing.B) {
-	p := topology.MustParams(256)
-	blk := blockage.NewSet(p)
-	blk.RandomLinks(newRand(2), 32)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		Find(p, i%256, (i*7)%256, blk)
+	for _, N := range []int{256, 4096} {
+		p, blk := benchBlockages(N, 32, 2)
+		b.Run(fmt.Sprintf("N=%d", N), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Find(p, i%N, (i*7)%N, blk)
+			}
+		})
+	}
+}
+
+func BenchmarkFindPacked(b *testing.B) {
+	for _, N := range []int{256, 4096} {
+		p, blk := benchBlockages(N, 32, 2)
+		b.Run(fmt.Sprintf("N=%d", N), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				FindPacked(p, i%N, (i*7)%N, blk)
+			}
+		})
+	}
+}
+
+func BenchmarkFindLegacy(b *testing.B) {
+	for _, N := range []int{256, 4096} {
+		p, blk := benchBlockages(N, 32, 2)
+		b.Run(fmt.Sprintf("N=%d", N), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				findRef(p, i%N, (i*7)%N, blk)
+			}
+		})
 	}
 }
 

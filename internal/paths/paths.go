@@ -133,84 +133,164 @@ func FirstDivergence(p topology.Params, s, d int) (int, bool) {
 	}
 }
 
+// maxStages bounds the frontier arrays of the packed walks: topology caps
+// N at 2^30, so n <= 30 stages always fit.
+const maxStages = 30
+
+// participating mirrors NextLinks without the slice: it returns the
+// (at most two) participating output link kinds of switch j at stage i on
+// routes to d. For a straight stage k2 is returned as ok=false; for a
+// divergent stage k1 is the state-C link's kind and k2 its opposite.
+func participating(i, j, d int) (k1, k2 topology.LinkKind, both bool) {
+	if bitutil.Bit(uint64(j), i) == bitutil.Bit(uint64(d), i) {
+		return topology.Straight, topology.Straight, false
+	}
+	// Divergent stage: the state-C link is +2^i from an even_i switch and
+	// -2^i from an odd_i switch (Lemma 2.1); the C̄ link is its opposite.
+	if bitutil.Bit(uint64(j), i) == 0 {
+		return topology.Plus, topology.Minus, true
+	}
+	return topology.Minus, topology.Plus, true
+}
+
 // Exists reports whether a blockage-free routing path from s to d exists
 // under blk. It is exact: the frontier of reachable pivots per stage has at
-// most two members (Lemma A2.1), so a full frontier walk costs O(n). This
-// is the ground-truth oracle for algorithm REROUTE.
+// most two members (Lemma A2.1), so a full frontier walk costs O(n). The
+// frontier lives in two fixed-size arrays — the walk performs no heap
+// allocations, which is what lets the all-pairs reroutability sweeps in
+// internal/analysis run N^2 oracle calls at full speed. This is the
+// ground-truth oracle for algorithm REROUTE.
 func Exists(p topology.Params, s, d int, blk *blockage.Set) bool {
-	cur := []int{s}
+	var cur, next [2]int
+	cur[0], cur[1] = s, -1
 	for i := 0; i < p.Stages(); i++ {
-		var next []int
-		for _, j := range cur {
-			for _, l := range NextLinks(p, i, j, d) {
-				if blk.Blocked(l) {
-					continue
-				}
-				to := l.To(p)
-				if !contains(next, to) {
-					next = append(next, to)
-				}
+		next[0], next[1] = -1, -1
+		nc := 0
+		for ci := 0; ci < 2; ci++ {
+			j := cur[ci]
+			if j < 0 {
+				break
+			}
+			k1, k2, both := participating(i, j, d)
+			if !blk.Blocked(topology.Link{Stage: i, From: j, Kind: k1}) {
+				nc = frontierAdd(&next, nc, step(p, i, j, k1))
+			}
+			if both && !blk.Blocked(topology.Link{Stage: i, From: j, Kind: k2}) {
+				nc = frontierAdd(&next, nc, step(p, i, j, k2))
 			}
 		}
-		if len(next) == 0 {
+		if nc == 0 {
 			return false
 		}
 		cur = next
 	}
-	return contains(cur, d)
+	return cur[0] == d || cur[1] == d
 }
 
-// Find returns a blockage-free routing path from s to d if one exists,
-// using the same frontier walk as Exists with parent links.
-func Find(p topology.Params, s, d int, blk *blockage.Set) (core.Path, bool) {
-	type node struct {
-		via  topology.Link
-		prev int // index into previous frontier
+// frontierAdd inserts switch j into the two-slot frontier if absent. More
+// than two distinct pivots per stage would contradict Lemma A2.1, so that
+// case panics rather than silently dropping a reachable switch.
+func frontierAdd(next *[2]int, nc, j int) int {
+	if nc > 0 && next[0] == j {
+		return nc
 	}
-	frontiers := make([][]int, p.Stages()+1)
-	parents := make([][]node, p.Stages()+1)
-	frontiers[0] = []int{s}
-	parents[0] = []node{{}}
-	for i := 0; i < p.Stages(); i++ {
-		var next []int
-		var par []node
-		for fi, j := range frontiers[i] {
-			for _, l := range NextLinks(p, i, j, d) {
-				if blk.Blocked(l) {
-					continue
-				}
-				to := l.To(p)
-				if !contains(next, to) {
-					next = append(next, to)
-					par = append(par, node{via: l, prev: fi})
-				}
+	if nc > 1 && next[1] == j {
+		return nc
+	}
+	if nc == 2 {
+		panic("paths: more than two pivots in a stage frontier (Lemma A2.1 violated)")
+	}
+	next[nc] = j
+	return nc + 1
+}
+
+// step advances switch j across stage i along link kind k (Link.To without
+// the Link).
+func step(p topology.Params, i, j int, k topology.LinkKind) int {
+	switch k {
+	case topology.Minus:
+		return p.Mod(j - 1<<uint(i))
+	case topology.Plus:
+		return p.Mod(j + 1<<uint(i))
+	default:
+		return j
+	}
+}
+
+// FindPacked returns a blockage-free routing path from s to d if one
+// exists, as a packed path, using the same two-pivot frontier walk as
+// Exists plus per-stage parent bookkeeping in fixed-size arrays — zero
+// heap allocations.
+func FindPacked(p topology.Params, s, d int, blk *blockage.Set) (core.PackedPath, bool) {
+	// fr[i] holds the (<=2) reachable pivots of stage i; via/prev record,
+	// for each, the link kind that reached it and the frontier slot of its
+	// stage-(i-1) parent.
+	var fr [maxStages + 1][2]int32
+	var via [maxStages + 1][2]int8
+	var prev [maxStages + 1][2]int8
+	n := p.Stages()
+	fr[0][0], fr[0][1] = int32(s), -1
+	for i := 0; i < n; i++ {
+		fr[i+1][0], fr[i+1][1] = -1, -1
+		nc := 0
+		add := func(ci int, k topology.LinkKind) {
+			if blk.Blocked(topology.Link{Stage: i, From: int(fr[i][ci]), Kind: k}) {
+				return
+			}
+			to := int32(step(p, i, int(fr[i][ci]), k))
+			if (nc > 0 && fr[i+1][0] == to) || (nc > 1 && fr[i+1][1] == to) {
+				return
+			}
+			if nc == 2 {
+				panic("paths: more than two pivots in a stage frontier (Lemma A2.1 violated)")
+			}
+			fr[i+1][nc] = to
+			via[i+1][nc] = int8(k)
+			prev[i+1][nc] = int8(ci)
+			nc++
+		}
+		for ci := 0; ci < 2; ci++ {
+			if fr[i][ci] < 0 {
+				break
+			}
+			k1, k2, both := participating(i, int(fr[i][ci]), d)
+			add(ci, k1)
+			if both {
+				add(ci, k2)
 			}
 		}
-		if len(next) == 0 {
-			return core.Path{}, false
+		if nc == 0 {
+			return core.PackedPath{}, false
 		}
-		frontiers[i+1] = next
-		parents[i+1] = par
 	}
-	// Walk back from d.
 	at := -1
-	for fi, j := range frontiers[p.Stages()] {
-		if j == d {
-			at = fi
+	for ci := 0; ci < 2; ci++ {
+		if fr[n][ci] == int32(d) {
+			at = ci
 			break
 		}
 	}
 	if at < 0 {
+		return core.PackedPath{}, false
+	}
+	var kinds [maxStages]topology.LinkKind
+	for i := n; i > 0; i-- {
+		kinds[i-1] = topology.LinkKind(via[i][at])
+		at = int(prev[i][at])
+	}
+	return core.PackKinds(s, kinds[:n]), true
+}
+
+// Find returns a blockage-free routing path from s to d if one exists. It
+// is FindPacked plus the unpack to the slice-backed Path (one allocation,
+// for the links).
+func Find(p topology.Params, s, d int, blk *blockage.Set) (core.Path, bool) {
+	pp, ok := FindPacked(p, s, d, blk)
+	if !ok {
 		return core.Path{}, false
 	}
-	links := make([]topology.Link, p.Stages())
-	for i := p.Stages(); i > 0; i-- {
-		nd := parents[i][at]
-		links[i-1] = nd.via
-		at = nd.prev
-	}
-	pa, err := core.NewPath(p, s, links)
-	if err != nil {
+	pa := pp.Unpack(p)
+	if err := pa.Validate(); err != nil {
 		panic(fmt.Sprintf("paths: Find constructed invalid path: %v", err))
 	}
 	return pa, true

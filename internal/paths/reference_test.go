@@ -1,0 +1,94 @@
+package paths
+
+import (
+	"fmt"
+
+	"iadm/internal/blockage"
+	"iadm/internal/core"
+	"iadm/internal/topology"
+)
+
+// This file preserves the pre-packed slice-based frontier walks verbatim.
+// They are the differential oracles for the allocation-free Exists/Find
+// rewrites (TestExistsMatchesReference, TestFindMatchesReference) and the
+// "Legacy" side of the tracked routing benchmarks in BENCH_routing.json.
+
+// existsRef is the original Exists: per-stage []int frontiers built from
+// NextLinks slices.
+func existsRef(p topology.Params, s, d int, blk *blockage.Set) bool {
+	cur := []int{s}
+	for i := 0; i < p.Stages(); i++ {
+		var next []int
+		for _, j := range cur {
+			for _, l := range NextLinks(p, i, j, d) {
+				if blk.Blocked(l) {
+					continue
+				}
+				to := l.To(p)
+				if !contains(next, to) {
+					next = append(next, to)
+				}
+			}
+		}
+		if len(next) == 0 {
+			return false
+		}
+		cur = next
+	}
+	return contains(cur, d)
+}
+
+// findRef is the original Find: the same walk as existsRef with per-stage
+// parent-link slices.
+func findRef(p topology.Params, s, d int, blk *blockage.Set) (core.Path, bool) {
+	type node struct {
+		via  topology.Link
+		prev int // index into previous frontier
+	}
+	frontiers := make([][]int, p.Stages()+1)
+	parents := make([][]node, p.Stages()+1)
+	frontiers[0] = []int{s}
+	parents[0] = []node{{}}
+	for i := 0; i < p.Stages(); i++ {
+		var next []int
+		var par []node
+		for fi, j := range frontiers[i] {
+			for _, l := range NextLinks(p, i, j, d) {
+				if blk.Blocked(l) {
+					continue
+				}
+				to := l.To(p)
+				if !contains(next, to) {
+					next = append(next, to)
+					par = append(par, node{via: l, prev: fi})
+				}
+			}
+		}
+		if len(next) == 0 {
+			return core.Path{}, false
+		}
+		frontiers[i+1] = next
+		parents[i+1] = par
+	}
+	at := -1
+	for fi, j := range frontiers[p.Stages()] {
+		if j == d {
+			at = fi
+			break
+		}
+	}
+	if at < 0 {
+		return core.Path{}, false
+	}
+	links := make([]topology.Link, p.Stages())
+	for i := p.Stages(); i > 0; i-- {
+		nd := parents[i][at]
+		links[i-1] = nd.via
+		at = nd.prev
+	}
+	pa, err := core.NewPath(p, s, links)
+	if err != nil {
+		panic(fmt.Sprintf("paths: findRef constructed invalid path: %v", err))
+	}
+	return pa, true
+}

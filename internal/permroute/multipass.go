@@ -20,6 +20,13 @@ import (
 // is not optimal in general, but it terminates (every round admits at
 // least one message) and small: the experiment harness measures the pass
 // distribution.
+//
+// The hot loop runs on the packed representation: paths are routed once by
+// core.FollowStateBatch, each candidate's switch labels are expanded into a
+// reused scratch buffer, and round occupancy uses epoch-stamped generation
+// counters — bumping the epoch retires a round in O(1) where the previous
+// implementation cleared (n+1)·N booleans per round.
+// TestMultiPassMatchesReference pins the rounds to the original algorithm.
 func MultiPass(p topology.Params, perm icube.Perm, ns *core.NetworkState) ([][]int, error) {
 	if err := perm.Validate(p.Size()); err != nil {
 		return nil, err
@@ -27,35 +34,55 @@ func MultiPass(p topology.Params, perm icube.Perm, ns *core.NetworkState) ([][]i
 	if ns == nil {
 		ns = core.NewNetworkState(p)
 	}
-	paths := make([]core.Path, p.Size())
-	for s := 0; s < p.Size(); s++ {
-		paths[s] = core.FollowState(p, s, perm[s], ns)
+	N, n := p.Size(), p.Stages()
+	paths := make([]core.PackedPath, N)
+	if err := core.FollowStateBatch(p, ns, nil, perm, paths); err != nil {
+		return nil, err
 	}
-	pending := make([]int, p.Size())
+	pending := make([]int, N)
 	for s := range pending {
 		pending[s] = s
 	}
 	var rounds [][]int
-	occupied := make([]bool, (p.Stages()+1)*p.Size())
+	// occupied[stage*N+j] == epoch iff switch j∈S_stage already carries a
+	// message in the current round. uint8 stamps keep the array the same
+	// size as the boolean original (it must stay cache-resident at large
+	// N); the full clear survives only as the epoch-wrap case, once every
+	// 255 rounds.
+	occupied := make([]uint8, (n+1)*N)
+	switches := make([]int, n+1)
+	epoch := uint8(0)
 	for len(pending) > 0 {
-		for i := range occupied {
-			occupied[i] = false
+		epoch++
+		if epoch == 0 {
+			for i := range occupied {
+				occupied[i] = 0
+			}
+			epoch = 1
 		}
-		var round, rest []int
-		for _, s := range pending {
-			conflict := false
-			for stage := 1; stage <= p.Stages(); stage++ {
-				if occupied[stage*p.Size()+paths[s].SwitchAt(stage)] {
+		var round []int
+		cur := pending
+		pending = pending[:0]
+		for _, s := range cur {
+			// Walk the packed path stage by stage, bailing at the first
+			// occupied switch; the scratch buffer keeps the visited labels
+			// so admission marks them without a second walk.
+			pp := &paths[s]
+			j, conflict := s, false
+			for stage := 1; stage <= n; stage++ {
+				j = core.Step(p, stage-1, j, pp.KindAt(stage-1))
+				if occupied[stage*N+j] == epoch {
 					conflict = true
 					break
 				}
+				switches[stage] = j
 			}
 			if conflict {
-				rest = append(rest, s)
+				pending = append(pending, s)
 				continue
 			}
-			for stage := 1; stage <= p.Stages(); stage++ {
-				occupied[stage*p.Size()+paths[s].SwitchAt(stage)] = true
+			for stage := 1; stage <= n; stage++ {
+				occupied[stage*N+switches[stage]] = epoch
 			}
 			round = append(round, s)
 		}
@@ -63,7 +90,6 @@ func MultiPass(p topology.Params, perm icube.Perm, ns *core.NetworkState) ([][]i
 			return nil, fmt.Errorf("permroute: multipass made no progress (internal error)")
 		}
 		rounds = append(rounds, round)
-		pending = rest
 	}
 	return rounds, nil
 }

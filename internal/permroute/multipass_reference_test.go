@@ -1,0 +1,140 @@
+package permroute
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"iadm/internal/core"
+	"iadm/internal/icube"
+	"iadm/internal/topology"
+)
+
+// multiPassRef preserves the original MultiPass verbatim: slice-backed
+// paths, per-round full clear of a boolean occupancy array, and
+// Path.SwitchAt in the inner loop. It is the differential oracle for the
+// packed epoch-stamped rewrite and the "Legacy" side of
+// BenchmarkMultiPass.
+func multiPassRef(p topology.Params, perm icube.Perm, ns *core.NetworkState) ([][]int, error) {
+	if err := perm.Validate(p.Size()); err != nil {
+		return nil, err
+	}
+	if ns == nil {
+		ns = core.NewNetworkState(p)
+	}
+	paths := make([]core.Path, p.Size())
+	for s := 0; s < p.Size(); s++ {
+		paths[s] = core.FollowState(p, s, perm[s], ns)
+	}
+	pending := make([]int, p.Size())
+	for s := range pending {
+		pending[s] = s
+	}
+	var rounds [][]int
+	occupied := make([]bool, (p.Stages()+1)*p.Size())
+	for len(pending) > 0 {
+		for i := range occupied {
+			occupied[i] = false
+		}
+		var round, rest []int
+		for _, s := range pending {
+			conflict := false
+			for stage := 1; stage <= p.Stages(); stage++ {
+				if occupied[stage*p.Size()+paths[s].SwitchAt(stage)] {
+					conflict = true
+					break
+				}
+			}
+			if conflict {
+				rest = append(rest, s)
+				continue
+			}
+			for stage := 1; stage <= p.Stages(); stage++ {
+				occupied[stage*p.Size()+paths[s].SwitchAt(stage)] = true
+			}
+			round = append(round, s)
+		}
+		if len(round) == 0 {
+			return nil, fmt.Errorf("permroute: multipass made no progress (internal error)")
+		}
+		rounds = append(rounds, round)
+		pending = rest
+	}
+	return rounds, nil
+}
+
+// TestMultiPassMatchesReference: the packed epoch-stamped MultiPass emits
+// round-for-round identical partitions to the original greedy algorithm
+// across sizes, random permutations, and random network states.
+func TestMultiPassMatchesReference(t *testing.T) {
+	for _, N := range []int{2, 4, 8, 32, 128} {
+		p := topology.MustParams(N)
+		rng := rand.New(rand.NewSource(int64(6100 + N)))
+		trials := 50
+		if N >= 128 {
+			trials = 10
+		}
+		for trial := 0; trial < trials; trial++ {
+			perm := icube.Perm(rng.Perm(N))
+			var ns *core.NetworkState
+			if trial%2 == 1 {
+				ns = core.RandomState(p, rng)
+			}
+			want, wantErr := multiPassRef(p, perm, ns)
+			got, gotErr := MultiPass(p, perm, ns)
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("N=%d perm %v: err=%v, reference err=%v", N, perm, gotErr, wantErr)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("N=%d perm %v:\n  rounds    %v\n  reference %v", N, perm, got, want)
+			}
+		}
+	}
+}
+
+func benchPerm(N int) icube.Perm {
+	// Bit-reversal permutation: maximally conflicting for the identity
+	// state, so MultiPass needs several rounds and the occupancy machinery
+	// is exercised hard.
+	p := topology.MustParams(N)
+	perm := make(icube.Perm, N)
+	for s := 0; s < N; s++ {
+		r := 0
+		for b := 0; b < p.Stages(); b++ {
+			r |= (s >> uint(b) & 1) << uint(p.Stages()-1-b)
+		}
+		perm[s] = r
+	}
+	return perm
+}
+
+func BenchmarkMultiPass(b *testing.B) {
+	for _, N := range []int{256, 4096} {
+		p := topology.MustParams(N)
+		perm := benchPerm(N)
+		ns := core.NewNetworkState(p)
+		b.Run(fmt.Sprintf("N=%d", N), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := MultiPass(p, perm, ns); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMultiPassLegacy(b *testing.B) {
+	for _, N := range []int{256, 4096} {
+		p := topology.MustParams(N)
+		perm := benchPerm(N)
+		ns := core.NewNetworkState(p)
+		b.Run(fmt.Sprintf("N=%d", N), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := multiPassRef(p, perm, ns); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

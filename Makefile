@@ -12,9 +12,9 @@ GO ?= go
 ROUTING_PKGS = ./internal/core,./internal/paths,./internal/permroute,./internal/multicast,./internal/analysis
 ROUTING_BENCH = BenchmarkFollowState|BenchmarkTagFollow|BenchmarkRouteSSDT|BenchmarkRouteTSDTPacked|BenchmarkExists|BenchmarkFind|BenchmarkMultiPass|BenchmarkBroadcast|BenchmarkReroutablePairs
 
-.PHONY: check fmt vet build test race bench bench-routing bench-json bench-compare fuzz fuzz-smoke
+.PHONY: check fmt vet build test race serve-smoke bench bench-routing bench-json bench-compare fuzz fuzz-smoke
 
-check: fmt vet build test race fuzz-smoke
+check: fmt vet build test race serve-smoke fuzz-smoke
 
 # gofmt -l prints unformatted files; fail if any.
 fmt:
@@ -66,6 +66,13 @@ bench-compare:
 	$(GO) run ./cmd/benchjson -count 5 -o /dev/null -tolerance 0.25 -compare BENCH_simulator.json
 	$(GO) run ./cmd/benchjson -count 5 -o /dev/null -tolerance 0.25 \
 		-pkg '$(ROUTING_PKGS)' -bench '$(ROUTING_BENCH)' -compare BENCH_routing.json
+
+# End-to-end smoke of the serving stack: boot iadmd (N=1024) on an
+# ephemeral port, drive iadmload for ~2s with 8 workers and 1% fault
+# churn, enforce zero request errors / zero 5xx / SSDT hit rate >= 90%,
+# then SIGTERM and require a clean drain.
+serve-smoke:
+	GO='$(GO)' sh scripts/serve_smoke.sh
 
 fuzz:
 	$(GO) test -run FuzzRingQueue -fuzz FuzzRingQueue -fuzztime 30s ./internal/simulator

@@ -16,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	"iadm/internal/buildinfo"
 	"iadm/internal/experiments"
 	"iadm/internal/profiling"
 )
@@ -26,7 +27,12 @@ func main() {
 	intra := flag.Int("intra", 0, "worker goroutines inside each simulation run (0/1 = sequential; reports are bit-identical for every value)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Version("experiments"))
+		return
+	}
 	experiments.IntraWorkers = *intra
 	err := profiling.WithProfiles(*cpuprofile, *memprofile, func() error {
 		return run(os.Stdout, *runID, *list)

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"iadm/internal/routesvc"
+)
+
+// TestServeRouteAndDrain boots the daemon on an ephemeral port, routes
+// through it, then delivers SIGTERM and checks it drains and exits
+// cleanly, portfile intact throughout.
+func TestServeRouteAndDrain(t *testing.T) {
+	portFile := filepath.Join(t.TempDir(), "port")
+	cfg := daemonConfig{
+		n:            16,
+		addr:         "127.0.0.1:0",
+		portFile:     portFile,
+		drainTimeout: 5 * time.Second,
+	}
+	stop := make(chan os.Signal, 1)
+	ready := make(chan string, 1)
+	var logs strings.Builder
+	done := make(chan error, 1)
+	go func() { done <- serve(cfg, &logs, stop, ready) }()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("serve exited early: %v", err)
+	}
+	written, err := os.ReadFile(portFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(string(written)); got != addr {
+		t.Errorf("portfile has %q, listener bound %q", got, addr)
+	}
+
+	resp, err := http.Get("http://" + addr + "/route?src=3&dst=9&scheme=ssdt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var route routesvc.RouteJSON
+	if err := json.NewDecoder(resp.Body).Decode(&route); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || route.Tag == "" {
+		t.Fatalf("route via daemon: status %d, %+v", resp.StatusCode, route)
+	}
+
+	stop <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Error("daemon still accepting connections after drain")
+	}
+	if !strings.Contains(logs.String(), "drained") {
+		t.Errorf("logs missing drain line:\n%s", logs.String())
+	}
+}
+
+func TestServeRejectsBadConfig(t *testing.T) {
+	stop := make(chan os.Signal)
+	if err := serve(daemonConfig{n: 6, addr: "127.0.0.1:0"}, io.Discard, stop, nil); err == nil {
+		t.Error("accepted N=6")
+	}
+	if err := serve(daemonConfig{n: 8, addr: "256.0.0.1:bad"}, io.Discard, stop, nil); err == nil {
+		t.Error("accepted a bad listen address")
+	}
+}

@@ -1,0 +1,359 @@
+// Command iadmload is a closed-loop load generator for iadmd: N worker
+// goroutines hammer /route (uniform or zipf destination mix, configurable
+// SSDT/TSDT split), optionally churning faults and repairs of random
+// nonstraight links (the blockage class every scheme tolerates, so routes
+// stay feasible), and report throughput plus latency percentiles from the
+// repo's stats.Stream machinery alongside the server's own /metrics.
+//
+// Usage:
+//
+//	iadmload -addr 127.0.0.1:8080 [-workers 8] [-duration 2s]
+//	         [-tsdt 0.2] [-zipf 1.3] [-churn 0.01] [-batch 0] [-seed 1]
+//	         [-check] [-min-ssdt-hit 0]
+//
+// With -check the exit status enforces the smoke contract: no transport
+// errors, no non-200 route responses, no server-side 5xx, non-zero
+// throughput, and an SSDT cache hit rate of at least -min-ssdt-hit.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"iadm/internal/buildinfo"
+	"iadm/internal/routesvc"
+	"iadm/internal/stats"
+)
+
+type loadConfig struct {
+	addr       string
+	workers    int
+	duration   time.Duration
+	tsdtFrac   float64
+	zipfS      float64
+	churn      float64
+	batch      int
+	seed       int64
+	check      bool
+	minSSDTHit float64
+}
+
+// Latency histogram: 5 µs buckets over 20 ms, matching the server's
+// endpoint streams.
+func newLatStream() stats.Stream { return stats.NewStream(5, 4096) }
+
+func main() {
+	var cfg loadConfig
+	flag.StringVar(&cfg.addr, "addr", "", "daemon address host:port or URL (required)")
+	flag.IntVar(&cfg.workers, "workers", 8, "closed-loop worker goroutines")
+	flag.DurationVar(&cfg.duration, "duration", 2*time.Second, "load duration")
+	flag.Float64Var(&cfg.tsdtFrac, "tsdt", 0.2, "fraction of requests using the TSDT scheme (rest SSDT)")
+	flag.Float64Var(&cfg.zipfS, "zipf", 1.3, "zipf exponent for destination popularity (values <= 1 mean uniform)")
+	flag.Float64Var(&cfg.churn, "churn", 0, "per-request probability of also toggling a random nonstraight link fault")
+	flag.IntVar(&cfg.batch, "batch", 0, "send /route/batch requests of this size instead of single /route calls (0/1 = singles)")
+	flag.Int64Var(&cfg.seed, "seed", 1, "RNG seed")
+	flag.BoolVar(&cfg.check, "check", false, "exit non-zero unless the run is error-free with non-zero throughput")
+	flag.Float64Var(&cfg.minSSDTHit, "min-ssdt-hit", 0, "with -check, minimum server-side SSDT cache hit rate")
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Version("iadmload"))
+		return
+	}
+	if cfg.addr == "" {
+		fmt.Fprintln(os.Stderr, "iadmload: -addr is required")
+		os.Exit(2)
+	}
+	sum, err := run(cfg, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iadmload:", err)
+		os.Exit(1)
+	}
+	if cfg.check {
+		if msgs := sum.violations(cfg); len(msgs) > 0 {
+			fmt.Fprintln(os.Stderr, "iadmload: CHECK FAILED:", strings.Join(msgs, "; "))
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stdout, "iadmload: check ok")
+	}
+}
+
+// workerStats accumulates one worker's view of the run.
+type workerStats struct {
+	requests     int // route requests issued (batch items counted singly)
+	transport    int // connection/IO failures
+	badStatus    int // non-200 route responses (422 unroutable included)
+	itemErrors   int // per-item errors inside 200 batch responses
+	faults       int // fault toggles sent
+	repairs      int // repair toggles sent
+	mutateErrors int // failed fault/repair posts
+	lat          stats.Stream
+}
+
+type summary struct {
+	cfg     loadConfig
+	n       int
+	elapsed time.Duration
+	total   workerStats
+	metrics routesvc.MetricsJSON
+}
+
+func (s *summary) throughput() float64 {
+	if s.elapsed <= 0 {
+		return 0
+	}
+	return float64(s.total.requests) / s.elapsed.Seconds()
+}
+
+// violations evaluates the -check contract.
+func (s *summary) violations(cfg loadConfig) []string {
+	var v []string
+	if s.total.requests == 0 {
+		v = append(v, "zero requests completed")
+	}
+	if s.total.transport > 0 {
+		v = append(v, fmt.Sprintf("%d transport errors", s.total.transport))
+	}
+	if s.total.badStatus > 0 {
+		v = append(v, fmt.Sprintf("%d non-200 route responses", s.total.badStatus))
+	}
+	if s.total.itemErrors > 0 {
+		v = append(v, fmt.Sprintf("%d batch item errors", s.total.itemErrors))
+	}
+	if s.total.mutateErrors > 0 {
+		v = append(v, fmt.Sprintf("%d failed fault/repair posts", s.total.mutateErrors))
+	}
+	if s.metrics.HTTP5xx > 0 {
+		v = append(v, fmt.Sprintf("server counted %d 5xx", s.metrics.HTTP5xx))
+	}
+	if cfg.tsdtFrac < 1 && s.metrics.Service.SSDTHitRate < cfg.minSSDTHit {
+		v = append(v, fmt.Sprintf("SSDT hit rate %.3f < %.3f", s.metrics.Service.SSDTHitRate, cfg.minSSDTHit))
+	}
+	return v
+}
+
+func run(cfg loadConfig, w io.Writer) (*summary, error) {
+	base := cfg.addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimSuffix(base, "/")
+	if cfg.workers < 1 {
+		return nil, fmt.Errorf("need at least 1 worker")
+	}
+	if cfg.batch < 0 || cfg.tsdtFrac < 0 || cfg.tsdtFrac > 1 || cfg.churn < 0 || cfg.churn > 1 {
+		return nil, fmt.Errorf("bad flag values")
+	}
+
+	client := &http.Client{
+		Timeout: 10 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        2 * cfg.workers,
+			MaxIdleConnsPerHost: 2 * cfg.workers,
+		},
+	}
+
+	// The daemon tells us the address space; no -n flag to get wrong.
+	var health routesvc.HealthJSON
+	if err := getJSON(client, base+"/healthz", &health); err != nil {
+		return nil, fmt.Errorf("daemon not healthy at %s: %v", base, err)
+	}
+	n := health.N
+	if n < 2 {
+		return nil, fmt.Errorf("daemon reports N=%d", n)
+	}
+	// Stages = log2(n), for generating nonstraight churn links.
+	stages := 0
+	for 1<<stages < n {
+		stages++
+	}
+
+	fmt.Fprintf(w, "iadmload: %d workers for %v against %s (N=%d, tsdt=%.2f, zipf=%.2f, churn=%.3f, batch=%d)\n",
+		cfg.workers, cfg.duration, base, n, cfg.tsdtFrac, cfg.zipfS, cfg.churn, cfg.batch)
+
+	start := time.Now()
+	deadline := start.Add(cfg.duration)
+	results := make([]workerStats, cfg.workers)
+	var wg sync.WaitGroup
+	for id := 0; id < cfg.workers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			results[id] = worker(cfg, client, base, n, stages, id, deadline)
+		}(id)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sum := &summary{cfg: cfg, n: n, elapsed: elapsed}
+	sum.total.lat = newLatStream()
+	for i := range results {
+		r := &results[i]
+		sum.total.requests += r.requests
+		sum.total.transport += r.transport
+		sum.total.badStatus += r.badStatus
+		sum.total.itemErrors += r.itemErrors
+		sum.total.faults += r.faults
+		sum.total.repairs += r.repairs
+		sum.total.mutateErrors += r.mutateErrors
+		sum.total.lat.Merge(&r.lat)
+	}
+	if err := getJSON(client, base+"/metrics", &sum.metrics); err != nil {
+		return nil, fmt.Errorf("fetching final metrics: %v", err)
+	}
+
+	lat := &sum.total.lat
+	fmt.Fprintf(w, "requests: %d in %.2fs (%.0f req/s); errors: %d transport, %d bad status, %d batch items, %d mutate\n",
+		sum.total.requests, elapsed.Seconds(), sum.throughput(),
+		sum.total.transport, sum.total.badStatus, sum.total.itemErrors, sum.total.mutateErrors)
+	fmt.Fprintf(w, "latency µs: mean=%.1f p50=%g p90=%g p99=%g max=%g\n",
+		lat.Mean(), lat.Percentile(50), lat.Percentile(90), lat.Percentile(99), lat.Max())
+	fmt.Fprintf(w, "churn: %d faults, %d repairs; final epoch %d, blocked %d\n",
+		sum.total.faults, sum.total.repairs, sum.metrics.Service.Epoch, sum.metrics.Controller.BlockedLinks)
+	fmt.Fprintf(w, "server: ssdt hit rate %.3f (%d/%d), tsdt hit rate %.3f (%d/%d), coalesced %d, cache entries %d, http 5xx %d\n",
+		sum.metrics.Service.SSDTHitRate, sum.metrics.Service.SSDT.Hits, sum.metrics.Service.SSDT.Hits+sum.metrics.Service.SSDT.Misses,
+		sum.metrics.Service.TSDTHitRate, sum.metrics.Service.TSDT.Hits, sum.metrics.Service.TSDT.Hits+sum.metrics.Service.TSDT.Misses,
+		sum.metrics.Service.SSDT.Coalesced+sum.metrics.Service.TSDT.Coalesced,
+		sum.metrics.Service.CacheEntries, sum.metrics.HTTP5xx)
+	return sum, nil
+}
+
+func worker(cfg loadConfig, client *http.Client, base string, n, stages, id int, deadline time.Time) workerStats {
+	rng := rand.New(rand.NewSource(cfg.seed + int64(id)*0x9E3779B9))
+	var zipf *rand.Zipf
+	if cfg.zipfS > 1 {
+		zipf = rand.NewZipf(rng, cfg.zipfS, 1, uint64(n-1))
+	}
+	ws := workerStats{lat: newLatStream()}
+	var faulted []string // this worker's outstanding nonstraight faults
+
+	pickDst := func() int {
+		if zipf != nil {
+			return int(zipf.Uint64())
+		}
+		return rng.Intn(n)
+	}
+	pickScheme := func() string {
+		if rng.Float64() < cfg.tsdtFrac {
+			return "tsdt"
+		}
+		return "ssdt"
+	}
+
+	for time.Now().Before(deadline) {
+		if cfg.churn > 0 && rng.Float64() < cfg.churn {
+			if len(faulted) > 0 && rng.Intn(2) == 0 {
+				i := rng.Intn(len(faulted))
+				spec := faulted[i]
+				faulted = append(faulted[:i], faulted[i+1:]...)
+				ws.repairs++
+				if !postMutate(client, base+"/repair", spec) {
+					ws.mutateErrors++
+				}
+			} else {
+				kind := "+"
+				if rng.Intn(2) == 0 {
+					kind = "-"
+				}
+				spec := fmt.Sprintf("%d:%d:%s", rng.Intn(stages), rng.Intn(n), kind)
+				faulted = append(faulted, spec)
+				ws.faults++
+				if !postMutate(client, base+"/fault", spec) {
+					ws.mutateErrors++
+				}
+			}
+		}
+		if cfg.batch > 1 {
+			reqs := make([]routesvc.RouteJSON, cfg.batch)
+			for i := range reqs {
+				reqs[i] = routesvc.RouteJSON{Src: rng.Intn(n), Dst: pickDst(), Scheme: pickScheme()}
+			}
+			body, _ := json.Marshal(routesvc.BatchJSON{Requests: reqs})
+			t0 := time.Now()
+			resp, err := client.Post(base+"/route/batch", "application/json", bytes.NewReader(body))
+			us := float64(time.Since(t0).Microseconds())
+			ws.requests += cfg.batch
+			if err != nil {
+				ws.transport++
+				continue
+			}
+			var out routesvc.BatchJSON
+			decErr := json.NewDecoder(resp.Body).Decode(&out)
+			io.Copy(io.Discard, resp.Body) // leave the connection reusable
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				ws.badStatus++
+				continue
+			}
+			if decErr != nil {
+				ws.transport++
+				continue
+			}
+			ws.lat.Add(us)
+			for _, r := range out.Responses {
+				if r.Error != "" {
+					ws.itemErrors++
+				}
+			}
+		} else {
+			url := fmt.Sprintf("%s/route?src=%d&dst=%d&scheme=%s", base, rng.Intn(n), pickDst(), pickScheme())
+			t0 := time.Now()
+			resp, err := client.Get(url)
+			us := float64(time.Since(t0).Microseconds())
+			ws.requests++
+			if err != nil {
+				ws.transport++
+				continue
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				ws.badStatus++
+				continue
+			}
+			ws.lat.Add(us)
+		}
+	}
+
+	// Leave the map as we found it: repair this worker's leftover faults.
+	for _, spec := range faulted {
+		ws.repairs++
+		if !postMutate(client, base+"/repair", spec) {
+			ws.mutateErrors++
+		}
+	}
+	return ws
+}
+
+func postMutate(client *http.Client, url, linkSpec string) bool {
+	body, _ := json.Marshal(routesvc.MutateJSON{Links: []string{linkSpec}})
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+func getJSON(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

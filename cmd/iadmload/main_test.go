@@ -1,0 +1,134 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"iadm/internal/routesvc"
+)
+
+func newTestServer(t *testing.T, n int) *httptest.Server {
+	t.Helper()
+	svc, err := routesvc.New(routesvc.Config{N: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(routesvc.NewHandler(svc))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestRunAgainstService drives a short closed loop with fault churn
+// against an in-process service and checks the error-free contract the
+// serve-smoke target relies on.
+func TestRunAgainstService(t *testing.T) {
+	ts := newTestServer(t, 64)
+	cfg := loadConfig{
+		addr:       ts.URL,
+		workers:    2,
+		duration:   300 * time.Millisecond,
+		tsdtFrac:   0.3,
+		zipfS:      1.3,
+		churn:      0.05,
+		seed:       1,
+		minSSDTHit: 0.5,
+	}
+	var out strings.Builder
+	sum, err := run(cfg, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if sum.total.requests == 0 {
+		t.Fatal("no requests completed")
+	}
+	if sum.n != 64 {
+		t.Errorf("learned N=%d from /healthz, want 64", sum.n)
+	}
+	if sum.total.faults == 0 || sum.total.repairs != sum.total.faults {
+		t.Errorf("churn not balanced: %d faults, %d repairs", sum.total.faults, sum.total.repairs)
+	}
+	if sum.metrics.Controller.BlockedLinks != 0 {
+		t.Errorf("%d links left blocked after the run", sum.metrics.Controller.BlockedLinks)
+	}
+	if v := sum.violations(cfg); len(v) > 0 {
+		t.Errorf("check contract violated: %v\noutput:\n%s", v, out.String())
+	}
+	if sum.throughput() <= 0 {
+		t.Errorf("throughput %.1f", sum.throughput())
+	}
+}
+
+func TestRunBatchMode(t *testing.T) {
+	ts := newTestServer(t, 32)
+	cfg := loadConfig{
+		addr:     ts.URL,
+		workers:  2,
+		duration: 200 * time.Millisecond,
+		tsdtFrac: 0.5,
+		batch:    4,
+		seed:     7,
+	}
+	var out strings.Builder
+	sum, err := run(cfg, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if sum.total.requests == 0 || sum.total.requests%4 != 0 {
+		t.Errorf("batch request count %d not a positive multiple of 4", sum.total.requests)
+	}
+	if v := sum.violations(cfg); len(v) > 0 {
+		t.Errorf("check contract violated: %v\noutput:\n%s", v, out.String())
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	ts := newTestServer(t, 8)
+	var out strings.Builder
+	bad := []loadConfig{
+		{addr: ts.URL, workers: 0, duration: time.Millisecond},
+		{addr: ts.URL, workers: 1, duration: time.Millisecond, tsdtFrac: 1.5},
+		{addr: ts.URL, workers: 1, duration: time.Millisecond, churn: -0.1},
+		{addr: "127.0.0.1:1", workers: 1, duration: time.Millisecond}, // nothing listening
+	}
+	for i, cfg := range bad {
+		if _, err := run(cfg, &out); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+// TestViolations exercises the -check contract on synthetic summaries.
+func TestViolations(t *testing.T) {
+	cfg := loadConfig{minSSDTHit: 0.9}
+	var s summary
+	s.total.requests = 100
+	s.metrics.Service.SSDTHitRate = 0.95
+	if v := s.violations(cfg); len(v) != 0 {
+		t.Errorf("clean summary flagged: %v", v)
+	}
+
+	s.total.transport = 1
+	s.total.badStatus = 2
+	s.total.itemErrors = 3
+	s.total.mutateErrors = 4
+	s.metrics.HTTP5xx = 5
+	s.metrics.Service.SSDTHitRate = 0.1
+	if v := s.violations(cfg); len(v) != 6 {
+		t.Errorf("want 6 violations, got %d: %v", len(v), v)
+	}
+
+	// A pure-TSDT run must not be held to the SSDT hit-rate floor.
+	cfg.tsdtFrac = 1
+	s = summary{}
+	s.total.requests = 10
+	if v := s.violations(cfg); len(v) != 0 {
+		t.Errorf("pure-TSDT run flagged: %v", v)
+	}
+
+	var empty summary
+	if v := empty.violations(loadConfig{tsdtFrac: 1}); len(v) != 1 {
+		t.Errorf("empty run should report exactly the zero-requests violation, got %v", v)
+	}
+}

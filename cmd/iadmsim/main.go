@@ -33,10 +33,10 @@ import (
 	"io"
 	"os"
 	"strconv"
-	"strings"
 
 	"iadm/internal/analysis"
 	"iadm/internal/blockage"
+	"iadm/internal/buildinfo"
 	"iadm/internal/core"
 	"iadm/internal/cubefamily"
 	"iadm/internal/multicast"
@@ -56,7 +56,12 @@ func main() {
 	intra := flag.Int("intra", 0, "worker goroutines inside each simulation run (0/1 = sequential; results are bit-identical for every value)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the command to this file")
 	memprofile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Version("iadmsim"))
+		return
+	}
 	err := profiling.WithProfiles(*cpuprofile, *memprofile, func() error {
 		return run(os.Stdout, *n, *workers, *intra, flag.Args())
 	})
@@ -110,7 +115,7 @@ func run(w io.Writer, N, workers, intra int, args []string) error {
 		}
 		blk := blockage.NewSet(p)
 		for _, spec := range args[3:] {
-			l, err := parseLink(p, spec)
+			l, err := topology.ParseLink(p, spec)
 			if err != nil {
 				return err
 			}
@@ -260,7 +265,7 @@ func run(w io.Writer, N, workers, intra int, args []string) error {
 		}
 		blk := blockage.NewSet(p)
 		for _, spec := range args[3:] {
-			l, err := parseLink(p, spec)
+			l, err := topology.ParseLink(p, spec)
 			if err != nil {
 				return err
 			}
@@ -350,31 +355,4 @@ func parsePair(p topology.Params, args []string) (int, int, error) {
 		return 0, 0, fmt.Errorf("invalid destination %q", args[1])
 	}
 	return s, d, nil
-}
-
-func parseLink(p topology.Params, spec string) (topology.Link, error) {
-	parts := strings.Split(spec, ":")
-	if len(parts) != 3 {
-		return topology.Link{}, fmt.Errorf("link %q: want stage:from:kind", spec)
-	}
-	stage, err := strconv.Atoi(parts[0])
-	if err != nil || !p.ValidStage(stage) {
-		return topology.Link{}, fmt.Errorf("link %q: bad stage", spec)
-	}
-	from, err := strconv.Atoi(parts[1])
-	if err != nil || !p.ValidSwitch(from) {
-		return topology.Link{}, fmt.Errorf("link %q: bad switch", spec)
-	}
-	var kind topology.LinkKind
-	switch parts[2] {
-	case "-":
-		kind = topology.Minus
-	case "0":
-		kind = topology.Straight
-	case "+":
-		kind = topology.Plus
-	default:
-		return topology.Link{}, fmt.Errorf("link %q: kind must be -, 0 or +", spec)
-	}
-	return topology.Link{Stage: stage, From: from, Kind: kind}, nil
 }

@@ -99,12 +99,12 @@ func TestParseLinkKinds(t *testing.T) {
 		"1:2:0": topology.Straight,
 		"1:2:+": topology.Plus,
 	} {
-		l, err := parseLink(p, spec)
+		l, err := topology.ParseLink(p, spec)
 		if err != nil {
-			t.Fatalf("parseLink(%q): %v", spec, err)
+			t.Fatalf("ParseLink(%q): %v", spec, err)
 		}
 		if l.Kind != kind || l.Stage != 1 || l.From != 2 {
-			t.Errorf("parseLink(%q) = %v", spec, l)
+			t.Errorf("ParseLink(%q) = %v", spec, l)
 		}
 	}
 }

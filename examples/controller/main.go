@@ -89,10 +89,10 @@ func main() {
 	}
 	wg.Wait()
 
-	hits, misses, fails := ctl.Stats()
+	st := ctl.Stats()
 	fmt.Printf("routed %d messages concurrently (%d momentarily unroutable)\n",
 		delivered.Load(), unroutable.Load())
 	fmt.Printf("tag cache: %d hits, %d computed, %d failures (hit rate %.1f%%)\n",
-		hits, misses, fails, 100*float64(hits)/float64(hits+misses))
+		st.Hits, st.Misses, st.Fails, 100*st.HitRate())
 	fmt.Printf("final faults: %v\nfinal connectivity: %.4f\n", ctl.Faults(), ctl.Connectivity())
 }

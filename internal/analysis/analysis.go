@@ -47,13 +47,17 @@ func PairReliability(p topology.Params, s, d int, q float64) (float64, error) {
 	if q < 0 || q > 1 {
 		return 0, fmt.Errorf("analysis: failure probability %v out of [0,1]", q)
 	}
-	// dist maps a reachable pivot subset (as a sorted slice key) to its
-	// probability. Subsets are tiny; encode as a map from switch -> bool
-	// via canonical key.
-	type state map[int]float64 // key: bitmask over the (<=2) pivots of the stage
+	// The state is the distribution over reachable pivot subsets, indexed
+	// by a bitmask over the stage's (<=2, Lemma A2.1) pivots — 4 slots.
+	// A fixed array (not a map) keeps the accumulation order fixed, so
+	// the result is bit-for-bit reproducible across runs; a map's
+	// randomized iteration order perturbed the float sums by an ulp from
+	// run to run, which the worker-invariance test caught as a flake.
+	type state [4]float64
 	pivots := paths.Pivots(p, s, d)
 
-	cur := state{1: 1.0} // bit 0 of the mask = first pivot of stage 0 (= s)
+	var cur state
+	cur[1] = 1.0 // bit 0 of the mask = first pivot of stage 0 (= s)
 	for i := 0; i < p.Stages(); i++ {
 		pv := pivots[i]
 		nextPv := pivots[i+1]
@@ -65,7 +69,7 @@ func PairReliability(p topology.Params, s, d int, q float64) (float64, error) {
 			}
 			return -1
 		}
-		next := state{}
+		var next state
 		for mask, prob := range cur {
 			if prob == 0 {
 				continue

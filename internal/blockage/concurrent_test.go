@@ -1,0 +1,130 @@
+package blockage
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"iadm/internal/topology"
+)
+
+// The daemon's mutation path (routesvc → controller) serializes writers
+// with an RWMutex and lets readers share. Set itself is deliberately
+// unsynchronized; this test drives it under that exact discipline with
+// -race watching, and checks the count/Links invariants survive churn.
+func TestSetConcurrentReportRepair(t *testing.T) {
+	p, err := topology.NewParams(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSet(p)
+	m := topology.IADM{Params: p}
+	var links []topology.Link
+	m.Links(func(l topology.Link) bool {
+		links = append(links, l)
+		return true
+	})
+
+	var mu sync.RWMutex
+	const (
+		writers = 4
+		readers = 2
+		rounds  = 300
+	)
+
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(seed int64) {
+			defer writerWG.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var mine []topology.Link // this writer's outstanding blocks
+			for i := 0; i < rounds; i++ {
+				if len(mine) > 0 && rng.Intn(2) == 0 {
+					j := rng.Intn(len(mine))
+					l := mine[j]
+					mine = append(mine[:j], mine[j+1:]...)
+					mu.Lock()
+					s.Unblock(l)
+					mu.Unlock()
+				} else {
+					l := links[rng.Intn(len(links))]
+					mu.Lock()
+					already := s.Blocked(l)
+					s.Block(l)
+					mu.Unlock()
+					if !already {
+						mine = append(mine, l)
+					}
+				}
+			}
+			// Repair everything we still hold, like iadmload workers do.
+			mu.Lock()
+			for _, l := range mine {
+				s.Unblock(l)
+			}
+			mu.Unlock()
+		}(int64(w) + 1)
+	}
+
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func(seed int64) {
+			defer readerWG.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				mu.RLock()
+				c := s.Count()
+				got := len(s.Links())
+				s.Blocked(links[rng.Intn(len(links))])
+				s.DoubleNonstraight(rng.Intn(p.Stages()), rng.Intn(p.Size()))
+				mu.RUnlock()
+				if got != c {
+					t.Errorf("Count()=%d but Links() has %d entries", c, got)
+					return
+				}
+			}
+		}(int64(r) + 100)
+	}
+
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	if s.Count() != 0 {
+		t.Errorf("after balanced churn Count()=%d, want 0; set: %v", s.Count(), s)
+	}
+	if got := len(s.Links()); got != 0 {
+		t.Errorf("Links() has %d entries after full repair", got)
+	}
+}
+
+// Writers claiming disjoint link ranges can double-block the same link
+// only through Block's idempotence; this pins down that Block/Unblock
+// counting stays exact when the same link is toggled by one owner while
+// others churn elsewhere.
+func TestSetBlockUnblockCountExact(t *testing.T) {
+	p, err := topology.NewParams(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSet(p)
+	l := topology.Link{Stage: 1, From: 5, Kind: topology.Plus}
+	s.Block(l)
+	s.Block(l)
+	if s.Count() != 1 {
+		t.Errorf("double Block counted twice: %d", s.Count())
+	}
+	s.Unblock(l)
+	s.Unblock(l)
+	if s.Count() != 0 {
+		t.Errorf("double Unblock went negative: %d", s.Count())
+	}
+}

@@ -1,0 +1,44 @@
+// Package buildinfo renders one version line shared by every command's
+// -version flag, assembled from the build metadata the Go toolchain embeds
+// (module version, VCS revision, dirty bit).
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version returns a one-line version string for the named command, e.g.
+//
+//	iadmd (devel) go1.22.0 commit 0eb5bea8 (modified)
+//
+// Fields that the build did not embed (e.g. test binaries or bare
+// `go build` without VCS metadata) are omitted.
+func Version(cmd string) string {
+	version, commit, modified := "(devel)", "", false
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" {
+			version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				commit = s.Value
+			case "vcs.modified":
+				modified = s.Value == "true"
+			}
+		}
+	}
+	out := fmt.Sprintf("%s %s %s", cmd, version, runtime.Version())
+	if commit != "" {
+		if len(commit) > 8 {
+			commit = commit[:8]
+		}
+		out += " commit " + commit
+		if modified {
+			out += " (modified)"
+		}
+	}
+	return out
+}

@@ -1,0 +1,20 @@
+package buildinfo
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestVersion(t *testing.T) {
+	v := Version("iadmd")
+	if !strings.HasPrefix(v, "iadmd ") {
+		t.Errorf("version %q does not lead with the command name", v)
+	}
+	if !strings.Contains(v, runtime.Version()) {
+		t.Errorf("version %q missing Go version", v)
+	}
+	if strings.Contains(v, "\n") {
+		t.Errorf("version %q is not one line", v)
+	}
+}

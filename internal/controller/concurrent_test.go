@@ -1,0 +1,127 @@
+package controller
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"iadm/internal/topology"
+)
+
+// TestStatsConcurrentHitRate hammers a fixed pair set from many goroutines
+// and checks the Stats snapshot accounting: every request is either a hit
+// or a miss, and with a frozen blockage map each distinct pair is computed
+// exactly once — the second checker under the write lock must turn every
+// racing duplicate compute into a hit.
+func TestStatsConcurrentHitRate(t *testing.T) {
+	c := mustNew(t, 16)
+	const G, R = 8, 400
+	pairs := [][2]int{{0, 5}, {3, 3}, {7, 12}, {15, 1}, {9, 9}, {2, 14}}
+
+	var wg sync.WaitGroup
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < R; r++ {
+				p := pairs[(g+r)%len(pairs)]
+				if _, err := c.RouteTag(p[0], p[1]); err != nil {
+					t.Errorf("RouteTag(%d, %d): %v", p[0], p[1], err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st := c.Stats()
+	total := uint64(G * R)
+	if st.Hits+st.Misses != total {
+		t.Errorf("hits(%d)+misses(%d) = %d, want %d", st.Hits, st.Misses, st.Hits+st.Misses, total)
+	}
+	if st.Misses != uint64(len(pairs)) {
+		t.Errorf("misses = %d, want one per distinct pair (%d)", st.Misses, len(pairs))
+	}
+	if st.Fails != 0 || st.Epoch != 0 || st.BlockedLinks != 0 {
+		t.Errorf("unexpected fails/epoch/blocked in %+v", st)
+	}
+	if st.CacheEntries != len(pairs) {
+		t.Errorf("cache entries = %d, want %d", st.CacheEntries, len(pairs))
+	}
+	if want := 1 - float64(len(pairs))/float64(total); st.HitRate() < want-1e-9 {
+		t.Errorf("hit rate %.4f, want >= %.4f", st.HitRate(), want)
+	}
+
+	// A fault invalidates: the same pair costs exactly one more miss.
+	c.ReportFault(topology.Link{Stage: 0, From: 0, Kind: topology.Minus})
+	for i := 0; i < 3; i++ {
+		if _, err := c.RouteTag(0, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st2 := c.Stats()
+	if st2.Misses != st.Misses+1 {
+		t.Errorf("misses after fault = %d, want %d", st2.Misses, st.Misses+1)
+	}
+	if st2.Epoch != 1 || st2.BlockedLinks != 1 {
+		t.Errorf("epoch/blocked after fault: %+v", st2)
+	}
+}
+
+// TestOnInvalidateHook checks that every effective map change (and only
+// those) fires the hook, in epoch order, and that concurrent mutators and
+// readers don't race with it.
+func TestOnInvalidateHook(t *testing.T) {
+	c := mustNew(t, 8)
+	var fired atomic.Uint64
+	var mu sync.Mutex
+	var seen []uint64
+	c.OnInvalidate(func(e uint64) {
+		fired.Add(1)
+		mu.Lock()
+		seen = append(seen, e)
+		mu.Unlock()
+	})
+
+	l := topology.Link{Stage: 1, From: 2, Kind: topology.Plus}
+	if !c.ReportFault(l) {
+		t.Fatal("first fault reported no change")
+	}
+	if c.ReportFault(l) {
+		t.Error("duplicate fault reported a change")
+	}
+	if !c.ReportRepair(l) {
+		t.Fatal("repair reported no change")
+	}
+	if c.ReportRepair(l) {
+		t.Error("duplicate repair reported a change")
+	}
+	if got := fired.Load(); got != 2 {
+		t.Fatalf("hook fired %d times, want 2", got)
+	}
+	for i, e := range seen {
+		if e != uint64(i+1) {
+			t.Fatalf("hook epochs %v not in order", seen)
+		}
+	}
+
+	// Concurrent churn: hooks fire once per effective change.
+	var wg sync.WaitGroup
+	const G = 4
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ml := topology.Link{Stage: 0, From: g, Kind: topology.Minus}
+			for i := 0; i < 50; i++ {
+				c.ReportFault(ml)
+				c.RouteTag(g, (g+3)%8)
+				c.ReportRepair(ml)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if fired.Load() != c.Epoch() {
+		t.Errorf("hook fired %d times, epoch is %d", fired.Load(), c.Epoch())
+	}
+}

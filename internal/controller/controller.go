@@ -27,8 +27,13 @@ type Controller struct {
 
 	mu    sync.RWMutex
 	blk   *blockage.Set
-	epoch uint64 // incremented on every map change
 	cache map[pair]entry
+	subs  []func(epoch uint64)
+
+	// epoch is incremented (under mu) on every map change; reads are
+	// lock-free so serving layers can stamp cache entries per request
+	// without contending with tag computation.
+	epoch atomic.Uint64
 
 	// stats (atomic: the hit counter is bumped under the read lock)
 	hits, misses, fails atomic.Uint64
@@ -57,27 +62,49 @@ func New(N int) (*Controller, error) {
 // Params returns the network parameters.
 func (c *Controller) Params() topology.Params { return c.p }
 
+// bumpEpoch records a map change and notifies subscribers. Callers must
+// hold mu.
+func (c *Controller) bumpEpoch() {
+	e := c.epoch.Add(1)
+	for _, fn := range c.subs {
+		fn(e)
+	}
+}
+
+// OnInvalidate registers a hook invoked after every blockage-map change
+// with the new epoch. Hooks run synchronously while the controller's write
+// lock is held — they observe bumps in exact order, and must be fast and
+// must not call back into the Controller.
+func (c *Controller) OnInvalidate(fn func(epoch uint64)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.subs = append(c.subs, fn)
+}
+
 // ReportFault records a blocked link. Reporting an already blocked link is
-// a no-op (and does not invalidate the cache).
-func (c *Controller) ReportFault(l topology.Link) {
+// a no-op (and does not invalidate the cache). It reports whether the map
+// changed.
+func (c *Controller) ReportFault(l topology.Link) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.blk.Blocked(l) {
-		return
+		return false
 	}
 	c.blk.Block(l)
-	c.epoch++
+	c.bumpEpoch()
+	return true
 }
 
-// ReportRepair clears a blocked link.
-func (c *Controller) ReportRepair(l topology.Link) {
+// ReportRepair clears a blocked link. It reports whether the map changed.
+func (c *Controller) ReportRepair(l topology.Link) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if !c.blk.Blocked(l) {
-		return
+		return false
 	}
 	c.blk.Unblock(l)
-	c.epoch++
+	c.bumpEpoch()
+	return true
 }
 
 // ReportSwitchFault records a faulty switch via the paper's input-link
@@ -90,7 +117,7 @@ func (c *Controller) ReportSwitchFault(sw topology.Switch) error {
 		return err
 	}
 	if c.blk.Count() != before {
-		c.epoch++
+		c.bumpEpoch()
 	}
 	return nil
 }
@@ -103,12 +130,8 @@ func (c *Controller) Faults() []topology.Link {
 }
 
 // Epoch returns the current map version; it changes whenever the blockage
-// map does.
-func (c *Controller) Epoch() uint64 {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.epoch
-}
+// map does. It is lock-free.
+func (c *Controller) Epoch() uint64 { return c.epoch.Load() }
 
 // RouteTag returns a TSDT tag routing s to d around all currently known
 // blockages, or an error wrapping core.ErrNoPath when the network is
@@ -121,7 +144,7 @@ func (c *Controller) RouteTag(s, d int) (core.Tag, error) {
 	key := pair{s, d}
 
 	c.mu.RLock()
-	if e, ok := c.cache[key]; ok && e.epoch == c.epoch {
+	if e, ok := c.cache[key]; ok && e.epoch == c.epoch.Load() {
 		c.hits.Add(1)
 		c.mu.RUnlock()
 		return e.tag, nil
@@ -131,7 +154,7 @@ func (c *Controller) RouteTag(s, d int) (core.Tag, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	// Recheck under the write lock (another sender may have filled it).
-	if e, ok := c.cache[key]; ok && e.epoch == c.epoch {
+	if e, ok := c.cache[key]; ok && e.epoch == c.epoch.Load() {
 		c.hits.Add(1)
 		return e.tag, nil
 	}
@@ -141,7 +164,7 @@ func (c *Controller) RouteTag(s, d int) (core.Tag, error) {
 		c.fails.Add(1)
 		return core.Tag{}, err
 	}
-	c.cache[key] = entry{tag: tag, epoch: c.epoch}
+	c.cache[key] = entry{tag: tag, epoch: c.epoch.Load()}
 	return tag, nil
 }
 
@@ -154,10 +177,39 @@ func (c *Controller) Route(s, d int) (core.Tag, core.Path, error) {
 	return tag, tag.Follow(c.p, s), nil
 }
 
-// Stats reports cache behaviour: hits, misses (tags computed), and
-// rerouting failures.
-func (c *Controller) Stats() (hits, misses, fails uint64) {
-	return c.hits.Load(), c.misses.Load(), c.fails.Load()
+// Stats is a point-in-time snapshot of the controller's cache behaviour
+// and map state.
+type Stats struct {
+	Hits         uint64 // requests answered from the tag cache
+	Misses       uint64 // tags computed with REROUTE
+	Fails        uint64 // rerouting failures (pair disconnected)
+	Epoch        uint64 // blockage-map version
+	CacheEntries int    // cached tags (stale epochs included)
+	BlockedLinks int    // currently blocked links
+}
+
+// HitRate returns the fraction of requests served from the cache, or 0
+// before any request.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Stats reports a consistent snapshot of cache behaviour: hits, misses
+// (tags computed), rerouting failures, the current epoch, and map sizes.
+func (c *Controller) Stats() Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return Stats{
+		Hits:         c.hits.Load(),
+		Misses:       c.misses.Load(),
+		Fails:        c.fails.Load(),
+		Epoch:        c.epoch.Load(),
+		CacheEntries: len(c.cache),
+		BlockedLinks: c.blk.Count(),
+	}
 }
 
 // Connectivity returns the fraction of (s, d) pairs currently routable.

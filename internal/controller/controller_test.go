@@ -61,9 +61,9 @@ func TestCacheHitsAndInvalidation(t *testing.T) {
 	if _, err := c.RouteTag(1, 0); err != nil {
 		t.Fatal(err)
 	}
-	hits, misses, _ := c.Stats()
-	if misses != 1 || hits != 1 {
-		t.Errorf("hits=%d misses=%d, want 1/1", hits, misses)
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", st.Hits, st.Misses)
 	}
 
 	// A fault report invalidates the cache...
@@ -77,9 +77,8 @@ func TestCacheHitsAndInvalidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, misses2, _ := c.Stats()
-	if misses2 != 2 {
-		t.Errorf("misses = %d, want 2 after invalidation", misses2)
+	if st := c.Stats(); st.Misses != 2 {
+		t.Errorf("misses = %d, want 2 after invalidation", st.Misses)
 	}
 	// ...and the fresh tag avoids the fault.
 	path := tag.Follow(c.Params(), 1)
@@ -104,9 +103,8 @@ func TestRepairRestoresRoutes(t *testing.T) {
 	if _, err := c.RouteTag(5, 5); !errors.Is(err, core.ErrNoPath) {
 		t.Fatalf("want ErrNoPath for broken straight pair, got %v", err)
 	}
-	_, _, fails := c.Stats()
-	if fails != 1 {
-		t.Errorf("fails = %d", fails)
+	if st := c.Stats(); st.Fails != 1 {
+		t.Errorf("fails = %d", st.Fails)
 	}
 	c.ReportRepair(l)
 	if _, err := c.RouteTag(5, 5); err != nil {

@@ -119,11 +119,11 @@ func runE21() (string, error) {
 			ctl.ReportRepair(l)
 		}
 	}
-	hits, misses, fails := ctl.Stats()
+	st := ctl.Stats()
 	fmt.Fprintf(&sb, "fault rounds: %d, route requests: %d (%d unroutable)\n", len(seq), routed+failed, failed)
 	fmt.Fprintf(&sb, "tag cache: %d hits, %d computed, %d failures; final connectivity %.3f\n",
-		hits, misses, fails, ctl.Connectivity())
-	if hits == 0 {
+		st.Hits, st.Misses, st.Fails, ctl.Connectivity())
+	if st.Hits == 0 {
 		return "", fmt.Errorf("controller cache never hit")
 	}
 	return sb.String(), nil

@@ -1,0 +1,132 @@
+package routesvc
+
+import (
+	"sync"
+
+	"iadm/internal/core"
+)
+
+// cacheKey identifies one cacheable tag request. SSDT tags depend only on
+// the destination (Theorem 3.1: the destination address is the tag, for
+// every network state), so the Service normalizes Src to 0 for SSDT keys —
+// one entry serves every source. TSDT/REROUTE tags are per (src, dst).
+type cacheKey struct {
+	src, dst int32
+	scheme   Scheme
+}
+
+// hash spreads keys over shards with a murmur3-style finalizer; the shard
+// count is a power of two so the low bits select the shard.
+func (k cacheKey) hash() uint64 {
+	h := uint64(uint32(k.src))<<33 ^ uint64(uint32(k.dst))<<1 ^ uint64(k.scheme)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+type cacheEntry struct {
+	tag   core.Tag
+	epoch uint64
+}
+
+// tagCache is a sharded epoch-stamped tag cache. Each shard is an
+// RWMutex-guarded map, so concurrent readers on different shards never
+// touch the same lock and readers on the same shard share it. Entries are
+// stamped with the blockage-map epoch current when their tag was computed;
+// a lookup at a newer epoch misses (the entry "dies" lazily — a fault or
+// repair invalidates every stale TSDT entry by bumping the epoch, with no
+// global flush or lock sweep on the mutation path). SSDT entries are
+// epoch-exempt: by Theorem 3.1 their tag is valid under every blockage
+// map, so they are stored with stamp ssdtEpoch and looked up the same way.
+type tagCache struct {
+	mask   uint64
+	shards []cacheShard
+}
+
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[cacheKey]cacheEntry
+}
+
+// ssdtEpoch is the stamp used for epoch-exempt SSDT entries.
+const ssdtEpoch = ^uint64(0)
+
+// defaultShards is the shard count used when Config.Shards is 0: enough
+// that 16 cores rarely collide, small enough to be noise at N=2.
+const defaultShards = 64
+
+func newTagCache(shards int) *tagCache {
+	if shards <= 0 {
+		shards = defaultShards
+	}
+	// Round up to a power of two so shard selection is a mask.
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	c := &tagCache{mask: uint64(n - 1), shards: make([]cacheShard, n)}
+	for i := range c.shards {
+		c.shards[i].m = make(map[cacheKey]cacheEntry)
+	}
+	return c
+}
+
+func (c *tagCache) shard(k cacheKey) *cacheShard {
+	return &c.shards[k.hash()&c.mask]
+}
+
+// get returns the cached tag for k if present and not stale at the given
+// epoch. Pass ssdtEpoch for SSDT keys.
+func (c *tagCache) get(k cacheKey, epoch uint64) (core.Tag, bool) {
+	sh := c.shard(k)
+	sh.mu.RLock()
+	e, ok := sh.m[k]
+	sh.mu.RUnlock()
+	if !ok || e.epoch != epoch {
+		return core.Tag{}, false
+	}
+	return e.tag, true
+}
+
+// put stores the tag computed at the given epoch, overwriting any stale
+// entry for the same key.
+func (c *tagCache) put(k cacheKey, tag core.Tag, epoch uint64) {
+	sh := c.shard(k)
+	sh.mu.Lock()
+	sh.m[k] = cacheEntry{tag: tag, epoch: epoch}
+	sh.mu.Unlock()
+}
+
+// len counts live entries (stale ones included until swept or
+// overwritten).
+func (c *tagCache) len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// sweep deletes every entry stale at the given epoch and returns how many
+// it removed. Epoch-exempt SSDT entries are never swept. Correctness never
+// needs sweep — stale entries already miss — it only reclaims memory, one
+// shard lock at a time.
+func (c *tagCache) sweep(epoch uint64) int {
+	removed := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for k, e := range sh.m {
+			if e.epoch != epoch && e.epoch != ssdtEpoch {
+				delete(sh.m, k)
+				removed++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return removed
+}

@@ -1,0 +1,412 @@
+package routesvc
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"iadm/internal/core"
+	"iadm/internal/stats"
+	"iadm/internal/topology"
+)
+
+// Handler is the HTTP front of a Service: a stdlib net/http mux serving
+//
+//	GET|POST /route        one tag request (?src=&dst=&scheme= or JSON body)
+//	POST     /route/batch  many tag requests in one round trip
+//	POST     /fault        link/switch fault reports
+//	POST     /repair       link repair reports
+//	GET      /healthz      liveness + drain state
+//	GET      /metrics      JSON metrics (cache hit rates, epoch, latency)
+//
+// Per-endpoint latency is recorded in a stats.Stream (microsecond
+// buckets) and reported by /metrics alongside the Service counters.
+type Handler struct {
+	svc   *Service
+	mux   *http.ServeMux
+	start time.Time
+
+	epMu sync.Mutex
+	eps  map[string]*stats.Stream
+
+	http5xx atomic.Uint64
+}
+
+// Latency histogram geometry: 5 µs buckets spanning 20 ms; slower
+// responses land in the overflow bin and report as Max.
+const (
+	latBucketUS = 5
+	latBuckets  = 4096
+)
+
+// NewHandler wraps the service in its HTTP API.
+func NewHandler(svc *Service) *Handler {
+	h := &Handler{
+		svc:   svc,
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+		eps:   make(map[string]*stats.Stream),
+	}
+	h.handle("/route", h.routeOne)
+	h.handle("/route/batch", h.routeBatch)
+	h.handle("/fault", h.fault)
+	h.handle("/repair", h.repair)
+	h.handle("/healthz", h.healthz)
+	h.handle("/metrics", h.metrics)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+// statusWriter captures the response code so the wrapper can count 5xx.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (h *Handler) handle(path string, fn func(http.ResponseWriter, *http.Request)) {
+	st := stats.NewStream(latBucketUS, latBuckets)
+	h.eps[path] = &st
+	h.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		fn(sw, r)
+		if sw.code >= 500 && sw.code != http.StatusServiceUnavailable {
+			// Drain refusals are intentional; anything else 5xx is a bug.
+			h.http5xx.Add(1)
+		}
+		us := float64(time.Since(t0).Microseconds())
+		h.epMu.Lock()
+		st.Add(us)
+		h.epMu.Unlock()
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+type errJSON struct {
+	Error string `json:"error"`
+}
+
+// errStatus maps a service error to its HTTP status.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrInvalid):
+		return http.StatusBadRequest
+	case errors.Is(err, core.ErrNoPath):
+		return http.StatusUnprocessableEntity
+	}
+	return http.StatusInternalServerError
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	writeJSON(w, errStatus(err), errJSON{Error: err.Error()})
+}
+
+// RouteJSON is the wire form of one route request/response.
+type RouteJSON struct {
+	Src    int    `json:"src"`
+	Dst    int    `json:"dst"`
+	Scheme string `json:"scheme"`
+	// Response fields.
+	Tag       string `json:"tag,omitempty"`
+	Path      []int  `json:"path,omitempty"`
+	Epoch     uint64 `json:"epoch,omitempty"`
+	Cached    bool   `json:"cached,omitempty"`
+	Coalesced bool   `json:"coalesced,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+func resultJSON(res Result) RouteJSON {
+	out := RouteJSON{
+		Src:       res.Src,
+		Dst:       res.Dst,
+		Scheme:    res.Scheme.String(),
+		Epoch:     res.Epoch,
+		Cached:    res.Cached,
+		Coalesced: res.Coalesced,
+	}
+	if res.Err != nil {
+		out.Error = res.Err.Error()
+		return out
+	}
+	out.Tag = res.Tag.String()
+	out.Path = res.Path.Switches()
+	return out
+}
+
+// parseRouteReq accepts GET query parameters or a POST JSON body.
+func parseRouteReq(r *http.Request) (Request, error) {
+	var src, dst string
+	var scheme string
+	switch r.Method {
+	case http.MethodGet:
+		q := r.URL.Query()
+		src, dst, scheme = q.Get("src"), q.Get("dst"), q.Get("scheme")
+	case http.MethodPost:
+		var body RouteJSON
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			return Request{}, fmt.Errorf("%w: bad JSON body: %v", ErrInvalid, err)
+		}
+		sc, err := ParseScheme(body.Scheme)
+		if err != nil {
+			return Request{}, err
+		}
+		return Request{Src: body.Src, Dst: body.Dst, Scheme: sc}, nil
+	default:
+		return Request{}, fmt.Errorf("%w: method %s", ErrInvalid, r.Method)
+	}
+	s, err := strconv.Atoi(src)
+	if err != nil {
+		return Request{}, fmt.Errorf("%w: bad src %q", ErrInvalid, src)
+	}
+	d, err := strconv.Atoi(dst)
+	if err != nil {
+		return Request{}, fmt.Errorf("%w: bad dst %q", ErrInvalid, dst)
+	}
+	sc, err := ParseScheme(scheme)
+	if err != nil {
+		return Request{}, err
+	}
+	return Request{Src: s, Dst: d, Scheme: sc}, nil
+}
+
+func (h *Handler) routeOne(w http.ResponseWriter, r *http.Request) {
+	req, err := parseRouteReq(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	res, err := h.svc.Route(req.Src, req.Dst, req.Scheme)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resultJSON(res))
+}
+
+// BatchJSON is the wire form of a /route/batch exchange.
+type BatchJSON struct {
+	Requests []RouteJSON `json:"requests"`
+	// Response fields.
+	Responses []RouteJSON `json:"responses,omitempty"`
+	Epoch     uint64      `json:"epoch,omitempty"`
+}
+
+func (h *Handler) routeBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, fmt.Errorf("%w: method %s", ErrInvalid, r.Method))
+		return
+	}
+	var body BatchJSON
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeErr(w, fmt.Errorf("%w: bad JSON body: %v", ErrInvalid, err))
+		return
+	}
+	reqs := make([]Request, len(body.Requests))
+	for i, rq := range body.Requests {
+		sc, err := ParseScheme(rq.Scheme)
+		if err != nil {
+			writeErr(w, fmt.Errorf("%w (request %d)", err, i))
+			return
+		}
+		reqs[i] = Request{Src: rq.Src, Dst: rq.Dst, Scheme: sc}
+	}
+	results, err := h.svc.RouteBatch(reqs)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	out := BatchJSON{Responses: make([]RouteJSON, len(results)), Epoch: h.svc.Epoch()}
+	for i, res := range results {
+		out.Responses[i] = resultJSON(res)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// MutateJSON is the wire form of /fault and /repair exchanges. Specs use
+// the iadmsim notation: links "stage:from:kind" (kind -, 0, +), switches
+// "stage:index".
+type MutateJSON struct {
+	Links    []string `json:"links,omitempty"`
+	Switches []string `json:"switches,omitempty"`
+	// Response fields.
+	Changed int    `json:"changed"`
+	Epoch   uint64 `json:"epoch"`
+	Blocked int    `json:"blocked"`
+}
+
+func (h *Handler) fault(w http.ResponseWriter, r *http.Request)  { h.mutate(w, r, true) }
+func (h *Handler) repair(w http.ResponseWriter, r *http.Request) { h.mutate(w, r, false) }
+
+func (h *Handler) mutate(w http.ResponseWriter, r *http.Request, isFault bool) {
+	if r.Method != http.MethodPost {
+		writeErr(w, fmt.Errorf("%w: method %s", ErrInvalid, r.Method))
+		return
+	}
+	var body MutateJSON
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeErr(w, fmt.Errorf("%w: bad JSON body: %v", ErrInvalid, err))
+		return
+	}
+	if len(body.Links)+len(body.Switches) == 0 {
+		writeErr(w, fmt.Errorf("%w: no links or switches given", ErrInvalid))
+		return
+	}
+	if !isFault && len(body.Switches) > 0 {
+		writeErr(w, fmt.Errorf("%w: switch repairs are not expressible (repair the input links individually)", ErrInvalid))
+		return
+	}
+	p := h.svc.Params()
+	changed := 0
+	for _, spec := range body.Links {
+		l, err := topology.ParseLink(p, spec)
+		if err != nil {
+			writeErr(w, fmt.Errorf("%w: %v", ErrInvalid, err))
+			return
+		}
+		var ch bool
+		if isFault {
+			ch, err = h.svc.ReportFault(l)
+		} else {
+			ch, err = h.svc.ReportRepair(l)
+		}
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		if ch {
+			changed++
+		}
+	}
+	for _, spec := range body.Switches {
+		sw, err := topology.ParseSwitch(p, spec)
+		if err != nil {
+			writeErr(w, fmt.Errorf("%w: %v", ErrInvalid, err))
+			return
+		}
+		before := h.svc.Epoch()
+		if err := h.svc.ReportSwitchFault(sw); err != nil {
+			writeErr(w, err)
+			return
+		}
+		if h.svc.Epoch() != before {
+			changed++
+		}
+	}
+	writeJSON(w, http.StatusOK, MutateJSON{
+		Changed: changed,
+		Epoch:   h.svc.Epoch(),
+		Blocked: len(h.svc.Faults()),
+	})
+}
+
+// HealthJSON is the wire form of /healthz.
+type HealthJSON struct {
+	Status        string  `json:"status"`
+	N             int     `json:"n"`
+	Epoch         uint64  `json:"epoch"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+func (h *Handler) healthz(w http.ResponseWriter, r *http.Request) {
+	out := HealthJSON{
+		Status:        "ok",
+		N:             h.svc.Params().Size(),
+		Epoch:         h.svc.Epoch(),
+		UptimeSeconds: time.Since(h.start).Seconds(),
+	}
+	if h.svc.Draining() {
+		out.Status = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, out)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// EndpointJSON summarizes one endpoint's latency distribution.
+type EndpointJSON struct {
+	Count  int     `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	P90US  float64 `json:"p90_us"`
+	P99US  float64 `json:"p99_us"`
+	MaxUS  float64 `json:"max_us"`
+}
+
+// MetricsJSON is the wire form of /metrics. Service carries the cache and
+// request counters (see Metrics); Controller carries the inner
+// controller's REROUTE cache snapshot.
+type MetricsJSON struct {
+	Service    Metrics                 `json:"service"`
+	Controller ControllerJSON          `json:"controller"`
+	Endpoints  map[string]EndpointJSON `json:"endpoints"`
+	HTTP5xx    uint64                  `json:"http_5xx"`
+	UptimeSec  float64                 `json:"uptime_seconds"`
+}
+
+// ControllerJSON mirrors controller.Stats onto the wire.
+type ControllerJSON struct {
+	Hits         uint64 `json:"hits"`
+	Misses       uint64 `json:"misses"`
+	Fails        uint64 `json:"fails"`
+	Epoch        uint64 `json:"epoch"`
+	CacheEntries int    `json:"cache_entries"`
+	BlockedLinks int    `json:"blocked_links"`
+}
+
+// Metrics builds the /metrics payload (exported so load generators can
+// decode it with the same type).
+func (h *Handler) Metrics() MetricsJSON {
+	m := h.svc.Metrics()
+	out := MetricsJSON{
+		Service: m,
+		Controller: ControllerJSON{
+			Hits:         m.Controller.Hits,
+			Misses:       m.Controller.Misses,
+			Fails:        m.Controller.Fails,
+			Epoch:        m.Controller.Epoch,
+			CacheEntries: m.Controller.CacheEntries,
+			BlockedLinks: m.Controller.BlockedLinks,
+		},
+		Endpoints: make(map[string]EndpointJSON, len(h.eps)),
+		HTTP5xx:   h.http5xx.Load(),
+		UptimeSec: time.Since(h.start).Seconds(),
+	}
+	h.epMu.Lock()
+	for path, st := range h.eps {
+		out.Endpoints[path] = EndpointJSON{
+			Count:  st.N(),
+			MeanUS: st.Mean(),
+			P50US:  st.Percentile(50),
+			P90US:  st.Percentile(90),
+			P99US:  st.Percentile(99),
+			MaxUS:  st.Max(),
+		}
+	}
+	h.epMu.Unlock()
+	return out
+}
+
+func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.Metrics())
+}

@@ -1,0 +1,414 @@
+// Package routesvc is the serving layer of the reproduction: it turns the
+// in-process network controller (Section 5 of the paper) into a concurrent
+// routing service that can sit behind a socket and absorb heavy traffic.
+//
+// The design follows the paper's cost split between the tag schemes:
+//
+//   - SSDT tags are state-independent — "the destination address is the
+//     tag" (Theorem 3.1) — so they are perfectly cacheable: one entry per
+//     destination, shared by every source, never invalidated by faults.
+//   - TSDT/REROUTE tags (Theorems 3.2–3.4) encode detours around the
+//     current blockage map, so every fault or repair report invalidates
+//     them. The service stamps each cached tag with the controller's map
+//     epoch; a mutation bumps the epoch and every stale entry dies lazily
+//     on its next lookup, with no global flush on the mutation path.
+//
+// Concurrency structure: a sharded RWMutex tag cache absorbs the read
+// traffic, a singleflight group collapses thundering herds so each missing
+// tag is computed once per epoch, and a drain gate lets the daemon finish
+// in-flight requests on shutdown while refusing new ones.
+package routesvc
+
+import (
+	"errors"
+	"fmt"
+
+	"sync"
+	"sync/atomic"
+
+	"iadm/internal/controller"
+	"iadm/internal/core"
+	"iadm/internal/topology"
+)
+
+// Scheme selects which of the paper's destination-tag schemes a request
+// wants the tag for.
+type Scheme uint8
+
+const (
+	// SchemeTSDT asks for a two-bit state-based destination tag computed
+	// with algorithm REROUTE around the current blockage map.
+	SchemeTSDT Scheme = iota
+	// SchemeSSDT asks for the state-independent destination tag of
+	// Theorem 3.1 (the destination address itself, rendered as a TSDT tag
+	// with all state bits zero).
+	SchemeSSDT
+	numSchemes
+)
+
+// String returns the wire name of the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeTSDT:
+		return "tsdt"
+	case SchemeSSDT:
+		return "ssdt"
+	}
+	return fmt.Sprintf("Scheme(%d)", uint8(s))
+}
+
+// ParseScheme parses a wire scheme name. The empty string means TSDT (the
+// general scheme); "reroute" is accepted as an alias for it.
+func ParseScheme(s string) (Scheme, error) {
+	switch s {
+	case "", "tsdt", "reroute":
+		return SchemeTSDT, nil
+	case "ssdt":
+		return SchemeSSDT, nil
+	}
+	return 0, fmt.Errorf("%w: unknown scheme %q", ErrInvalid, s)
+}
+
+// Sentinel errors. HTTP maps ErrInvalid to 400, ErrDraining to 503, and
+// core.ErrNoPath (wrapped by route results) to 422.
+var (
+	ErrInvalid  = errors.New("routesvc: invalid request")
+	ErrDraining = errors.New("routesvc: draining")
+)
+
+// Config parameterizes a Service.
+type Config struct {
+	// N is the network size (a power of two >= 2).
+	N int
+	// Shards is the tag-cache shard count, rounded up to a power of two;
+	// 0 means 64.
+	Shards int
+}
+
+// Request names one tag request of a batch.
+type Request struct {
+	Src    int
+	Dst    int
+	Scheme Scheme
+}
+
+// Result is the outcome of one tag request.
+type Result struct {
+	Src, Dst int
+	Scheme   Scheme
+	// Tag is the routing tag to stamp on the message.
+	Tag core.Tag
+	// Path is the route the tag selects from Src under all-C states
+	// (exact for TSDT; for SSDT the nominal path, since en-route
+	// self-repair may divert it around nonstraight faults).
+	Path core.Path
+	// Epoch is the blockage-map version observed by the request.
+	Epoch uint64
+	// Cached reports a tag-cache hit; Coalesced reports the request
+	// joined another caller's in-flight computation.
+	Cached    bool
+	Coalesced bool
+	// Err is the per-item error of a batch request (nil on success).
+	Err error
+}
+
+// CacheStats counts one scheme's cache traffic. Coalesced requests are
+// counted as hits (they were served without a tag computation) and
+// reported separately.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Coalesced uint64 `json:"coalesced"`
+}
+
+// HitRate returns the fraction of requests served without computing a tag,
+// or 0 before any request.
+func (c CacheStats) HitRate() float64 {
+	if c.Hits+c.Misses == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(c.Hits+c.Misses)
+}
+
+// Metrics is a point-in-time snapshot of the service.
+type Metrics struct {
+	N             int              `json:"n"`
+	Epoch         uint64           `json:"epoch"`
+	Requests      uint64           `json:"requests_total"`
+	Unroutable    uint64           `json:"unroutable_total"`
+	Invalid       uint64           `json:"invalid_total"`
+	Faults        uint64           `json:"faults_total"`
+	Repairs       uint64           `json:"repairs_total"`
+	Invalidations uint64           `json:"invalidations_total"`
+	CacheEntries  int              `json:"cache_entries"`
+	SSDT          CacheStats       `json:"ssdt"`
+	TSDT          CacheStats       `json:"tsdt"`
+	SSDTHitRate   float64          `json:"ssdt_hit_rate"`
+	TSDTHitRate   float64          `json:"tsdt_hit_rate"`
+	Controller    controller.Stats `json:"-"`
+	Draining      bool             `json:"draining"`
+}
+
+// Service wraps a controller with the serving-layer machinery: the sharded
+// epoch-stamped tag cache, request coalescing, batch routing, fault
+// ingestion and graceful drain. All methods are safe for concurrent use.
+type Service struct {
+	ctl   *controller.Controller
+	p     topology.Params
+	cache *tagCache
+	fl    flightGroup
+
+	drainMu  sync.RWMutex
+	draining bool
+	inflight sync.WaitGroup
+
+	requests      atomic.Uint64
+	unroutable    atomic.Uint64
+	invalid       atomic.Uint64
+	faults        atomic.Uint64
+	repairs       atomic.Uint64
+	invalidations atomic.Uint64
+	hits          [numSchemes]atomic.Uint64
+	misses        [numSchemes]atomic.Uint64
+	coalesced     [numSchemes]atomic.Uint64
+
+	// testComputeHook, when set (by tests in this package), runs at the
+	// start of every tag computation; it lets tests hold a flight open to
+	// observe coalescing deterministically.
+	testComputeHook func(Scheme)
+}
+
+// New builds a Service for a fault-free network of size cfg.N.
+func New(cfg Config) (*Service, error) {
+	ctl, err := controller.New(cfg.N)
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		ctl:   ctl,
+		p:     ctl.Params(),
+		cache: newTagCache(cfg.Shards),
+	}
+	ctl.OnInvalidate(func(uint64) { s.invalidations.Add(1) })
+	return s, nil
+}
+
+// Params returns the network parameters.
+func (s *Service) Params() topology.Params { return s.p }
+
+// Epoch returns the current blockage-map version.
+func (s *Service) Epoch() uint64 { return s.ctl.Epoch() }
+
+// begin gates a request on the drain state: Add under the read lock and
+// Wait behind the write lock mean Drain can never start waiting while an
+// admission is half-done.
+func (s *Service) begin() error {
+	s.drainMu.RLock()
+	if s.draining {
+		s.drainMu.RUnlock()
+		return ErrDraining
+	}
+	s.inflight.Add(1)
+	s.drainMu.RUnlock()
+	return nil
+}
+
+func (s *Service) end() { s.inflight.Done() }
+
+// Drain stops admitting requests (they fail with ErrDraining) and blocks
+// until every in-flight request has finished. It is idempotent.
+func (s *Service) Drain() {
+	s.drainMu.Lock()
+	s.draining = true
+	s.drainMu.Unlock()
+	s.inflight.Wait()
+}
+
+// Draining reports whether Drain has been called.
+func (s *Service) Draining() bool {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	return s.draining
+}
+
+// Route serves one tag request.
+func (s *Service) Route(src, dst int, scheme Scheme) (Result, error) {
+	if err := s.begin(); err != nil {
+		return Result{}, err
+	}
+	defer s.end()
+	return s.route(src, dst, scheme)
+}
+
+// RouteBatch serves a batch in one admission: per-item failures land in
+// Result.Err and never fail the batch. The only batch-level error is
+// ErrDraining.
+func (s *Service) RouteBatch(reqs []Request) ([]Result, error) {
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
+	defer s.end()
+	out := make([]Result, len(reqs))
+	for i, r := range reqs {
+		res, err := s.route(r.Src, r.Dst, r.Scheme)
+		if err != nil {
+			res = Result{Src: r.Src, Dst: r.Dst, Scheme: r.Scheme, Err: err}
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+func (s *Service) route(src, dst int, scheme Scheme) (Result, error) {
+	s.requests.Add(1)
+	if scheme >= numSchemes {
+		s.invalid.Add(1)
+		return Result{}, fmt.Errorf("%w: unknown scheme %d", ErrInvalid, scheme)
+	}
+	if !s.p.ValidSwitch(src) || !s.p.ValidSwitch(dst) {
+		s.invalid.Add(1)
+		return Result{}, fmt.Errorf("%w: pair (%d, %d) outside 0..%d", ErrInvalid, src, dst, s.p.Size()-1)
+	}
+
+	key := cacheKey{src: int32(src), dst: int32(dst), scheme: scheme}
+	stamp := ssdtEpoch
+	if scheme == SchemeSSDT {
+		// Theorem 3.1: the tag depends only on the destination, so every
+		// source shares one epoch-exempt entry.
+		key.src = 0
+	} else {
+		// Load the epoch BEFORE computing: if a fault lands mid-compute,
+		// the entry is stamped with the old epoch and dies unread — the
+		// stale-pointing direction is impossible by construction.
+		stamp = s.ctl.Epoch()
+	}
+
+	res := Result{Src: src, Dst: dst, Scheme: scheme, Epoch: s.ctl.Epoch()}
+	if tag, ok := s.cache.get(key, stamp); ok {
+		s.hits[scheme].Add(1)
+		res.Tag, res.Cached = tag, true
+		res.Path = tag.Follow(s.p, src)
+		return res, nil
+	}
+
+	tag, err, shared := s.fl.do(flightKey{key: key, epoch: stamp}, func() (core.Tag, error) {
+		if s.testComputeHook != nil {
+			s.testComputeHook(scheme)
+		}
+		tag, err := s.compute(src, dst, scheme)
+		if err == nil {
+			s.cache.put(key, tag, stamp)
+		}
+		return tag, err
+	})
+	if shared {
+		s.hits[scheme].Add(1)
+		s.coalesced[scheme].Add(1)
+	} else {
+		s.misses[scheme].Add(1)
+	}
+	if err != nil {
+		if errors.Is(err, core.ErrNoPath) {
+			s.unroutable.Add(1)
+		} else {
+			s.invalid.Add(1)
+		}
+		return Result{}, err
+	}
+	res.Tag, res.Coalesced = tag, shared
+	res.Path = tag.Follow(s.p, src)
+	return res, nil
+}
+
+func (s *Service) compute(src, dst int, scheme Scheme) (core.Tag, error) {
+	if scheme == SchemeSSDT {
+		return core.NewTag(s.p, dst)
+	}
+	return s.ctl.RouteTag(src, dst)
+}
+
+func (s *Service) validLink(l topology.Link) error {
+	if !s.p.ValidStage(l.Stage) || !s.p.ValidSwitch(l.From) ||
+		(l.Kind != topology.Minus && l.Kind != topology.Straight && l.Kind != topology.Plus) {
+		return fmt.Errorf("%w: link %v", ErrInvalid, l)
+	}
+	return nil
+}
+
+// ReportFault ingests one link-fault report. It returns whether the
+// blockage map changed (duplicate reports are no-ops).
+func (s *Service) ReportFault(l topology.Link) (bool, error) {
+	if err := s.begin(); err != nil {
+		return false, err
+	}
+	defer s.end()
+	if err := s.validLink(l); err != nil {
+		return false, err
+	}
+	s.faults.Add(1)
+	return s.ctl.ReportFault(l), nil
+}
+
+// ReportRepair ingests one link-repair report.
+func (s *Service) ReportRepair(l topology.Link) (bool, error) {
+	if err := s.begin(); err != nil {
+		return false, err
+	}
+	defer s.end()
+	if err := s.validLink(l); err != nil {
+		return false, err
+	}
+	s.repairs.Add(1)
+	return s.ctl.ReportRepair(l), nil
+}
+
+// ReportSwitchFault ingests a switch-fault report via the paper's
+// input-link transformation.
+func (s *Service) ReportSwitchFault(sw topology.Switch) error {
+	if err := s.begin(); err != nil {
+		return err
+	}
+	defer s.end()
+	s.faults.Add(1)
+	if err := s.ctl.ReportSwitchFault(sw); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	return nil
+}
+
+// Faults returns a snapshot of the blocked links.
+func (s *Service) Faults() []topology.Link { return s.ctl.Faults() }
+
+// Sweep reclaims stale TSDT cache entries (see tagCache.sweep); it returns
+// how many entries it removed. Serving correctness never requires it.
+func (s *Service) Sweep() int { return s.cache.sweep(s.ctl.Epoch()) }
+
+// Metrics snapshots the service counters.
+func (s *Service) Metrics() Metrics {
+	m := Metrics{
+		N:             s.p.Size(),
+		Epoch:         s.ctl.Epoch(),
+		Requests:      s.requests.Load(),
+		Unroutable:    s.unroutable.Load(),
+		Invalid:       s.invalid.Load(),
+		Faults:        s.faults.Load(),
+		Repairs:       s.repairs.Load(),
+		Invalidations: s.invalidations.Load(),
+		CacheEntries:  s.cache.len(),
+		SSDT: CacheStats{
+			Hits:      s.hits[SchemeSSDT].Load(),
+			Misses:    s.misses[SchemeSSDT].Load(),
+			Coalesced: s.coalesced[SchemeSSDT].Load(),
+		},
+		TSDT: CacheStats{
+			Hits:      s.hits[SchemeTSDT].Load(),
+			Misses:    s.misses[SchemeTSDT].Load(),
+			Coalesced: s.coalesced[SchemeTSDT].Load(),
+		},
+		Controller: s.ctl.Stats(),
+		Draining:   s.Draining(),
+	}
+	m.SSDTHitRate = m.SSDT.HitRate()
+	m.TSDTHitRate = m.TSDT.HitRate()
+	return m
+}

@@ -1,0 +1,75 @@
+package topology
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseLink parses the compact link spec used by the iadmsim CLI and the
+// iadmd daemon: "stage:from:kind" with kind one of -, 0, + (e.g. "1:2:-"
+// is the -2^1 link of switch 2 at stage 1). The link is validated against
+// the network parameters.
+func ParseLink(p Params, spec string) (Link, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return Link{}, fmt.Errorf("link %q: want stage:from:kind", spec)
+	}
+	stage, err := strconv.Atoi(parts[0])
+	if err != nil || !p.ValidStage(stage) {
+		return Link{}, fmt.Errorf("link %q: bad stage", spec)
+	}
+	from, err := strconv.Atoi(parts[1])
+	if err != nil || !p.ValidSwitch(from) {
+		return Link{}, fmt.Errorf("link %q: bad switch", spec)
+	}
+	kind, err := ParseLinkKind(parts[2])
+	if err != nil {
+		return Link{}, fmt.Errorf("link %q: %v", spec, err)
+	}
+	return Link{Stage: stage, From: from, Kind: kind}, nil
+}
+
+// ParseLinkKind parses a one-character link kind: "-", "0" or "+".
+func ParseLinkKind(s string) (LinkKind, error) {
+	switch s {
+	case "-":
+		return Minus, nil
+	case "0":
+		return Straight, nil
+	case "+":
+		return Plus, nil
+	}
+	return Straight, fmt.Errorf("kind %q must be -, 0 or +", s)
+}
+
+// Spec renders the link in the ParseLink format, "stage:from:kind".
+func (l Link) Spec() string {
+	k := "0"
+	switch l.Kind {
+	case Minus:
+		k = "-"
+	case Plus:
+		k = "+"
+	}
+	return fmt.Sprintf("%d:%d:%s", l.Stage, l.From, k)
+}
+
+// ParseSwitch parses a switch spec "stage:index" (e.g. "1:3" is switch 3
+// of stage 1). Stages run 0..n inclusive — stage n is the output column —
+// matching the Switch convention used by blockage.Set.BlockSwitch.
+func ParseSwitch(p Params, spec string) (Switch, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 2 {
+		return Switch{}, fmt.Errorf("switch %q: want stage:index", spec)
+	}
+	stage, err := strconv.Atoi(parts[0])
+	if err != nil || stage < 0 || stage > p.Stages() {
+		return Switch{}, fmt.Errorf("switch %q: bad stage", spec)
+	}
+	idx, err := strconv.Atoi(parts[1])
+	if err != nil || !p.ValidSwitch(idx) {
+		return Switch{}, fmt.Errorf("switch %q: bad index", spec)
+	}
+	return Switch{Stage: stage, Index: idx}, nil
+}

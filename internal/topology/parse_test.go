@@ -1,0 +1,52 @@
+package topology
+
+import "testing"
+
+func TestParseLinkSpecRoundTrip(t *testing.T) {
+	p := MustParams(8)
+	for _, l := range []Link{
+		{Stage: 0, From: 0, Kind: Minus},
+		{Stage: 1, From: 2, Kind: Straight},
+		{Stage: 2, From: 7, Kind: Plus},
+	} {
+		got, err := ParseLink(p, l.Spec())
+		if err != nil {
+			t.Fatalf("ParseLink(%q): %v", l.Spec(), err)
+		}
+		if got != l {
+			t.Errorf("ParseLink(%q) = %v, want %v", l.Spec(), got, l)
+		}
+	}
+}
+
+func TestParseLinkRejects(t *testing.T) {
+	p := MustParams(8)
+	for _, spec := range []string{
+		"", "1:2", "1:2:3:4", "x:2:-", "9:2:-", "-1:2:-",
+		"1:x:-", "1:8:-", "1:-1:-", "1:2:x", "1:2:++",
+	} {
+		if _, err := ParseLink(p, spec); err == nil {
+			t.Errorf("ParseLink(%q) accepted", spec)
+		}
+	}
+}
+
+func TestParseSwitch(t *testing.T) {
+	p := MustParams(8)
+	sw, err := ParseSwitch(p, "1:3")
+	if err != nil {
+		t.Fatalf("ParseSwitch: %v", err)
+	}
+	if sw != (Switch{Stage: 1, Index: 3}) {
+		t.Errorf("ParseSwitch(1:3) = %v", sw)
+	}
+	// Stage n (the output column) is valid for switches, unlike for links.
+	if _, err := ParseSwitch(p, "3:0"); err != nil {
+		t.Errorf("ParseSwitch(3:0): %v", err)
+	}
+	for _, spec := range []string{"", "1", "1:2:3", "x:0", "4:0", "-1:0", "1:x", "1:8", "1:-1"} {
+		if _, err := ParseSwitch(p, spec); err == nil {
+			t.Errorf("ParseSwitch(%q) accepted", spec)
+		}
+	}
+}

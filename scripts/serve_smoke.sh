@@ -1,0 +1,72 @@
+#!/bin/sh
+# serve_smoke.sh — the `make serve-smoke` end-to-end gate.
+#
+# Builds iadmd and iadmload into a temp dir, starts the daemon at the
+# acceptance shape (N=1024) on an ephemeral port, drives the load
+# generator for ~2s with 8 workers and 1% fault churn, and lets
+# `iadmload -check -min-ssdt-hit 0.9` enforce the contract: non-zero
+# throughput, zero request errors, zero server 5xx, SSDT cache hit rate
+# >= 90%. Finishes by delivering SIGTERM and requiring a clean drain.
+set -eu
+
+GO=${GO:-go}
+N=${N:-1024}
+WORKERS=${WORKERS:-8}
+DURATION=${DURATION:-2s}
+CHURN=${CHURN:-0.01}
+MIN_SSDT_HIT=${MIN_SSDT_HIT:-0.9}
+
+tmp=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+    if [ -n "$daemon_pid" ] && kill -0 "$daemon_pid" 2>/dev/null; then
+        kill "$daemon_pid" 2>/dev/null || true
+        wait "$daemon_pid" 2>/dev/null || true
+    fi
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo "serve-smoke: building iadmd and iadmload"
+$GO build -o "$tmp/iadmd" ./cmd/iadmd
+$GO build -o "$tmp/iadmload" ./cmd/iadmload
+
+echo "serve-smoke: starting iadmd -n $N on an ephemeral port"
+"$tmp/iadmd" -n "$N" -addr 127.0.0.1:0 -portfile "$tmp/port" >"$tmp/iadmd.log" 2>&1 &
+daemon_pid=$!
+
+# The daemon writes the bound host:port atomically once it is listening.
+i=0
+while [ ! -s "$tmp/port" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "serve-smoke: daemon never wrote $tmp/port" >&2
+        cat "$tmp/iadmd.log" >&2
+        exit 1
+    fi
+    if ! kill -0 "$daemon_pid" 2>/dev/null; then
+        echo "serve-smoke: daemon exited during startup" >&2
+        cat "$tmp/iadmd.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+addr=$(cat "$tmp/port")
+
+"$tmp/iadmload" -addr "$addr" -workers "$WORKERS" -duration "$DURATION" \
+    -churn "$CHURN" -check -min-ssdt-hit "$MIN_SSDT_HIT"
+
+echo "serve-smoke: SIGTERM, expecting a clean drain"
+kill -TERM "$daemon_pid"
+if ! wait "$daemon_pid"; then
+    echo "serve-smoke: daemon exited non-zero on SIGTERM" >&2
+    cat "$tmp/iadmd.log" >&2
+    exit 1
+fi
+daemon_pid=""
+if ! grep -q drained "$tmp/iadmd.log"; then
+    echo "serve-smoke: no drain line in the daemon log" >&2
+    cat "$tmp/iadmd.log" >&2
+    exit 1
+fi
+echo "serve-smoke: ok"

@@ -10,7 +10,7 @@ GO ?= go
 # the packed-path consumers (permroute, multicast, analysis). The regex
 # fragments deliberately prefix-match their *Packed/*Legacy variants.
 ROUTING_PKGS = ./internal/core,./internal/paths,./internal/permroute,./internal/multicast,./internal/analysis
-ROUTING_BENCH = BenchmarkFollowState|BenchmarkTagFollow|BenchmarkRouteSSDT|BenchmarkRouteTSDTPacked|BenchmarkExists|BenchmarkFind|BenchmarkMultiPass|BenchmarkBroadcast|BenchmarkReroutablePairs
+ROUTING_BENCH = BenchmarkFollowState|BenchmarkTagFollow|BenchmarkRouteSSDT|BenchmarkRouteTSDTPacked|BenchmarkRouteSliced|BenchmarkExists|BenchmarkFind|BenchmarkMultiPass|BenchmarkBroadcast|BenchmarkReroutablePairs
 
 .PHONY: check fmt vet build test race serve-smoke bench bench-routing bench-json bench-compare fuzz fuzz-smoke
 
@@ -68,9 +68,11 @@ bench-compare:
 		-pkg '$(ROUTING_PKGS)' -bench '$(ROUTING_BENCH)' -compare BENCH_routing.json
 
 # End-to-end smoke of the serving stack: boot iadmd (N=1024) on an
-# ephemeral port, drive iadmload for ~2s with 8 workers and 1% fault
-# churn, enforce zero request errors / zero 5xx / SSDT hit rate >= 90%,
-# then SIGTERM and require a clean drain.
+# ephemeral port, drive iadmload through a singles phase and a
+# batch-heavy phase (mixed /route/batch sizes exercising the sliced
+# kernel fill, including non-multiples of 64), enforce zero request
+# errors / zero 5xx / SSDT hit rate >= 90% / sliced lanes used, then
+# SIGTERM and require a clean drain.
 serve-smoke:
 	GO='$(GO)' sh scripts/serve_smoke.sh
 
@@ -78,9 +80,11 @@ fuzz:
 	$(GO) test -run FuzzRingQueue -fuzz FuzzRingQueue -fuzztime 30s ./internal/simulator
 
 # Bounded fuzz pass for CI: the ring-buffer model check, the
-# optimized-vs-reference differential oracle, and the packed-path
-# round-trip/accessor-parity check, 10s each.
+# optimized-vs-reference differential oracle, the packed-path
+# round-trip/accessor-parity check, and the sliced-vs-packed kernel
+# parity oracle, 10s each.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzRingQueue -fuzztime 10s ./internal/simulator
 	$(GO) test -run '^$$' -fuzz FuzzDifferential -fuzztime 10s ./internal/refsim
 	$(GO) test -run '^$$' -fuzz FuzzPackedRoundTrip -fuzztime 10s ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzSlicedParity -fuzztime 10s ./internal/core

@@ -8,12 +8,19 @@
 // Usage:
 //
 //	iadmload -addr 127.0.0.1:8080 [-workers 8] [-duration 2s]
-//	         [-tsdt 0.2] [-zipf 1.3] [-churn 0.01] [-batch 0] [-seed 1]
-//	         [-check] [-min-ssdt-hit 0]
+//	         [-tsdt 0.2] [-zipf 1.3] [-churn 0.01] [-batch 0]
+//	         [-batch-mix 1,3,64,65,200] [-seed 1] [-check] [-min-ssdt-hit 0]
+//
+// -batch sends fixed-size /route/batch requests; -batch-mix cycles through
+// a comma-separated list of sizes per iteration instead (sizes <= 1 go out
+// as single /route calls), exercising the server's sliced-kernel fill at
+// every remainder shape.
 //
 // With -check the exit status enforces the smoke contract: no transport
 // errors, no non-200 route responses, no server-side 5xx, non-zero
-// throughput, and an SSDT cache hit rate of at least -min-ssdt-hit.
+// throughput, and an SSDT cache hit rate of at least -min-ssdt-hit; when
+// any batching is requested, the server must also report sliced-kernel
+// lanes used.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -42,9 +50,28 @@ type loadConfig struct {
 	zipfS      float64
 	churn      float64
 	batch      int
+	batchMix   string
 	seed       int64
 	check      bool
 	minSSDTHit float64
+}
+
+// parseBatchMix parses the -batch-mix CSV into a size cycle; empty means
+// "not set". Sizes must be positive (1 means a singleton GET).
+func parseBatchMix(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	mix := make([]int, 0, len(parts))
+	for _, part := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad -batch-mix entry %q", part)
+		}
+		mix = append(mix, v)
+	}
+	return mix, nil
 }
 
 // Latency histogram: 5 µs buckets over 20 ms, matching the server's
@@ -60,6 +87,7 @@ func main() {
 	flag.Float64Var(&cfg.zipfS, "zipf", 1.3, "zipf exponent for destination popularity (values <= 1 mean uniform)")
 	flag.Float64Var(&cfg.churn, "churn", 0, "per-request probability of also toggling a random nonstraight link fault")
 	flag.IntVar(&cfg.batch, "batch", 0, "send /route/batch requests of this size instead of single /route calls (0/1 = singles)")
+	flag.StringVar(&cfg.batchMix, "batch-mix", "", "cycle through these comma-separated batch sizes per iteration (overrides -batch; sizes <= 1 go as single /route calls)")
 	flag.Int64Var(&cfg.seed, "seed", 1, "RNG seed")
 	flag.BoolVar(&cfg.check, "check", false, "exit non-zero unless the run is error-free with non-zero throughput")
 	flag.Float64Var(&cfg.minSSDTHit, "min-ssdt-hit", 0, "with -check, minimum server-side SSDT cache hit rate")
@@ -100,11 +128,12 @@ type workerStats struct {
 }
 
 type summary struct {
-	cfg     loadConfig
-	n       int
-	elapsed time.Duration
-	total   workerStats
-	metrics routesvc.MetricsJSON
+	cfg       loadConfig
+	n         int
+	elapsed   time.Duration
+	total     workerStats
+	metrics   routesvc.MetricsJSON
+	batchUsed bool // any /route/batch traffic was requested
 }
 
 func (s *summary) throughput() float64 {
@@ -138,6 +167,9 @@ func (s *summary) violations(cfg loadConfig) []string {
 	if cfg.tsdtFrac < 1 && s.metrics.Service.SSDTHitRate < cfg.minSSDTHit {
 		v = append(v, fmt.Sprintf("SSDT hit rate %.3f < %.3f", s.metrics.Service.SSDTHitRate, cfg.minSSDTHit))
 	}
+	if s.batchUsed && s.metrics.Service.SlicedLanes == 0 {
+		v = append(v, "batch traffic sent but server reports sliced kernel unused")
+	}
 	return v
 }
 
@@ -152,6 +184,10 @@ func run(cfg loadConfig, w io.Writer) (*summary, error) {
 	}
 	if cfg.batch < 0 || cfg.tsdtFrac < 0 || cfg.tsdtFrac > 1 || cfg.churn < 0 || cfg.churn > 1 {
 		return nil, fmt.Errorf("bad flag values")
+	}
+	mix, err := parseBatchMix(cfg.batchMix)
+	if err != nil {
+		return nil, err
 	}
 
 	client := &http.Client{
@@ -177,8 +213,12 @@ func run(cfg loadConfig, w io.Writer) (*summary, error) {
 		stages++
 	}
 
-	fmt.Fprintf(w, "iadmload: %d workers for %v against %s (N=%d, tsdt=%.2f, zipf=%.2f, churn=%.3f, batch=%d)\n",
-		cfg.workers, cfg.duration, base, n, cfg.tsdtFrac, cfg.zipfS, cfg.churn, cfg.batch)
+	batchDesc := fmt.Sprintf("%d", cfg.batch)
+	if mix != nil {
+		batchDesc = "mix " + cfg.batchMix
+	}
+	fmt.Fprintf(w, "iadmload: %d workers for %v against %s (N=%d, tsdt=%.2f, zipf=%.2f, churn=%.3f, batch=%s)\n",
+		cfg.workers, cfg.duration, base, n, cfg.tsdtFrac, cfg.zipfS, cfg.churn, batchDesc)
 
 	start := time.Now()
 	deadline := start.Add(cfg.duration)
@@ -188,13 +228,19 @@ func run(cfg loadConfig, w io.Writer) (*summary, error) {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			results[id] = worker(cfg, client, base, n, stages, id, deadline)
+			results[id] = worker(cfg, mix, client, base, n, stages, id, deadline)
 		}(id)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	sum := &summary{cfg: cfg, n: n, elapsed: elapsed}
+	batchUsed := cfg.batch > 1
+	for _, sz := range mix {
+		if sz > 1 {
+			batchUsed = true
+		}
+	}
+	sum := &summary{cfg: cfg, n: n, elapsed: elapsed, batchUsed: batchUsed}
 	sum.total.lat = newLatStream()
 	for i := range results {
 		r := &results[i]
@@ -224,10 +270,15 @@ func run(cfg loadConfig, w io.Writer) (*summary, error) {
 		sum.metrics.Service.TSDTHitRate, sum.metrics.Service.TSDT.Hits, sum.metrics.Service.TSDT.Hits+sum.metrics.Service.TSDT.Misses,
 		sum.metrics.Service.SSDT.Coalesced+sum.metrics.Service.TSDT.Coalesced,
 		sum.metrics.Service.CacheEntries, sum.metrics.HTTP5xx)
+	if sum.metrics.Service.SlicedBlocks > 0 {
+		fmt.Fprintf(w, "server: sliced kernel filled %d lanes in %d blocks (%.1f%% lane fill)\n",
+			sum.metrics.Service.SlicedLanes, sum.metrics.Service.SlicedBlocks,
+			100*sum.metrics.Service.SlicedFill)
+	}
 	return sum, nil
 }
 
-func worker(cfg loadConfig, client *http.Client, base string, n, stages, id int, deadline time.Time) workerStats {
+func worker(cfg loadConfig, mix []int, client *http.Client, base string, n, stages, id int, deadline time.Time) workerStats {
 	rng := rand.New(rand.NewSource(cfg.seed + int64(id)*0x9E3779B9))
 	var zipf *rand.Zipf
 	if cfg.zipfS > 1 {
@@ -249,7 +300,13 @@ func worker(cfg loadConfig, client *http.Client, base string, n, stages, id int,
 		return "ssdt"
 	}
 
+	mi := 0
 	for time.Now().Before(deadline) {
+		size := cfg.batch
+		if mix != nil {
+			size = mix[mi%len(mix)]
+			mi++
+		}
 		if cfg.churn > 0 && rng.Float64() < cfg.churn {
 			if len(faulted) > 0 && rng.Intn(2) == 0 {
 				i := rng.Intn(len(faulted))
@@ -272,8 +329,8 @@ func worker(cfg loadConfig, client *http.Client, base string, n, stages, id int,
 				}
 			}
 		}
-		if cfg.batch > 1 {
-			reqs := make([]routesvc.RouteJSON, cfg.batch)
+		if size > 1 {
+			reqs := make([]routesvc.RouteJSON, size)
 			for i := range reqs {
 				reqs[i] = routesvc.RouteJSON{Src: rng.Intn(n), Dst: pickDst(), Scheme: pickScheme()}
 			}
@@ -281,7 +338,7 @@ func worker(cfg loadConfig, client *http.Client, base string, n, stages, id int,
 			t0 := time.Now()
 			resp, err := client.Post(base+"/route/batch", "application/json", bytes.NewReader(body))
 			us := float64(time.Since(t0).Microseconds())
-			ws.requests += cfg.batch
+			ws.requests += size
 			if err != nil {
 				ws.transport++
 				continue

@@ -24,20 +24,43 @@ import (
 
 // Set is a set of blocked links of an IADM network of fixed size. The zero
 // value is not usable; use NewSet.
+//
+// Besides the per-link membership it maintains two derived views kept
+// exactly in sync by Block/Unblock: a per-stage blocked-link count
+// (StageCount — the sliced routing kernels gate their lane-parallel fast
+// path on a stage having zero blockages) and, per (stage, kind), a bitmask
+// over switch indices (StageMask — bit j of word j/64 set iff the kind link
+// leaving switch j at that stage is blocked), which lets per-lane fallback
+// code test a link with one shift instead of recomputing link indices.
 type Set struct {
-	p       topology.Params
-	blocked []bool
-	count   int
+	p          topology.Params
+	blocked    []bool
+	count      int
+	stageCount []int
+	masks      []uint64 // 3*Stages() planes of maskWords words each
+	maskWords  int      // words per plane: ceil(N/64)
 }
 
 // NewSet returns an empty blockage set for a network with the given
 // parameters.
 func NewSet(p topology.Params) *Set {
-	return &Set{p: p, blocked: make([]bool, 3*p.Size()*p.Stages())}
+	words := (p.Size() + 63) / 64
+	return &Set{
+		p:          p,
+		blocked:    make([]bool, 3*p.Size()*p.Stages()),
+		stageCount: make([]int, p.Stages()),
+		masks:      make([]uint64, 3*p.Stages()*words),
+		maskWords:  words,
+	}
 }
 
 // Params returns the network parameters the set was built for.
 func (s *Set) Params() topology.Params { return s.p }
+
+// plane returns the start offset of the (stage, kind) mask plane in masks.
+func (s *Set) plane(stage int, kind topology.LinkKind) int {
+	return (stage*3 + int(kind)) * s.maskWords
+}
 
 // Block marks the link as blocked. Blocking an already blocked link is a
 // no-op.
@@ -46,6 +69,8 @@ func (s *Set) Block(l topology.Link) {
 	if !s.blocked[idx] {
 		s.blocked[idx] = true
 		s.count++
+		s.stageCount[l.Stage]++
+		s.masks[s.plane(l.Stage, l.Kind)+l.From/64] |= 1 << uint(l.From%64)
 	}
 }
 
@@ -55,6 +80,8 @@ func (s *Set) Unblock(l topology.Link) {
 	if s.blocked[idx] {
 		s.blocked[idx] = false
 		s.count--
+		s.stageCount[l.Stage]--
+		s.masks[s.plane(l.Stage, l.Kind)+l.From/64] &^= 1 << uint(l.From%64)
 	}
 }
 
@@ -64,18 +91,46 @@ func (s *Set) Blocked(l topology.Link) bool { return s.blocked[l.Index(s.p)] }
 // Count returns the number of blocked links.
 func (s *Set) Count() int { return s.count }
 
+// StageCount returns the number of blocked links whose source switch is in
+// stage i.
+func (s *Set) StageCount(i int) int { return s.stageCount[i] }
+
+// StageMask returns the blocked-switch bitmask for the kind links of stage
+// i: bit j%64 of word j/64 is set iff the kind link leaving switch j is
+// blocked. The returned slice aliases the set's storage and must not be
+// modified; it is invalidated by the next mutation.
+func (s *Set) StageMask(i int, kind topology.LinkKind) []uint64 {
+	off := s.plane(i, kind)
+	return s.masks[off : off+s.maskWords : off+s.maskWords]
+}
+
 // Clear removes all blockages.
 func (s *Set) Clear() {
 	for i := range s.blocked {
 		s.blocked[i] = false
+	}
+	for i := range s.stageCount {
+		s.stageCount[i] = 0
+	}
+	for i := range s.masks {
+		s.masks[i] = 0
 	}
 	s.count = 0
 }
 
 // Clone returns an independent copy of the set.
 func (s *Set) Clone() *Set {
-	c := &Set{p: s.p, blocked: make([]bool, len(s.blocked)), count: s.count}
+	c := &Set{
+		p:          s.p,
+		blocked:    make([]bool, len(s.blocked)),
+		count:      s.count,
+		stageCount: make([]int, len(s.stageCount)),
+		masks:      make([]uint64, len(s.masks)),
+		maskWords:  s.maskWords,
+	}
 	copy(c.blocked, s.blocked)
+	copy(c.stageCount, s.stageCount)
+	copy(c.masks, s.masks)
 	return c
 }
 
@@ -159,8 +214,7 @@ func (s *Set) RandomLinks(rng *rand.Rand, count int) {
 	}
 	rng.Shuffle(len(free), func(i, j int) { free[i], free[j] = free[j], free[i] })
 	for _, idx := range free[:count] {
-		s.blocked[idx] = true
-		s.count++
+		s.Block(topology.LinkFromIndex(s.p, idx))
 	}
 }
 
@@ -181,8 +235,7 @@ func (s *Set) RandomNonstraight(rng *rand.Rand, count int) {
 	}
 	rng.Shuffle(len(free), func(i, j int) { free[i], free[j] = free[j], free[i] })
 	for _, idx := range free[:count] {
-		s.blocked[idx] = true
-		s.count++
+		s.Block(topology.LinkFromIndex(s.p, idx))
 	}
 }
 

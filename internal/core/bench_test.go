@@ -13,9 +13,11 @@ func BenchmarkTagFollow(b *testing.B) {
 	for _, N := range []int{8, 256, 4096} {
 		p := topology.MustParams(N)
 		tag := MustTag(p, N-1)
+		buf := make([]topology.Link, 0, p.Stages())
 		b.Run(fmt.Sprintf("N=%d", N), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				tag.Follow(p, i%N)
+				pa := tag.FollowInto(p, i%N, buf)
+				buf = pa.Links
 			}
 		})
 	}
@@ -98,6 +100,101 @@ func BenchmarkRouteSSDTPacked(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkRouteSliced measures the bit-sliced kernels end to end: load a
+// batch into LaneBlocks (transpose in), route it, and emit PackedPaths
+// (transpose out), in 64-lane chunks. One benchmark op routes the whole
+// batch, so ns/route = ns/op ÷ batch. The follow and ssdt cells run the
+// uniform-state fast path (the serving steady state); ssdt-faulty runs the
+// same blockage mix as BenchmarkRouteSSDTPacked, which keeps every stage
+// blocked or mixed and therefore measures the scalar fallback's floor.
+func BenchmarkRouteSliced(b *testing.B) {
+	for _, N := range []int{8, 256, 4096} {
+		p := topology.MustParams(N)
+		rng := rand.New(rand.NewSource(int64(5 + N)))
+		for _, batch := range []int{64, 256, 4096} {
+			srcs, dsts := make([]int, batch), make([]int, batch)
+			tags := make([]Tag, batch)
+			for k := range srcs {
+				srcs[k], dsts[k] = rng.Intn(N), rng.Intn(N)
+				tags[k] = MustTag(p, dsts[k])
+			}
+			out := make([]PackedPath, batch)
+			suffix := fmt.Sprintf("/N=%d/batch=%d", N, batch)
+
+			b.Run("follow"+suffix, func(b *testing.B) {
+				ns := NewNetworkState(p)
+				b.ResetTimer()
+				for it := 0; it < b.N; it++ {
+					if err := FollowStateBatch(p, ns, srcs, dsts, out); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run("tsdt"+suffix, func(b *testing.B) {
+				var lb LaneBlock
+				b.ResetTimer()
+				for it := 0; it < b.N; it++ {
+					for off := 0; off < batch; off += Lanes {
+						end := off + Lanes
+						if end > batch {
+							end = batch
+						}
+						if err := lb.LoadTags(p, srcs[off:end], tags[off:end]); err != nil {
+							b.Fatal(err)
+						}
+						RouteTSDTSliced(p, &lb)
+						lb.PathsInto(out[off:off])
+					}
+				}
+			})
+			b.Run("ssdt"+suffix, func(b *testing.B) {
+				ns := NewNetworkState(p)
+				blk := blockage.NewSet(p)
+				var lb LaneBlock
+				b.ResetTimer()
+				for it := 0; it < b.N; it++ {
+					for off := 0; off < batch; off += Lanes {
+						end := off + Lanes
+						if end > batch {
+							end = batch
+						}
+						if err := lb.LoadInts(p, srcs[off:end], dsts[off:end]); err != nil {
+							b.Fatal(err)
+						}
+						if RouteSSDTSliced(p, ns, blk, &lb) != 0 {
+							b.Fatal("unexpected route error")
+						}
+						lb.PathsInto(out[off:off])
+					}
+				}
+			})
+		}
+	}
+	b.Run("ssdt-faulty/N=4096/batch=4096", func(b *testing.B) {
+		p, ns, blk := ssdtBench(4096)
+		rng := rand.New(rand.NewSource(6))
+		batch := 4096
+		srcs, dsts := make([]int, batch), make([]int, batch)
+		for k := range srcs {
+			srcs[k], dsts[k] = rng.Intn(4096), rng.Intn(4096)
+		}
+		out := make([]PackedPath, batch)
+		var lb LaneBlock
+		b.ResetTimer()
+		for it := 0; it < b.N; it++ {
+			for off := 0; off < batch; off += Lanes {
+				if err := lb.LoadInts(p, srcs[off:off+Lanes], dsts[off:off+Lanes]); err != nil {
+					b.Fatal(err)
+				}
+				if RouteSSDTSliced(p, ns, blk, &lb) != 0 {
+					b.Fatal("unexpected route error")
+				}
+				lb.PathsInto(out[off:off])
+			}
+		}
+	})
 }
 
 func BenchmarkBacktrackWorstCase(b *testing.B) {

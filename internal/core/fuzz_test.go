@@ -107,3 +107,107 @@ func FuzzReroute(f *testing.F) {
 		}
 	})
 }
+
+// FuzzSlicedParity: for arbitrary sizes, batches, fault sets and switch
+// states, the sliced kernels must be bit-identical to the per-request
+// packed loops — paths, SSDT error/blocked masks, per-lane flip masks, and
+// the post-route network state.
+func FuzzSlicedParity(f *testing.F) {
+	f.Add(uint8(2), uint8(64), uint64(0), uint64(0), uint64(0))
+	f.Add(uint8(3), uint8(7), uint64(0xDEADBEEF), uint64(0x12345), uint64(^uint64(0)))
+	f.Add(uint8(4), uint8(65), uint64(0xFFFFFFFFFFFFFFFF), uint64(0), uint64(1))
+	f.Fuzz(func(t *testing.T, nv, countv uint8, faultBits, stateBits, pairBits uint64) {
+		n := 1 + int(nv)%4 // N in 2..16: dense lane interaction on shared switches
+		p := topology.MustParams(1 << uint(n))
+		count := 1 + int(countv)%Lanes
+
+		blk := blockage.NewSet(p)
+		for idx := 0; idx < 3*p.Size()*p.Stages(); idx++ {
+			// Sparse-ish faults from the bit soup; rotate so big networks
+			// still see variety beyond bit 63.
+			if faultBits>>uint(idx%64)&1 == 1 && (idx/64+idx)%3 == 0 {
+				blk.Block(topology.LinkFromIndex(p, idx))
+			}
+		}
+		base := NewNetworkState(p)
+		b := 0
+		for i := 0; i < p.Stages(); i++ {
+			for j := 0; j < p.Size(); j++ {
+				if stateBits>>uint(b%64)&1 == 1 {
+					base.Flip(i, j)
+				}
+				b++
+			}
+		}
+		srcs, dsts := make([]int, count), make([]int, count)
+		tags := make([]Tag, count)
+		for l := range srcs {
+			srcs[l] = int(pairBits>>uint((2*l)%63)) & (p.Size() - 1)
+			dsts[l] = int(pairBits>>uint((2*l+17)%63)) & (p.Size() - 1)
+			tags[l] = Tag{n: n, bits: (pairBits ^ uint64(l)*0x9E3779B97F4A7C15) & (1<<uint(2*n) - 1)}
+		}
+		var lb LaneBlock
+
+		// FollowState parity.
+		if err := lb.LoadInts(p, srcs, dsts); err != nil {
+			t.Fatal(err)
+		}
+		FollowStateSliced(p, base, &lb)
+		for l, pp := range lb.PathsInto(nil) {
+			if want := FollowStatePacked(p, srcs[l], dsts[l], base); pp != want {
+				t.Fatalf("follow lane %d: %v vs %v", l, pp, want)
+			}
+		}
+
+		// TSDT parity.
+		if err := lb.LoadTags(p, srcs, tags); err != nil {
+			t.Fatal(err)
+		}
+		RouteTSDTSliced(p, &lb)
+		for l, pp := range lb.PathsInto(nil) {
+			if want := RouteTSDTPacked(p, srcs[l], tags[l]); pp != want {
+				t.Fatalf("tsdt lane %d: %v vs %v", l, pp, want)
+			}
+		}
+
+		// SSDT parity, including mutation coupling between lanes.
+		nsPacked, nsSliced := base.Clone(), base.Clone()
+		wantPaths := make([]PackedPath, count)
+		var wantErr, wantBlocked uint64
+		wantFlips := make([]uint64, count)
+		for l := range srcs {
+			pp, flips, err := RouteSSDTPacked(p, srcs[l], dsts[l], nsPacked, blk)
+			wantPaths[l], wantFlips[l] = pp, flips
+			if err != nil {
+				wantErr |= 1 << uint(l)
+			}
+			if err != nil || flips != 0 {
+				wantBlocked |= 1 << uint(l)
+			}
+		}
+		if err := lb.LoadInts(p, srcs, dsts); err != nil {
+			t.Fatal(err)
+		}
+		if errMask := RouteSSDTSliced(p, nsSliced, blk, &lb); errMask != wantErr {
+			t.Fatalf("ssdt err mask %b vs %b", errMask, wantErr)
+		}
+		if lb.BlockedMask() != wantBlocked {
+			t.Fatalf("ssdt blocked mask %b vs %b", lb.BlockedMask(), wantBlocked)
+		}
+		for l, pp := range lb.PathsInto(nil) {
+			if pp != wantPaths[l] {
+				t.Fatalf("ssdt lane %d: %v vs %v", l, pp, wantPaths[l])
+			}
+			if lb.Flipped(l) != wantFlips[l] {
+				t.Fatalf("ssdt lane %d flips: %b vs %b", l, lb.Flipped(l), wantFlips[l])
+			}
+		}
+		for i := 0; i < p.Stages(); i++ {
+			for j := 0; j < p.Size(); j++ {
+				if nsPacked.Get(i, j) != nsSliced.Get(i, j) {
+					t.Fatalf("ssdt state diverged at %d∈S_%d", j, i)
+				}
+			}
+		}
+	})
+}

@@ -262,8 +262,11 @@ func RouteSSDTPacked(p topology.Params, s, d int, ns *NetworkState, blk *blockag
 					topology.Link{Stage: i, From: j, Kind: topology.Straight}, i)
 			}
 			// Self-repair: flip the switch state and take the opposite
-			// nonstraight link (Theorem 5.1).
+			// nonstraight link (Theorem 5.1). The direct write must keep
+			// the per-stage uniformity tracking honest for the sliced
+			// kernels, like NetworkState.Flip does.
 			ns.st[base+j] = ns.st[base+j].Flip()
+			ns.mix[i] = true
 			sel ^= 1
 			code = 2 - code
 			if blk.Blocked(topology.Link{Stage: i, From: j, Kind: topology.LinkKind(code)}) {
@@ -286,6 +289,12 @@ func RouteSSDTPacked(p topology.Params, s, d int, ns *NetworkState, blk *blockag
 // from k itself when srcs is nil — the permutation-routing shape) to
 // dsts[k] under ns. It performs no heap allocations, so a caller that
 // reuses out routes batches allocation-free.
+//
+// Since the results are per-lane independent, the batch is carved into
+// 64-lane LaneBlocks and advanced by the bit-sliced FollowStateSliced
+// kernel — including the remainder block when the batch is not a multiple
+// of 64 — which is several times cheaper per route than per-lane
+// FollowStatePacked calls while producing identical paths.
 func FollowStateBatch(p topology.Params, ns *NetworkState, srcs, dsts []int, out []PackedPath) error {
 	if srcs != nil && len(srcs) != len(dsts) {
 		return fmt.Errorf("core: FollowStateBatch has %d sources for %d destinations", len(srcs), len(dsts))
@@ -293,15 +302,26 @@ func FollowStateBatch(p topology.Params, ns *NetworkState, srcs, dsts []int, out
 	if len(out) < len(dsts) {
 		return fmt.Errorf("core: FollowStateBatch output buffer holds %d of %d paths", len(out), len(dsts))
 	}
-	for k, d := range dsts {
-		s := k
-		if srcs != nil {
-			s = srcs[k]
+	var lb LaneBlock
+	var ids [Lanes]int
+	for off := 0; off < len(dsts); off += Lanes {
+		end := off + Lanes
+		if end > len(dsts) {
+			end = len(dsts)
 		}
-		if err := checkEndpoints(p, s, d); err != nil {
+		chunkSrcs := ids[:end-off]
+		if srcs != nil {
+			chunkSrcs = srcs[off:end]
+		} else {
+			for k := range chunkSrcs {
+				chunkSrcs[k] = off + k
+			}
+		}
+		if err := lb.LoadInts(p, chunkSrcs, dsts[off:end]); err != nil {
 			return err
 		}
-		out[k] = FollowStatePacked(p, s, d, ns)
+		FollowStateSliced(p, ns, &lb)
+		lb.PathsInto(out[off:off])
 	}
 	return nil
 }

@@ -1,0 +1,507 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"iadm/internal/blockage"
+	"iadm/internal/topology"
+)
+
+// naiveTranspose64 is the bit-at-a-time reference for the butterfly codec.
+func naiveTranspose64(m *[64]uint64) [64]uint64 {
+	var out [64]uint64
+	for r := 0; r < 64; r++ {
+		for c := 0; c < 64; c++ {
+			out[c] |= (m[r] >> uint(c) & 1) << uint(r)
+		}
+	}
+	return out
+}
+
+func TestTranspose64(t *testing.T) {
+	rng := rand.New(rand.NewSource(9000))
+	for trial := 0; trial < 20; trial++ {
+		var m [64]uint64
+		for i := range m {
+			m[i] = rng.Uint64()
+		}
+		orig := m
+		want := naiveTranspose64(&m)
+		transpose64(&m)
+		if m != want {
+			t.Fatalf("trial %d: butterfly transpose diverges from reference", trial)
+		}
+		transpose64(&m)
+		if m != orig {
+			t.Fatalf("trial %d: transpose is not an involution", trial)
+		}
+	}
+}
+
+// slicedStates extends the packed differential strata with partially mixed
+// states: uniform except one stage, which exercises the kernels' mid-route
+// switch from plane mode to the scalar fallback at every possible stage.
+func slicedStates(p topology.Params, rng *rand.Rand) []*NetworkState {
+	states := stratifiedStates(p, rng)
+	for i := 0; i < p.Stages(); i++ {
+		ns := NewNetworkState(p)
+		ns.Flip(i, rng.Intn(p.Size()))
+		states = append(states, ns)
+	}
+	return states
+}
+
+// laneCounts covers full blocks, singletons and remainders around the
+// word-width boundary.
+var laneCounts = []int{1, 2, 17, 63, 64}
+
+func TestFollowStateSlicedMatchesPacked(t *testing.T) {
+	for _, N := range diffSizes {
+		p := topology.MustParams(N)
+		rng := rand.New(rand.NewSource(int64(9100 + N)))
+		var lb LaneBlock
+		for si, ns := range slicedStates(p, rng) {
+			for _, count := range laneCounts {
+				srcs, dsts := make([]int, count), make([]int, count)
+				for l := range srcs {
+					srcs[l], dsts[l] = rng.Intn(N), rng.Intn(N)
+				}
+				if err := lb.LoadInts(p, srcs, dsts); err != nil {
+					t.Fatal(err)
+				}
+				FollowStateSliced(p, ns, &lb)
+				got := lb.PathsInto(nil)
+				if len(got) != count {
+					t.Fatalf("N=%d state#%d count=%d: %d paths out", N, si, count, len(got))
+				}
+				for l := range got {
+					want := FollowStatePacked(p, srcs[l], dsts[l], ns)
+					if got[l] != want {
+						t.Fatalf("N=%d state#%d count=%d lane %d (%d->%d): sliced %v vs packed %v",
+							N, si, count, l, srcs[l], dsts[l], got[l], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRouteTSDTSlicedMatchesPacked(t *testing.T) {
+	for _, N := range diffSizes {
+		p := topology.MustParams(N)
+		rng := rand.New(rand.NewSource(int64(9200 + N)))
+		var lb LaneBlock
+		for _, count := range laneCounts {
+			srcs := make([]int, count)
+			tags := make([]Tag, count)
+			for l := range srcs {
+				srcs[l] = rng.Intn(N)
+				// Random destination plus random state bits: every tag in
+				// the 2n-bit space is a valid TSDT tag (Theorem 3.1 holds
+				// under any state assignment).
+				tags[l] = Tag{n: p.Stages(), bits: rng.Uint64() & (1<<uint(2*p.Stages()) - 1)}
+			}
+			if err := lb.LoadTags(p, srcs, tags); err != nil {
+				t.Fatal(err)
+			}
+			RouteTSDTSliced(p, &lb)
+			got := lb.PathsInto(nil)
+			for l := range got {
+				want := RouteTSDTPacked(p, srcs[l], tags[l])
+				if got[l] != want {
+					t.Fatalf("N=%d count=%d lane %d: sliced %v vs packed %v", N, count, l, got[l], want)
+				}
+			}
+		}
+	}
+}
+
+// TestLoadTagsHugeN drives the n > 21 LoadTags fallback (sources no longer
+// fit above the tag bits in one transpose row) against RouteTSDTPacked.
+// TSDT needs no per-switch state, so N = 2^22 costs nothing to set up.
+func TestLoadTagsHugeN(t *testing.T) {
+	p := topology.MustParams(1 << 22)
+	rng := rand.New(rand.NewSource(9250))
+	var lb LaneBlock
+	srcs := make([]int, Lanes)
+	tags := make([]Tag, Lanes)
+	for l := range srcs {
+		srcs[l] = rng.Intn(p.Size())
+		tags[l] = Tag{n: p.Stages(), bits: rng.Uint64() & (1<<uint(2*p.Stages()) - 1)}
+	}
+	if err := lb.LoadTags(p, srcs, tags); err != nil {
+		t.Fatal(err)
+	}
+	RouteTSDTSliced(p, &lb)
+	got := lb.PathsInto(nil)
+	for l := range got {
+		if want := RouteTSDTPacked(p, srcs[l], tags[l]); got[l] != want {
+			t.Fatalf("lane %d: sliced %v vs packed %v", l, got[l], want)
+		}
+	}
+}
+
+// checkUniformInvariant: wherever StageUniform claims uniformity, every
+// switch of the stage must actually hold the claimed value.
+func checkUniformInvariant(t *testing.T, ns *NetworkState) {
+	t.Helper()
+	p := ns.Params()
+	for i := 0; i < p.Stages(); i++ {
+		st, ok := ns.StageUniform(i)
+		if !ok {
+			continue
+		}
+		for j := 0; j < p.Size(); j++ {
+			if ns.Get(i, j) != st {
+				t.Fatalf("StageUniform(%d) claims %v but switch %d holds %v", i, st, j, ns.Get(i, j))
+			}
+		}
+	}
+}
+
+// TestRouteSSDTSlicedMatchesPacked pins the sliced SSDT kernel to the
+// sequential per-lane RouteSSDTPacked loop: identical paths, flip masks,
+// error lanes, and identical network state afterwards — including the
+// inter-lane coupling where one lane's repair flip redirects a later lane
+// through the same switch.
+func TestRouteSSDTSlicedMatchesPacked(t *testing.T) {
+	for _, N := range diffSizes {
+		p := topology.MustParams(N)
+		rng := rand.New(rand.NewSource(int64(9300 + N)))
+		blks := []*blockage.Set{blockage.NewSet(p)}
+		sparse := blockage.NewSet(p)
+		sparse.RandomNonstraight(rng, p.Size()/2+1)
+		dense := blockage.NewSet(p)
+		dense.RandomNonstraight(rng, p.Size()*p.Stages()/2)
+		anyKind := blockage.NewSet(p)
+		anyKind.RandomLinks(rng, p.Size())
+		blks = append(blks, sparse, dense, anyKind)
+		var lb LaneBlock
+		for bi, blk := range blks {
+			for si, base := range slicedStates(p, rng) {
+				for _, count := range laneCounts {
+					srcs, dsts := make([]int, count), make([]int, count)
+					for l := range srcs {
+						srcs[l], dsts[l] = rng.Intn(N), rng.Intn(N)
+					}
+					nsPacked, nsSliced := base.Clone(), base.Clone()
+
+					wantPaths := make([]PackedPath, count)
+					wantFlips := make([]uint64, count)
+					var wantErr, wantBlocked uint64
+					for l := range srcs {
+						pp, flips, err := RouteSSDTPacked(p, srcs[l], dsts[l], nsPacked, blk)
+						wantPaths[l], wantFlips[l] = pp, flips
+						if err != nil {
+							wantErr |= 1 << uint(l)
+						}
+						if err != nil || flips != 0 {
+							// A lane attempts repair iff some preferred
+							// link was blocked: it either flips (mask bit)
+							// or dies (error).
+							wantBlocked |= 1 << uint(l)
+						}
+					}
+
+					if err := lb.LoadInts(p, srcs, dsts); err != nil {
+						t.Fatal(err)
+					}
+					errMask := RouteSSDTSliced(p, nsSliced, blk, &lb)
+					if errMask != wantErr || lb.ErrMask() != wantErr {
+						t.Fatalf("N=%d blk#%d state#%d count=%d: err mask %b vs packed %b",
+							N, bi, si, count, errMask, wantErr)
+					}
+					if lb.BlockedMask() != wantBlocked {
+						t.Fatalf("N=%d blk#%d state#%d count=%d: blocked mask %b vs packed %b",
+							N, bi, si, count, lb.BlockedMask(), wantBlocked)
+					}
+					got := lb.PathsInto(nil)
+					for l := range got {
+						if got[l] != wantPaths[l] {
+							t.Fatalf("N=%d blk#%d state#%d count=%d lane %d (%d->%d): sliced %v vs packed %v",
+								N, bi, si, count, l, srcs[l], dsts[l], got[l], wantPaths[l])
+						}
+						if lb.Flipped(l) != wantFlips[l] {
+							t.Fatalf("N=%d blk#%d state#%d count=%d lane %d: flips %b vs packed %b",
+								N, bi, si, count, l, lb.Flipped(l), wantFlips[l])
+						}
+					}
+					for i := 0; i < p.Stages(); i++ {
+						for j := 0; j < N; j++ {
+							if nsPacked.Get(i, j) != nsSliced.Get(i, j) {
+								t.Fatalf("N=%d blk#%d state#%d count=%d: state diverged at %d∈S_%d",
+									N, bi, si, count, j, i)
+							}
+						}
+					}
+					checkUniformInvariant(t, nsSliced)
+				}
+			}
+		}
+	}
+}
+
+// TestFollowStateBatchRemainder: the sliced rewrite of FollowStateBatch
+// agrees with per-call FollowStatePacked across sizes around the 64-lane
+// block boundary, with nil and explicit sources.
+func TestFollowStateBatchRemainder(t *testing.T) {
+	p := topology.MustParams(64)
+	rng := rand.New(rand.NewSource(9400))
+	for _, ns := range slicedStates(p, rng) {
+		for _, size := range []int{1, 63, 64, 65, 127, 128, 200} {
+			srcs, dsts := make([]int, size), make([]int, size)
+			for k := range srcs {
+				srcs[k], dsts[k] = rng.Intn(64), rng.Intn(64)
+			}
+			out := make([]PackedPath, size)
+			if err := FollowStateBatch(p, ns, srcs, dsts, out); err != nil {
+				t.Fatal(err)
+			}
+			for k := range out {
+				if want := FollowStatePacked(p, srcs[k], dsts[k], ns); out[k] != want {
+					t.Fatalf("size=%d batch[%d]: %v vs %v", size, k, out[k], want)
+				}
+			}
+			if size <= 64 {
+				continue
+			}
+			// nil sources mean src = global batch index, which must survive
+			// the chunking into lane blocks.
+			if err := FollowStateBatch(p, ns, nil, dsts[:64], out[:64]); err != nil {
+				t.Fatal(err)
+			}
+			for k := 0; k < 64; k++ {
+				if want := FollowStatePacked(p, k, dsts[k], ns); out[k] != want {
+					t.Fatalf("perm batch[%d]: %v vs %v", k, out[k], want)
+				}
+			}
+		}
+	}
+}
+
+func TestSlicedLoadErrors(t *testing.T) {
+	p := topology.MustParams(16)
+	var lb LaneBlock
+	if err := lb.LoadInts(p, nil, nil); err == nil {
+		t.Error("accepted empty batch")
+	}
+	if err := lb.LoadInts(p, nil, make([]int, Lanes+1)); err == nil {
+		t.Error("accepted oversized batch")
+	}
+	if err := lb.LoadInts(p, []int{0}, []int{0, 1}); err == nil {
+		t.Error("accepted mismatched sources")
+	}
+	if err := lb.LoadInts(p, []int{16}, []int{0}); err == nil {
+		t.Error("accepted out-of-range source")
+	}
+	if err := lb.LoadInts(p, nil, []int{16}); err == nil {
+		t.Error("accepted out-of-range destination")
+	}
+	if err := lb.LoadTags(p, []int{0}, nil); err == nil {
+		t.Error("accepted mismatched tag batch")
+	}
+	if err := lb.LoadTags(p, []int{0}, []Tag{MustTag(topology.MustParams(8), 0)}); err == nil {
+		t.Error("accepted tag with wrong stage count")
+	}
+	if err := lb.LoadTags(p, []int{16}, []Tag{MustTag(p, 0)}); err == nil {
+		t.Error("accepted out-of-range tag source")
+	}
+
+	// Running a kernel against mismatched params is a programming error.
+	if err := lb.LoadInts(p, nil, []int{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("FollowStateSliced accepted mismatched params")
+			}
+		}()
+		FollowStateSliced(topology.MustParams(8), NewNetworkState(topology.MustParams(8)), &lb)
+	}()
+}
+
+// TestSlicedReuse: a block reloaded after an erroring SSDT run must not
+// leak masks or flips into the next batch's results.
+func TestSlicedReuse(t *testing.T) {
+	p := topology.MustParams(8)
+	blk := blockage.NewSet(p)
+	// Block every stage-0 output of switch 3: lane routing 3->anything dies.
+	for _, k := range []topology.LinkKind{topology.Minus, topology.Straight, topology.Plus} {
+		blk.Block(topology.Link{Stage: 0, From: 3, Kind: k})
+	}
+	ns := NewNetworkState(p)
+	var lb LaneBlock
+	if err := lb.LoadInts(p, []int{3, 0}, []int{5, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if got := RouteSSDTSliced(p, ns, blk, &lb); got != 1 {
+		t.Fatalf("err mask %b, want 1", got)
+	}
+	if lb.BlockedMask() != 1 {
+		t.Fatalf("blocked mask %b, want 1", lb.BlockedMask())
+	}
+	// Reload with a clean batch: all result masks must reset.
+	if err := lb.LoadInts(p, []int{0, 1}, []int{5, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if got := RouteSSDTSliced(p, ns.Clone(), blockage.NewSet(p), &lb); got != 0 {
+		t.Fatalf("err mask %b after reload, want 0", got)
+	}
+	if lb.BlockedMask() != 0 || lb.Flipped(0) != 0 || lb.Flipped(1) != 0 {
+		t.Fatal("stale masks survived a reload")
+	}
+}
+
+// TestSlicedKernelsAllocFree: the full load/route/emit cycle of each sliced
+// kernel performs zero heap allocations, including the scalar fallbacks.
+func TestSlicedKernelsAllocFree(t *testing.T) {
+	p := topology.MustParams(256)
+	rng := rand.New(rand.NewSource(9500))
+	uniform := NewNetworkState(p)
+	mixed := RandomState(p, rng)
+	blk := blockage.NewSet(p)
+	blk.RandomNonstraight(rng, 32)
+	srcs, dsts := make([]int, Lanes), make([]int, Lanes)
+	tags := make([]Tag, Lanes)
+	for l := range srcs {
+		srcs[l], dsts[l] = rng.Intn(256), rng.Intn(256)
+		tags[l] = MustTag(p, dsts[l])
+	}
+	var lb LaneBlock
+	out := make([]PackedPath, 0, Lanes)
+	cases := map[string]func(){
+		"follow/plane": func() {
+			lb.LoadInts(p, srcs, dsts)
+			FollowStateSliced(p, uniform, &lb)
+			out = lb.PathsInto(out[:0])
+		},
+		"follow/scalar": func() {
+			lb.LoadInts(p, srcs, dsts)
+			FollowStateSliced(p, mixed, &lb)
+			out = lb.PathsInto(out[:0])
+		},
+		"tsdt": func() {
+			lb.LoadTags(p, srcs, tags)
+			RouteTSDTSliced(p, &lb)
+			out = lb.PathsInto(out[:0])
+		},
+		"ssdt/blocked": func() {
+			lb.LoadInts(p, srcs, dsts)
+			RouteSSDTSliced(p, uniform, blk, &lb)
+			out = lb.PathsInto(out[:0])
+		},
+		"batch": func() {
+			outBuf := out[:Lanes]
+			FollowStateBatch(p, uniform, srcs, dsts, outBuf)
+		},
+	}
+	for name, fn := range cases {
+		if avg := testing.AllocsPerRun(100, fn); avg != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", name, avg)
+		}
+	}
+}
+
+// TestTagFollowInto: the buffer-reusing variant matches Follow.
+func TestTagFollowInto(t *testing.T) {
+	p := topology.MustParams(32)
+	rng := rand.New(rand.NewSource(9600))
+	buf := make([]topology.Link, 0, p.Stages())
+	for trial := 0; trial < 50; trial++ {
+		tag := Tag{n: p.Stages(), bits: rng.Uint64() & (1<<uint(2*p.Stages()) - 1)}
+		s := rng.Intn(32)
+		want := tag.Follow(p, s)
+		got := tag.FollowInto(p, s, buf)
+		if !got.Equal(want) {
+			t.Fatalf("FollowInto diverges from Follow for tag %v from %d", tag, s)
+		}
+		buf = got.Links
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		pa := MustTag(p, 17).FollowInto(p, 3, buf)
+		buf = pa.Links
+	}); avg != 0 {
+		t.Errorf("FollowInto: %v allocs/op, want 0", avg)
+	}
+}
+
+func TestTransposeHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(9001))
+	for trial := 0; trial < 20; trial++ {
+		var m [32]uint64
+		for i := range m {
+			m[i] = rng.Uint64()
+		}
+		// Reference: transpose the low and high 32x32 halves independently.
+		var want [32]uint64
+		for r := 0; r < 32; r++ {
+			for c := 0; c < 32; c++ {
+				want[c] |= (m[r] >> uint(c) & 1) << uint(r)
+				want[c] |= (m[r] >> uint(32+c) & 1) << uint(32+r)
+			}
+		}
+		orig := m
+		transposeHalf(&m)
+		if m != want {
+			t.Fatalf("trial %d: half transpose diverges from reference", trial)
+		}
+		transposeHalf(&m)
+		if m != orig {
+			t.Fatalf("trial %d: half transpose is not an involution", trial)
+		}
+	}
+}
+
+// TestLoadTagsMidN pins the full-width packed-source load path (2n > 32 but
+// 3n <= 64), which none of the benchmark sizes reach.
+func TestLoadTagsMidN(t *testing.T) {
+	p := topology.MustParams(1 << 17)
+	rng := rand.New(rand.NewSource(9251))
+	var lb LaneBlock
+	srcs := make([]int, Lanes)
+	tags := make([]Tag, Lanes)
+	for l := range srcs {
+		srcs[l] = rng.Intn(p.Size())
+		tags[l] = Tag{n: p.Stages(), bits: rng.Uint64() & (1<<uint(2*p.Stages()) - 1)}
+	}
+	if err := lb.LoadTags(p, srcs, tags); err != nil {
+		t.Fatal(err)
+	}
+	RouteTSDTSliced(p, &lb)
+	got := lb.PathsInto(nil)
+	for l := range got {
+		if want := RouteTSDTPacked(p, srcs[l], tags[l]); got[l] != want {
+			t.Fatalf("lane %d: sliced %v vs packed %v", l, got[l], want)
+		}
+	}
+}
+
+// TestSlicedLoadKindGuard: the state-reading kernels must reject a block
+// loaded with LoadTags, whose scalar-fallback state is unset.
+func TestSlicedLoadKindGuard(t *testing.T) {
+	p := topology.MustParams(16)
+	var lb LaneBlock
+	if err := lb.LoadTags(p, []int{3}, []Tag{MustTag(p, 5)}); err != nil {
+		t.Fatal(err)
+	}
+	for _, run := range []func(){
+		func() { FollowStateSliced(p, NewNetworkState(p), &lb) },
+		func() { RouteSSDTSliced(p, NewNetworkState(p), blockage.NewSet(p), &lb) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("state-reading kernel accepted a LoadTags block")
+				}
+			}()
+			run()
+		}()
+	}
+	// And a reload with LoadInts clears the restriction.
+	if err := lb.LoadInts(p, []int{3}, []int{5}); err != nil {
+		t.Fatal(err)
+	}
+	FollowStateSliced(p, NewNetworkState(p), &lb)
+}

@@ -104,15 +104,31 @@ func LinkFor(i, j, t int, st State) topology.Link {
 // NetworkState assigns a logical state (C or C̄) to every switch of an IADM
 // network; the paper calls this the "state of the network". There are
 // 2^(N·n) = N^N possible network states.
+//
+// Alongside the per-switch states it tracks, per stage, whether every
+// switch of the stage is still known to hold one uniform value. The sliced
+// kernels (sliced.go) exploit this: a uniform stage needs no per-lane state
+// gather — the whole stage's state is a single broadcast bit plane. The
+// tracking is conservative: any targeted write (Set, Flip) marks its stage
+// mixed, and a stage only becomes uniform again through a whole-state
+// operation (Reset, UniformState). A mixed mark on a stage that happens to
+// hold equal values costs speed, never correctness.
 type NetworkState struct {
-	p  topology.Params
-	st []State
+	p   topology.Params
+	st  []State
+	uni []State // per-stage uniform value, meaningful while !mix[i]
+	mix []bool  // per-stage: true once the stage may hold mixed states
 }
 
 // NewNetworkState returns the all-C network state, under which the IADM
 // network behaves exactly like the embedded ICube network.
 func NewNetworkState(p topology.Params) *NetworkState {
-	return &NetworkState{p: p, st: make([]State, p.Size()*p.Stages())}
+	return &NetworkState{
+		p:   p,
+		st:  make([]State, p.Size()*p.Stages()),
+		uni: make([]State, p.Stages()),
+		mix: make([]bool, p.Stages()),
+	}
 }
 
 // UniformState returns a network state with every switch in state st.
@@ -121,6 +137,9 @@ func UniformState(p topology.Params, st State) *NetworkState {
 	if st != StateC {
 		for i := range ns.st {
 			ns.st[i] = st
+		}
+		for i := range ns.uni {
+			ns.uni[i] = st
 		}
 	}
 	return ns
@@ -132,6 +151,9 @@ func RandomState(p topology.Params, rng *rand.Rand) *NetworkState {
 	for i := range ns.st {
 		ns.st[i] = State(rng.Intn(2))
 	}
+	for i := range ns.mix {
+		ns.mix[i] = true
+	}
 	return ns
 }
 
@@ -142,7 +164,12 @@ func (ns *NetworkState) Params() topology.Params { return ns.p }
 func (ns *NetworkState) Get(i, j int) State { return ns.st[i*ns.p.Size()+j] }
 
 // Set assigns the state of switch j at stage i.
-func (ns *NetworkState) Set(i, j int, st State) { ns.st[i*ns.p.Size()+j] = st }
+func (ns *NetworkState) Set(i, j int, st State) {
+	ns.st[i*ns.p.Size()+j] = st
+	if ns.mix[i] || st != ns.uni[i] {
+		ns.mix[i] = true
+	}
+}
 
 // Flip toggles the state of switch j at stage i and returns the new state.
 // By Theorem 3.2 this changes the routing path through the switch if and
@@ -151,6 +178,7 @@ func (ns *NetworkState) Set(i, j int, st State) { ns.st[i*ns.p.Size()+j] = st }
 func (ns *NetworkState) Flip(i, j int) State {
 	idx := i*ns.p.Size() + j
 	ns.st[idx] = ns.st[idx].Flip()
+	ns.mix[i] = true
 	return ns.st[idx]
 }
 
@@ -162,13 +190,35 @@ func (ns *NetworkState) Reset() {
 	for i := range ns.st {
 		ns.st[i] = StateC
 	}
+	for i := range ns.uni {
+		ns.uni[i] = StateC
+		ns.mix[i] = false
+	}
 }
 
 // Clone returns an independent copy of the network state.
 func (ns *NetworkState) Clone() *NetworkState {
-	c := &NetworkState{p: ns.p, st: make([]State, len(ns.st))}
+	c := &NetworkState{
+		p:   ns.p,
+		st:  make([]State, len(ns.st)),
+		uni: make([]State, len(ns.uni)),
+		mix: make([]bool, len(ns.mix)),
+	}
 	copy(c.st, ns.st)
+	copy(c.uni, ns.uni)
+	copy(c.mix, ns.mix)
 	return c
+}
+
+// StageUniform returns the single state every switch of stage i is known to
+// hold, or ok=false when the stage has seen a targeted write and may be
+// mixed. False negatives are possible (a stage written back to a uniform
+// value stays marked mixed); false positives are not.
+func (ns *NetworkState) StageUniform(i int) (st State, ok bool) {
+	if ns.mix[i] {
+		return 0, false
+	}
+	return ns.uni[i], true
 }
 
 // FollowState routes a message from source s to destination d using the

@@ -1,0 +1,99 @@
+package core
+
+// transpose64 transposes the 64x64 bit matrix held in m, in place: bit c of
+// word r moves to bit r of word c (LSB-first columns). It is the codec
+// between the request-per-word layout the callers speak (one integer per
+// lane) and the plane-per-word layout the sliced kernels consume (bit b of
+// every lane gathered into one word), and it is its own inverse.
+//
+// The algorithm is the classic recursive block swap (Hacker's Delight,
+// section 7-3): level j exchanges the high j-bit halves of rows k with the
+// low j-bit halves of rows k+j, for j = 32, 16, .., 1. The six levels are
+// written out with constant shifts and masks so the compiler keeps the
+// inner loops free of bounds checks and variable-shift stalls.
+func transpose64(m *[64]uint64) {
+	for k := 0; k < 32; k++ {
+		t := ((m[k] >> 32) ^ m[k+32]) & 0x00000000FFFFFFFF
+		m[k] ^= t << 32
+		m[k+32] ^= t
+	}
+	for b := 0; b < 64; b += 32 {
+		for k := b; k < b+16; k++ {
+			t := ((m[k] >> 16) ^ m[k+16]) & 0x0000FFFF0000FFFF
+			m[k] ^= t << 16
+			m[k+16] ^= t
+		}
+	}
+	for b := 0; b < 64; b += 16 {
+		for k := b; k < b+8; k++ {
+			t := ((m[k] >> 8) ^ m[k+8]) & 0x00FF00FF00FF00FF
+			m[k] ^= t << 8
+			m[k+8] ^= t
+		}
+	}
+	for b := 0; b < 64; b += 8 {
+		for k := b; k < b+4; k++ {
+			t := ((m[k] >> 4) ^ m[k+4]) & 0x0F0F0F0F0F0F0F0F
+			m[k] ^= t << 4
+			m[k+4] ^= t
+		}
+	}
+	for b := 0; b < 64; b += 4 {
+		for k := b; k < b+2; k++ {
+			t := ((m[k] >> 2) ^ m[k+2]) & 0x3333333333333333
+			m[k] ^= t << 2
+			m[k+2] ^= t
+		}
+	}
+	for b := 0; b < 64; b += 2 {
+		t := ((m[b] >> 1) ^ m[b+1]) & 0x5555555555555555
+		m[b] ^= t << 1
+		m[b+1] ^= t
+	}
+}
+
+// transposeHalf transposes two independent 32x32 bit matrices in place:
+// one in the low 32-bit halves of m and one in the high halves. The five
+// butterfly levels j = 16..1 are the tail of transpose64's recursion; their
+// masks and shifts never cross the 32-bit boundary, so the halves evolve
+// separately for half the word count and one fewer level — 80 masked swaps
+// against transpose64's 192.
+//
+// This is the workhorse for networks with n <= 16 stages (N <= 65536),
+// where every per-lane word the kernels move is at most 32 bits wide
+// (labels and 2n-bit kinds words): a 64x64 transpose whose rows or columns
+// beyond 32 are all zero factors into exactly these two 32x32 blocks, with
+// lanes 0..31 riding the low halves and lanes 32..63 the high halves.
+func transposeHalf(m *[32]uint64) {
+	for k := 0; k < 16; k++ {
+		t := ((m[k] >> 16) ^ m[k+16]) & 0x0000FFFF0000FFFF
+		m[k] ^= t << 16
+		m[k+16] ^= t
+	}
+	for b := 0; b < 32; b += 16 {
+		for k := b; k < b+8; k++ {
+			t := ((m[k] >> 8) ^ m[k+8]) & 0x00FF00FF00FF00FF
+			m[k] ^= t << 8
+			m[k+8] ^= t
+		}
+	}
+	for b := 0; b < 32; b += 8 {
+		for k := b; k < b+4; k++ {
+			t := ((m[k] >> 4) ^ m[k+4]) & 0x0F0F0F0F0F0F0F0F
+			m[k] ^= t << 4
+			m[k+4] ^= t
+		}
+	}
+	for b := 0; b < 32; b += 4 {
+		for k := b; k < b+2; k++ {
+			t := ((m[k] >> 2) ^ m[k+2]) & 0x3333333333333333
+			m[k] ^= t << 2
+			m[k+2] ^= t
+		}
+	}
+	for b := 0; b < 32; b += 2 {
+		t := ((m[b] >> 1) ^ m[b+1]) & 0x5555555555555555
+		m[b] ^= t << 1
+		m[b+1] ^= t
+	}
+}

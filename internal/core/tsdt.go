@@ -118,11 +118,18 @@ func (t Tag) LinkAt(i, j int) topology.Link {
 // blockages, and returns the full path. By Theorem 3.1 the path always ends
 // at t.Destination().
 func (t Tag) Follow(p topology.Params, s int) Path {
-	links := make([]topology.Link, t.n)
+	return t.FollowInto(p, s, make([]topology.Link, 0, t.n))
+}
+
+// FollowInto is Follow writing the links into the caller-provided buffer
+// (reused from links[:0]), so repeated follows allocate nothing. The
+// returned Path aliases the buffer.
+func (t Tag) FollowInto(p topology.Params, s int, links []topology.Link) Path {
+	links = links[:0]
 	j := s
 	for i := 0; i < t.n; i++ {
 		l := t.LinkAt(i, j)
-		links[i] = l
+		links = append(links, l)
 		j = l.To(p)
 	}
 	return Path{p: p, Source: s, Links: links}

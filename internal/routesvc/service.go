@@ -25,6 +25,7 @@ import (
 
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"iadm/internal/controller"
 	"iadm/internal/core"
@@ -130,23 +131,63 @@ func (c CacheStats) HitRate() float64 {
 	return float64(c.Hits) / float64(c.Hits+c.Misses)
 }
 
+// BatchBucket is one band of the per-batch-size latency histogram: every
+// Route call lands in band "1", every RouteBatch call in the band its
+// request count falls in, with the whole batch's wall time as one sample.
+type BatchBucket struct {
+	Batch string  `json:"batch_size"`
+	Count uint64  `json:"count"`
+	SumNs uint64  `json:"sum_ns"`
+	AvgUS float64 `json:"avg_us"`
+}
+
+// numBatchBands and the band geometry: powers-of-4-ish splits around the
+// 64-lane block size, so the bands separate "singleton", "sub-block",
+// "one block" and "multi-block" traffic.
+const numBatchBands = 6
+
+var batchBandLabels = [numBatchBands]string{"1", "2-4", "5-16", "17-64", "65-256", "257+"}
+
+func batchBand(n int) int {
+	switch {
+	case n <= 1:
+		return 0
+	case n <= 4:
+		return 1
+	case n <= 16:
+		return 2
+	case n <= 64:
+		return 3
+	case n <= 256:
+		return 4
+	}
+	return 5
+}
+
 // Metrics is a point-in-time snapshot of the service.
 type Metrics struct {
-	N             int              `json:"n"`
-	Epoch         uint64           `json:"epoch"`
-	Requests      uint64           `json:"requests_total"`
-	Unroutable    uint64           `json:"unroutable_total"`
-	Invalid       uint64           `json:"invalid_total"`
-	Faults        uint64           `json:"faults_total"`
-	Repairs       uint64           `json:"repairs_total"`
-	Invalidations uint64           `json:"invalidations_total"`
-	CacheEntries  int              `json:"cache_entries"`
-	SSDT          CacheStats       `json:"ssdt"`
-	TSDT          CacheStats       `json:"tsdt"`
-	SSDTHitRate   float64          `json:"ssdt_hit_rate"`
-	TSDTHitRate   float64          `json:"tsdt_hit_rate"`
-	Controller    controller.Stats `json:"-"`
-	Draining      bool             `json:"draining"`
+	N             int        `json:"n"`
+	Epoch         uint64     `json:"epoch"`
+	Requests      uint64     `json:"requests_total"`
+	Unroutable    uint64     `json:"unroutable_total"`
+	Invalid       uint64     `json:"invalid_total"`
+	Faults        uint64     `json:"faults_total"`
+	Repairs       uint64     `json:"repairs_total"`
+	Invalidations uint64     `json:"invalidations_total"`
+	CacheEntries  int        `json:"cache_entries"`
+	SSDT          CacheStats `json:"ssdt"`
+	TSDT          CacheStats `json:"tsdt"`
+	SSDTHitRate   float64    `json:"ssdt_hit_rate"`
+	TSDTHitRate   float64    `json:"tsdt_hit_rate"`
+	// SlicedLanes counts requests whose path was produced by the bit-sliced
+	// kernel; SlicedBlocks counts the 64-lane blocks that produced them, so
+	// SlicedFill = SlicedLanes / (64 * SlicedBlocks) is the lane utilization.
+	SlicedLanes  uint64           `json:"sliced_lanes_utilized"`
+	SlicedBlocks uint64           `json:"sliced_blocks_total"`
+	SlicedFill   float64          `json:"sliced_lane_fill"`
+	BatchLatency []BatchBucket    `json:"batch_latency"`
+	Controller   controller.Stats `json:"-"`
+	Draining     bool             `json:"draining"`
 }
 
 // Service wraps a controller with the serving-layer machinery: the sharded
@@ -171,6 +212,9 @@ type Service struct {
 	hits          [numSchemes]atomic.Uint64
 	misses        [numSchemes]atomic.Uint64
 	coalesced     [numSchemes]atomic.Uint64
+	slicedLanes   atomic.Uint64
+	slicedBlocks  atomic.Uint64
+	batchLat      [numBatchBands]struct{ count, sumNs atomic.Uint64 }
 
 	// testComputeHook, when set (by tests in this package), runs at the
 	// start of every tag computation; it lets tests hold a flight open to
@@ -231,35 +275,114 @@ func (s *Service) Draining() bool {
 	return s.draining
 }
 
+// observeBatch records one whole-batch latency sample in its size band.
+func (s *Service) observeBatch(n int, d time.Duration) {
+	b := &s.batchLat[batchBand(n)]
+	b.count.Add(1)
+	b.sumNs.Add(uint64(d.Nanoseconds()))
+}
+
 // Route serves one tag request.
 func (s *Service) Route(src, dst int, scheme Scheme) (Result, error) {
 	if err := s.begin(); err != nil {
 		return Result{}, err
 	}
 	defer s.end()
-	return s.route(src, dst, scheme)
+	t0 := time.Now()
+	res, err := s.route(src, dst, scheme)
+	s.observeBatch(1, time.Since(t0))
+	return res, err
 }
 
 // RouteBatch serves a batch in one admission: per-item failures land in
 // Result.Err and never fail the batch. The only batch-level error is
 // ErrDraining.
+//
+// Tags resolve per item through the cache/coalescing machinery, but the
+// path attachments — the per-request tag walk that dominates a hot-cache
+// batch — run through the bit-sliced kernel, 64 requests per block.
 func (s *Service) RouteBatch(reqs []Request) ([]Result, error) {
 	if err := s.begin(); err != nil {
 		return nil, err
 	}
 	defer s.end()
+	t0 := time.Now()
 	out := make([]Result, len(reqs))
 	for i, r := range reqs {
-		res, err := s.route(r.Src, r.Dst, r.Scheme)
+		res, err := s.resolve(r.Src, r.Dst, r.Scheme)
 		if err != nil {
 			res = Result{Src: r.Src, Dst: r.Dst, Scheme: r.Scheme, Err: err}
 		}
 		out[i] = res
 	}
+	s.fillPathsSliced(out)
+	s.observeBatch(len(reqs), time.Since(t0))
 	return out, nil
 }
 
+// fillPathsSliced attaches the path to every successfully resolved result,
+// in 64-lane blocks through RouteTSDTSliced. Both schemes hand out
+// core.Tags and Result.Path is defined as the tag's all-C walk, which is
+// exactly what the TSDT kernel computes (SSDT tags carry zero state bits),
+// so one sliced pass replaces len(out) scalar Follow walks.
+func (s *Service) fillPathsSliced(out []Result) {
+	var lb core.LaneBlock
+	var idx [core.Lanes]int
+	var srcs [core.Lanes]int
+	var tags [core.Lanes]core.Tag
+	var paths [core.Lanes]core.PackedPath
+	k := 0
+	flush := func() {
+		if k == 0 {
+			return
+		}
+		if err := lb.LoadTags(s.p, srcs[:k], tags[:k]); err != nil {
+			// Resolved results are pre-validated so this is unreachable, but
+			// never drop paths silently — walk the lanes scalar instead.
+			for i := 0; i < k; i++ {
+				r := &out[idx[i]]
+				r.Path = r.Tag.Follow(s.p, r.Src)
+			}
+			k = 0
+			return
+		}
+		core.RouteTSDTSliced(s.p, &lb)
+		pp := lb.PathsInto(paths[:0])
+		for i := 0; i < k; i++ {
+			out[idx[i]].Path = pp[i].Unpack(s.p)
+		}
+		s.slicedLanes.Add(uint64(k))
+		s.slicedBlocks.Add(1)
+		k = 0
+	}
+	for i := range out {
+		if out[i].Err != nil {
+			continue
+		}
+		idx[k], srcs[k], tags[k] = i, out[i].Src, out[i].Tag
+		k++
+		if k == core.Lanes {
+			flush()
+		}
+	}
+	flush()
+}
+
+// route is the singleton path: resolve the tag, then walk it scalar (one
+// lane would waste the sliced kernel's transposes).
 func (s *Service) route(src, dst int, scheme Scheme) (Result, error) {
+	res, err := s.resolve(src, dst, scheme)
+	if err != nil {
+		return res, err
+	}
+	res.Path = res.Tag.Follow(s.p, src)
+	return res, nil
+}
+
+// resolve serves one tag request through the cache, coalescing and compute
+// machinery, leaving Result.Path unset — the caller decides how to attach
+// the path (scalar for singletons, sliced blocks for batches).
+func (s *Service) resolve(src, dst int, scheme Scheme) (Result, error) {
 	s.requests.Add(1)
 	if scheme >= numSchemes {
 		s.invalid.Add(1)
@@ -287,7 +410,6 @@ func (s *Service) route(src, dst int, scheme Scheme) (Result, error) {
 	if tag, ok := s.cache.get(key, stamp); ok {
 		s.hits[scheme].Add(1)
 		res.Tag, res.Cached = tag, true
-		res.Path = tag.Follow(s.p, src)
 		return res, nil
 	}
 
@@ -316,7 +438,6 @@ func (s *Service) route(src, dst int, scheme Scheme) (Result, error) {
 		return Result{}, err
 	}
 	res.Tag, res.Coalesced = tag, shared
-	res.Path = tag.Follow(s.p, src)
 	return res, nil
 }
 
@@ -405,10 +526,24 @@ func (s *Service) Metrics() Metrics {
 			Misses:    s.misses[SchemeTSDT].Load(),
 			Coalesced: s.coalesced[SchemeTSDT].Load(),
 		},
-		Controller: s.ctl.Stats(),
-		Draining:   s.Draining(),
+		SlicedLanes:  s.slicedLanes.Load(),
+		SlicedBlocks: s.slicedBlocks.Load(),
+		Controller:   s.ctl.Stats(),
+		Draining:     s.Draining(),
 	}
 	m.SSDTHitRate = m.SSDT.HitRate()
 	m.TSDTHitRate = m.TSDT.HitRate()
+	if m.SlicedBlocks > 0 {
+		m.SlicedFill = float64(m.SlicedLanes) / float64(m.SlicedBlocks*core.Lanes)
+	}
+	m.BatchLatency = make([]BatchBucket, 0, numBatchBands)
+	for i := range s.batchLat {
+		c, sum := s.batchLat[i].count.Load(), s.batchLat[i].sumNs.Load()
+		bb := BatchBucket{Batch: batchBandLabels[i], Count: c, SumNs: sum}
+		if c > 0 {
+			bb.AvgUS = float64(sum) / float64(c) / 1e3
+		}
+		m.BatchLatency = append(m.BatchLatency, bb)
+	}
 	return m
 }

@@ -403,3 +403,65 @@ func TestConcurrentChurn(t *testing.T) {
 		t.Errorf("SSDT hit rate %.3f under churn, want >= 0.9 (epoch-exempt entries never die)", m.SSDT.HitRate())
 	}
 }
+
+// TestSlicedBatchMetrics pins the sliced-fill accounting: lanes count
+// successfully resolved batch items, blocks count 64-lane flushes, and the
+// latency histogram lands each call in its size band.
+func TestSlicedBatchMetrics(t *testing.T) {
+	s := mustService(t, Config{N: 64})
+	rng := rand.New(rand.NewSource(11))
+	for _, size := range []int{1, 3, 64, 65, 300} {
+		reqs := make([]Request, size)
+		for i := range reqs {
+			reqs[i] = Request{Src: rng.Intn(64), Dst: rng.Intn(64), Scheme: SchemeSSDT}
+		}
+		results, err := s.RouteBatch(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, res := range results {
+			if res.Err != nil {
+				t.Fatalf("size %d item %d: %v", size, i, res.Err)
+			}
+			// The sliced fill must agree with the scalar tag walk.
+			if want := res.Tag.Follow(s.Params(), res.Src); res.Path.String() != want.String() {
+				t.Fatalf("size %d item %d: sliced path %v, scalar %v", size, i, res.Path, want)
+			}
+		}
+	}
+	m := s.Metrics()
+	if want := uint64(1 + 3 + 64 + 65 + 300); m.SlicedLanes != want {
+		t.Errorf("SlicedLanes = %d, want %d", m.SlicedLanes, want)
+	}
+	// Blocks per batch: 1, 1, 1, 2 (64+1) and 5 (4x64+44).
+	if want := uint64(1 + 1 + 1 + 2 + 5); m.SlicedBlocks != want {
+		t.Errorf("SlicedBlocks = %d, want %d", m.SlicedBlocks, want)
+	}
+	if want := 433.0 / 640.0; m.SlicedFill != want {
+		t.Errorf("SlicedFill = %v, want %v", m.SlicedFill, want)
+	}
+	if len(m.BatchLatency) != numBatchBands {
+		t.Fatalf("BatchLatency has %d bands, want %d", len(m.BatchLatency), numBatchBands)
+	}
+	wantCounts := map[string]uint64{"1": 1, "2-4": 1, "5-16": 0, "17-64": 1, "65-256": 1, "257+": 1}
+	for _, b := range m.BatchLatency {
+		if b.Count != wantCounts[b.Batch] {
+			t.Errorf("band %q count = %d, want %d", b.Batch, b.Count, wantCounts[b.Batch])
+		}
+		if b.Count > 0 && b.SumNs == 0 {
+			t.Errorf("band %q has %d samples but zero summed latency", b.Batch, b.Count)
+		}
+	}
+	// Singleton Route calls land in band "1" too.
+	if _, err := s.Route(1, 2, SchemeTSDT); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range s.Metrics().BatchLatency {
+		if b.Batch == "1" && b.Count != 2 {
+			t.Errorf("band 1 count after Route = %d, want 2", b.Count)
+		}
+	}
+	if got := s.Metrics().SlicedLanes; got != 433 {
+		t.Errorf("Route must not touch the sliced counters, SlicedLanes = %d", got)
+	}
+}

@@ -2,11 +2,18 @@
 # serve_smoke.sh — the `make serve-smoke` end-to-end gate.
 #
 # Builds iadmd and iadmload into a temp dir, starts the daemon at the
-# acceptance shape (N=1024) on an ephemeral port, drives the load
-# generator for ~2s with 8 workers and 1% fault churn, and lets
-# `iadmload -check -min-ssdt-hit 0.9` enforce the contract: non-zero
+# acceptance shape (N=1024) on an ephemeral port, and drives two load
+# phases, each under `iadmload -check -min-ssdt-hit 0.9` (non-zero
 # throughput, zero request errors, zero server 5xx, SSDT cache hit rate
-# >= 90%. Finishes by delivering SIGTERM and requiring a clean drain.
+# >= 90%):
+#
+#   1. singles: ~2s of /route traffic with 8 workers and 1% fault churn;
+#   2. batch-heavy: mixed /route/batch sizes (singletons, sub-block,
+#      one-block, and non-multiple-of-64 shapes) driving the server's
+#      bit-sliced fill path, with -check additionally requiring the
+#      server to report sliced-kernel lanes used.
+#
+# Finishes by delivering SIGTERM and requiring a clean drain.
 set -eu
 
 GO=${GO:-go}
@@ -15,6 +22,8 @@ WORKERS=${WORKERS:-8}
 DURATION=${DURATION:-2s}
 CHURN=${CHURN:-0.01}
 MIN_SSDT_HIT=${MIN_SSDT_HIT:-0.9}
+BATCH_DURATION=${BATCH_DURATION:-2s}
+BATCH_MIX=${BATCH_MIX:-1,3,64,65,200}
 
 tmp=$(mktemp -d)
 daemon_pid=""
@@ -53,8 +62,13 @@ while [ ! -s "$tmp/port" ]; do
 done
 addr=$(cat "$tmp/port")
 
+echo "serve-smoke: phase 1, singles"
 "$tmp/iadmload" -addr "$addr" -workers "$WORKERS" -duration "$DURATION" \
     -churn "$CHURN" -check -min-ssdt-hit "$MIN_SSDT_HIT"
+
+echo "serve-smoke: phase 2, batch-heavy (mix $BATCH_MIX)"
+"$tmp/iadmload" -addr "$addr" -workers "$WORKERS" -duration "$BATCH_DURATION" \
+    -churn "$CHURN" -batch-mix "$BATCH_MIX" -check -min-ssdt-hit "$MIN_SSDT_HIT"
 
 echo "serve-smoke: SIGTERM, expecting a clean drain"
 kill -TERM "$daemon_pid"

@@ -72,7 +72,10 @@ bench-compare:
 # batch-heavy phase (mixed /route/batch sizes exercising the sliced
 # kernel fill, including non-multiples of 64), enforce zero request
 # errors / zero 5xx / SSDT hit rate >= 90% / sliced lanes used, then
-# SIGTERM and require a clean drain.
+# SIGTERM and require a clean drain. A third phase floods a second daemon
+# (tiny admission bound + artificial slow-path cost) at several times
+# slow-path saturation and requires sheds observed, zero 5xx, continued
+# successes, and a bounded client p99 (`iadmload -overload -check`).
 serve-smoke:
 	GO='$(GO)' sh scripts/serve_smoke.sh
 

@@ -7,6 +7,12 @@
 // Usage:
 //
 //	iadmd [-n N] [-addr host:port] [-shards S] [-portfile F]
+//	      [-admission-max Q] [-admission-min Q] [-admission-round D] [-slow-cost D]
+//
+// Admission control bounds concurrent fresh TSDT computes (the slow
+// path); excess requests answer 429 with Retry-After while cache hits and
+// SSDT requests keep flowing. -slow-cost stretches each fresh compute to
+// rehearse overload against small test fabrics.
 //
 // Endpoints:
 //
@@ -43,6 +49,11 @@ type daemonConfig struct {
 	addr         string
 	portFile     string
 	drainTimeout time.Duration
+
+	admissionMax   int
+	admissionMin   int
+	admissionRound time.Duration
+	slowCost       time.Duration
 }
 
 func main() {
@@ -52,6 +63,10 @@ func main() {
 	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
 	flag.StringVar(&cfg.portFile, "portfile", "", "write the bound host:port to this file once listening")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 10*time.Second, "maximum time to wait for in-flight requests on shutdown")
+	flag.IntVar(&cfg.admissionMax, "admission-max", 128, "slow-path admission ceiling: max concurrent fresh TSDT computes (0 disables admission control)")
+	flag.IntVar(&cfg.admissionMin, "admission-min", 8, "slow-path admission floor the adaptive threshold never sheds below")
+	flag.DurationVar(&cfg.admissionRound, "admission-round", 100*time.Millisecond, "admission controller round: how often the threshold adapts")
+	flag.DurationVar(&cfg.slowCost, "slow-cost", 0, "artificial per-compute cost added to fresh TSDT computes (overload rehearsal; 0 = off)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
@@ -71,7 +86,17 @@ func main() {
 // fails). ready, when non-nil, receives the bound address once the daemon
 // is accepting connections; tests use it in place of the port file.
 func serve(cfg daemonConfig, logw io.Writer, stop <-chan os.Signal, ready chan<- string) error {
-	svc, err := routesvc.New(routesvc.Config{N: cfg.n, Shards: cfg.shards})
+	svc, err := routesvc.New(routesvc.Config{
+		N:      cfg.n,
+		Shards: cfg.shards,
+		Admission: routesvc.AdmissionConfig{
+			Disabled: cfg.admissionMax == 0,
+			MaxQueue: cfg.admissionMax,
+			MinQueue: cfg.admissionMin,
+			Round:    cfg.admissionRound,
+		},
+		SlowCost: cfg.slowCost,
+	})
 	if err != nil {
 		return err
 	}
@@ -110,8 +135,8 @@ func serve(cfg daemonConfig, logw io.Writer, stop <-chan os.Signal, ready chan<-
 		svc.Drain()
 		<-errc // http.ErrServerClosed
 		m := svc.Metrics()
-		fmt.Fprintf(logw, "iadmd: drained; served %d requests (ssdt hit rate %.3f, tsdt hit rate %.3f, epoch %d)\n",
-			m.Requests, m.SSDTHitRate, m.TSDTHitRate, m.Epoch)
+		fmt.Fprintf(logw, "iadmd: drained; served %d requests (ssdt hit rate %.3f, tsdt hit rate %.3f, epoch %d, shed %d)\n",
+			m.Requests, m.SSDTHitRate, m.TSDTHitRate, m.Epoch, m.Admission.Shed)
 		return shutErr
 	}
 }

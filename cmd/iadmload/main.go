@@ -10,6 +10,7 @@
 //	iadmload -addr 127.0.0.1:8080 [-workers 8] [-duration 2s]
 //	         [-tsdt 0.2] [-zipf 1.3] [-churn 0.01] [-batch 0]
 //	         [-batch-mix 1,3,64,65,200] [-seed 1] [-check] [-min-ssdt-hit 0]
+//	         [-overload] [-max-p99us 20000] [-max-shed 0.99] [-min-overload 0]
 //
 // -batch sends fixed-size /route/batch requests; -batch-mix cycles through
 // a comma-separated list of sizes per iteration instead (sizes <= 1 go out
@@ -21,6 +22,15 @@
 // throughput, and an SSDT cache hit rate of at least -min-ssdt-hit; when
 // any batching is requested, the server must also report sliced-kernel
 // lanes used.
+//
+// -overload flips the contract for saturation rehearsals against a daemon
+// running admission control: shed responses (429 or batch items with code
+// "overload") become expected rather than fatal. The -check gate then
+// demands the run actually overloaded the slow path (server sheds > 0,
+// offered/admitted factor >= -min-overload), that the service never
+// collapsed (successes > 0, shed fraction <= -max-shed, still zero 5xx),
+// and that client p99 latency stayed under -max-p99us — sheds are
+// fail-fast, so overload must not inflate the tail.
 package main
 
 import (
@@ -54,6 +64,11 @@ type loadConfig struct {
 	seed       int64
 	check      bool
 	minSSDTHit float64
+
+	overload    bool
+	maxP99US    float64
+	maxShedFrac float64
+	minOverload float64
 }
 
 // parseBatchMix parses the -batch-mix CSV into a size cycle; empty means
@@ -91,6 +106,10 @@ func main() {
 	flag.Int64Var(&cfg.seed, "seed", 1, "RNG seed")
 	flag.BoolVar(&cfg.check, "check", false, "exit non-zero unless the run is error-free with non-zero throughput")
 	flag.Float64Var(&cfg.minSSDTHit, "min-ssdt-hit", 0, "with -check, minimum server-side SSDT cache hit rate")
+	flag.BoolVar(&cfg.overload, "overload", false, "saturation rehearsal: sheds (429s) are expected, and -check demands the slow path actually overloaded without collapsing")
+	flag.Float64Var(&cfg.maxP99US, "max-p99us", 20000, "with -overload -check, maximum client p99 latency in µs")
+	flag.Float64Var(&cfg.maxShedFrac, "max-shed", 0.99, "with -overload -check, maximum fraction of requests shed")
+	flag.Float64Var(&cfg.minOverload, "min-overload", 0, "with -overload -check, minimum offered/admitted slow-path factor (e.g. 4 = 4x saturation)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
@@ -121,6 +140,8 @@ type workerStats struct {
 	transport    int // connection/IO failures
 	badStatus    int // non-200 route responses (422 unroutable included)
 	itemErrors   int // per-item errors inside 200 batch responses
+	shed         int // 429 route responses (admission refusals)
+	itemSheds    int // batch items with code "overload" inside 200 responses
 	faults       int // fault toggles sent
 	repairs      int // repair toggles sent
 	mutateErrors int // failed fault/repair posts
@@ -141,6 +162,23 @@ func (s *summary) throughput() float64 {
 		return 0
 	}
 	return float64(s.total.requests) / s.elapsed.Seconds()
+}
+
+// sheds is the client-side view of admission refusals: 429 responses plus
+// individually shed batch items.
+func (s *summary) sheds() int { return s.total.shed + s.total.itemSheds }
+
+// overloadFactor is offered/admitted slow-path demand as the server saw
+// it: 1.0 means the gate never refused, 4.0 means four times saturation.
+func (s *summary) overloadFactor() float64 {
+	adm := s.metrics.Service.Admission
+	if adm.Admitted == 0 {
+		if adm.Shed == 0 {
+			return 0
+		}
+		return float64(adm.Shed)
+	}
+	return float64(adm.Admitted+adm.Shed) / float64(adm.Admitted)
 }
 
 // violations evaluates the -check contract.
@@ -169,6 +207,38 @@ func (s *summary) violations(cfg loadConfig) []string {
 	}
 	if s.batchUsed && s.metrics.Service.SlicedLanes == 0 {
 		v = append(v, "batch traffic sent but server reports sliced kernel unused")
+	}
+	if !cfg.overload {
+		// In a normal run the server should never be driven into its
+		// admission gate; a shed means the smoke scenario is mis-tuned.
+		if n := s.sheds(); n > 0 {
+			v = append(v, fmt.Sprintf("%d requests shed (429/overload) without -overload", n))
+		}
+		return v
+	}
+
+	// Overload contract: the slow path was genuinely saturated, yet the
+	// service kept serving and the tail stayed bounded.
+	adm := s.metrics.Service.Admission
+	if !adm.Enabled {
+		v = append(v, "overload mode against a daemon without admission control")
+	}
+	if adm.Shed == 0 {
+		v = append(v, "overload mode but the server shed nothing (slow path never saturated)")
+	}
+	if f := s.overloadFactor(); f < cfg.minOverload {
+		v = append(v, fmt.Sprintf("overload factor %.1fx < %.1fx", f, cfg.minOverload))
+	}
+	successes := s.total.requests - s.total.transport - s.total.badStatus -
+		s.total.itemErrors - s.sheds()
+	if successes <= 0 {
+		v = append(v, "service collapsed: zero successful responses under overload")
+	}
+	if frac := float64(s.sheds()) / float64(max(1, s.total.requests)); frac > cfg.maxShedFrac {
+		v = append(v, fmt.Sprintf("shed fraction %.3f > %.3f", frac, cfg.maxShedFrac))
+	}
+	if p99 := s.total.lat.Percentile(99); p99 > cfg.maxP99US {
+		v = append(v, fmt.Sprintf("client p99 %.0fµs > %.0fµs under overload", p99, cfg.maxP99US))
 	}
 	return v
 }
@@ -248,6 +318,8 @@ func run(cfg loadConfig, w io.Writer) (*summary, error) {
 		sum.total.transport += r.transport
 		sum.total.badStatus += r.badStatus
 		sum.total.itemErrors += r.itemErrors
+		sum.total.shed += r.shed
+		sum.total.itemSheds += r.itemSheds
 		sum.total.faults += r.faults
 		sum.total.repairs += r.repairs
 		sum.total.mutateErrors += r.mutateErrors
@@ -274,6 +346,11 @@ func run(cfg loadConfig, w io.Writer) (*summary, error) {
 		fmt.Fprintf(w, "server: sliced kernel filled %d lanes in %d blocks (%.1f%% lane fill)\n",
 			sum.metrics.Service.SlicedLanes, sum.metrics.Service.SlicedBlocks,
 			100*sum.metrics.Service.SlicedFill)
+	}
+	if adm := sum.metrics.Service.Admission; cfg.overload || sum.sheds() > 0 || adm.Shed > 0 {
+		fmt.Fprintf(w, "overload: client saw %d 429s + %d shed batch items; server admitted %d, shed %d (%.1fx offered/admitted), threshold %d/%d, %d controller rounds\n",
+			sum.total.shed, sum.total.itemSheds, adm.Admitted, adm.Shed,
+			sum.overloadFactor(), adm.Threshold, adm.MaxQueue, adm.Rounds)
 	}
 	return sum, nil
 }
@@ -357,7 +434,10 @@ func worker(cfg loadConfig, mix []int, client *http.Client, base string, n, stag
 			}
 			ws.lat.Add(us)
 			for _, r := range out.Responses {
-				if r.Error != "" {
+				switch {
+				case r.Code == "overload":
+					ws.itemSheds++
+				case r.Error != "":
 					ws.itemErrors++
 				}
 			}
@@ -373,11 +453,17 @@ func worker(cfg loadConfig, mix []int, client *http.Client, base string, n, stag
 			}
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
-			if resp.StatusCode != http.StatusOK {
+			switch resp.StatusCode {
+			case http.StatusOK:
+				ws.lat.Add(us)
+			case http.StatusTooManyRequests:
+				// Admission refusal: fail-fast by design, so it still
+				// counts toward the client latency distribution.
+				ws.shed++
+				ws.lat.Add(us)
+			default:
 				ws.badStatus++
-				continue
 			}
-			ws.lat.Add(us)
 		}
 	}
 

@@ -132,3 +132,118 @@ func TestViolations(t *testing.T) {
 		t.Errorf("empty run should report exactly the zero-requests violation, got %v", v)
 	}
 }
+
+// TestRunOverload drives the saturation contract end to end against an
+// in-process daemon with a tiny admission bound and an artificially slow
+// slow path: sheds must appear, the service must keep answering, and the
+// overload -check gate must pass.
+func TestRunOverload(t *testing.T) {
+	svc, err := routesvc.New(routesvc.Config{
+		N: 32,
+		Admission: routesvc.AdmissionConfig{
+			MaxQueue: 2,
+			MinQueue: 1,
+			Round:    20 * time.Millisecond,
+		},
+		SlowCost: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(routesvc.NewHandler(svc))
+	t.Cleanup(ts.Close)
+
+	cfg := loadConfig{
+		addr:        ts.URL,
+		workers:     8,
+		duration:    500 * time.Millisecond,
+		tsdtFrac:    1, // every request is slow-path eligible
+		seed:        3,
+		overload:    true,
+		maxP99US:    20000,
+		maxShedFrac: 0.999,
+		minOverload: 2,
+	}
+	var out strings.Builder
+	sum, err := run(cfg, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if sum.sheds() == 0 {
+		t.Fatalf("no sheds observed; admission gate never engaged\noutput:\n%s", out.String())
+	}
+	if sum.metrics.Service.Admission.Shed == 0 {
+		t.Error("server-side shed counter is zero")
+	}
+	successes := sum.total.requests - sum.total.transport - sum.total.badStatus -
+		sum.total.itemErrors - sum.sheds()
+	if successes <= 0 {
+		t.Errorf("service collapsed: %d successes of %d requests", successes, sum.total.requests)
+	}
+	if f := sum.overloadFactor(); f < 2 {
+		t.Errorf("overload factor %.2f, want >= 2x", f)
+	}
+	if v := sum.violations(cfg); len(v) > 0 {
+		t.Errorf("overload check violated: %v\noutput:\n%s", v, out.String())
+	}
+	if !strings.Contains(out.String(), "overload:") {
+		t.Errorf("summary missing overload line:\n%s", out.String())
+	}
+}
+
+// TestViolationsOverload exercises the overload branch of the -check
+// contract on synthetic summaries.
+func TestViolationsOverload(t *testing.T) {
+	cfg := loadConfig{overload: true, maxP99US: 20000, maxShedFrac: 0.9, minOverload: 4}
+
+	mk := func() summary {
+		var s summary
+		s.total.requests = 1000
+		s.total.shed = 100
+		s.total.lat = newLatStream()
+		s.total.lat.Add(500)
+		s.metrics.Service.Admission.Enabled = true
+		s.metrics.Service.Admission.Admitted = 100
+		s.metrics.Service.Admission.Shed = 300
+		return s
+	}
+	if s := mk(); len(s.violations(cfg)) != 0 {
+		t.Errorf("clean overload summary flagged: %v", s.violations(cfg))
+	}
+
+	// No server sheds: the run never saturated the slow path.
+	s := mk()
+	s.metrics.Service.Admission.Shed = 0
+	if v := s.violations(cfg); len(v) != 2 { // no sheds + factor below min
+		t.Errorf("unsaturated run: want 2 violations, got %v", v)
+	}
+
+	// Admission disabled on the server.
+	s = mk()
+	s.metrics.Service.Admission.Enabled = false
+	if v := s.violations(cfg); len(v) != 1 {
+		t.Errorf("disabled admission: want 1 violation, got %v", v)
+	}
+
+	// Total collapse: everything shed.
+	s = mk()
+	s.total.shed = s.total.requests
+	if v := s.violations(cfg); len(v) != 2 { // collapse + shed fraction
+		t.Errorf("collapsed run: want 2 violations, got %v", v)
+	}
+
+	// Tail blew past the bound.
+	s = mk()
+	s.total.lat.Add(50000) // lands in the overflow bin
+	cfgTight := cfg
+	cfgTight.maxP99US = 1000
+	if v := s.violations(cfgTight); len(v) != 1 {
+		t.Errorf("slow tail: want 1 violation, got %v", v)
+	}
+
+	// Sheds without -overload are a mis-tuned smoke scenario.
+	s = mk()
+	if v := s.violations(loadConfig{tsdtFrac: 1}); len(v) != 1 {
+		t.Errorf("sheds without -overload: want 1 violation, got %v", v)
+	}
+}

@@ -155,22 +155,37 @@ func (s *Set) String() string {
 	return "{" + strings.Join(parts, ", ") + "}"
 }
 
-// BlockSwitch blocks all input links of the given switch, the paper's
-// transformation of a switch blockage into link blockages. Switches in
-// stage 0 are network inputs with no modeled input links; blocking one is
-// rejected because no link-level transformation exists for it.
-func (s *Set) BlockSwitch(sw topology.Switch) error {
+// ValidateSwitch checks that sw names a switch whose blockage has an
+// input-link transformation, without mutating the set. Switches in stage 0
+// are network inputs with no modeled input links; blocking one is rejected
+// because no link-level transformation exists for it.
+func (s *Set) ValidateSwitch(sw topology.Switch) error {
 	if sw.Stage == 0 {
 		return fmt.Errorf("blockage: switch %v is a network input; its blockage cannot be expressed as link blockages", sw)
 	}
 	if sw.Stage < 1 || sw.Stage > s.p.Stages() || !s.p.ValidSwitch(sw.Index) {
 		return fmt.Errorf("blockage: invalid switch %v", sw)
 	}
-	m := topology.IADM{Params: s.p}
-	for _, l := range m.InLinks(sw.Stage-1, sw.Index) {
-		s.Block(l)
-	}
 	return nil
+}
+
+// BlockSwitch blocks all input links of the given switch, the paper's
+// transformation of a switch blockage into link blockages. It returns how
+// many of those links were newly blocked (already blocked inputs are
+// no-ops), so callers can report the exact map change.
+func (s *Set) BlockSwitch(sw topology.Switch) (int, error) {
+	if err := s.ValidateSwitch(sw); err != nil {
+		return 0, err
+	}
+	m := topology.IADM{Params: s.p}
+	blocked := 0
+	for _, l := range m.InLinks(sw.Stage-1, sw.Index) {
+		if !s.Blocked(l) {
+			s.Block(l)
+			blocked++
+		}
+	}
+	return blocked, nil
 }
 
 // DoubleNonstraight reports whether both nonstraight output links of switch

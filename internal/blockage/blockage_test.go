@@ -84,8 +84,12 @@ func TestBlockSwitch(t *testing.T) {
 	p := params(t, 8)
 	s := NewSet(p)
 	sw := topology.Switch{Stage: 2, Index: 4}
-	if err := s.BlockSwitch(sw); err != nil {
+	blocked, err := s.BlockSwitch(sw)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if blocked != 3 {
+		t.Errorf("BlockSwitch blocked %d links, want 3", blocked)
 	}
 	// All stage-1 links leading into switch 4 must now be blocked:
 	// from 6 via -2^1, from 4 via straight, from 2 via +2^1.
@@ -105,18 +109,31 @@ func TestBlockSwitch(t *testing.T) {
 	if s.Count() != 3 {
 		t.Errorf("Count = %d, want 3", s.Count())
 	}
+	// Re-blocking counts only newly blocked inputs.
+	if again, err := s.BlockSwitch(sw); err != nil || again != 0 {
+		t.Errorf("duplicate BlockSwitch = (%d, %v), want (0, nil)", again, err)
+	}
 }
 
 func TestBlockSwitchErrors(t *testing.T) {
 	s := NewSet(params(t, 8))
-	if err := s.BlockSwitch(topology.Switch{Stage: 0, Index: 1}); err == nil {
+	if _, err := s.BlockSwitch(topology.Switch{Stage: 0, Index: 1}); err == nil {
 		t.Error("BlockSwitch accepted a stage-0 input switch")
 	}
-	if err := s.BlockSwitch(topology.Switch{Stage: 4, Index: 1}); err == nil {
+	if _, err := s.BlockSwitch(topology.Switch{Stage: 4, Index: 1}); err == nil {
 		t.Error("BlockSwitch accepted an out-of-range stage")
 	}
-	if err := s.BlockSwitch(topology.Switch{Stage: 1, Index: 9}); err == nil {
+	if _, err := s.BlockSwitch(topology.Switch{Stage: 1, Index: 9}); err == nil {
 		t.Error("BlockSwitch accepted an out-of-range index")
+	}
+	if err := s.ValidateSwitch(topology.Switch{Stage: 0, Index: 1}); err == nil {
+		t.Error("ValidateSwitch accepted a stage-0 input switch")
+	}
+	if err := s.ValidateSwitch(topology.Switch{Stage: 1, Index: 1}); err != nil {
+		t.Errorf("ValidateSwitch rejected a valid switch: %v", err)
+	}
+	if s.Count() != 0 {
+		t.Errorf("validation mutated the set: Count = %d", s.Count())
 	}
 }
 

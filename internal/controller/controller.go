@@ -107,19 +107,30 @@ func (c *Controller) ReportRepair(l topology.Link) bool {
 	return true
 }
 
+// ValidateSwitchFault checks that a switch-fault report would be accepted
+// (the switch exists and its blockage has an input-link transformation)
+// without applying it, so batch ingest can validate every report before
+// mutating the map.
+func (c *Controller) ValidateSwitchFault(sw topology.Switch) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.blk.ValidateSwitch(sw)
+}
+
 // ReportSwitchFault records a faulty switch via the paper's input-link
-// transformation.
-func (c *Controller) ReportSwitchFault(sw topology.Switch) error {
+// transformation. It returns how many input links were newly blocked
+// (already blocked inputs, e.g. from an earlier link report, are no-ops).
+func (c *Controller) ReportSwitchFault(sw topology.Switch) (int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	before := c.blk.Count()
-	if err := c.blk.BlockSwitch(sw); err != nil {
-		return err
+	blocked, err := c.blk.BlockSwitch(sw)
+	if err != nil {
+		return 0, err
 	}
-	if c.blk.Count() != before {
+	if blocked > 0 {
 		c.bumpEpoch()
 	}
-	return nil
+	return blocked, nil
 }
 
 // Faults returns a snapshot of the blocked links.

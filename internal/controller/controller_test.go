@@ -120,8 +120,12 @@ func TestRepairRestoresRoutes(t *testing.T) {
 
 func TestReportSwitchFault(t *testing.T) {
 	c := mustNew(t, 8)
-	if err := c.ReportSwitchFault(topology.Switch{Stage: 1, Index: 0}); err != nil {
+	blocked, err := c.ReportSwitchFault(topology.Switch{Stage: 1, Index: 0})
+	if err != nil {
 		t.Fatal(err)
+	}
+	if blocked != 3 {
+		t.Errorf("ReportSwitchFault blocked %d links, want 3", blocked)
 	}
 	if got := len(c.Faults()); got != 3 {
 		t.Errorf("Faults = %d links, want 3", got)
@@ -133,8 +137,21 @@ func TestReportSwitchFault(t *testing.T) {
 	if path.SwitchAt(1) == 0 {
 		t.Errorf("path %v passes through the faulty switch", path)
 	}
-	if err := c.ReportSwitchFault(topology.Switch{Stage: 0, Index: 0}); err == nil {
+	epoch := c.Epoch()
+	if blocked, err := c.ReportSwitchFault(topology.Switch{Stage: 1, Index: 0}); err != nil || blocked != 0 {
+		t.Errorf("duplicate switch fault = (%d, %v), want (0, nil)", blocked, err)
+	}
+	if c.Epoch() != epoch {
+		t.Error("no-op switch fault bumped the epoch")
+	}
+	if _, err := c.ReportSwitchFault(topology.Switch{Stage: 0, Index: 0}); err == nil {
 		t.Error("accepted input-column switch fault")
+	}
+	if err := c.ValidateSwitchFault(topology.Switch{Stage: 0, Index: 0}); err == nil {
+		t.Error("ValidateSwitchFault accepted input-column switch fault")
+	}
+	if err := c.ValidateSwitchFault(topology.Switch{Stage: 2, Index: 1}); err != nil {
+		t.Errorf("ValidateSwitchFault rejected a valid switch: %v", err)
 	}
 }
 

@@ -17,7 +17,7 @@ func TestSwitchBlockageReroute(t *testing.T) {
 	for trial := 0; trial < 200; trial++ {
 		blk := blockage.NewSet(p)
 		sw := topology.Switch{Stage: 1 + rng.Intn(p.Stages()-1), Index: rng.Intn(16)}
-		if err := blk.BlockSwitch(sw); err != nil {
+		if _, err := blk.BlockSwitch(sw); err != nil {
 			t.Fatal(err)
 		}
 		s, d := rng.Intn(16), rng.Intn(16)
@@ -37,7 +37,7 @@ func TestSwitchBlockageSSDTTransparent(t *testing.T) {
 	p := topology.MustParams(8)
 	blk := blockage.NewSet(p)
 	// Block switch 0∈S_1: inputs (1∈S_0,-), (0∈S_0,0), (7∈S_0,+).
-	if err := blk.BlockSwitch(topology.Switch{Stage: 1, Index: 0}); err != nil {
+	if _, err := blk.BlockSwitch(topology.Switch{Stage: 1, Index: 0}); err != nil {
 		t.Fatal(err)
 	}
 	ns := NewNetworkState(p)

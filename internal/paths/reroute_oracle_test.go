@@ -200,7 +200,7 @@ func TestRerouteWithSwitchBlockages(t *testing.T) {
 			blk := blockage.NewSet(p)
 			for k := 0; k < 1+rng.Intn(3); k++ {
 				sw := topology.Switch{Stage: 1 + rng.Intn(p.Stages()-1), Index: rng.Intn(N)}
-				if err := blk.BlockSwitch(sw); err != nil {
+				if _, err := blk.BlockSwitch(sw); err != nil {
 					t.Fatal(err)
 				}
 			}

@@ -1,0 +1,247 @@
+package routesvc
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"iadm/internal/topology"
+)
+
+// TestNextThreshold pins the admission update rule as a pure function:
+// counters in, threshold out, no clock anywhere.
+func TestNextThreshold(t *testing.T) {
+	const lo, hi = 8, 128
+	cases := []struct {
+		name    string
+		cur, lo int
+		r       admissionRound
+		want    int
+	}{
+		{"saturated shed halves", 128, lo, admissionRound{Admitted: 100, Shed: 50}, 64},
+		{"hit-dominated shed is gentle", 128, lo, admissionRound{Hits: 1000, Admitted: 100, Shed: 20}, 96},
+		{"decrease clamps at floor", 9, lo, admissionRound{Admitted: 4, Shed: 4}, 8},
+		{"floor holds under sustained shed", 8, lo, admissionRound{Shed: 100}, 8},
+		{"clean round grows additively", 64, lo, admissionRound{Hits: 10, Admitted: 5}, 73},
+		{"hits alone grow too", 64, lo, admissionRound{Hits: 10}, 73},
+		{"growth clamps at ceiling", 120, lo, admissionRound{Admitted: 5}, 128},
+		{"idle round holds", 64, lo, admissionRound{}, 64},
+		{"idle round holds at floor", 8, lo, admissionRound{}, 8},
+		{"small threshold still decreases", 2, 1, admissionRound{Admitted: 1, Shed: 1}, 1},
+	}
+	for _, c := range cases {
+		if got := nextThreshold(c.cur, c.lo, hi, c.r); got != c.want {
+			t.Errorf("%s: nextThreshold(%d) = %d, want %d", c.name, c.cur, got, c.want)
+		}
+	}
+
+	// A sustained flood converges from ceiling to floor in a few rounds.
+	cur, rounds := hi, 0
+	for cur > lo {
+		cur = nextThreshold(cur, lo, hi, admissionRound{Admitted: uint64(cur), Shed: 100})
+		rounds++
+		if rounds > 10 {
+			t.Fatalf("threshold stuck at %d after 10 congested rounds", cur)
+		}
+	}
+
+	// And recovers to the ceiling once sheds stop.
+	rounds = 0
+	for cur < hi {
+		cur = nextThreshold(cur, lo, hi, admissionRound{Hits: 50, Admitted: 10})
+		rounds++
+		if rounds > 40 {
+			t.Fatalf("threshold stuck at %d after 40 clean rounds", cur)
+		}
+	}
+}
+
+// TestTSDTHitReportsValidatedEpoch is the regression test for the stale
+// epoch report: a TSDT cache hit must report the epoch the tag was
+// validated against (the stamp loaded before the lookup), not whatever
+// epoch a concurrent fault has since installed.
+func TestTSDTHitReportsValidatedEpoch(t *testing.T) {
+	s := mustService(t, Config{N: 8})
+	if _, err := s.Route(1, 6, SchemeTSDT); err != nil {
+		t.Fatal(err)
+	}
+	primed := s.Epoch()
+
+	// Bump the epoch exactly once, in the window between the stamp load
+	// and the Result construction — the race the bug needed.
+	var once sync.Once
+	s.testEpochHook = func() {
+		once.Do(func() {
+			if _, err := s.ReportFault(topology.Link{Stage: 2, From: 0, Kind: topology.Plus}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	res, err := s.Route(1, 6, SchemeTSDT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cached {
+		t.Fatalf("expected a cache hit, got %+v", res)
+	}
+	if s.Epoch() != primed+1 {
+		t.Fatalf("hook did not bump the epoch (epoch %d)", s.Epoch())
+	}
+	if res.Epoch != primed {
+		t.Errorf("cache hit reported epoch %d, want validated epoch %d", res.Epoch, primed)
+	}
+}
+
+// TestSwitchFaultChangedCount pins the count-returning switch fault API:
+// the report says how many input links it actually blocked, not a
+// racy epoch comparison's guess.
+func TestSwitchFaultChangedCount(t *testing.T) {
+	s := mustService(t, Config{N: 8})
+	sw := topology.Switch{Stage: 1, Index: 3}
+	m := topology.IADM{Params: s.Params()}
+	in := m.InLinks(sw.Stage-1, sw.Index)
+
+	changed, err := s.ReportSwitchFault(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed != len(in) || changed != 3 {
+		t.Fatalf("fresh switch fault changed %d links, want %d", changed, len(in))
+	}
+
+	// Repair one input link, re-report the switch: exactly the repaired
+	// link is re-blocked.
+	if ch, err := s.ReportRepair(in[0]); err != nil || !ch {
+		t.Fatalf("repair = (%v, %v)", ch, err)
+	}
+	if changed, err = s.ReportSwitchFault(sw); err != nil || changed != 1 {
+		t.Fatalf("partial re-fault changed %d (%v), want 1", changed, err)
+	}
+
+	// Fully blocked already: a duplicate report changes nothing.
+	if changed, err = s.ReportSwitchFault(sw); err != nil || changed != 0 {
+		t.Fatalf("duplicate switch fault changed %d (%v), want 0", changed, err)
+	}
+}
+
+// TestEmptyBatchSkipsLatencyBands: a zero-length batch does no routing
+// work and must not pollute the "1" (singleton) batch latency band.
+func TestEmptyBatchSkipsLatencyBands(t *testing.T) {
+	s := mustService(t, Config{N: 8})
+	for _, reqs := range [][]Request{nil, {}} {
+		out, err := s.RouteBatch(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 0 {
+			t.Fatalf("empty batch returned %d results", len(out))
+		}
+	}
+	for _, b := range s.Metrics().BatchLatency {
+		if b.Count != 0 {
+			t.Errorf("band %q count = %d after empty batches, want 0", b.Batch, b.Count)
+		}
+	}
+}
+
+// TestOverloadShedsSlowPathOnly floods the slow path past a tiny admission
+// bound and checks the tiering contract under -race: fresh TSDT computes
+// beyond the bound shed with ErrOverload, while cache hits and SSDT
+// requests always flow.
+func TestOverloadShedsSlowPathOnly(t *testing.T) {
+	s := mustService(t, Config{
+		N:         8,
+		Admission: AdmissionConfig{MaxQueue: 2, MinQueue: 1, Round: -1},
+	})
+	// Prime one TSDT pair so a hit exists during the flood.
+	if _, err := s.Route(0, 1, SchemeTSDT); err != nil {
+		t.Fatal(err)
+	}
+
+	const G = 6
+	entered := make(chan struct{}, G)
+	unblock := make(chan struct{})
+	s.testComputeHook = func(sc Scheme) {
+		if sc == SchemeTSDT {
+			entered <- struct{}{}
+			<-unblock
+		}
+	}
+
+	errs := make(chan error, G)
+	for g := 0; g < G; g++ {
+		go func(g int) {
+			// Distinct (src, dst) pairs: no coalescing between them.
+			_, err := s.Route(g, 7-g, SchemeTSDT)
+			errs <- err
+		}(g)
+	}
+
+	// Exactly MaxQueue computes enter the slow path and block in the
+	// hook; every other flood request must shed immediately.
+	<-entered
+	<-entered
+	shed := 0
+	for i := 0; i < G-2; i++ {
+		if err := <-errs; errors.Is(err, ErrOverload) {
+			shed++
+		} else {
+			t.Errorf("flood request returned %v, want ErrOverload", err)
+		}
+	}
+	if shed != G-2 {
+		t.Fatalf("shed %d requests, want %d", shed, G-2)
+	}
+
+	// The fast path is untouched while the slow path is saturated.
+	if res, err := s.Route(0, 1, SchemeTSDT); err != nil || !res.Cached {
+		t.Errorf("cache hit during overload = (%+v, %v), want cached success", res, err)
+	}
+	if _, err := s.Route(3, 3, SchemeSSDT); err != nil {
+		t.Errorf("SSDT during overload: %v", err)
+	}
+
+	// One controller round under congestion drops the threshold.
+	s.adm.step()
+	if thr := s.adm.threshold.Load(); thr != 1 {
+		t.Errorf("threshold after congested round = %d, want 1", thr)
+	}
+
+	close(unblock)
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Errorf("admitted compute failed: %v", err)
+		}
+	}
+
+	// Lifetime admits: the priming compute plus the two flood computes.
+	am := s.Metrics().Admission
+	if am.Shed != uint64(G-2) || am.Admitted != 3 {
+		t.Errorf("admission metrics shed=%d admitted=%d, want %d/3", am.Shed, am.Admitted, G-2)
+	}
+	if am.FastHits == 0 {
+		t.Error("fast-path hits not counted")
+	}
+
+	// A clean round recovers the threshold toward the ceiling.
+	if _, err := s.Route(0, 1, SchemeTSDT); err != nil {
+		t.Fatal(err)
+	}
+	s.adm.step()
+	if thr := s.adm.threshold.Load(); thr != 2 {
+		t.Errorf("threshold after clean round = %d, want 2", thr)
+	}
+}
+
+// TestAdmissionDisabled: Disabled admits everything and reports itself off.
+func TestAdmissionDisabled(t *testing.T) {
+	s := mustService(t, Config{N: 8, Admission: AdmissionConfig{Disabled: true, Round: -1}})
+	for i := 0; i < 20; i++ {
+		if !s.adm.acquire() {
+			t.Fatal("disabled gate refused work")
+		}
+	}
+	if m := s.Metrics().Admission; m.Enabled {
+		t.Error("disabled gate reports enabled")
+	}
+}

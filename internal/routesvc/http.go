@@ -26,15 +26,28 @@ import (
 //
 // Per-endpoint latency is recorded in a stats.Stream (microsecond
 // buckets) and reported by /metrics alongside the Service counters.
+//
+// Overload: slow-path requests shed by admission control answer 429 with
+// a Retry-After header; batch items shed inside a 200 response carry
+// "code":"overload". 429s are counted separately from 5xx — a shed is the
+// service protecting itself, not failing.
 type Handler struct {
 	svc   *Service
 	mux   *http.ServeMux
 	start time.Time
 
-	epMu sync.Mutex
-	eps  map[string]*stats.Stream
+	eps map[string]*epStream
 
 	http5xx atomic.Uint64
+	http429 atomic.Uint64
+}
+
+// epStream is one endpoint's latency recorder. Each endpoint owns its
+// lock, so hot /route traffic never serializes against /metrics or
+// /route/batch recording.
+type epStream struct {
+	mu sync.Mutex
+	st stats.Stream
 }
 
 // Latency histogram geometry: 5 µs buckets spanning 20 ms; slower
@@ -50,7 +63,7 @@ func NewHandler(svc *Service) *Handler {
 		svc:   svc,
 		mux:   http.NewServeMux(),
 		start: time.Now(),
-		eps:   make(map[string]*stats.Stream),
+		eps:   make(map[string]*epStream),
 	}
 	h.handle("/route", h.routeOne)
 	h.handle("/route/batch", h.routeBatch)
@@ -76,20 +89,23 @@ func (w *statusWriter) WriteHeader(code int) {
 }
 
 func (h *Handler) handle(path string, fn func(http.ResponseWriter, *http.Request)) {
-	st := stats.NewStream(latBucketUS, latBuckets)
-	h.eps[path] = &st
+	es := &epStream{st: stats.NewStream(latBucketUS, latBuckets)}
+	h.eps[path] = es
 	h.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		fn(sw, r)
-		if sw.code >= 500 && sw.code != http.StatusServiceUnavailable {
+		switch {
+		case sw.code >= 500 && sw.code != http.StatusServiceUnavailable:
 			// Drain refusals are intentional; anything else 5xx is a bug.
 			h.http5xx.Add(1)
+		case sw.code == http.StatusTooManyRequests:
+			h.http429.Add(1)
 		}
 		us := float64(time.Since(t0).Microseconds())
-		h.epMu.Lock()
-		st.Add(us)
-		h.epMu.Unlock()
+		es.mu.Lock()
+		es.st.Add(us)
+		es.mu.Unlock()
 	})
 }
 
@@ -103,11 +119,14 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 type errJSON struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }
 
 // errStatus maps a service error to its HTTP status.
 func errStatus(err error) int {
 	switch {
+	case errors.Is(err, ErrOverload):
+		return http.StatusTooManyRequests
 	case errors.Is(err, ErrDraining):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrInvalid):
@@ -118,8 +137,29 @@ func errStatus(err error) int {
 	return http.StatusInternalServerError
 }
 
-func writeErr(w http.ResponseWriter, err error) {
-	writeJSON(w, errStatus(err), errJSON{Error: err.Error()})
+// errCode classifies a service error for the wire, so batch clients can
+// tell a shed item ("overload": retry later) from an unroutable pair
+// ("unroutable": retrying is pointless) without string-matching messages.
+func errCode(err error) string {
+	switch {
+	case errors.Is(err, ErrOverload):
+		return "overload"
+	case errors.Is(err, ErrDraining):
+		return "draining"
+	case errors.Is(err, ErrInvalid):
+		return "invalid"
+	case errors.Is(err, core.ErrNoPath):
+		return "unroutable"
+	}
+	return ""
+}
+
+func (h *Handler) writeErr(w http.ResponseWriter, err error) {
+	code := errStatus(err)
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", strconv.Itoa(h.svc.RetryAfter()))
+	}
+	writeJSON(w, code, errJSON{Error: err.Error(), Code: errCode(err)})
 }
 
 // RouteJSON is the wire form of one route request/response.
@@ -134,6 +174,7 @@ type RouteJSON struct {
 	Cached    bool   `json:"cached,omitempty"`
 	Coalesced bool   `json:"coalesced,omitempty"`
 	Error     string `json:"error,omitempty"`
+	Code      string `json:"code,omitempty"`
 }
 
 func resultJSON(res Result) RouteJSON {
@@ -147,6 +188,7 @@ func resultJSON(res Result) RouteJSON {
 	}
 	if res.Err != nil {
 		out.Error = res.Err.Error()
+		out.Code = errCode(res.Err)
 		return out
 	}
 	out.Tag = res.Tag.String()
@@ -193,12 +235,12 @@ func parseRouteReq(r *http.Request) (Request, error) {
 func (h *Handler) routeOne(w http.ResponseWriter, r *http.Request) {
 	req, err := parseRouteReq(r)
 	if err != nil {
-		writeErr(w, err)
+		h.writeErr(w, err)
 		return
 	}
 	res, err := h.svc.Route(req.Src, req.Dst, req.Scheme)
 	if err != nil {
-		writeErr(w, err)
+		h.writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resultJSON(res))
@@ -214,26 +256,26 @@ type BatchJSON struct {
 
 func (h *Handler) routeBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeErr(w, fmt.Errorf("%w: method %s", ErrInvalid, r.Method))
+		h.writeErr(w, fmt.Errorf("%w: method %s", ErrInvalid, r.Method))
 		return
 	}
 	var body BatchJSON
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		writeErr(w, fmt.Errorf("%w: bad JSON body: %v", ErrInvalid, err))
+		h.writeErr(w, fmt.Errorf("%w: bad JSON body: %v", ErrInvalid, err))
 		return
 	}
 	reqs := make([]Request, len(body.Requests))
 	for i, rq := range body.Requests {
 		sc, err := ParseScheme(rq.Scheme)
 		if err != nil {
-			writeErr(w, fmt.Errorf("%w (request %d)", err, i))
+			h.writeErr(w, fmt.Errorf("%w (request %d)", err, i))
 			return
 		}
 		reqs[i] = Request{Src: rq.Src, Dst: rq.Dst, Scheme: sc}
 	}
 	results, err := h.svc.RouteBatch(reqs)
 	if err != nil {
-		writeErr(w, err)
+		h.writeErr(w, err)
 		return
 	}
 	out := BatchJSON{Responses: make([]RouteJSON, len(results)), Epoch: h.svc.Epoch()}
@@ -260,58 +302,53 @@ func (h *Handler) repair(w http.ResponseWriter, r *http.Request) { h.mutate(w, r
 
 func (h *Handler) mutate(w http.ResponseWriter, r *http.Request, isFault bool) {
 	if r.Method != http.MethodPost {
-		writeErr(w, fmt.Errorf("%w: method %s", ErrInvalid, r.Method))
+		h.writeErr(w, fmt.Errorf("%w: method %s", ErrInvalid, r.Method))
 		return
 	}
 	var body MutateJSON
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		writeErr(w, fmt.Errorf("%w: bad JSON body: %v", ErrInvalid, err))
+		h.writeErr(w, fmt.Errorf("%w: bad JSON body: %v", ErrInvalid, err))
 		return
 	}
 	if len(body.Links)+len(body.Switches) == 0 {
-		writeErr(w, fmt.Errorf("%w: no links or switches given", ErrInvalid))
+		h.writeErr(w, fmt.Errorf("%w: no links or switches given", ErrInvalid))
 		return
 	}
 	if !isFault && len(body.Switches) > 0 {
-		writeErr(w, fmt.Errorf("%w: switch repairs are not expressible (repair the input links individually)", ErrInvalid))
+		h.writeErr(w, fmt.Errorf("%w: switch repairs are not expressible (repair the input links individually)", ErrInvalid))
 		return
 	}
+	// Parse every spec before applying any, so a malformed entry midway
+	// through the list cannot leave the blockage map half-mutated.
 	p := h.svc.Params()
-	changed := 0
-	for _, spec := range body.Links {
+	links := make([]topology.Link, len(body.Links))
+	for i, spec := range body.Links {
 		l, err := topology.ParseLink(p, spec)
 		if err != nil {
-			writeErr(w, fmt.Errorf("%w: %v", ErrInvalid, err))
+			h.writeErr(w, fmt.Errorf("%w: %v", ErrInvalid, err))
 			return
 		}
-		var ch bool
-		if isFault {
-			ch, err = h.svc.ReportFault(l)
-		} else {
-			ch, err = h.svc.ReportRepair(l)
-		}
-		if err != nil {
-			writeErr(w, err)
-			return
-		}
-		if ch {
-			changed++
-		}
+		links[i] = l
 	}
-	for _, spec := range body.Switches {
+	switches := make([]topology.Switch, len(body.Switches))
+	for i, spec := range body.Switches {
 		sw, err := topology.ParseSwitch(p, spec)
 		if err != nil {
-			writeErr(w, fmt.Errorf("%w: %v", ErrInvalid, err))
+			h.writeErr(w, fmt.Errorf("%w: %v", ErrInvalid, err))
 			return
 		}
-		before := h.svc.Epoch()
-		if err := h.svc.ReportSwitchFault(sw); err != nil {
-			writeErr(w, err)
-			return
-		}
-		if h.svc.Epoch() != before {
-			changed++
-		}
+		switches[i] = sw
+	}
+	var changed int
+	var err error
+	if isFault {
+		changed, err = h.svc.ApplyFaults(links, switches)
+	} else {
+		changed, err = h.svc.ApplyRepairs(links)
+	}
+	if err != nil {
+		h.writeErr(w, err)
+		return
 	}
 	writeJSON(w, http.StatusOK, MutateJSON{
 		Changed: changed,
@@ -361,6 +398,7 @@ type MetricsJSON struct {
 	Controller ControllerJSON          `json:"controller"`
 	Endpoints  map[string]EndpointJSON `json:"endpoints"`
 	HTTP5xx    uint64                  `json:"http_5xx"`
+	HTTP429    uint64                  `json:"http_429"`
 	UptimeSec  float64                 `json:"uptime_seconds"`
 }
 
@@ -390,20 +428,21 @@ func (h *Handler) Metrics() MetricsJSON {
 		},
 		Endpoints: make(map[string]EndpointJSON, len(h.eps)),
 		HTTP5xx:   h.http5xx.Load(),
+		HTTP429:   h.http429.Load(),
 		UptimeSec: time.Since(h.start).Seconds(),
 	}
-	h.epMu.Lock()
-	for path, st := range h.eps {
+	for path, es := range h.eps {
+		es.mu.Lock()
 		out.Endpoints[path] = EndpointJSON{
-			Count:  st.N(),
-			MeanUS: st.Mean(),
-			P50US:  st.Percentile(50),
-			P90US:  st.Percentile(90),
-			P99US:  st.Percentile(99),
-			MaxUS:  st.Max(),
+			Count:  es.st.N(),
+			MeanUS: es.st.Mean(),
+			P50US:  es.st.Percentile(50),
+			P90US:  es.st.Percentile(90),
+			P99US:  es.st.Percentile(99),
+			MaxUS:  es.st.Max(),
 		}
+		es.mu.Unlock()
 	}
-	h.epMu.Unlock()
 	return out
 }
 

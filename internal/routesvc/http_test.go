@@ -131,7 +131,7 @@ func TestHTTPFaultRepairFlow(t *testing.T) {
 	// Switch faults expand to input-link blockages; switch repairs are
 	// rejected.
 	postJSON(t, ts.URL+"/fault", MutateJSON{Switches: []string{"1:3"}}, http.StatusOK, &mut)
-	if mut.Changed != 1 || mut.Blocked != 3 {
+	if mut.Changed != 3 || mut.Blocked != 3 {
 		t.Fatalf("switch fault response %+v", mut)
 	}
 	postJSON(t, ts.URL+"/repair", MutateJSON{Switches: []string{"1:3"}}, http.StatusBadRequest, nil)

@@ -17,6 +17,13 @@
 // traffic, a singleflight group collapses thundering herds so each missing
 // tag is computed once per epoch, and a drain gate lets the daemon finish
 // in-flight requests on shutdown while refusing new ones.
+//
+// The cost split above also tiers the service under overload: cache hits
+// and SSDT requests are the fast path and always flow; fresh TSDT/REROUTE
+// computations are the slow path and sit behind a bounded admission queue
+// whose threshold a per-round controller adapts from measured
+// hit/queue-depth/shed counters (see admission.go). Shed requests fail
+// fast with ErrOverload, which HTTP maps to 429 plus Retry-After.
 package routesvc
 
 import (
@@ -84,6 +91,16 @@ type Config struct {
 	// Shards is the tag-cache shard count, rounded up to a power of two;
 	// 0 means 64.
 	Shards int
+	// Admission configures the slow-path admission controller (see
+	// AdmissionConfig); the zero value enables it with defaults.
+	Admission AdmissionConfig
+	// SlowCost, when positive, stretches every fresh TSDT/REROUTE
+	// computation by that duration (inside its admission ticket). It
+	// models the slow-path cost of fabrics far larger than a test host
+	// can host, giving overload rehearsals (serve-smoke phase 3, the
+	// iadmload -overload contract) a deterministic way to saturate the
+	// slow path. Leave zero in production.
+	SlowCost time.Duration
 }
 
 // Request names one tag request of a batch.
@@ -103,7 +120,11 @@ type Result struct {
 	// (exact for TSDT; for SSDT the nominal path, since en-route
 	// self-repair may divert it around nonstraight faults).
 	Path core.Path
-	// Epoch is the blockage-map version observed by the request.
+	// Epoch is the blockage-map version the tag is valid against: for
+	// TSDT the epoch the tag was computed and validated under (a cache
+	// hit reports the entry's stamp, not a possibly newer current epoch);
+	// for SSDT the epoch observed at request time, since Theorem 3.1
+	// makes the tag valid under every map.
 	Epoch uint64
 	// Cached reports a tag-cache hit; Coalesced reports the request
 	// joined another caller's in-flight computation.
@@ -185,6 +206,7 @@ type Metrics struct {
 	SlicedLanes  uint64           `json:"sliced_lanes_utilized"`
 	SlicedBlocks uint64           `json:"sliced_blocks_total"`
 	SlicedFill   float64          `json:"sliced_lane_fill"`
+	Admission    AdmissionMetrics `json:"admission"`
 	BatchLatency []BatchBucket    `json:"batch_latency"`
 	Controller   controller.Stats `json:"-"`
 	Draining     bool             `json:"draining"`
@@ -194,10 +216,12 @@ type Metrics struct {
 // epoch-stamped tag cache, request coalescing, batch routing, fault
 // ingestion and graceful drain. All methods are safe for concurrent use.
 type Service struct {
-	ctl   *controller.Controller
-	p     topology.Params
-	cache *tagCache
-	fl    flightGroup
+	ctl      *controller.Controller
+	p        topology.Params
+	cache    *tagCache
+	fl       flightGroup
+	adm      *admission
+	slowCost time.Duration
 
 	drainMu  sync.RWMutex
 	draining bool
@@ -217,9 +241,13 @@ type Service struct {
 	batchLat      [numBatchBands]struct{ count, sumNs atomic.Uint64 }
 
 	// testComputeHook, when set (by tests in this package), runs at the
-	// start of every tag computation; it lets tests hold a flight open to
-	// observe coalescing deterministically.
+	// start of every tag computation (after the admission ticket is
+	// taken); it lets tests hold a flight open to observe coalescing and
+	// queue occupancy deterministically. testEpochHook runs right after a
+	// TSDT request loads its epoch stamp, so tests can race a map
+	// mutation into the window between stamp and response.
 	testComputeHook func(Scheme)
+	testEpochHook   func()
 }
 
 // New builds a Service for a fault-free network of size cfg.N.
@@ -229,9 +257,11 @@ func New(cfg Config) (*Service, error) {
 		return nil, err
 	}
 	s := &Service{
-		ctl:   ctl,
-		p:     ctl.Params(),
-		cache: newTagCache(cfg.Shards),
+		ctl:      ctl,
+		p:        ctl.Params(),
+		cache:    newTagCache(cfg.Shards),
+		adm:      newAdmission(cfg.Admission),
+		slowCost: cfg.SlowCost,
 	}
 	ctl.OnInvalidate(func(uint64) { s.invalidations.Add(1) })
 	return s, nil
@@ -259,13 +289,15 @@ func (s *Service) begin() error {
 
 func (s *Service) end() { s.inflight.Done() }
 
-// Drain stops admitting requests (they fail with ErrDraining) and blocks
-// until every in-flight request has finished. It is idempotent.
+// Drain stops admitting requests (they fail with ErrDraining), blocks
+// until every in-flight request has finished, and stops the admission
+// controller loop. It is idempotent.
 func (s *Service) Drain() {
 	s.drainMu.Lock()
 	s.draining = true
 	s.drainMu.Unlock()
 	s.inflight.Wait()
+	s.adm.stop()
 }
 
 // Draining reports whether Drain has been called.
@@ -306,6 +338,11 @@ func (s *Service) RouteBatch(reqs []Request) ([]Result, error) {
 		return nil, err
 	}
 	defer s.end()
+	// A zero-length batch does no routing work; returning before the
+	// latency observation keeps it out of the "1" batch band.
+	if len(reqs) == 0 {
+		return []Result{}, nil
+	}
 	t0 := time.Now()
 	out := make([]Result, len(reqs))
 	for i, r := range reqs {
@@ -404,18 +441,42 @@ func (s *Service) resolve(src, dst int, scheme Scheme) (Result, error) {
 		// the entry is stamped with the old epoch and dies unread — the
 		// stale-pointing direction is impossible by construction.
 		stamp = s.ctl.Epoch()
+		if s.testEpochHook != nil {
+			s.testEpochHook()
+		}
 	}
 
-	res := Result{Src: src, Dst: dst, Scheme: scheme, Epoch: s.ctl.Epoch()}
+	// The reported epoch is the one the tag is valid against: the stamp
+	// for TSDT (never a newer epoch a concurrent mutation may have
+	// produced), the current epoch for epoch-exempt SSDT.
+	epoch := stamp
+	if scheme == SchemeSSDT {
+		epoch = s.ctl.Epoch()
+	}
+	res := Result{Src: src, Dst: dst, Scheme: scheme, Epoch: epoch}
 	if tag, ok := s.cache.get(key, stamp); ok {
 		s.hits[scheme].Add(1)
+		s.adm.noteHit()
 		res.Tag, res.Cached = tag, true
 		return res, nil
 	}
 
 	tag, err, shared := s.fl.do(flightKey{key: key, epoch: stamp}, func() (core.Tag, error) {
+		// The admission gate guards the slow path only: fresh
+		// TSDT/REROUTE computations against the current blockage map.
+		// SSDT computes are state-independent one-shot renders (fast
+		// path by construction), and cache hits never reach here.
+		if scheme == SchemeTSDT {
+			if !s.adm.acquire() {
+				return core.Tag{}, ErrOverload
+			}
+			defer s.adm.release()
+		}
 		if s.testComputeHook != nil {
 			s.testComputeHook(scheme)
+		}
+		if s.slowCost > 0 && scheme == SchemeTSDT {
+			time.Sleep(s.slowCost)
 		}
 		tag, err := s.compute(src, dst, scheme)
 		if err == nil {
@@ -423,9 +484,16 @@ func (s *Service) resolve(src, dst int, scheme Scheme) (Result, error) {
 		}
 		return tag, err
 	})
+	if errors.Is(err, ErrOverload) {
+		// A shed flight computed nothing: it is neither a hit nor a
+		// miss, and every caller that shared it was refused too.
+		s.adm.noteShed()
+		return Result{}, err
+	}
 	if shared {
 		s.hits[scheme].Add(1)
 		s.coalesced[scheme].Add(1)
+		s.adm.noteHit()
 	} else {
 		s.misses[scheme].Add(1)
 	}
@@ -484,21 +552,91 @@ func (s *Service) ReportRepair(l topology.Link) (bool, error) {
 }
 
 // ReportSwitchFault ingests a switch-fault report via the paper's
-// input-link transformation.
-func (s *Service) ReportSwitchFault(sw topology.Switch) error {
+// input-link transformation. It returns how many of the switch's input
+// links it actually blocked (inputs already blocked by earlier reports are
+// no-ops), so callers can report the exact map change without inferring it
+// from racy before/after snapshots.
+func (s *Service) ReportSwitchFault(sw topology.Switch) (int, error) {
 	if err := s.begin(); err != nil {
-		return err
+		return 0, err
 	}
 	defer s.end()
 	s.faults.Add(1)
-	if err := s.ctl.ReportSwitchFault(sw); err != nil {
-		return fmt.Errorf("%w: %v", ErrInvalid, err)
+	blocked, err := s.ctl.ReportSwitchFault(sw)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrInvalid, err)
 	}
-	return nil
+	return blocked, nil
+}
+
+// ApplyFaults ingests a batch of fault reports atomically with respect to
+// validation: every link and switch spec is validated before any is
+// applied, so a malformed report mid-batch leaves the blockage map
+// untouched. It returns the number of links newly blocked (switch reports
+// contribute the count of input links they actually blocked).
+func (s *Service) ApplyFaults(links []topology.Link, switches []topology.Switch) (int, error) {
+	if err := s.begin(); err != nil {
+		return 0, err
+	}
+	defer s.end()
+	for _, l := range links {
+		if err := s.validLink(l); err != nil {
+			return 0, err
+		}
+	}
+	for _, sw := range switches {
+		if err := s.ctl.ValidateSwitchFault(sw); err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrInvalid, err)
+		}
+	}
+	changed := 0
+	for _, l := range links {
+		s.faults.Add(1)
+		if s.ctl.ReportFault(l) {
+			changed++
+		}
+	}
+	for _, sw := range switches {
+		s.faults.Add(1)
+		blocked, err := s.ctl.ReportSwitchFault(sw)
+		if err != nil {
+			// Unreachable after validation above, but never swallow it.
+			return changed, fmt.Errorf("%w: %v", ErrInvalid, err)
+		}
+		changed += blocked
+	}
+	return changed, nil
+}
+
+// ApplyRepairs is ApplyFaults for repair reports: all specs validated
+// before any is applied. It returns the number of links newly unblocked.
+func (s *Service) ApplyRepairs(links []topology.Link) (int, error) {
+	if err := s.begin(); err != nil {
+		return 0, err
+	}
+	defer s.end()
+	for _, l := range links {
+		if err := s.validLink(l); err != nil {
+			return 0, err
+		}
+	}
+	changed := 0
+	for _, l := range links {
+		s.repairs.Add(1)
+		if s.ctl.ReportRepair(l) {
+			changed++
+		}
+	}
+	return changed, nil
 }
 
 // Faults returns a snapshot of the blocked links.
 func (s *Service) Faults() []topology.Link { return s.ctl.Faults() }
+
+// RetryAfter returns the overload backoff hint, in seconds, that the HTTP
+// layer attaches to 429 responses: long enough for the admission
+// controller to run a couple of rounds and adapt its threshold.
+func (s *Service) RetryAfter() int { return s.adm.retryAfter() }
 
 // Sweep reclaims stale TSDT cache entries (see tagCache.sweep); it returns
 // how many entries it removed. Serving correctness never requires it.
@@ -528,6 +666,7 @@ func (s *Service) Metrics() Metrics {
 		},
 		SlicedLanes:  s.slicedLanes.Load(),
 		SlicedBlocks: s.slicedBlocks.Load(),
+		Admission:    s.adm.metrics(),
 		Controller:   s.ctl.Stats(),
 		Draining:     s.Draining(),
 	}

@@ -88,7 +88,7 @@ func Parse(r io.Reader) (*Scenario, error) {
 				return nil, fmt.Errorf("scenario: line %d: bad switch coordinates", lineNo)
 			}
 			sw := topology.Switch{Stage: stage, Index: index}
-			if err := out.Blocked.BlockSwitch(sw); err != nil {
+			if _, err := out.Blocked.BlockSwitch(sw); err != nil {
 				return nil, fmt.Errorf("scenario: line %d: %v", lineNo, err)
 			}
 			out.Switches = append(out.Switches, sw)

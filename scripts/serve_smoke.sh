@@ -14,6 +14,15 @@
 #      server to report sliced-kernel lanes used.
 #
 # Finishes by delivering SIGTERM and requiring a clean drain.
+#
+# Phase 3 then starts a second daemon tuned for overload rehearsal — a
+# tiny slow-path admission bound (-admission-max) plus an artificial
+# per-compute cost (-slow-cost) standing in for a larger fabric — and
+# floods it with pure-TSDT traffic at several times the slow path's
+# capacity. `iadmload -overload -check` enforces the saturation contract:
+# sheds observed (429s with Retry-After), at least -min-overload times
+# saturation offered, zero 5xx, successes still flowing, and a bounded
+# client p99. That daemon too must drain cleanly under SIGTERM.
 set -eu
 
 GO=${GO:-go}
@@ -24,6 +33,17 @@ CHURN=${CHURN:-0.01}
 MIN_SSDT_HIT=${MIN_SSDT_HIT:-0.9}
 BATCH_DURATION=${BATCH_DURATION:-2s}
 BATCH_MIX=${BATCH_MIX:-1,3,64,65,200}
+
+# Overload phase knobs (phase 3).
+OVERLOAD_N=${OVERLOAD_N:-1024}
+OVERLOAD_WORKERS=${OVERLOAD_WORKERS:-16}
+OVERLOAD_DURATION=${OVERLOAD_DURATION:-2s}
+OVERLOAD_ADMISSION_MAX=${OVERLOAD_ADMISSION_MAX:-8}
+OVERLOAD_ADMISSION_MIN=${OVERLOAD_ADMISSION_MIN:-2}
+OVERLOAD_ROUND=${OVERLOAD_ROUND:-50ms}
+OVERLOAD_SLOW_COST=${OVERLOAD_SLOW_COST:-2ms}
+OVERLOAD_MIN_FACTOR=${OVERLOAD_MIN_FACTOR:-4}
+OVERLOAD_MAX_P99US=${OVERLOAD_MAX_P99US:-20000}
 
 tmp=$(mktemp -d)
 daemon_pid=""
@@ -81,6 +101,46 @@ daemon_pid=""
 if ! grep -q drained "$tmp/iadmd.log"; then
     echo "serve-smoke: no drain line in the daemon log" >&2
     cat "$tmp/iadmd.log" >&2
+    exit 1
+fi
+
+echo "serve-smoke: phase 3, overload (admission max $OVERLOAD_ADMISSION_MAX, slow-cost $OVERLOAD_SLOW_COST)"
+"$tmp/iadmd" -n "$OVERLOAD_N" -addr 127.0.0.1:0 -portfile "$tmp/port2" \
+    -admission-max "$OVERLOAD_ADMISSION_MAX" -admission-min "$OVERLOAD_ADMISSION_MIN" \
+    -admission-round "$OVERLOAD_ROUND" -slow-cost "$OVERLOAD_SLOW_COST" \
+    >"$tmp/iadmd-overload.log" 2>&1 &
+daemon_pid=$!
+i=0
+while [ ! -s "$tmp/port2" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "serve-smoke: overload daemon never wrote $tmp/port2" >&2
+        cat "$tmp/iadmd-overload.log" >&2
+        exit 1
+    fi
+    if ! kill -0 "$daemon_pid" 2>/dev/null; then
+        echo "serve-smoke: overload daemon exited during startup" >&2
+        cat "$tmp/iadmd-overload.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+addr2=$(cat "$tmp/port2")
+
+"$tmp/iadmload" -addr "$addr2" -workers "$OVERLOAD_WORKERS" -duration "$OVERLOAD_DURATION" \
+    -tsdt 1 -zipf 1 -overload -min-overload "$OVERLOAD_MIN_FACTOR" -max-p99us "$OVERLOAD_MAX_P99US" -check
+
+echo "serve-smoke: SIGTERM to the overload daemon, expecting a clean drain"
+kill -TERM "$daemon_pid"
+if ! wait "$daemon_pid"; then
+    echo "serve-smoke: overload daemon exited non-zero on SIGTERM" >&2
+    cat "$tmp/iadmd-overload.log" >&2
+    exit 1
+fi
+daemon_pid=""
+if ! grep -q drained "$tmp/iadmd-overload.log"; then
+    echo "serve-smoke: no drain line in the overload daemon log" >&2
+    cat "$tmp/iadmd-overload.log" >&2
     exit 1
 fi
 echo "serve-smoke: ok"

@@ -12,7 +12,14 @@ GO ?= go
 ROUTING_PKGS = ./internal/core,./internal/paths,./internal/permroute,./internal/multicast,./internal/analysis
 ROUTING_BENCH = BenchmarkFollowState|BenchmarkTagFollow|BenchmarkRouteSSDT|BenchmarkRouteTSDTPacked|BenchmarkRouteSliced|BenchmarkExists|BenchmarkFind|BenchmarkMultiPass|BenchmarkBroadcast|BenchmarkReroutablePairs
 
-.PHONY: check fmt vet build test race serve-smoke bench bench-routing bench-json bench-compare fuzz fuzz-smoke
+# The tracked tag-store suite: bit-packed table lookups in core
+# (BenchmarkTagTable*) and the three cache backends side by side in
+# routesvc (BenchmarkTagStore{Flat,Map,Dense}), each reporting a
+# bits/route footprint column next to the lookup latency.
+TAGSTORE_PKGS = ./internal/core,./internal/routesvc
+TAGSTORE_BENCH = BenchmarkTagTable|BenchmarkTagStore
+
+.PHONY: check fmt vet build test race serve-smoke bench bench-routing bench-tagstore bench-json bench-compare fuzz fuzz-smoke
 
 check: fmt vet build test race serve-smoke fuzz-smoke
 
@@ -46,12 +53,19 @@ bench:
 bench-routing:
 	$(GO) test -run '^$$' -bench '$(ROUTING_BENCH)' -benchmem $(subst $(comma), ,$(ROUTING_PKGS))
 
+# One human-readable pass over the tag-store suite (expect 0 allocs/op
+# everywhere and flat/dense bits/route far below the map baseline).
+bench-tagstore:
+	$(GO) test -run '^$$' -bench '$(TAGSTORE_BENCH)' -benchmem $(subst $(comma), ,$(TAGSTORE_PKGS))
+
 comma := ,
 
-# Emit BENCH_simulator.json and BENCH_routing.json for CI tracking.
+# Emit BENCH_simulator.json, BENCH_routing.json and BENCH_tagstore.json
+# for CI tracking.
 bench-json:
 	$(GO) run ./cmd/benchjson
 	$(GO) run ./cmd/benchjson -pkg '$(ROUTING_PKGS)' -bench '$(ROUTING_BENCH)' -o BENCH_routing.json
+	$(GO) run ./cmd/benchjson -pkg '$(TAGSTORE_PKGS)' -bench '$(TAGSTORE_BENCH)' -o BENCH_tagstore.json
 
 # Perf gate: rerun the tracked benchmarks and fail if mean_ns_per_op
 # regressed against the committed BENCH_simulator.json. benchjson's
@@ -66,6 +80,8 @@ bench-compare:
 	$(GO) run ./cmd/benchjson -count 5 -o /dev/null -tolerance 0.25 -compare BENCH_simulator.json
 	$(GO) run ./cmd/benchjson -count 5 -o /dev/null -tolerance 0.25 \
 		-pkg '$(ROUTING_PKGS)' -bench '$(ROUTING_BENCH)' -compare BENCH_routing.json
+	$(GO) run ./cmd/benchjson -count 5 -o /dev/null -tolerance 0.25 \
+		-pkg '$(TAGSTORE_PKGS)' -bench '$(TAGSTORE_BENCH)' -compare BENCH_tagstore.json
 
 # End-to-end smoke of the serving stack: boot iadmd (N=1024) on an
 # ephemeral port, drive iadmload through a singles phase and a
@@ -75,7 +91,9 @@ bench-compare:
 # SIGTERM and require a clean drain. A third phase floods a second daemon
 # (tiny admission bound + artificial slow-path cost) at several times
 # slow-path saturation and requires sheds observed, zero 5xx, continued
-# successes, and a bounded client p99 (`iadmload -overload -check`).
+# successes, and a bounded client p99 (`iadmload -overload -check`). A
+# fourth phase boots `iadmd -prewarm` and requires a >= 99% SSDT hit
+# rate on pure-SSDT load starting from the very first request.
 serve-smoke:
 	GO='$(GO)' sh scripts/serve_smoke.sh
 
@@ -84,10 +102,11 @@ fuzz:
 
 # Bounded fuzz pass for CI: the ring-buffer model check, the
 # optimized-vs-reference differential oracle, the packed-path
-# round-trip/accessor-parity check, and the sliced-vs-packed kernel
-# parity oracle, 10s each.
+# round-trip/accessor-parity check, the sliced-vs-packed kernel parity
+# oracle, and the tag-table-vs-scalar-kernel round-trip oracle, 10s each.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzRingQueue -fuzztime 10s ./internal/simulator
 	$(GO) test -run '^$$' -fuzz FuzzDifferential -fuzztime 10s ./internal/refsim
 	$(GO) test -run '^$$' -fuzz FuzzPackedRoundTrip -fuzztime 10s ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzSlicedParity -fuzztime 10s ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzTagTable -fuzztime 10s ./internal/core

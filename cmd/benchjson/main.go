@@ -20,11 +20,15 @@
 // "paths.BenchmarkFind/N=4096", so the names -compare keys on stay
 // unique. Single-package reports keep the historical unqualified shape.
 //
+// Custom b.ReportMetric columns (e.g. the tagstore suite's bits/route)
+// are kept per sample and averaged into a per-benchmark metrics map, so
+// footprint numbers land in the report alongside latency.
+//
 // With -compare, the fresh results are checked against a committed
 // baseline report and the command fails if any benchmark's mean_ns_per_op
 // regressed by more than -tolerance (default 0.10), or if a baseline
 // benchmark is missing from the new run — `make bench-compare` wires this
-// as the CI perf gate.
+// as the CI perf gate. Custom metrics are recorded but not gated.
 package main
 
 import (
@@ -42,12 +46,15 @@ import (
 	"strings"
 )
 
-// Sample is one `go test -bench` result line.
+// Sample is one `go test -bench` result line. Metrics holds custom
+// b.ReportMetric columns (e.g. "bits/route": 78.77) that go test prints
+// between ns/op and the -benchmem columns.
 type Sample struct {
-	Runs        int     `json:"runs"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Runs        int                `json:"runs"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Benchmark aggregates the samples of one benchmark name. In
@@ -55,12 +62,13 @@ type Sample struct {
 // ("paths.BenchmarkFind/N=4096") so names stay unique, and Package holds
 // the full import path.
 type Benchmark struct {
-	Name        string   `json:"name"`
-	Package     string   `json:"package,omitempty"`
-	Samples     []Sample `json:"samples"`
-	MinNsPerOp  float64  `json:"min_ns_per_op"`
-	MeanNsPerOp float64  `json:"mean_ns_per_op"`
-	AllocsPerOp int64    `json:"allocs_per_op"`
+	Name        string             `json:"name"`
+	Package     string             `json:"package,omitempty"`
+	Samples     []Sample           `json:"samples"`
+	MinNsPerOp  float64            `json:"min_ns_per_op"`
+	MeanNsPerOp float64            `json:"mean_ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Report is the emitted JSON document.
@@ -77,10 +85,13 @@ type Report struct {
 // benchLine matches e.g.
 //
 //	BenchmarkCyclesPerSecond/N=8/static-C-4   500   56556 ns/op   25360 B/op   13 allocs/op
+//	BenchmarkTagStoreFlat/N=4096-4   2000000   48.5 ns/op   78.77 bits/route   0 B/op   0 allocs/op
 //
-// The trailing -4 is GOMAXPROCS and is stripped from the name; the B/op
-// and allocs/op columns are only present under -benchmem.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+// The trailing -4 is GOMAXPROCS and is stripped from the name. The tail
+// after ns/op is a sequence of "<value> <unit>" column pairs: the B/op
+// and allocs/op columns (present under -benchmem) plus any custom
+// b.ReportMetric units, which go test prints between ns/op and B/op.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
 
 // parse reads `go test -bench` output and groups the result lines by
 // (package, benchmark name), preserving first-seen order. Header lines
@@ -132,11 +143,26 @@ func parse(r io.Reader) (Report, error) {
 			return rep, fmt.Errorf("benchjson: bad ns/op in %q: %v", line, err)
 		}
 		s := Sample{Runs: runs, NsPerOp: ns, BytesPerOp: -1, AllocsPerOp: -1}
-		if m[4] != "" {
-			s.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		fields := strings.Fields(m[4])
+		if len(fields)%2 != 0 {
+			return rep, fmt.Errorf("benchjson: unpaired metric columns in %q", line)
 		}
-		if m[5] != "" {
-			s.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		for j := 0; j < len(fields); j += 2 {
+			val, err := strconv.ParseFloat(fields[j], 64)
+			if err != nil {
+				return rep, fmt.Errorf("benchjson: bad %s value in %q: %v", fields[j+1], line, err)
+			}
+			switch unit := fields[j+1]; unit {
+			case "B/op":
+				s.BytesPerOp = int64(val)
+			case "allocs/op":
+				s.AllocsPerOp = int64(val)
+			default:
+				if s.Metrics == nil {
+					s.Metrics = map[string]float64{}
+				}
+				s.Metrics[unit] = val
+			}
 		}
 		key := [2]string{curPkg, m[1]}
 		i, ok := index[key]
@@ -177,6 +203,20 @@ func parse(r io.Reader) (Report, error) {
 		b.MinNsPerOp = min
 		b.MeanNsPerOp = sum / float64(len(b.Samples))
 		b.AllocsPerOp = b.Samples[0].AllocsPerOp
+		sums := map[string]float64{}
+		counts := map[string]int{}
+		for _, s := range b.Samples {
+			for unit, v := range s.Metrics {
+				sums[unit] += v
+				counts[unit]++
+			}
+		}
+		if len(sums) > 0 {
+			b.Metrics = map[string]float64{}
+			for unit, total := range sums {
+				b.Metrics[unit] = total / float64(counts[unit])
+			}
+		}
 	}
 	return rep, nil
 }

@@ -121,6 +121,42 @@ func TestParseSinglePackageShape(t *testing.T) {
 	}
 }
 
+const metricOutput = `goos: linux
+goarch: amd64
+pkg: iadm/internal/routesvc
+BenchmarkTagStoreFlat/N=4096-4 	24426476	        48.50 ns/op	        78.77 bits/route	       0 B/op	       0 allocs/op
+BenchmarkTagStoreFlat/N=4096-4 	24426476	        49.50 ns/op	        78.79 bits/route	       0 B/op	       0 allocs/op
+BenchmarkTagStoreDense/N=4096-4 	183577429	         6.533 ns/op	        13.03 bits/route	       0 B/op	       0 allocs/op
+PASS
+ok  	iadm/internal/routesvc	9.876s
+`
+
+// TestParseCustomMetrics: b.ReportMetric columns print between ns/op and
+// the -benchmem pair; they land in a per-sample metrics map and average
+// into the benchmark's, without disturbing the benchmem columns.
+func TestParseCustomMetrics(t *testing.T) {
+	rep, err := parse(strings.NewReader(metricOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+	flat := rep.Benchmarks[0]
+	if flat.Samples[0].NsPerOp != 48.5 || flat.Samples[0].BytesPerOp != 0 || flat.Samples[0].AllocsPerOp != 0 {
+		t.Errorf("standard columns disturbed: %+v", flat.Samples[0])
+	}
+	if got := flat.Samples[0].Metrics["bits/route"]; got != 78.77 {
+		t.Errorf("sample bits/route = %v, want 78.77", got)
+	}
+	if got := flat.Metrics["bits/route"]; got != 78.78 {
+		t.Errorf("mean bits/route = %v, want 78.78", got)
+	}
+	if dense := rep.Benchmarks[1]; dense.Metrics["bits/route"] != 13.03 {
+		t.Errorf("dense metrics wrong: %+v", dense.Metrics)
+	}
+}
+
 func TestParseIgnoresNoise(t *testing.T) {
 	rep, err := parse(strings.NewReader("PASS\nok  \tiadm\t1.2s\nrandom text\n"))
 	if err != nil {

@@ -1,0 +1,354 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"iadm/internal/topology"
+)
+
+// This file implements the compact tag stores: bits-per-route encoded
+// tables for the three tag schemes, sized for fleet partitions that cache
+// millions of routes.
+//
+// Theorem 3.1 makes the SSDT tag exactly the destination address — n bits
+// per route, provably minimal — while a TSDT tag carries 2n bits (n
+// destination + n state) and a REROUTE result is a full path. The tables
+// here store each scheme at (close to) its information content:
+//
+//   - SSDTTable: one flat bit-packed slab, n bits per destination, index =
+//     destination. No keys, no pointers, no per-entry allocation.
+//   - TSDTTable: one flat slab at 2n bits per (src, dst) pair, index =
+//     src*N + dst, stamped with the blockage-map epoch its tags were
+//     computed under; storing at a newer epoch drops every older entry.
+//   - PathSlab: an append-only delta-coded byte slab for REROUTE path
+//     sets (PackedPaths), absolute-coded at block heads and delta-coded
+//     (zigzag source delta + kinds XOR) within a block, so sequential
+//     appends of related paths cost a few bytes each while random access
+//     stays O(block).
+//
+// Every table reports Bits() (encoded payload bits), MemoryBytes() (total
+// footprint including presence bitmaps and indexes) and BytesPerRoute()
+// (footprint per route), and every Lookup/At path is allocation-free.
+
+// slabRead extracts the w-bit field at index idx from a bit-packed slab
+// (fields are laid out back to back, LSB first, crossing word boundaries).
+func slabRead(slab []uint64, w uint, idx int) uint64 {
+	bit := uint64(idx) * uint64(w)
+	word, off := bit>>6, uint(bit&63)
+	v := slab[word] >> off
+	if off+w > 64 {
+		v |= slab[word+1] << (64 - off)
+	}
+	return v & (1<<w - 1)
+}
+
+// slabWrite stores the w-bit field at index idx in a bit-packed slab.
+func slabWrite(slab []uint64, w uint, idx int, val uint64) {
+	mask := uint64(1)<<w - 1
+	val &= mask
+	bit := uint64(idx) * uint64(w)
+	word, off := bit>>6, uint(bit&63)
+	slab[word] = slab[word]&^(mask<<off) | val<<off
+	if off+w > 64 {
+		rem := off + w - 64
+		himask := uint64(1)<<rem - 1
+		slab[word+1] = slab[word+1]&^himask | val>>(64-off)
+	}
+}
+
+// TagFromState reassembles a TSDT tag from its destination and state-bit
+// field — the decode half of compact stores that persist only the state
+// bits because the destination is the key. The caller must pass a valid
+// destination for p; no validation is performed on this hot path.
+func TagFromState(p topology.Params, dst int, state uint64) Tag {
+	n := p.Stages()
+	return Tag{n: n, bits: uint64(dst) | state<<uint(n)}
+}
+
+// SSDTTable is the dense per-destination SSDT tag table: one bit-packed
+// slab at n bits per route, indexed by destination, plus a one-bit
+// presence bitmap. By Theorem 3.1 the stored tag is valid under every
+// blockage map, so the table never needs epoch stamping and, once built
+// for all destinations, never invalidates. It is not safe for concurrent
+// mutation; build it, then share it read-only (internal/routesvc swaps a
+// fully built table behind an atomic pointer).
+type SSDTTable struct {
+	p       topology.Params
+	n       uint
+	slab    []uint64 // n bits per destination
+	present []uint64 // 1 bit per destination
+	count   int
+}
+
+// NewSSDTTable allocates an empty dense table for p's N destinations.
+func NewSSDTTable(p topology.Params) *SSDTTable {
+	n := uint(p.Stages())
+	N := p.Size()
+	words := (uint64(N)*uint64(n) + 63) / 64
+	return &SSDTTable{
+		p:       p,
+		n:       n,
+		slab:    make([]uint64, words),
+		present: make([]uint64, (N+63)/64),
+	}
+}
+
+// Store records the SSDT tag for dst. The tag must be the n-stage tag
+// whose destination is dst (Theorem 3.1: that IS the route).
+func (t *SSDTTable) Store(dst int, tag Tag) error {
+	if !t.p.ValidSwitch(dst) {
+		return fmt.Errorf("core: SSDTTable destination %d out of range 0..%d", dst, t.p.Size()-1)
+	}
+	if tag.n != int(t.n) {
+		return fmt.Errorf("core: SSDTTable tag covers %d stages, want %d", tag.n, t.n)
+	}
+	if tag.Destination() != dst {
+		return fmt.Errorf("core: SSDTTable tag destination %d stored under %d", tag.Destination(), dst)
+	}
+	if tag.bits>>t.n != 0 {
+		return fmt.Errorf("core: SSDTTable tag for %d has nonzero state bits (Theorem 3.1 tags have none)", dst)
+	}
+	slabWrite(t.slab, t.n, dst, tag.bits)
+	w, b := dst>>6, uint(dst&63)
+	if t.present[w]>>b&1 == 0 {
+		t.present[w] |= 1 << b
+		t.count++
+	}
+	return nil
+}
+
+// Lookup returns the stored tag for dst. It allocates nothing.
+func (t *SSDTTable) Lookup(dst int) (Tag, bool) {
+	if uint(dst) >= uint(t.p.Size()) {
+		return Tag{}, false
+	}
+	if t.present[dst>>6]>>(uint(dst)&63)&1 == 0 {
+		return Tag{}, false
+	}
+	return Tag{n: int(t.n), bits: slabRead(t.slab, t.n, dst)}, true
+}
+
+// Len returns the number of destinations stored.
+func (t *SSDTTable) Len() int { return t.count }
+
+// Bits returns the encoded payload capacity in bits: exactly n bits per
+// destination (Theorem 3.1's minimum), excluding the presence bitmap.
+func (t *SSDTTable) Bits() uint64 { return uint64(t.p.Size()) * uint64(t.n) }
+
+// MemoryBytes returns the total footprint: tag slab plus presence bitmap.
+func (t *SSDTTable) MemoryBytes() uint64 {
+	return uint64(len(t.slab)+len(t.present)) * 8
+}
+
+// BytesPerRoute returns the measured footprint per route at capacity:
+// n/8 payload plus 1/8 presence plus word-rounding slack.
+func (t *SSDTTable) BytesPerRoute() float64 {
+	return float64(t.MemoryBytes()) / float64(t.p.Size())
+}
+
+// maxTSDTSlabBytes bounds the dense TSDT slab: N^2 entries at 2n bits is
+// quadratic, so very large fabrics must use a sparse store (the routesvc
+// flat cache) instead of this table.
+const maxTSDTSlabBytes = 1 << 29
+
+// TSDTTable is the dense per-pair TSDT tag table: one bit-packed slab at
+// 2n bits per (src, dst) route, indexed by src*N + dst, with a one-bit
+// presence bitmap and a table-wide epoch stamp. TSDT tags encode detours
+// around one specific blockage map, so the whole table is valid for
+// exactly one epoch: storing at a newer epoch clears it first, and
+// lookups at any other epoch miss. Not safe for concurrent use.
+type TSDTTable struct {
+	p       topology.Params
+	n       uint
+	epoch   uint64
+	slab    []uint64 // 2n bits per (src, dst)
+	present []uint64
+	count   int
+}
+
+// NewTSDTTable allocates an empty dense table for p's N^2 routes. It
+// refuses sizes whose slab would exceed 512 MiB (use the sparse serving
+// cache for those).
+func NewTSDTTable(p topology.Params) (*TSDTTable, error) {
+	n := uint(p.Stages())
+	routes := uint64(p.Size()) * uint64(p.Size())
+	bits := routes * uint64(2*n)
+	if bits/8 > maxTSDTSlabBytes {
+		return nil, fmt.Errorf("core: dense TSDT table for N=%d needs %d MiB (> %d); use a sparse store",
+			p.Size(), bits/8>>20, maxTSDTSlabBytes>>20)
+	}
+	return &TSDTTable{
+		p:       p,
+		n:       n,
+		slab:    make([]uint64, (bits+63)/64),
+		present: make([]uint64, (routes+63)/64),
+	}, nil
+}
+
+// Epoch returns the blockage-map epoch the stored tags were computed
+// under.
+func (t *TSDTTable) Epoch() uint64 { return t.epoch }
+
+// Invalidate drops every stored entry and restamps the table at epoch.
+func (t *TSDTTable) Invalidate(epoch uint64) {
+	if t.count > 0 {
+		clear(t.present)
+		t.count = 0
+	}
+	t.epoch = epoch
+}
+
+// Store records the tag computed for (src, dst) at the given blockage-map
+// epoch. A store at a newer epoch than the table's clears all older
+// entries first (they encode detours around a map that no longer exists).
+func (t *TSDTTable) Store(src, dst int, tag Tag, epoch uint64) error {
+	if !t.p.ValidSwitch(src) || !t.p.ValidSwitch(dst) {
+		return fmt.Errorf("core: TSDTTable pair (%d, %d) out of range 0..%d", src, dst, t.p.Size()-1)
+	}
+	if tag.n != int(t.n) {
+		return fmt.Errorf("core: TSDTTable tag covers %d stages, want %d", tag.n, t.n)
+	}
+	if epoch != t.epoch {
+		t.Invalidate(epoch)
+	}
+	idx := src*t.p.Size() + dst
+	slabWrite(t.slab, 2*t.n, idx, tag.bits)
+	w, b := idx>>6, uint(idx&63)
+	if t.present[w]>>b&1 == 0 {
+		t.present[w] |= 1 << b
+		t.count++
+	}
+	return nil
+}
+
+// Lookup returns the tag stored for (src, dst) if present and stamped at
+// the given epoch. It allocates nothing.
+func (t *TSDTTable) Lookup(src, dst int, epoch uint64) (Tag, bool) {
+	if epoch != t.epoch || uint(src) >= uint(t.p.Size()) || uint(dst) >= uint(t.p.Size()) {
+		return Tag{}, false
+	}
+	idx := src*t.p.Size() + dst
+	if t.present[idx>>6]>>(uint(idx)&63)&1 == 0 {
+		return Tag{}, false
+	}
+	return Tag{n: int(t.n), bits: slabRead(t.slab, 2*t.n, idx)}, true
+}
+
+// Len returns the number of routes stored at the current epoch.
+func (t *TSDTTable) Len() int { return t.count }
+
+// Bits returns the encoded payload capacity in bits: 2n bits per route.
+func (t *TSDTTable) Bits() uint64 {
+	return uint64(t.p.Size()) * uint64(t.p.Size()) * uint64(2*t.n)
+}
+
+// MemoryBytes returns the total footprint: tag slab plus presence bitmap.
+func (t *TSDTTable) MemoryBytes() uint64 {
+	return uint64(len(t.slab)+len(t.present)) * 8
+}
+
+// BytesPerRoute returns the measured footprint per route at capacity.
+func (t *TSDTTable) BytesPerRoute() float64 {
+	routes := float64(t.p.Size()) * float64(t.p.Size())
+	return float64(t.MemoryBytes()) / routes
+}
+
+// pathSlabBlock is the delta-coding block size: every block starts with an
+// absolute-coded entry, so random access decodes at most pathSlabBlock-1
+// deltas. 16 keeps the per-block index under 2 bits/route while bounding
+// At() at a handful of varint decodes.
+const pathSlabBlock = 16
+
+// PathSlab is an append-only compressed store of REROUTE path sets. Each
+// appended PackedPath is coded against its predecessor — zigzag varint of
+// the source delta plus varint of the 2-bit-per-stage kinds XOR — with an
+// absolute restart entry every pathSlabBlock appends and a uint32 offset
+// per block. Related paths appended in order (all-pairs sweeps, per-fault
+// reroute sets) share most of their kinds word, so the XOR is small and
+// the marginal cost is a few bytes per route; At decodes with zero
+// allocations.
+type PathSlab struct {
+	n         int
+	count     int
+	data      []byte
+	starts    []uint32 // byte offset of each block's absolute entry
+	lastSrc   int32
+	lastKinds uint64
+}
+
+// NewPathSlab builds an empty slab for paths covering p's stage count.
+func NewPathSlab(p topology.Params) *PathSlab {
+	return &PathSlab{n: p.Stages()}
+}
+
+// Append stores one more path and returns its index.
+func (s *PathSlab) Append(pp PackedPath) (int, error) {
+	if int(pp.n) != s.n {
+		return 0, fmt.Errorf("core: PathSlab path covers %d stages, want %d", pp.n, s.n)
+	}
+	if s.count%pathSlabBlock == 0 {
+		s.starts = append(s.starts, uint32(len(s.data)))
+		s.data = binary.AppendUvarint(s.data, uint64(pp.src))
+		s.data = binary.AppendUvarint(s.data, pp.kinds)
+	} else {
+		delta := int64(pp.src) - int64(s.lastSrc)
+		s.data = binary.AppendUvarint(s.data, zigzag(delta))
+		s.data = binary.AppendUvarint(s.data, s.lastKinds^pp.kinds)
+	}
+	s.lastSrc, s.lastKinds = pp.src, pp.kinds
+	i := s.count
+	s.count++
+	return i, nil
+}
+
+// At decodes the i-th stored path: the block's absolute entry plus at most
+// pathSlabBlock-1 deltas. It allocates nothing and panics on an index out
+// of range, like a slice.
+func (s *PathSlab) At(i int) PackedPath {
+	if i < 0 || i >= s.count {
+		panic(fmt.Sprintf("core: PathSlab index %d out of range [0, %d)", i, s.count))
+	}
+	off := int(s.starts[i/pathSlabBlock])
+	v, k := binary.Uvarint(s.data[off:])
+	off += k
+	src := int32(v)
+	kinds, k := binary.Uvarint(s.data[off:])
+	off += k
+	for step := i % pathSlabBlock; step > 0; step-- {
+		dv, k := binary.Uvarint(s.data[off:])
+		off += k
+		src += int32(unzigzag(dv))
+		xv, k := binary.Uvarint(s.data[off:])
+		off += k
+		kinds ^= xv
+	}
+	return PackedPath{src: src, n: uint8(s.n), kinds: kinds}
+}
+
+// Len returns the number of stored paths.
+func (s *PathSlab) Len() int { return s.count }
+
+// Bits returns the encoded payload size in bits (the delta-coded stream,
+// excluding the block index).
+func (s *PathSlab) Bits() uint64 { return uint64(len(s.data)) * 8 }
+
+// MemoryBytes returns the total footprint: stream plus block index.
+func (s *PathSlab) MemoryBytes() uint64 {
+	return uint64(len(s.data)) + uint64(len(s.starts))*4
+}
+
+// BytesPerRoute returns the measured footprint per stored path, or 0 when
+// empty.
+func (s *PathSlab) BytesPerRoute() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return float64(s.MemoryBytes()) / float64(s.count)
+}
+
+// zigzag folds a signed delta into an unsigned varint-friendly value.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// unzigzag is the inverse of zigzag.
+func unzigzag(v uint64) int64 { return int64(v>>1) ^ -int64(v&1) }

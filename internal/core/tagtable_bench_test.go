@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"iadm/internal/blockage"
+	"iadm/internal/topology"
+)
+
+// The tagstore benchmark suite (tracked in BENCH_tagstore.json): lookup
+// cost and measured footprint of each compact table. bits/route is the
+// total MemoryBytes footprint over stored (SSDT, slab) or addressable
+// (TSDT) routes.
+
+var tagtableSizes = []int{256, 1024, 4096}
+
+func BenchmarkTagTableSSDT(b *testing.B) {
+	for _, N := range tagtableSizes {
+		b.Run(fmt.Sprintf("N=%d", N), func(b *testing.B) {
+			p := topology.MustParams(N)
+			tbl := NewSSDTTable(p)
+			for d := 0; d < N; d++ {
+				if err := tbl.Store(d, MustTag(p, d)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			var sink Tag
+			for i := 0; i < b.N; i++ {
+				// Golden-ratio stride visits destinations in a cache-hostile
+				// order, like scattered request traffic.
+				d := int(uint64(i) * 0x9E3779B9 % uint64(N))
+				sink, _ = tbl.Lookup(d)
+			}
+			benchSinkTag = sink
+			b.ReportMetric(float64(tbl.MemoryBytes()*8)/float64(N), "bits/route")
+		})
+	}
+}
+
+func BenchmarkTagTableTSDT(b *testing.B) {
+	for _, N := range tagtableSizes {
+		b.Run(fmt.Sprintf("N=%d", N), func(b *testing.B) {
+			p := topology.MustParams(N)
+			tbl, err := NewTSDTTable(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// One cached route per source, spread over destinations; the
+			// dense layout addresses all N^2 either way.
+			for s := 0; s < N; s++ {
+				d := int(uint64(s) * 0x9E3779B9 % uint64(N))
+				if err := tbl.Store(s, d, MustTag(p, d), 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			var sink Tag
+			for i := 0; i < b.N; i++ {
+				s := int(uint64(i) * 0x9E3779B9 % uint64(N))
+				d := int(uint64(s) * 0x9E3779B9 % uint64(N))
+				sink, _ = tbl.Lookup(s, d, 1)
+			}
+			benchSinkTag = sink
+			b.ReportMetric(float64(tbl.MemoryBytes()*8)/(float64(N)*float64(N)), "bits/route")
+		})
+	}
+}
+
+func BenchmarkTagTablePathSlab(b *testing.B) {
+	for _, N := range tagtableSizes {
+		b.Run(fmt.Sprintf("N=%d", N), func(b *testing.B) {
+			p := topology.MustParams(N)
+			blk := blockage.NewSet(p)
+			blk.Block(topology.Link{Stage: 1, From: 3, Kind: topology.Plus})
+			slab := NewPathSlab(p)
+			// One REROUTE sweep: source 5 to every destination, the shape a
+			// per-fault reroute set takes.
+			for d := 0; d < N; d++ {
+				_, path, err := Reroute(p, blk, 5, MustTag(p, d))
+				if err != nil {
+					continue
+				}
+				if _, err := slab.Append(PackPath(path)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			var sink PackedPath
+			for i := 0; i < b.N; i++ {
+				sink = slab.At(int(uint64(i) * 0x9E3779B9 % uint64(slab.Len())))
+			}
+			benchSinkPath = sink
+			b.ReportMetric(float64(slab.MemoryBytes()*8)/float64(slab.Len()), "bits/route")
+		})
+	}
+}
+
+var (
+	benchSinkTag  Tag
+	benchSinkPath PackedPath
+)

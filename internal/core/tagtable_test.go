@@ -1,0 +1,410 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"iadm/internal/blockage"
+	"iadm/internal/topology"
+)
+
+func TestSlabReadWrite(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, w := range []uint{1, 2, 3, 5, 8, 13, 21, 31, 33, 48, 63, 64} {
+		const count = 200
+		slab := make([]uint64, (uint64(count)*uint64(w)+63)/64)
+		want := make([]uint64, count)
+		for i := range want {
+			want[i] = rng.Uint64() & (1<<w - 1)
+			slabWrite(slab, w, i, want[i])
+		}
+		// Re-write a few in place to check neighbors are preserved.
+		for _, i := range []int{0, 7, count - 1} {
+			want[i] = rng.Uint64() & (1<<w - 1)
+			slabWrite(slab, w, i, want[i])
+		}
+		for i := range want {
+			if got := slabRead(slab, w, i); got != want[i] {
+				t.Fatalf("w=%d idx=%d: got %#x want %#x", w, i, got, want[i])
+			}
+		}
+	}
+}
+
+func TestTagFromState(t *testing.T) {
+	p := topology.MustParams(64)
+	blk := blockage.NewSet(p)
+	blk.Block(topology.Link{Stage: 2, From: 5, Kind: topology.Plus})
+	blk.Block(topology.Link{Stage: 0, From: 40, Kind: topology.Minus})
+	for s := 0; s < p.Size(); s += 7 {
+		for d := 0; d < p.Size(); d += 5 {
+			tag, _, err := Reroute(p, blk, s, MustTag(p, d))
+			if err != nil {
+				continue
+			}
+			got := TagFromState(p, tag.Destination(), tag.StateBits())
+			if got != tag {
+				t.Fatalf("(%d,%d): TagFromState = %v, want %v", s, d, got, tag)
+			}
+		}
+	}
+}
+
+func TestSSDTTable(t *testing.T) {
+	p := topology.MustParams(256)
+	tbl := NewSSDTTable(p)
+	if tbl.Len() != 0 {
+		t.Fatalf("empty table Len = %d", tbl.Len())
+	}
+	if _, ok := tbl.Lookup(3); ok {
+		t.Fatal("lookup on empty table hit")
+	}
+	for d := 0; d < p.Size(); d++ {
+		if err := tbl.Store(d, MustTag(p, d)); err != nil {
+			t.Fatalf("Store(%d): %v", d, err)
+		}
+	}
+	if tbl.Len() != p.Size() {
+		t.Fatalf("Len = %d, want %d", tbl.Len(), p.Size())
+	}
+	for d := 0; d < p.Size(); d++ {
+		tag, ok := tbl.Lookup(d)
+		if !ok || tag != MustTag(p, d) {
+			t.Fatalf("Lookup(%d) = %v, %v", d, tag, ok)
+		}
+		if tag.Destination() != d {
+			t.Fatalf("Lookup(%d) destination = %d", d, tag.Destination())
+		}
+	}
+	// Overwrite is idempotent on Len.
+	if err := tbl.Store(9, MustTag(p, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != p.Size() {
+		t.Fatalf("Len after overwrite = %d", tbl.Len())
+	}
+	// Out-of-range lookups miss instead of panicking.
+	if _, ok := tbl.Lookup(-1); ok {
+		t.Fatal("Lookup(-1) hit")
+	}
+	if _, ok := tbl.Lookup(p.Size()); ok {
+		t.Fatal("Lookup(N) hit")
+	}
+}
+
+func TestSSDTTableValidation(t *testing.T) {
+	p := topology.MustParams(64)
+	tbl := NewSSDTTable(p)
+	if err := tbl.Store(64, MustTag(p, 0)); err == nil {
+		t.Fatal("out-of-range destination accepted")
+	}
+	if err := tbl.Store(-1, MustTag(p, 0)); err == nil {
+		t.Fatal("negative destination accepted")
+	}
+	if err := tbl.Store(0, MustTag(topology.MustParams(16), 0)); err == nil {
+		t.Fatal("wrong-stage-count tag accepted")
+	}
+	if err := tbl.Store(3, MustTag(p, 4)); err == nil {
+		t.Fatal("destination-mismatched tag accepted")
+	}
+	if err := tbl.Store(3, MustTag(p, 3).WithStateField(1, 1, 1)); err == nil {
+		t.Fatal("tag with state bits accepted as SSDT")
+	}
+}
+
+// TestSSDTTableAccounting pins the headline claim: the dense table stores
+// SSDT routes at exactly n payload bits per route (Theorem 3.1's minimum)
+// plus a 1-bit presence map and word-rounding slack.
+func TestSSDTTableAccounting(t *testing.T) {
+	for _, N := range []int{4, 64, 256, 1024, 4096} {
+		p := topology.MustParams(N)
+		tbl := NewSSDTTable(p)
+		n := uint64(p.Stages())
+		if got, want := tbl.Bits(), uint64(N)*n; got != want {
+			t.Fatalf("N=%d: Bits = %d, want %d", N, got, want)
+		}
+		// Total footprint: slab words + presence words, nothing hidden.
+		slabWords := (uint64(N)*n + 63) / 64
+		presWords := (uint64(N) + 63) / 64
+		if got, want := tbl.MemoryBytes(), (slabWords+presWords)*8; got != want {
+			t.Fatalf("N=%d: MemoryBytes = %d, want %d", N, got, want)
+		}
+		// Per route that is n/8 payload + 1/8 presence, plus at most two
+		// words of rounding slack amortized over N routes.
+		bound := float64(n+1)/8 + 16.0/float64(N)
+		if bpr := tbl.BytesPerRoute(); bpr > bound {
+			t.Fatalf("N=%d: BytesPerRoute = %g, want <= %g", N, bpr, bound)
+		}
+	}
+}
+
+func TestTSDTTableEpochs(t *testing.T) {
+	p := topology.MustParams(16)
+	tbl, err := NewTSDTTable(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := blockage.NewSet(p)
+	blk.Block(topology.Link{Stage: 1, From: 3, Kind: topology.Plus})
+	tag, _, err := Reroute(p, blk, 2, MustTag(p, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Store(2, 9, tag, 5); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := tbl.Lookup(2, 9, 5); !ok || got != tag {
+		t.Fatalf("Lookup at stamped epoch = %v, %v", got, ok)
+	}
+	if _, ok := tbl.Lookup(2, 9, 6); ok {
+		t.Fatal("lookup at newer epoch hit a stale entry")
+	}
+	if _, ok := tbl.Lookup(2, 9, 4); ok {
+		t.Fatal("lookup at older epoch hit")
+	}
+	if _, ok := tbl.Lookup(3, 9, 5); ok {
+		t.Fatal("lookup of unstored pair hit")
+	}
+
+	// Storing at a newer epoch drops every older entry.
+	if err := tbl.Store(1, 4, MustTag(p, 4), 6); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len after epoch advance = %d, want 1", tbl.Len())
+	}
+	if _, ok := tbl.Lookup(2, 9, 5); ok {
+		t.Fatal("old-epoch entry survived the advance")
+	}
+	if tbl.Epoch() != 6 {
+		t.Fatalf("Epoch = %d, want 6", tbl.Epoch())
+	}
+
+	tbl.Invalidate(7)
+	if tbl.Len() != 0 {
+		t.Fatalf("Len after Invalidate = %d", tbl.Len())
+	}
+	if _, ok := tbl.Lookup(1, 4, 6); ok {
+		t.Fatal("entry survived Invalidate")
+	}
+}
+
+func TestTSDTTableValidation(t *testing.T) {
+	p := topology.MustParams(16)
+	tbl, err := NewTSDTTable(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Store(16, 0, MustTag(p, 0), 0); err == nil {
+		t.Fatal("out-of-range src accepted")
+	}
+	if err := tbl.Store(0, -1, MustTag(p, 0), 0); err == nil {
+		t.Fatal("negative dst accepted")
+	}
+	if err := tbl.Store(0, 0, MustTag(topology.MustParams(4), 0), 0); err == nil {
+		t.Fatal("wrong-stage-count tag accepted")
+	}
+	if got, want := tbl.Bits(), uint64(16*16*2*4); got != want {
+		t.Fatalf("Bits = %d, want %d", got, want)
+	}
+}
+
+// TestTSDTTableSizeCap: the dense layout is quadratic in N, so the
+// constructor must refuse fabrics whose slab would not fit in memory.
+func TestTSDTTableSizeCap(t *testing.T) {
+	if _, err := NewTSDTTable(topology.MustParams(1 << 15)); err == nil {
+		t.Fatal("dense TSDT table for N=32768 (4 GiB slab) accepted")
+	}
+	if _, err := NewTSDTTable(topology.MustParams(1 << 12)); err != nil {
+		t.Fatalf("dense TSDT table for N=4096 refused: %v", err)
+	}
+}
+
+func TestPathSlabRoundTrip(t *testing.T) {
+	p := topology.MustParams(64)
+	blk := blockage.NewSet(p)
+	blk.Block(topology.Link{Stage: 3, From: 17, Kind: topology.Minus})
+	blk.Block(topology.Link{Stage: 1, From: 2, Kind: topology.Plus})
+	slab := NewPathSlab(p)
+	var want []PackedPath
+	for s := 0; s < p.Size(); s += 3 {
+		for d := 0; d < p.Size(); d += 11 {
+			_, path, err := Reroute(p, blk, s, MustTag(p, d))
+			if err != nil {
+				continue
+			}
+			pp := PackPath(path)
+			i, err := slab.Append(pp)
+			if err != nil {
+				t.Fatalf("Append(%d,%d): %v", s, d, err)
+			}
+			if i != len(want) {
+				t.Fatalf("Append index = %d, want %d", i, len(want))
+			}
+			want = append(want, pp)
+		}
+	}
+	if slab.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", slab.Len(), len(want))
+	}
+	// Random-access decode equals what was stored, in any order.
+	rng := rand.New(rand.NewSource(7))
+	for _, i := range rng.Perm(len(want)) {
+		if got := slab.At(i); got != want[i] {
+			t.Fatalf("At(%d) = %+v, want %+v", i, got, want[i])
+		}
+	}
+	// The delta coding must beat the 16-byte in-memory PackedPath on
+	// correlated path sets like this sweep.
+	if bpr := slab.BytesPerRoute(); bpr >= 16 {
+		t.Fatalf("BytesPerRoute = %g, want < 16", bpr)
+	}
+}
+
+func TestPathSlabValidation(t *testing.T) {
+	p := topology.MustParams(16)
+	slab := NewPathSlab(p)
+	if slab.BytesPerRoute() != 0 {
+		t.Fatal("empty slab BytesPerRoute != 0")
+	}
+	_, path, err := Reroute(topology.MustParams(64), blockage.NewSet(topology.MustParams(64)), 0, MustTag(topology.MustParams(64), 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := slab.Append(PackPath(path)); err == nil {
+		t.Fatal("stage-count mismatch accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At out of range did not panic")
+		}
+	}()
+	slab.At(0)
+}
+
+// TestTagTableZeroAlloc pins the zero-allocation contract on every lookup
+// path.
+func TestTagTableZeroAlloc(t *testing.T) {
+	p := topology.MustParams(1024)
+	ssdt := NewSSDTTable(p)
+	tsdt, err := NewTSDTTable(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slab := NewPathSlab(p)
+	for d := 0; d < 64; d++ {
+		if err := ssdt.Store(d, MustTag(p, d)); err != nil {
+			t.Fatal(err)
+		}
+		tag, path, err := Reroute(p, blockage.NewSet(p), d, MustTag(p, d^21))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tsdt.Store(d, d^21, tag, 3); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := slab.Append(PackPath(path)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sink Tag
+	var psink PackedPath
+	if a := testing.AllocsPerRun(100, func() {
+		sink, _ = ssdt.Lookup(17)
+	}); a != 0 {
+		t.Fatalf("SSDTTable.Lookup allocates %g/op", a)
+	}
+	if a := testing.AllocsPerRun(100, func() {
+		sink, _ = tsdt.Lookup(17, 17^21, 3)
+	}); a != 0 {
+		t.Fatalf("TSDTTable.Lookup allocates %g/op", a)
+	}
+	if a := testing.AllocsPerRun(100, func() {
+		psink = slab.At(33)
+	}); a != 0 {
+		t.Fatalf("PathSlab.At allocates %g/op", a)
+	}
+	_, _ = sink, psink
+}
+
+// FuzzTagTable round-trips the compact tables against the scalar
+// reference algorithms: every tag that RouteSSDT/REROUTE produces must
+// come back bit-identical from the dense tables, and every REROUTE path
+// must survive the delta-coded slab.
+func FuzzTagTable(f *testing.F) {
+	f.Add(uint8(3), uint16(0), uint64(1))
+	f.Add(uint8(5), uint16(37), uint64(99))
+	f.Add(uint8(6), uint16(512), uint64(12345))
+	f.Fuzz(func(t *testing.T, nPow uint8, pair uint16, seed uint64) {
+		n := int(nPow%5) + 2 // stages 2..6, N 4..64
+		p := topology.MustParams(1 << n)
+		rng := rand.New(rand.NewSource(int64(seed)))
+		blk := blockage.NewSet(p)
+		blk.RandomNonstraight(rng, rng.Intn(4))
+
+		src := int(pair) % p.Size()
+		dst := int(pair>>8) % p.Size()
+
+		// SSDT: the dense table must return the Theorem 3.1 tag, and its
+		// destination must drive RouteSSDT to dst regardless of faults.
+		ssdt := NewSSDTTable(p)
+		if err := ssdt.Store(dst, MustTag(p, dst)); err != nil {
+			t.Fatal(err)
+		}
+		tag, ok := ssdt.Lookup(dst)
+		if !ok || tag != MustTag(p, dst) {
+			t.Fatalf("SSDT round-trip: %v, %v", tag, ok)
+		}
+		ns := NewNetworkState(p)
+		if res, err := RouteSSDT(p, src, dst, ns, blk); err == nil {
+			if got := res.Path.Destination(); got != tag.Destination() {
+				t.Fatalf("RouteSSDT reached %d, table tag says %d", got, tag.Destination())
+			}
+		}
+
+		// TSDT: a REROUTE tag must round-trip through the dense table and
+		// through TagFromState, and its path through the slab.
+		rtag, path, err := Reroute(p, blk, src, MustTag(p, dst))
+		if err != nil {
+			return // unroutable under this blockage map; nothing to store
+		}
+		tsdt, err := NewTSDTTable(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		epoch := seed % 1000
+		if err := tsdt.Store(src, dst, rtag, epoch); err != nil {
+			t.Fatal(err)
+		}
+		got, ok := tsdt.Lookup(src, dst, epoch)
+		if !ok || got != rtag {
+			t.Fatalf("TSDT round-trip: %v, %v (want %v)", got, ok, rtag)
+		}
+		if _, ok := tsdt.Lookup(src, dst, epoch+1); ok {
+			t.Fatal("stale-epoch lookup hit")
+		}
+		if re := TagFromState(p, rtag.Destination(), rtag.StateBits()); re != rtag {
+			t.Fatalf("TagFromState: %v, want %v", re, rtag)
+		}
+
+		slab := NewPathSlab(p)
+		want := PackPath(path)
+		// Append enough extra paths to cross a block boundary, then ours.
+		for i := 0; i < 17; i++ {
+			d2 := (dst + i) % p.Size()
+			if rt, pth, err := Reroute(p, blk, src, MustTag(p, d2)); err == nil {
+				_ = rt
+				if _, err := slab.Append(PackPath(pth)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		i, err := slab.Append(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := slab.At(i); got != want {
+			t.Fatalf("PathSlab round-trip: %+v, want %+v", got, want)
+		}
+	})
+}

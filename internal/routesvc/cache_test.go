@@ -9,10 +9,11 @@ import (
 )
 
 func TestCacheShardRounding(t *testing.T) {
+	p := topology.MustParams(8)
 	for _, tc := range []struct{ in, want int }{
 		{0, defaultShards}, {-3, defaultShards}, {1, 1}, {2, 2}, {3, 4}, {64, 64}, {65, 128},
 	} {
-		c := newTagCache(tc.in)
+		c := newTagCache(tc.in, p)
 		if len(c.shards) != tc.want {
 			t.Errorf("newTagCache(%d): %d shards, want %d", tc.in, len(c.shards), tc.want)
 		}
@@ -24,7 +25,7 @@ func TestCacheShardRounding(t *testing.T) {
 
 func TestCacheEpochStamping(t *testing.T) {
 	p := topology.MustParams(8)
-	c := newTagCache(4)
+	c := newTagCache(4, p)
 	k := cacheKey{src: 1, dst: 5, scheme: SchemeTSDT}
 	tag := core.MustTag(p, 5)
 
@@ -63,7 +64,7 @@ func TestCacheKeysDoNotCollide(t *testing.T) {
 	// Same (src, dst) under different schemes, and swapped pairs, are
 	// distinct keys.
 	p := topology.MustParams(8)
-	c := newTagCache(1) // one shard: collisions would overwrite
+	c := newTagCache(1, p) // one shard: collisions would overwrite
 	t1, t2, t3 := core.MustTag(p, 5), core.MustTag(p, 1), core.MustTag(p, 5).FlipStateBit(0)
 	c.put(cacheKey{src: 1, dst: 5, scheme: SchemeTSDT}, t1, 7)
 	c.put(cacheKey{src: 5, dst: 1, scheme: SchemeTSDT}, t2, 7)
@@ -82,7 +83,7 @@ func TestCacheKeysDoNotCollide(t *testing.T) {
 // TestCacheConcurrent exercises all shard locks under the race detector.
 func TestCacheConcurrent(t *testing.T) {
 	p := topology.MustParams(16)
-	c := newTagCache(8)
+	c := newTagCache(8, p)
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)

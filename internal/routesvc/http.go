@@ -69,6 +69,7 @@ func NewHandler(svc *Service) *Handler {
 	h.handle("/route/batch", h.routeBatch)
 	h.handle("/fault", h.fault)
 	h.handle("/repair", h.repair)
+	h.handle("/prewarm", h.prewarm)
 	h.handle("/healthz", h.healthz)
 	h.handle("/metrics", h.metrics)
 	return h
@@ -355,6 +356,28 @@ func (h *Handler) mutate(w http.ResponseWriter, r *http.Request, isFault bool) {
 		Epoch:   h.svc.Epoch(),
 		Blocked: len(h.svc.Faults()),
 	})
+}
+
+// PrewarmJSON is the wire form of a /prewarm response.
+type PrewarmJSON struct {
+	Routes int    `json:"routes"`
+	Epoch  uint64 `json:"epoch"`
+}
+
+// prewarm rebuilds the dense SSDT table on demand (POST /prewarm), the
+// operator-facing twin of the -prewarm daemon flag and the storm-triggered
+// automatic rebuild.
+func (h *Handler) prewarm(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		h.writeErr(w, fmt.Errorf("%w: method %s", ErrInvalid, r.Method))
+		return
+	}
+	routes, err := h.svc.Prewarm()
+	if err != nil {
+		h.writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PrewarmJSON{Routes: routes, Epoch: h.svc.Epoch()})
 }
 
 // HealthJSON is the wire form of /healthz.

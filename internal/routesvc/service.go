@@ -101,7 +101,35 @@ type Config struct {
 	// iadmload -overload contract) a deterministic way to saturate the
 	// slow path. Leave zero in production.
 	SlowCost time.Duration
+	// Prewarm builds the dense per-destination SSDT table (n bits/route,
+	// one entry per destination, filled through the 64-lane sliced
+	// kernels) synchronously at startup, so the very first SSDT request
+	// is a cache hit.
+	Prewarm bool
+	// PrewarmStorm is the fault-storm threshold: after this many epoch
+	// bumps accumulate since the last prewarm, the service rebuilds the
+	// dense SSDT table asynchronously (the controller-driven prewarm
+	// path). 0 means 64; negative disables storm-triggered prewarms.
+	PrewarmStorm int
+	// SweepEvery is the auto-sweep cadence: every SweepEvery-th epoch
+	// bump schedules an asynchronous tagCache.sweep, reclaiming stale
+	// TSDT entries without an operator call. 0 means 256; negative
+	// disables the cadence (the epoch-stamp alias guard still forces a
+	// sweep every aliasSweepInterval bumps — see slotLayout).
+	SweepEvery int
 }
+
+// aliasSweepInterval forces a cache sweep every 2^16 epoch bumps even
+// when the configured cadence is disabled: the flat cache stores epoch
+// stamps truncated to >= 17 bits (compact layout), so one full sweep per
+// 2^16 bumps guarantees a stale stamp can never alias a live epoch.
+const aliasSweepInterval = 1 << 16
+
+// defaultSweepEvery and defaultPrewarmStorm back Config's zero values.
+const (
+	defaultSweepEvery   = 256
+	defaultPrewarmStorm = 64
+)
 
 // Request names one tag request of a batch.
 type Request struct {
@@ -187,15 +215,36 @@ func batchBand(n int) int {
 
 // Metrics is a point-in-time snapshot of the service.
 type Metrics struct {
-	N             int        `json:"n"`
-	Epoch         uint64     `json:"epoch"`
-	Requests      uint64     `json:"requests_total"`
-	Unroutable    uint64     `json:"unroutable_total"`
-	Invalid       uint64     `json:"invalid_total"`
-	Faults        uint64     `json:"faults_total"`
-	Repairs       uint64     `json:"repairs_total"`
-	Invalidations uint64     `json:"invalidations_total"`
-	CacheEntries  int        `json:"cache_entries"`
+	N             int    `json:"n"`
+	Epoch         uint64 `json:"epoch"`
+	Requests      uint64 `json:"requests_total"`
+	Unroutable    uint64 `json:"unroutable_total"`
+	Invalid       uint64 `json:"invalid_total"`
+	Faults        uint64 `json:"faults_total"`
+	Repairs       uint64 `json:"repairs_total"`
+	Invalidations uint64 `json:"invalidations_total"`
+	CacheEntries  int    `json:"cache_entries"`
+	// CacheEntriesLive / CacheEntriesStale split CacheEntries by epoch
+	// stamp: stale TSDT entries linger until swept or overwritten, and
+	// counting them as cache population would skew hit-rate math after
+	// fault churn. CacheEntries = live + stale always.
+	CacheEntriesLive  int `json:"entries_live"`
+	CacheEntriesStale int `json:"entries_stale"`
+	// CacheBytes is the total tag-store footprint (flat cache slabs plus
+	// the dense SSDT table); BitsPerRoute is that footprint over every
+	// stored route (cache entries + dense table routes).
+	CacheBytes   uint64  `json:"cache_bytes"`
+	BitsPerRoute float64 `json:"bits_per_route"`
+	// DenseRoutes is the number of destinations in the dense SSDT table
+	// (0 until a prewarm has run).
+	DenseRoutes int `json:"dense_routes"`
+	// Sweep / prewarm counters: SweptTotal counts entries reclaimed by
+	// all sweeps (automatic and operator-invoked), PrewarmRoutes counts
+	// routes bulk-filled by prewarms.
+	Sweeps        uint64     `json:"sweeps_total"`
+	SweptTotal    uint64     `json:"swept_total"`
+	Prewarms      uint64     `json:"prewarms_total"`
+	PrewarmRoutes uint64     `json:"prewarm_routes_total"`
 	SSDT          CacheStats `json:"ssdt"`
 	TSDT          CacheStats `json:"tsdt"`
 	SSDTHitRate   float64    `json:"ssdt_hit_rate"`
@@ -223,6 +272,17 @@ type Service struct {
 	adm      *admission
 	slowCost time.Duration
 
+	// dense is the per-destination SSDT table (Theorem 3.1: one n-bit
+	// entry per destination serves every source under every blockage
+	// map). Prewarm builds a complete table and swaps it in whole, so
+	// readers see either nothing or all N routes.
+	dense        atomic.Pointer[core.SSDTTable]
+	prewarmStorm int
+	sweepEvery   int
+	stormBumps   atomic.Uint64
+	sweepBusy    atomic.Bool
+	prewarmBusy  atomic.Bool
+
 	drainMu  sync.RWMutex
 	draining bool
 	inflight sync.WaitGroup
@@ -238,6 +298,10 @@ type Service struct {
 	coalesced     [numSchemes]atomic.Uint64
 	slicedLanes   atomic.Uint64
 	slicedBlocks  atomic.Uint64
+	sweeps        atomic.Uint64
+	sweptTotal    atomic.Uint64
+	prewarms      atomic.Uint64
+	prewarmRoutes atomic.Uint64
 	batchLat      [numBatchBands]struct{ count, sumNs atomic.Uint64 }
 
 	// testComputeHook, when set (by tests in this package), runs at the
@@ -257,14 +321,124 @@ func New(cfg Config) (*Service, error) {
 		return nil, err
 	}
 	s := &Service{
-		ctl:      ctl,
-		p:        ctl.Params(),
-		cache:    newTagCache(cfg.Shards),
-		adm:      newAdmission(cfg.Admission),
-		slowCost: cfg.SlowCost,
+		ctl:          ctl,
+		p:            ctl.Params(),
+		cache:        newTagCache(cfg.Shards, ctl.Params()),
+		adm:          newAdmission(cfg.Admission),
+		slowCost:     cfg.SlowCost,
+		prewarmStorm: cfg.PrewarmStorm,
+		sweepEvery:   cfg.SweepEvery,
 	}
-	ctl.OnInvalidate(func(uint64) { s.invalidations.Add(1) })
+	if s.prewarmStorm == 0 {
+		s.prewarmStorm = defaultPrewarmStorm
+	}
+	if s.sweepEvery == 0 {
+		s.sweepEvery = defaultSweepEvery
+	}
+	// The hook runs under the controller's write lock, so it must only
+	// bump counters and spawn work — never call back into the controller.
+	ctl.OnInvalidate(func(epoch uint64) {
+		s.invalidations.Add(1)
+		if (s.sweepEvery > 0 && epoch%uint64(s.sweepEvery) == 0) || epoch%aliasSweepInterval == 0 {
+			s.scheduleSweep()
+		}
+		if s.prewarmStorm > 0 && s.stormBumps.Add(1) >= uint64(s.prewarmStorm) {
+			s.stormBumps.Store(0)
+			s.schedulePrewarm()
+		}
+	})
+	if cfg.Prewarm {
+		if _, err := s.buildDense(); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
+}
+
+// buildDense bulk-fills a fresh dense SSDT table through the 64-lane
+// sliced kernels: each block of destinations is loaded as Theorem 3.1
+// tags, walked by RouteTSDTSliced, and self-checked (every lane's path
+// must land on its own destination) before the table is swapped in. It
+// returns the number of routes filled.
+func (s *Service) buildDense() (int, error) {
+	tbl := core.NewSSDTTable(s.p)
+	N := s.p.Size()
+	var lb core.LaneBlock
+	var srcs [core.Lanes]int
+	var tags [core.Lanes]core.Tag
+	var paths [core.Lanes]core.PackedPath
+	for base := 0; base < N; base += core.Lanes {
+		k := min(core.Lanes, N-base)
+		for i := 0; i < k; i++ {
+			d := base + i
+			srcs[i] = d
+			tags[i] = core.MustTag(s.p, d)
+		}
+		if err := lb.LoadTags(s.p, srcs[:k], tags[:k]); err != nil {
+			return 0, fmt.Errorf("routesvc: prewarm load at destination %d: %w", base, err)
+		}
+		core.RouteTSDTSliced(s.p, &lb)
+		pp := lb.PathsInto(paths[:0])
+		for i := 0; i < k; i++ {
+			d := base + i
+			if got := pp[i].Destination(s.p); got != d {
+				return 0, fmt.Errorf("routesvc: prewarm self-check: tag for %d walked to %d", d, got)
+			}
+			if err := tbl.Store(d, tags[i]); err != nil {
+				return 0, fmt.Errorf("routesvc: prewarm store: %w", err)
+			}
+		}
+		s.slicedLanes.Add(uint64(k))
+		s.slicedBlocks.Add(1)
+	}
+	s.dense.Store(tbl)
+	s.prewarms.Add(1)
+	s.prewarmRoutes.Add(uint64(N))
+	return N, nil
+}
+
+// Prewarm (re)builds the dense SSDT table synchronously; see Config.
+// Prewarm for the startup variant and PrewarmStorm for the automatic one.
+func (s *Service) Prewarm() (int, error) {
+	if err := s.begin(); err != nil {
+		return 0, err
+	}
+	defer s.end()
+	return s.buildDense()
+}
+
+// scheduleSweep runs one asynchronous cache sweep, dropping the request
+// if a sweep is already running or the service is draining. Drain waits
+// for a scheduled sweep through the inflight gate.
+func (s *Service) scheduleSweep() {
+	if !s.sweepBusy.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer s.sweepBusy.Store(false)
+		if s.begin() != nil {
+			return
+		}
+		defer s.end()
+		s.Sweep()
+	}()
+}
+
+// schedulePrewarm is scheduleSweep for the dense-table rebuild.
+func (s *Service) schedulePrewarm() {
+	if !s.prewarmBusy.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer s.prewarmBusy.Store(false)
+		if s.begin() != nil {
+			return
+		}
+		defer s.end()
+		// The self-check cannot fail against a live controller topology;
+		// if it somehow does, the old table stays in place.
+		_, _ = s.buildDense()
+	}()
 }
 
 // Params returns the network parameters.
@@ -454,6 +628,18 @@ func (s *Service) resolve(src, dst int, scheme Scheme) (Result, error) {
 		epoch = s.ctl.Epoch()
 	}
 	res := Result{Src: src, Dst: dst, Scheme: scheme, Epoch: epoch}
+	if scheme == SchemeSSDT {
+		// Dense-table fast path: after a prewarm every destination hits
+		// here — no hash, no shard lock, one bit-slab read.
+		if tbl := s.dense.Load(); tbl != nil {
+			if tag, ok := tbl.Lookup(dst); ok {
+				s.hits[scheme].Add(1)
+				s.adm.noteHit()
+				res.Tag, res.Cached = tag, true
+				return res, nil
+			}
+		}
+	}
 	if tag, ok := s.cache.get(key, stamp); ok {
 		s.hits[scheme].Add(1)
 		s.adm.noteHit()
@@ -639,21 +825,43 @@ func (s *Service) Faults() []topology.Link { return s.ctl.Faults() }
 func (s *Service) RetryAfter() int { return s.adm.retryAfter() }
 
 // Sweep reclaims stale TSDT cache entries (see tagCache.sweep); it returns
-// how many entries it removed. Serving correctness never requires it.
-func (s *Service) Sweep() int { return s.cache.sweep(s.ctl.Epoch()) }
+// how many entries it removed. The service also sweeps automatically every
+// Config.SweepEvery epoch bumps, so serving neither requires an operator
+// call for memory nor (via the alias guard) for stamp-truncation safety.
+func (s *Service) Sweep() int {
+	removed := s.cache.sweep(s.ctl.Epoch())
+	s.sweeps.Add(1)
+	s.sweptTotal.Add(uint64(removed))
+	return removed
+}
 
 // Metrics snapshots the service counters.
 func (s *Service) Metrics() Metrics {
+	live, stale := s.cache.stats(s.ctl.Epoch())
+	cacheBytes := s.cache.memoryBytes()
+	denseRoutes := 0
+	if tbl := s.dense.Load(); tbl != nil {
+		denseRoutes = tbl.Len()
+		cacheBytes += tbl.MemoryBytes()
+	}
 	m := Metrics{
-		N:             s.p.Size(),
-		Epoch:         s.ctl.Epoch(),
-		Requests:      s.requests.Load(),
-		Unroutable:    s.unroutable.Load(),
-		Invalid:       s.invalid.Load(),
-		Faults:        s.faults.Load(),
-		Repairs:       s.repairs.Load(),
-		Invalidations: s.invalidations.Load(),
-		CacheEntries:  s.cache.len(),
+		N:                 s.p.Size(),
+		Epoch:             s.ctl.Epoch(),
+		Requests:          s.requests.Load(),
+		Unroutable:        s.unroutable.Load(),
+		Invalid:           s.invalid.Load(),
+		Faults:            s.faults.Load(),
+		Repairs:           s.repairs.Load(),
+		Invalidations:     s.invalidations.Load(),
+		CacheEntries:      live + stale,
+		CacheEntriesLive:  live,
+		CacheEntriesStale: stale,
+		CacheBytes:        cacheBytes,
+		DenseRoutes:       denseRoutes,
+		Sweeps:            s.sweeps.Load(),
+		SweptTotal:        s.sweptTotal.Load(),
+		Prewarms:          s.prewarms.Load(),
+		PrewarmRoutes:     s.prewarmRoutes.Load(),
 		SSDT: CacheStats{
 			Hits:      s.hits[SchemeSSDT].Load(),
 			Misses:    s.misses[SchemeSSDT].Load(),
@@ -672,6 +880,9 @@ func (s *Service) Metrics() Metrics {
 	}
 	m.SSDTHitRate = m.SSDT.HitRate()
 	m.TSDTHitRate = m.TSDT.HitRate()
+	if routes := m.CacheEntries + m.DenseRoutes; routes > 0 {
+		m.BitsPerRoute = float64(m.CacheBytes*8) / float64(routes)
+	}
 	if m.SlicedBlocks > 0 {
 		m.SlicedFill = float64(m.SlicedLanes) / float64(m.SlicedBlocks*core.Lanes)
 	}

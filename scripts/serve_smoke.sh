@@ -23,6 +23,12 @@
 # sheds observed (429s with Retry-After), at least -min-overload times
 # saturation offered, zero 5xx, successes still flowing, and a bounded
 # client p99. That daemon too must drain cleanly under SIGTERM.
+#
+# Phase 4 starts a third daemon with -prewarm, which bulk-fills the
+# dense SSDT tag table through the sliced kernels before the listener
+# accepts traffic, and drives pure-SSDT load with
+# `-check -min-ssdt-hit 0.99`: every request from the very first one
+# must come out of the prewarmed table. It too must drain cleanly.
 set -eu
 
 GO=${GO:-go}
@@ -44,6 +50,11 @@ OVERLOAD_ROUND=${OVERLOAD_ROUND:-50ms}
 OVERLOAD_SLOW_COST=${OVERLOAD_SLOW_COST:-2ms}
 OVERLOAD_MIN_FACTOR=${OVERLOAD_MIN_FACTOR:-4}
 OVERLOAD_MAX_P99US=${OVERLOAD_MAX_P99US:-20000}
+
+# Prewarm phase knobs (phase 4).
+PREWARM_N=${PREWARM_N:-1024}
+PREWARM_DURATION=${PREWARM_DURATION:-1s}
+PREWARM_MIN_SSDT_HIT=${PREWARM_MIN_SSDT_HIT:-0.99}
 
 tmp=$(mktemp -d)
 daemon_pid=""
@@ -141,6 +152,52 @@ daemon_pid=""
 if ! grep -q drained "$tmp/iadmd-overload.log"; then
     echo "serve-smoke: no drain line in the overload daemon log" >&2
     cat "$tmp/iadmd-overload.log" >&2
+    exit 1
+fi
+
+echo "serve-smoke: phase 4, prewarmed SSDT (hit rate >= $PREWARM_MIN_SSDT_HIT from the first request)"
+"$tmp/iadmd" -n "$PREWARM_N" -addr 127.0.0.1:0 -portfile "$tmp/port3" -prewarm \
+    >"$tmp/iadmd-prewarm.log" 2>&1 &
+daemon_pid=$!
+i=0
+while [ ! -s "$tmp/port3" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "serve-smoke: prewarm daemon never wrote $tmp/port3" >&2
+        cat "$tmp/iadmd-prewarm.log" >&2
+        exit 1
+    fi
+    if ! kill -0 "$daemon_pid" 2>/dev/null; then
+        echo "serve-smoke: prewarm daemon exited during startup" >&2
+        cat "$tmp/iadmd-prewarm.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+addr3=$(cat "$tmp/port3")
+if ! grep -q prewarmed "$tmp/iadmd-prewarm.log"; then
+    echo "serve-smoke: daemon started with -prewarm but logged no prewarm line" >&2
+    cat "$tmp/iadmd-prewarm.log" >&2
+    exit 1
+fi
+
+# Pure SSDT, no churn: with the dense table filled before the listener
+# came up, the server-side SSDT hit rate must be total — well above the
+# 0.99 floor — starting from the very first request.
+"$tmp/iadmload" -addr "$addr3" -workers "$WORKERS" -duration "$PREWARM_DURATION" \
+    -tsdt 0 -check -min-ssdt-hit "$PREWARM_MIN_SSDT_HIT"
+
+echo "serve-smoke: SIGTERM to the prewarm daemon, expecting a clean drain"
+kill -TERM "$daemon_pid"
+if ! wait "$daemon_pid"; then
+    echo "serve-smoke: prewarm daemon exited non-zero on SIGTERM" >&2
+    cat "$tmp/iadmd-prewarm.log" >&2
+    exit 1
+fi
+daemon_pid=""
+if ! grep -q drained "$tmp/iadmd-prewarm.log"; then
+    echo "serve-smoke: no drain line in the prewarm daemon log" >&2
+    cat "$tmp/iadmd-prewarm.log" >&2
     exit 1
 fi
 echo "serve-smoke: ok"

@@ -19,9 +19,15 @@ ROUTING_BENCH = BenchmarkFollowState|BenchmarkTagFollow|BenchmarkRouteSSDT|Bench
 TAGSTORE_PKGS = ./internal/core,./internal/routesvc
 TAGSTORE_BENCH = BenchmarkTagTable|BenchmarkTagStore
 
-.PHONY: check fmt vet build test race serve-smoke bench bench-routing bench-tagstore bench-json bench-compare fuzz fuzz-smoke
+# The tracked fleet suite: ring placement (expect 0 allocs/op) and the
+# router's proxy cost — single /route and scatter-gather /route/batch
+# round trips, direct vs routed, each reporting ns/route.
+FLEET_PKGS = ./internal/fleet
+FLEET_BENCH = BenchmarkRingOwner|BenchmarkFleet
 
-check: fmt vet build test race serve-smoke fuzz-smoke
+.PHONY: check fmt vet build test race serve-smoke fleet-smoke bench bench-routing bench-tagstore bench-fleet bench-json bench-compare fuzz fuzz-smoke
+
+check: fmt vet build test race serve-smoke fleet-smoke fuzz-smoke
 
 # gofmt -l prints unformatted files; fail if any.
 fmt:
@@ -58,6 +64,11 @@ bench-routing:
 bench-tagstore:
 	$(GO) test -run '^$$' -bench '$(TAGSTORE_BENCH)' -benchmem $(subst $(comma), ,$(TAGSTORE_PKGS))
 
+# One human-readable pass over the fleet suite (ring placement must stay
+# 0 allocs/op; Routed vs Direct is the router's proxy cost).
+bench-fleet:
+	$(GO) test -run '^$$' -bench '$(FLEET_BENCH)' -benchmem $(subst $(comma), ,$(FLEET_PKGS))
+
 comma := ,
 
 # Emit BENCH_simulator.json, BENCH_routing.json and BENCH_tagstore.json
@@ -66,6 +77,7 @@ bench-json:
 	$(GO) run ./cmd/benchjson
 	$(GO) run ./cmd/benchjson -pkg '$(ROUTING_PKGS)' -bench '$(ROUTING_BENCH)' -o BENCH_routing.json
 	$(GO) run ./cmd/benchjson -pkg '$(TAGSTORE_PKGS)' -bench '$(TAGSTORE_BENCH)' -o BENCH_tagstore.json
+	$(GO) run ./cmd/benchjson -pkg '$(FLEET_PKGS)' -bench '$(FLEET_BENCH)' -o BENCH_fleet.json
 
 # Perf gate: rerun the tracked benchmarks and fail if mean_ns_per_op
 # regressed against the committed BENCH_simulator.json. benchjson's
@@ -82,6 +94,8 @@ bench-compare:
 		-pkg '$(ROUTING_PKGS)' -bench '$(ROUTING_BENCH)' -compare BENCH_routing.json
 	$(GO) run ./cmd/benchjson -count 5 -o /dev/null -tolerance 0.25 \
 		-pkg '$(TAGSTORE_PKGS)' -bench '$(TAGSTORE_BENCH)' -compare BENCH_tagstore.json
+	$(GO) run ./cmd/benchjson -count 5 -o /dev/null -tolerance 0.25 \
+		-pkg '$(FLEET_PKGS)' -bench '$(FLEET_BENCH)' -compare BENCH_fleet.json
 
 # End-to-end smoke of the serving stack: boot iadmd (N=1024) on an
 # ephemeral port, drive iadmload through a singles phase and a
@@ -96,6 +110,17 @@ bench-compare:
 # rate on pure-SSDT load starting from the very first request.
 serve-smoke:
 	GO='$(GO)' sh scripts/serve_smoke.sh
+
+# End-to-end smoke of the fleet layer: a capacity phase requiring a
+# 3-backend fleet to push >= 2x the success throughput of one
+# identically-tuned slow-path-bound daemon, a latency phase requiring
+# the router to add < 15% p50 overhead against real slow-path work, and
+# a mixed phase serving 4 partitions of batch-heavy traffic while
+# fault/repair churn stays confined to partition p0 (zero 5xx, merged
+# SSDT hit rate >= 90%, every other partition's epoch untouched), ending
+# in a clean drain of the router and then every backend.
+fleet-smoke:
+	GO='$(GO)' sh scripts/fleet_smoke.sh
 
 fuzz:
 	$(GO) test -run FuzzRingQueue -fuzz FuzzRingQueue -fuzztime 30s ./internal/simulator

@@ -42,19 +42,55 @@ import (
 	"os/exec"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
+
+// metricMap is a metrics column map that marshals its keys in sorted
+// order. encoding/json happens to sort map keys today, but stable
+// BENCH_*.json diffs are a contract of this tool — reports are committed
+// and diffed across commits — so the ordering is pinned here instead of
+// inherited as a library implementation detail.
+type metricMap map[string]float64
+
+func (m metricMap) MarshalJSON() ([]byte, error) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf bytes.Buffer
+	buf.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		kb, err := json.Marshal(k)
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(kb)
+		buf.WriteByte(':')
+		vb, err := json.Marshal(m[k])
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(vb)
+	}
+	buf.WriteByte('}')
+	return buf.Bytes(), nil
+}
 
 // Sample is one `go test -bench` result line. Metrics holds custom
 // b.ReportMetric columns (e.g. "bits/route": 78.77) that go test prints
 // between ns/op and the -benchmem columns.
 type Sample struct {
-	Runs        int                `json:"runs"`
-	NsPerOp     float64            `json:"ns_per_op"`
-	BytesPerOp  int64              `json:"bytes_per_op"`
-	AllocsPerOp int64              `json:"allocs_per_op"`
-	Metrics     map[string]float64 `json:"metrics,omitempty"`
+	Runs        int       `json:"runs"`
+	NsPerOp     float64   `json:"ns_per_op"`
+	BytesPerOp  int64     `json:"bytes_per_op"`
+	AllocsPerOp int64     `json:"allocs_per_op"`
+	Metrics     metricMap `json:"metrics,omitempty"`
 }
 
 // Benchmark aggregates the samples of one benchmark name. In
@@ -62,13 +98,13 @@ type Sample struct {
 // ("paths.BenchmarkFind/N=4096") so names stay unique, and Package holds
 // the full import path.
 type Benchmark struct {
-	Name        string             `json:"name"`
-	Package     string             `json:"package,omitempty"`
-	Samples     []Sample           `json:"samples"`
-	MinNsPerOp  float64            `json:"min_ns_per_op"`
-	MeanNsPerOp float64            `json:"mean_ns_per_op"`
-	AllocsPerOp int64              `json:"allocs_per_op"`
-	Metrics     map[string]float64 `json:"metrics,omitempty"`
+	Name        string    `json:"name"`
+	Package     string    `json:"package,omitempty"`
+	Samples     []Sample  `json:"samples"`
+	MinNsPerOp  float64   `json:"min_ns_per_op"`
+	MeanNsPerOp float64   `json:"mean_ns_per_op"`
+	AllocsPerOp int64     `json:"allocs_per_op"`
+	Metrics     metricMap `json:"metrics,omitempty"`
 }
 
 // Report is the emitted JSON document.
@@ -159,7 +195,7 @@ func parse(r io.Reader) (Report, error) {
 				s.AllocsPerOp = int64(val)
 			default:
 				if s.Metrics == nil {
-					s.Metrics = map[string]float64{}
+					s.Metrics = metricMap{}
 				}
 				s.Metrics[unit] = val
 			}
@@ -212,7 +248,7 @@ func parse(r io.Reader) (Report, error) {
 			}
 		}
 		if len(sums) > 0 {
-			b.Metrics = map[string]float64{}
+			b.Metrics = metricMap{}
 			for unit, total := range sums {
 				b.Metrics[unit] = total / float64(counts[unit])
 			}

@@ -1,6 +1,10 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -154,6 +158,78 @@ func TestParseCustomMetrics(t *testing.T) {
 	}
 	if dense := rep.Benchmarks[1]; dense.Metrics["bits/route"] != 13.03 {
 		t.Errorf("dense metrics wrong: %+v", dense.Metrics)
+	}
+}
+
+// TestMetricMapDeterministic: the metrics map must marshal with sorted
+// keys, byte-identically across marshals, regardless of insertion order
+// — committed BENCH_*.json reports are diffed, so key order is contract.
+func TestMetricMapDeterministic(t *testing.T) {
+	units := []string{"ns/route", "bits/route", "lanes/block", "B/route", "fill%"}
+	build := func(perm []int) metricMap {
+		m := metricMap{}
+		for _, i := range perm {
+			m[units[i]] = float64(i) + 0.5
+		}
+		return m
+	}
+	want, err := json.Marshal(build([]int{0, 1, 2, 3, 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, perm := range [][]int{{4, 3, 2, 1, 0}, {2, 0, 4, 1, 3}, {1, 4, 0, 3, 2}} {
+		got, err := json.Marshal(build(perm))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("insertion order %v changed the encoding:\n got %s\nwant %s", perm, got, want)
+		}
+	}
+	// Keys appear in sorted order in the output.
+	var decoded map[string]float64
+	if err := json.Unmarshal(want, &decoded); err != nil {
+		t.Fatalf("sorted encoding does not round-trip: %v\n%s", err, want)
+	}
+	sorted := append([]string(nil), units...)
+	sort.Strings(sorted)
+	pos := -1
+	for _, k := range sorted {
+		i := bytes.Index(want, []byte(fmt.Sprintf("%q", k)))
+		if i < pos {
+			t.Fatalf("key %q out of sorted order in %s", k, want)
+		}
+		pos = i
+	}
+}
+
+// TestMetricMapInReport: the full report document embeds the sorted maps
+// (both per-sample and per-benchmark) and stays byte-stable.
+func TestMetricMapInReport(t *testing.T) {
+	mk := func() Report {
+		return Report{
+			Package: "iadm/internal/fleet",
+			Benchmarks: []Benchmark{{
+				Name:    "BenchmarkFleetBatchRouted/n=64",
+				Samples: []Sample{{Runs: 10, NsPerOp: 1, Metrics: metricMap{"z/unit": 1, "a/unit": 2, "m/unit": 3}}},
+				Metrics: metricMap{"z/unit": 1, "a/unit": 2, "m/unit": 3},
+			}},
+		}
+	}
+	a, err := json.MarshalIndent(mk(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.MarshalIndent(mk(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("report encoding not deterministic:\n%s\nvs\n%s", a, b)
+	}
+	az, ai := bytes.Index(a, []byte(`"a/unit"`)), bytes.Index(a, []byte(`"z/unit"`))
+	if az < 0 || ai < 0 || az > ai {
+		t.Errorf("metrics keys not sorted in report:\n%s", a)
 	}
 }
 

@@ -7,8 +7,17 @@
 // Usage:
 //
 //	iadmd [-n N] [-addr host:port] [-shards S] [-portfile F] [-prewarm]
-//	      [-sweep-every K] [-admission-max Q] [-admission-min Q]
-//	      [-admission-round D] [-slow-cost D]
+//	      [-max-nets K] [-sweep-every K] [-admission-max Q]
+//	      [-admission-min Q] [-admission-round D] [-slow-cost D]
+//
+// The daemon hosts named networks ("partitions" to a fleet router, see
+// cmd/iadmfleet): every request may carry a "net" (JSON field or ?net=
+// query); each name is an independent network — own blockage map, own
+// epoch, own tag cache — created lazily on first use (up to -max-nets),
+// all sized -n. The empty name addresses the built-in "default" network,
+// so single-network deployments are unchanged. All networks share ONE
+// slow-path admission gate: the gate bounds this process's REROUTE
+// compute capacity, which the networks share.
 //
 // Admission control bounds concurrent fresh TSDT computes (the slow
 // path); excess requests answer 429 with Retry-After while cache hits and
@@ -65,6 +74,7 @@ type daemonConfig struct {
 
 	prewarm    bool
 	sweepEvery int
+	maxNets    int
 }
 
 func main() {
@@ -80,6 +90,7 @@ func main() {
 	flag.DurationVar(&cfg.slowCost, "slow-cost", 0, "artificial per-compute cost added to fresh TSDT computes (overload rehearsal; 0 = off)")
 	flag.BoolVar(&cfg.prewarm, "prewarm", false, "bulk-fill the dense SSDT tag table before serving (first request hits the cache)")
 	flag.IntVar(&cfg.sweepEvery, "sweep-every", 0, "auto-sweep stale cache entries every K epoch bumps (0 = 256, negative disables)")
+	flag.IntVar(&cfg.maxNets, "max-nets", 16, "maximum named networks hosted by this process (lazily created on first use)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
@@ -99,7 +110,7 @@ func main() {
 // fails). ready, when non-nil, receives the bound address once the daemon
 // is accepting connections; tests use it in place of the port file.
 func serve(cfg daemonConfig, logw io.Writer, stop <-chan os.Signal, ready chan<- string) error {
-	svc, err := routesvc.New(routesvc.Config{
+	multi := routesvc.NewMulti(routesvc.Config{
 		N:      cfg.n,
 		Shards: cfg.shards,
 		Admission: routesvc.AdmissionConfig{
@@ -111,7 +122,11 @@ func serve(cfg daemonConfig, logw io.Writer, stop <-chan os.Signal, ready chan<-
 		SlowCost:   cfg.slowCost,
 		Prewarm:    cfg.prewarm,
 		SweepEvery: cfg.sweepEvery,
-	})
+	}, cfg.maxNets)
+	// Materialize the default network up front: it validates the config
+	// before the listener opens, and with -prewarm the dense SSDT build
+	// happens here rather than on the first request.
+	svc, err := multi.Get(routesvc.DefaultNet)
 	if err != nil {
 		return err
 	}
@@ -136,7 +151,7 @@ func serve(cfg daemonConfig, logw io.Writer, stop <-chan os.Signal, ready chan<-
 		ready <- addr
 	}
 
-	srv := &http.Server{Handler: routesvc.NewHandler(svc)}
+	srv := &http.Server{Handler: routesvc.NewMultiHandler(multi)}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 
@@ -151,11 +166,11 @@ func serve(cfg daemonConfig, logw io.Writer, stop <-chan os.Signal, ready chan<-
 		// Drain then flips the service state (instant once handlers are
 		// done) so the final metrics line reports it.
 		shutErr := srv.Shutdown(ctx)
-		svc.Drain()
+		multi.Drain()
 		<-errc // http.ErrServerClosed
-		m := svc.Metrics()
-		fmt.Fprintf(logw, "iadmd: drained; served %d requests (ssdt hit rate %.3f, tsdt hit rate %.3f, epoch %d, shed %d)\n",
-			m.Requests, m.SSDTHitRate, m.TSDTHitRate, m.Epoch, m.Admission.Shed)
+		m, _ := multi.Metrics()
+		fmt.Fprintf(logw, "iadmd: drained; served %d requests across %d nets (ssdt hit rate %.3f, tsdt hit rate %.3f, epoch %d, shed %d)\n",
+			m.Requests, len(multi.Nets()), m.SSDTHitRate, m.TSDTHitRate, m.Epoch, m.Admission.Shed)
 		return shutErr
 	}
 }

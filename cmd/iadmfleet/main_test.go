@@ -1,0 +1,113 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"iadm/internal/routesvc"
+)
+
+func testBackend(t *testing.T) *httptest.Server {
+	t.Helper()
+	m := routesvc.NewMulti(routesvc.Config{
+		N:         64,
+		Admission: routesvc.AdmissionConfig{Disabled: true},
+	}, 8)
+	srv := httptest.NewServer(routesvc.NewMultiHandler(m))
+	t.Cleanup(func() {
+		srv.Close()
+		m.Drain()
+	})
+	return srv
+}
+
+// TestServeRouteAndDrain boots two backends and the router on an
+// ephemeral port, routes through the router, then delivers SIGTERM and
+// checks it drains and exits cleanly, portfile intact throughout.
+func TestServeRouteAndDrain(t *testing.T) {
+	b0, b1 := testBackend(t), testBackend(t)
+	portFile := filepath.Join(t.TempDir(), "port")
+	cfg := fleetConfig{
+		backends:     b0.URL + ", " + b1.URL,
+		addr:         "127.0.0.1:0",
+		portFile:     portFile,
+		drainTimeout: 5 * time.Second,
+		probeWait:    5 * time.Second,
+		retryBudget:  0.1,
+	}
+	stop := make(chan os.Signal, 1)
+	ready := make(chan string, 1)
+	var logs strings.Builder
+	done := make(chan error, 1)
+	go func() { done <- serve(cfg, &logs, stop, ready) }()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("serve exited early: %v", err)
+	}
+	written, err := os.ReadFile(portFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(string(written)); got != addr {
+		t.Errorf("portfile has %q, listener bound %q", got, addr)
+	}
+
+	resp, err := http.Get("http://" + addr + "/route?src=3&dst=9&scheme=ssdt&net=p0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var route routesvc.RouteJSON
+	if err := json.NewDecoder(resp.Body).Decode(&route); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || route.Tag == "" {
+		t.Fatalf("route via router: status %d, %+v", resp.StatusCode, route)
+	}
+	if route.Net != "p0" {
+		t.Errorf("router dropped the net echo: %+v", route)
+	}
+
+	stop <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("router did not exit after SIGTERM")
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Error("router still accepting connections after drain")
+	}
+	if !strings.Contains(logs.String(), "drained") {
+		t.Errorf("logs missing drain line:\n%s", logs.String())
+	}
+}
+
+func TestServeRejectsBadConfig(t *testing.T) {
+	stop := make(chan os.Signal)
+	if err := serve(fleetConfig{addr: "127.0.0.1:0"}, io.Discard, stop, nil); err == nil {
+		t.Error("accepted an empty backend list")
+	}
+	// A probe that can never succeed must fail once -probe-wait expires.
+	cfg := fleetConfig{
+		backends:  "http://127.0.0.1:1",
+		addr:      "127.0.0.1:0",
+		probeWait: 100 * time.Millisecond,
+	}
+	if err := serve(cfg, io.Discard, stop, nil); err == nil {
+		t.Error("accepted an unreachable backend")
+	}
+}

@@ -8,9 +8,22 @@
 // Usage:
 //
 //	iadmload -addr 127.0.0.1:8080 [-workers 8] [-duration 2s]
+//	         [-targets a:1,b:2] [-nets 0] [-churn-net NAME]
 //	         [-tsdt 0.2] [-zipf 1.3] [-churn 0.01] [-batch 0]
 //	         [-batch-mix 1,3,64,65,200] [-seed 1] [-check] [-min-ssdt-hit 0]
 //	         [-overload] [-max-p99us 20000] [-max-shed 0.99] [-min-overload 0]
+//
+// -targets spreads the workers across several endpoints (workers are
+// assigned round-robin; all endpoints must serve the same N) and the
+// final report merges every endpoint's /metrics document into one
+// cluster view — the percentile lines stay client-side and therefore
+// already span all targets. -addr is shorthand for a single target.
+//
+// -nets spreads requests across K named networks ("p0".."p<K-1>" — the
+// partitions of a fleet router, or lazily created networks of a
+// multi-net iadmd). -churn-net confines fault/repair churn to one named
+// network, so a smoke run can churn one partition while checking the
+// others' caches never invalidate.
 //
 // -batch sends fixed-size /route/batch requests; -batch-mix cycles through
 // a comma-separated list of sizes per iteration instead (sizes <= 1 go out
@@ -54,6 +67,9 @@ import (
 
 type loadConfig struct {
 	addr       string
+	targets    string
+	nets       int
+	churnNet   string
 	workers    int
 	duration   time.Duration
 	tsdtFrac   float64
@@ -95,7 +111,10 @@ func newLatStream() stats.Stream { return stats.NewStream(5, 4096) }
 
 func main() {
 	var cfg loadConfig
-	flag.StringVar(&cfg.addr, "addr", "", "daemon address host:port or URL (required)")
+	flag.StringVar(&cfg.addr, "addr", "", "daemon address host:port or URL (required unless -targets)")
+	flag.StringVar(&cfg.targets, "targets", "", "comma-separated endpoints; workers spread round-robin and the final metrics merge across all of them")
+	flag.IntVar(&cfg.nets, "nets", 0, "spread requests across this many named networks p0..p<K-1> (0 = default network only)")
+	flag.StringVar(&cfg.churnNet, "churn-net", "", "confine -churn fault/repair traffic to this named network")
 	flag.IntVar(&cfg.workers, "workers", 8, "closed-loop worker goroutines")
 	flag.DurationVar(&cfg.duration, "duration", 2*time.Second, "load duration")
 	flag.Float64Var(&cfg.tsdtFrac, "tsdt", 0.2, "fraction of requests using the TSDT scheme (rest SSDT)")
@@ -116,8 +135,8 @@ func main() {
 		fmt.Println(buildinfo.Version("iadmload"))
 		return
 	}
-	if cfg.addr == "" {
-		fmt.Fprintln(os.Stderr, "iadmload: -addr is required")
+	if cfg.addr == "" && cfg.targets == "" {
+		fmt.Fprintln(os.Stderr, "iadmload: -addr or -targets is required")
 		os.Exit(2)
 	}
 	sum, err := run(cfg, os.Stdout)
@@ -167,6 +186,24 @@ func (s *summary) throughput() float64 {
 // sheds is the client-side view of admission refusals: 429 responses plus
 // individually shed batch items.
 func (s *summary) sheds() int { return s.total.shed + s.total.itemSheds }
+
+// successes counts requests that came back 200 with a tag: total minus
+// every failure class and minus sheds (a shed is not a success even
+// though it is intentional).
+func (s *summary) successes() int {
+	return s.total.requests - s.total.transport - s.total.badStatus -
+		s.total.itemErrors - s.sheds()
+}
+
+// okPerSec is the success throughput — the capacity number the fleet
+// smoke compares across topologies (sheds excluded, so a gate that
+// refuses 80% of traffic cannot masquerade as capacity).
+func (s *summary) okPerSec() float64 {
+	if s.elapsed <= 0 {
+		return 0
+	}
+	return float64(s.successes()) / s.elapsed.Seconds()
+}
 
 // overloadFactor is offered/admitted slow-path demand as the server saw
 // it: 1.0 means the gate never refused, 4.0 means four times saturation.
@@ -229,9 +266,7 @@ func (s *summary) violations(cfg loadConfig) []string {
 	if f := s.overloadFactor(); f < cfg.minOverload {
 		v = append(v, fmt.Sprintf("overload factor %.1fx < %.1fx", f, cfg.minOverload))
 	}
-	successes := s.total.requests - s.total.transport - s.total.badStatus -
-		s.total.itemErrors - s.sheds()
-	if successes <= 0 {
+	if s.successes() <= 0 {
 		v = append(v, "service collapsed: zero successful responses under overload")
 	}
 	if frac := float64(s.sheds()) / float64(max(1, s.total.requests)); frac > cfg.maxShedFrac {
@@ -243,16 +278,32 @@ func (s *summary) violations(cfg loadConfig) []string {
 	return v
 }
 
-func run(cfg loadConfig, w io.Writer) (*summary, error) {
-	base := cfg.addr
-	if !strings.Contains(base, "://") {
-		base = "http://" + base
+// normBase turns an -addr/-targets entry into a base URL.
+func normBase(s string) string {
+	if !strings.Contains(s, "://") {
+		s = "http://" + s
 	}
-	base = strings.TrimSuffix(base, "/")
+	return strings.TrimSuffix(s, "/")
+}
+
+func run(cfg loadConfig, w io.Writer) (*summary, error) {
+	var bases []string
+	if cfg.targets != "" {
+		for _, t := range strings.Split(cfg.targets, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				bases = append(bases, normBase(t))
+			}
+		}
+	} else {
+		bases = []string{normBase(cfg.addr)}
+	}
+	if len(bases) == 0 {
+		return nil, fmt.Errorf("-targets has no endpoints")
+	}
 	if cfg.workers < 1 {
 		return nil, fmt.Errorf("need at least 1 worker")
 	}
-	if cfg.batch < 0 || cfg.tsdtFrac < 0 || cfg.tsdtFrac > 1 || cfg.churn < 0 || cfg.churn > 1 {
+	if cfg.batch < 0 || cfg.tsdtFrac < 0 || cfg.tsdtFrac > 1 || cfg.churn < 0 || cfg.churn > 1 || cfg.nets < 0 {
 		return nil, fmt.Errorf("bad flag values")
 	}
 	mix, err := parseBatchMix(cfg.batchMix)
@@ -263,17 +314,26 @@ func run(cfg loadConfig, w io.Writer) (*summary, error) {
 	client := &http.Client{
 		Timeout: 10 * time.Second,
 		Transport: &http.Transport{
-			MaxIdleConns:        2 * cfg.workers,
+			MaxIdleConns:        2 * cfg.workers * len(bases),
 			MaxIdleConnsPerHost: 2 * cfg.workers,
 		},
 	}
 
 	// The daemon tells us the address space; no -n flag to get wrong.
-	var health routesvc.HealthJSON
-	if err := getJSON(client, base+"/healthz", &health); err != nil {
-		return nil, fmt.Errorf("daemon not healthy at %s: %v", base, err)
+	// Every target must agree — mixed sizes would generate unroutable
+	// (src,dst) pairs against the smaller fabrics.
+	n := 0
+	for _, base := range bases {
+		var health routesvc.HealthJSON
+		if err := getJSON(client, base+"/healthz", &health); err != nil {
+			return nil, fmt.Errorf("daemon not healthy at %s: %v", base, err)
+		}
+		if n == 0 {
+			n = health.N
+		} else if health.N != n {
+			return nil, fmt.Errorf("%s serves N=%d, others N=%d", base, health.N, n)
+		}
 	}
-	n := health.N
 	if n < 2 {
 		return nil, fmt.Errorf("daemon reports N=%d", n)
 	}
@@ -287,8 +347,12 @@ func run(cfg loadConfig, w io.Writer) (*summary, error) {
 	if mix != nil {
 		batchDesc = "mix " + cfg.batchMix
 	}
-	fmt.Fprintf(w, "iadmload: %d workers for %v against %s (N=%d, tsdt=%.2f, zipf=%.2f, churn=%.3f, batch=%s)\n",
-		cfg.workers, cfg.duration, base, n, cfg.tsdtFrac, cfg.zipfS, cfg.churn, batchDesc)
+	target := bases[0]
+	if len(bases) > 1 {
+		target = fmt.Sprintf("%d targets", len(bases))
+	}
+	fmt.Fprintf(w, "iadmload: %d workers for %v against %s (N=%d, nets=%d, tsdt=%.2f, zipf=%.2f, churn=%.3f, batch=%s)\n",
+		cfg.workers, cfg.duration, target, n, cfg.nets, cfg.tsdtFrac, cfg.zipfS, cfg.churn, batchDesc)
 
 	start := time.Now()
 	deadline := start.Add(cfg.duration)
@@ -298,7 +362,7 @@ func run(cfg loadConfig, w io.Writer) (*summary, error) {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			results[id] = worker(cfg, mix, client, base, n, stages, id, deadline)
+			results[id] = worker(cfg, mix, client, bases[id%len(bases)], n, stages, id, deadline)
 		}(id)
 	}
 	wg.Wait()
@@ -325,14 +389,25 @@ func run(cfg loadConfig, w io.Writer) (*summary, error) {
 		sum.total.mutateErrors += r.mutateErrors
 		sum.total.lat.Merge(&r.lat)
 	}
-	if err := getJSON(client, base+"/metrics", &sum.metrics); err != nil {
-		return nil, fmt.Errorf("fetching final metrics: %v", err)
+	// One /metrics scrape per target, merged into a single cluster view
+	// (identical to the single-target document when there is one target).
+	for i, base := range bases {
+		var doc routesvc.MetricsJSON
+		if err := getJSON(client, base+"/metrics", &doc); err != nil {
+			return nil, fmt.Errorf("fetching final metrics: %v", err)
+		}
+		if i == 0 {
+			sum.metrics = doc
+		} else {
+			routesvc.MergeMetricsJSON(&sum.metrics, doc)
+		}
 	}
 
 	lat := &sum.total.lat
 	fmt.Fprintf(w, "requests: %d in %.2fs (%.0f req/s); errors: %d transport, %d bad status, %d batch items, %d mutate\n",
 		sum.total.requests, elapsed.Seconds(), sum.throughput(),
 		sum.total.transport, sum.total.badStatus, sum.total.itemErrors, sum.total.mutateErrors)
+	fmt.Fprintf(w, "success: %d ok (%.0f ok/s)\n", sum.successes(), sum.okPerSec())
 	fmt.Fprintf(w, "latency µs: mean=%.1f p50=%g p90=%g p99=%g max=%g\n",
 		lat.Mean(), lat.Percentile(50), lat.Percentile(90), lat.Percentile(99), lat.Max())
 	fmt.Fprintf(w, "churn: %d faults, %d repairs; final epoch %d, blocked %d\n",
@@ -376,6 +451,12 @@ func worker(cfg loadConfig, mix []int, client *http.Client, base string, n, stag
 		}
 		return "ssdt"
 	}
+	pickNet := func() string {
+		if cfg.nets > 0 {
+			return fmt.Sprintf("p%d", rng.Intn(cfg.nets))
+		}
+		return ""
+	}
 
 	mi := 0
 	for time.Now().Before(deadline) {
@@ -390,7 +471,7 @@ func worker(cfg loadConfig, mix []int, client *http.Client, base string, n, stag
 				spec := faulted[i]
 				faulted = append(faulted[:i], faulted[i+1:]...)
 				ws.repairs++
-				if !postMutate(client, base+"/repair", spec) {
+				if !postMutate(client, base+"/repair", spec, cfg.churnNet) {
 					ws.mutateErrors++
 				}
 			} else {
@@ -401,7 +482,7 @@ func worker(cfg loadConfig, mix []int, client *http.Client, base string, n, stag
 				spec := fmt.Sprintf("%d:%d:%s", rng.Intn(stages), rng.Intn(n), kind)
 				faulted = append(faulted, spec)
 				ws.faults++
-				if !postMutate(client, base+"/fault", spec) {
+				if !postMutate(client, base+"/fault", spec, cfg.churnNet) {
 					ws.mutateErrors++
 				}
 			}
@@ -409,7 +490,7 @@ func worker(cfg loadConfig, mix []int, client *http.Client, base string, n, stag
 		if size > 1 {
 			reqs := make([]routesvc.RouteJSON, size)
 			for i := range reqs {
-				reqs[i] = routesvc.RouteJSON{Src: rng.Intn(n), Dst: pickDst(), Scheme: pickScheme()}
+				reqs[i] = routesvc.RouteJSON{Net: pickNet(), Src: rng.Intn(n), Dst: pickDst(), Scheme: pickScheme()}
 			}
 			body, _ := json.Marshal(routesvc.BatchJSON{Requests: reqs})
 			t0 := time.Now()
@@ -443,6 +524,9 @@ func worker(cfg loadConfig, mix []int, client *http.Client, base string, n, stag
 			}
 		} else {
 			url := fmt.Sprintf("%s/route?src=%d&dst=%d&scheme=%s", base, rng.Intn(n), pickDst(), pickScheme())
+			if net := pickNet(); net != "" {
+				url += "&net=" + net
+			}
 			t0 := time.Now()
 			resp, err := client.Get(url)
 			us := float64(time.Since(t0).Microseconds())
@@ -470,15 +554,15 @@ func worker(cfg loadConfig, mix []int, client *http.Client, base string, n, stag
 	// Leave the map as we found it: repair this worker's leftover faults.
 	for _, spec := range faulted {
 		ws.repairs++
-		if !postMutate(client, base+"/repair", spec) {
+		if !postMutate(client, base+"/repair", spec, cfg.churnNet) {
 			ws.mutateErrors++
 		}
 	}
 	return ws
 }
 
-func postMutate(client *http.Client, url, linkSpec string) bool {
-	body, _ := json.Marshal(routesvc.MutateJSON{Links: []string{linkSpec}})
+func postMutate(client *http.Client, url, linkSpec, net string) bool {
+	body, _ := json.Marshal(routesvc.MutateJSON{Net: net, Links: []string{linkSpec}})
 	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 	if err != nil {
 		return false

@@ -1,0 +1,112 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testBackends(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://backend-%d:9000", i)
+	}
+	return out
+}
+
+func TestRingReplicaSets(t *testing.T) {
+	r, err := NewRing(testBackends(5), 3, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 32; p++ {
+		net := fmt.Sprintf("p%d", p)
+		set := r.ReplicaSet(net)
+		if len(set) != 3 {
+			t.Fatalf("%s: replica set size %d, want 3", net, len(set))
+		}
+		seen := map[int]bool{}
+		for _, b := range set {
+			if b < 0 || b >= 5 {
+				t.Fatalf("%s: backend index %d out of range", net, b)
+			}
+			if seen[b] {
+				t.Fatalf("%s: duplicate backend %d in replica set %v", net, b, set)
+			}
+			seen[b] = true
+		}
+		// Memoized: the second lookup must return the identical slice.
+		if again := r.ReplicaSet(net); &again[0] != &set[0] {
+			t.Fatalf("%s: replica set not memoized", net)
+		}
+	}
+}
+
+func TestRingOwnerStableAndInSet(t *testing.T) {
+	r, err := NewRing(testBackends(4), 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for src := 0; src < 16; src++ {
+		for dst := 0; dst < 16; dst++ {
+			owner, set := r.Owner("p0", src, dst)
+			in := false
+			for _, b := range set {
+				if b == owner {
+					in = true
+				}
+			}
+			if !in {
+				t.Fatalf("owner %d not in replica set %v", owner, set)
+			}
+			if again, _ := r.Owner("p0", src, dst); again != owner {
+				t.Fatalf("owner not stable for (%d,%d)", src, dst)
+			}
+		}
+	}
+}
+
+// TestRingSpread checks the consistent-hash placement actually spreads:
+// across many partitions every backend must own some primaries. With 64
+// vnodes a backend owning zero of 256 partitions would mean a broken
+// ring walk, not bad luck.
+func TestRingSpread(t *testing.T) {
+	r, err := NewRing(testBackends(3), 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 3)
+	for p := 0; p < 256; p++ {
+		set := r.ReplicaSet(fmt.Sprintf("part-%d", p))
+		counts[set[0]]++
+	}
+	for b, c := range counts {
+		if c == 0 {
+			t.Fatalf("backend %d owns zero of 256 partitions: %v", b, counts)
+		}
+	}
+}
+
+func TestRingErrors(t *testing.T) {
+	if _, err := NewRing(nil, 1, 8); err == nil {
+		t.Fatal("empty backend list accepted")
+	}
+	if _, err := NewRing(testBackends(2), 3, 8); err == nil {
+		t.Fatal("3 replicas over 2 backends accepted")
+	}
+}
+
+// TestRingOwnerZeroAlloc pins the hot-path contract: once a partition's
+// replica set is memoized, Owner must not allocate.
+func TestRingOwnerZeroAlloc(t *testing.T) {
+	r, err := NewRing(testBackends(3), 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.ReplicaSet("p0") // warm the memo
+	allocs := testing.AllocsPerRun(1000, func() {
+		_, _ = r.Owner("p0", 3, 41)
+	})
+	if allocs != 0 {
+		t.Fatalf("Owner allocates %.1f per call, want 0", allocs)
+	}
+}

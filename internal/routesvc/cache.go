@@ -359,6 +359,38 @@ func (c *tagCache) stats(epoch uint64) (live, stale int) {
 	return live, stale
 }
 
+// snapshot is stats plus memoryBytes in ONE pass: each shard's entry
+// split and slab footprint are read under the same lock hold, so the
+// entries a scrape counts and the bytes it attributes to them can never
+// straddle a concurrent sweep's shard rebuild. (With two separate
+// passes, a sweep landing in between pairs a pre-sweep entry count with
+// a post-sweep footprint — the sum can then report fewer slab bytes
+// than one word per counted entry, i.e. an impossible bits/route.)
+// Shards are still scanned one at a time; the guarantee is per-shard
+// pairing, which is what the footprint arithmetic needs.
+func (c *tagCache) snapshot(epoch uint64) (live, stale int, bytes uint64) {
+	l := &c.layout
+	stride := l.stride()
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		bytes += uint64(len(sh.slots)) * 8
+		for w := 0; w < len(sh.slots); w += stride {
+			w0 := sh.slots[w]
+			if w0&1 == 0 {
+				continue
+			}
+			if Scheme(w0>>1&1) == SchemeSSDT || l.slotStamp(sh.slots, w) == epoch&l.epMask {
+				live++
+			} else {
+				stale++
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return live, stale, bytes
+}
+
 // memoryBytes reports the slab footprint across all shards.
 func (c *tagCache) memoryBytes() uint64 {
 	n := uint64(0)

@@ -1,0 +1,111 @@
+package routesvc
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDrainDuringPrewarm interleaves a SIGTERM-style Drain with a
+// CAS-guarded prewarm worker frozen mid-build. The contract under test:
+//
+//   - Drain must wait for the worker (it holds the inflight gate), not
+//     deadlock against it and not abandon it mid-swap;
+//   - readers must never see a half-swapped dense table — DenseRoutes is
+//     0 (build not yet swapped) or N (swap complete), never in between;
+//   - after Drain returns, a new Prewarm is refused with ErrDraining.
+func TestDrainDuringPrewarm(t *testing.T) {
+	const n = 256
+	s, err := New(Config{N: n, Admission: AdmissionConfig{Disabled: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s.testPrewarmHook = func(filled int) {
+		// Freeze the build once, partway through (after the first block
+		// has been computed but long before the table swap).
+		if filled == 64 {
+			once.Do(func() {
+				close(started)
+				<-release
+			})
+		}
+	}
+
+	s.schedulePrewarm()
+	<-started
+
+	// The worker is mid-build. A scrape taken now must not observe a
+	// partial table.
+	if m := s.Metrics(); m.DenseRoutes != 0 {
+		t.Fatalf("mid-build scrape saw dense_routes=%d, want 0 until the swap", m.DenseRoutes)
+	}
+
+	drained := make(chan struct{})
+	go func() {
+		s.Drain()
+		close(drained)
+	}()
+
+	// Drain must block on the frozen worker: returning now would tear the
+	// process down under a half-built table swap.
+	select {
+	case <-drained:
+		t.Fatal("Drain returned while a prewarm worker was mid-build")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release)
+	select {
+	case <-drained:
+	case <-time.After(5 * time.Second):
+		t.Fatal("deadlock: Drain never returned after the prewarm worker was released")
+	}
+
+	// The released worker ran to completion before Drain returned, so the
+	// swap happened exactly once and wholly.
+	m := s.Metrics()
+	if m.DenseRoutes != n {
+		t.Fatalf("post-drain dense_routes=%d, want %d (whole table) — half-swapped table served", m.DenseRoutes, n)
+	}
+	if m.Prewarms != 1 {
+		t.Fatalf("prewarms_total=%d, want 1", m.Prewarms)
+	}
+
+	if _, err := s.Prewarm(); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Prewarm after Drain: err=%v, want ErrDraining", err)
+	}
+	if _, err := s.Route(0, 1, SchemeSSDT); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Route after Drain: err=%v, want ErrDraining", err)
+	}
+}
+
+// TestDrainBeforePrewarmWorkerStarts covers the other interleaving: the
+// drain wins the race, so the scheduled worker must bow out without
+// building (DenseRoutes stays 0) and without deadlocking.
+func TestDrainBeforePrewarmWorkerStarts(t *testing.T) {
+	s, err := New(Config{N: 64, Admission: AdmissionConfig{Disabled: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	entered := make(chan struct{})
+	s.testPrewarmHook = func(int) { close(entered) }
+
+	// Drain first: the flag is up before the worker's begin().
+	s.Drain()
+	s.schedulePrewarm()
+
+	select {
+	case <-entered:
+		t.Fatal("prewarm worker built against a draining service")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if m := s.Metrics(); m.DenseRoutes != 0 || m.Prewarms != 0 {
+		t.Fatalf("dense_routes=%d prewarms=%d after drained prewarm, want 0/0", m.DenseRoutes, m.Prewarms)
+	}
+}

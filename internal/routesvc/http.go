@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"iadm/internal/controller"
 	"iadm/internal/core"
 	"iadm/internal/stats"
 	"iadm/internal/topology"
@@ -31,8 +32,14 @@ import (
 // a Retry-After header; batch items shed inside a 200 response carry
 // "code":"overload". 429s are counted separately from 5xx — a shed is the
 // service protecting itself, not failing.
+// Multi-network mode: a Handler built with NewMultiHandler serves many
+// named networks from one process. Requests select theirs with a "net"
+// field (JSON) or ?net= (query); the empty name is DefaultNet. A Handler
+// built with NewHandler serves exactly one network and ignores "net",
+// so single-network deployments and their clients are unchanged.
 type Handler struct {
-	svc   *Service
+	svc   *Service // single-network mode (NewHandler)
+	multi *Multi   // multi-network mode (NewMultiHandler)
 	mux   *http.ServeMux
 	start time.Time
 
@@ -57,10 +64,23 @@ const (
 	latBuckets  = 4096
 )
 
-// NewHandler wraps the service in its HTTP API.
+// NewHandler wraps one service in its HTTP API (single-network mode).
 func NewHandler(svc *Service) *Handler {
+	h := newHandler()
+	h.svc = svc
+	return h
+}
+
+// NewMultiHandler wraps a multi-network host in the same HTTP API; the
+// "net" request field selects the network.
+func NewMultiHandler(m *Multi) *Handler {
+	h := newHandler()
+	h.multi = m
+	return h
+}
+
+func newHandler() *Handler {
 	h := &Handler{
-		svc:   svc,
 		mux:   http.NewServeMux(),
 		start: time.Now(),
 		eps:   make(map[string]*epStream),
@@ -155,16 +175,36 @@ func errCode(err error) string {
 	return ""
 }
 
+// service resolves the network a request addressed. Single-network
+// handlers ignore the name; multi-network handlers create the net
+// lazily (or refuse it: draining, or over the -max-nets cap).
+func (h *Handler) service(net string) (*Service, error) {
+	if h.multi != nil {
+		return h.multi.Get(net)
+	}
+	return h.svc, nil
+}
+
+func (h *Handler) retryAfter() int {
+	if h.multi != nil {
+		return h.multi.RetryAfter()
+	}
+	return h.svc.RetryAfter()
+}
+
 func (h *Handler) writeErr(w http.ResponseWriter, err error) {
 	code := errStatus(err)
 	if code == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", strconv.Itoa(h.svc.RetryAfter()))
+		w.Header().Set("Retry-After", strconv.Itoa(h.retryAfter()))
 	}
 	writeJSON(w, code, errJSON{Error: err.Error(), Code: errCode(err)})
 }
 
-// RouteJSON is the wire form of one route request/response.
+// RouteJSON is the wire form of one route request/response. Net selects
+// the target network on multi-network hosts (empty = DefaultNet) and is
+// echoed on responses.
 type RouteJSON struct {
+	Net    string `json:"net,omitempty"`
 	Src    int    `json:"src"`
 	Dst    int    `json:"dst"`
 	Scheme string `json:"scheme"`
@@ -197,54 +237,62 @@ func resultJSON(res Result) RouteJSON {
 	return out
 }
 
-// parseRouteReq accepts GET query parameters or a POST JSON body.
-func parseRouteReq(r *http.Request) (Request, error) {
-	var src, dst string
+// parseRouteReq accepts GET query parameters or a POST JSON body, and
+// returns the addressed network alongside the request.
+func parseRouteReq(r *http.Request) (string, Request, error) {
+	var net, src, dst string
 	var scheme string
 	switch r.Method {
 	case http.MethodGet:
 		q := r.URL.Query()
-		src, dst, scheme = q.Get("src"), q.Get("dst"), q.Get("scheme")
+		net, src, dst, scheme = q.Get("net"), q.Get("src"), q.Get("dst"), q.Get("scheme")
 	case http.MethodPost:
 		var body RouteJSON
 		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-			return Request{}, fmt.Errorf("%w: bad JSON body: %v", ErrInvalid, err)
+			return "", Request{}, fmt.Errorf("%w: bad JSON body: %v", ErrInvalid, err)
 		}
 		sc, err := ParseScheme(body.Scheme)
 		if err != nil {
-			return Request{}, err
+			return "", Request{}, err
 		}
-		return Request{Src: body.Src, Dst: body.Dst, Scheme: sc}, nil
+		return body.Net, Request{Src: body.Src, Dst: body.Dst, Scheme: sc}, nil
 	default:
-		return Request{}, fmt.Errorf("%w: method %s", ErrInvalid, r.Method)
+		return "", Request{}, fmt.Errorf("%w: method %s", ErrInvalid, r.Method)
 	}
 	s, err := strconv.Atoi(src)
 	if err != nil {
-		return Request{}, fmt.Errorf("%w: bad src %q", ErrInvalid, src)
+		return "", Request{}, fmt.Errorf("%w: bad src %q", ErrInvalid, src)
 	}
 	d, err := strconv.Atoi(dst)
 	if err != nil {
-		return Request{}, fmt.Errorf("%w: bad dst %q", ErrInvalid, dst)
+		return "", Request{}, fmt.Errorf("%w: bad dst %q", ErrInvalid, dst)
 	}
 	sc, err := ParseScheme(scheme)
 	if err != nil {
-		return Request{}, err
+		return "", Request{}, err
 	}
-	return Request{Src: s, Dst: d, Scheme: sc}, nil
+	return net, Request{Src: s, Dst: d, Scheme: sc}, nil
 }
 
 func (h *Handler) routeOne(w http.ResponseWriter, r *http.Request) {
-	req, err := parseRouteReq(r)
+	net, req, err := parseRouteReq(r)
 	if err != nil {
 		h.writeErr(w, err)
 		return
 	}
-	res, err := h.svc.Route(req.Src, req.Dst, req.Scheme)
+	svc, err := h.service(net)
 	if err != nil {
 		h.writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resultJSON(res))
+	res, err := svc.Route(req.Src, req.Dst, req.Scheme)
+	if err != nil {
+		h.writeErr(w, err)
+		return
+	}
+	out := resultJSON(res)
+	out.Net = net
+	writeJSON(w, http.StatusOK, out)
 }
 
 // BatchJSON is the wire form of a /route/batch exchange.
@@ -266,6 +314,7 @@ func (h *Handler) routeBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	reqs := make([]Request, len(body.Requests))
+	nets := make([]string, len(body.Requests))
 	for i, rq := range body.Requests {
 		sc, err := ParseScheme(rq.Scheme)
 		if err != nil {
@@ -273,23 +322,88 @@ func (h *Handler) routeBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		reqs[i] = Request{Src: rq.Src, Dst: rq.Dst, Scheme: sc}
+		nets[i] = rq.Net
 	}
-	results, err := h.svc.RouteBatch(reqs)
-	if err != nil {
-		h.writeErr(w, err)
+	// Group items by network, preserving input order inside each group so
+	// every per-network sub-batch still packs dense 64-lane sliced blocks.
+	// A single-network batch (the overwhelmingly common case, and every
+	// single-network handler) keeps whole-batch error semantics; items of
+	// a mixed batch fail per-item so one draining network cannot poison
+	// the others' results.
+	var order []string
+	groups := make(map[string][]int, 1)
+	for i, n := range nets {
+		if n == "" {
+			n = DefaultNet
+		}
+		if _, ok := groups[n]; !ok {
+			order = append(order, n)
+		}
+		groups[n] = append(groups[n], i)
+	}
+	if h.multi == nil || len(order) <= 1 {
+		var net string
+		if len(order) == 1 {
+			net = order[0]
+		}
+		svc, err := h.service(net)
+		if err != nil {
+			h.writeErr(w, err)
+			return
+		}
+		results, err := svc.RouteBatch(reqs)
+		if err != nil {
+			h.writeErr(w, err)
+			return
+		}
+		out := BatchJSON{Responses: make([]RouteJSON, len(results)), Epoch: svc.Epoch()}
+		for i, res := range results {
+			out.Responses[i] = resultJSON(res)
+			out.Responses[i].Net = nets[i]
+		}
+		writeJSON(w, http.StatusOK, out)
 		return
 	}
-	out := BatchJSON{Responses: make([]RouteJSON, len(results)), Epoch: h.svc.Epoch()}
-	for i, res := range results {
-		out.Responses[i] = resultJSON(res)
+	out := BatchJSON{Responses: make([]RouteJSON, len(reqs))}
+	for _, n := range order {
+		idx := groups[n]
+		sub := make([]Request, len(idx))
+		for k, i := range idx {
+			sub[k] = reqs[i]
+		}
+		svc, err := h.service(n)
+		var results []Result
+		if err == nil {
+			results, err = svc.RouteBatch(sub)
+		}
+		if err != nil {
+			for _, i := range idx {
+				out.Responses[i] = RouteJSON{
+					Net: nets[i], Src: reqs[i].Src, Dst: reqs[i].Dst,
+					Scheme: reqs[i].Scheme.String(),
+					Error:  err.Error(), Code: errCode(err),
+				}
+			}
+			continue
+		}
+		for k, i := range idx {
+			out.Responses[i] = resultJSON(results[k])
+			out.Responses[i].Net = nets[i]
+		}
+		if ep := svc.Epoch(); ep > out.Epoch {
+			out.Epoch = ep
+		}
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
 // MutateJSON is the wire form of /fault and /repair exchanges. Specs use
 // the iadmsim notation: links "stage:from:kind" (kind -, 0, +), switches
-// "stage:index".
+// "stage:index". Net selects the network whose blockage map mutates;
+// only that network's epoch bumps, so the other partitions hosted by a
+// multi-network backend keep their caches.
 type MutateJSON struct {
+	Net      string   `json:"net,omitempty"`
 	Links    []string `json:"links,omitempty"`
 	Switches []string `json:"switches,omitempty"`
 	// Response fields.
@@ -319,9 +433,14 @@ func (h *Handler) mutate(w http.ResponseWriter, r *http.Request, isFault bool) {
 		h.writeErr(w, fmt.Errorf("%w: switch repairs are not expressible (repair the input links individually)", ErrInvalid))
 		return
 	}
+	svc, err := h.service(body.Net)
+	if err != nil {
+		h.writeErr(w, err)
+		return
+	}
 	// Parse every spec before applying any, so a malformed entry midway
 	// through the list cannot leave the blockage map half-mutated.
-	p := h.svc.Params()
+	p := svc.Params()
 	links := make([]topology.Link, len(body.Links))
 	for i, spec := range body.Links {
 		l, err := topology.ParseLink(p, spec)
@@ -341,20 +460,20 @@ func (h *Handler) mutate(w http.ResponseWriter, r *http.Request, isFault bool) {
 		switches[i] = sw
 	}
 	var changed int
-	var err error
 	if isFault {
-		changed, err = h.svc.ApplyFaults(links, switches)
+		changed, err = svc.ApplyFaults(links, switches)
 	} else {
-		changed, err = h.svc.ApplyRepairs(links)
+		changed, err = svc.ApplyRepairs(links)
 	}
 	if err != nil {
 		h.writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, MutateJSON{
+		Net:     body.Net,
 		Changed: changed,
-		Epoch:   h.svc.Epoch(),
-		Blocked: len(h.svc.Faults()),
+		Epoch:   svc.Epoch(),
+		Blocked: len(svc.Faults()),
 	})
 }
 
@@ -372,30 +491,43 @@ func (h *Handler) prewarm(w http.ResponseWriter, r *http.Request) {
 		h.writeErr(w, fmt.Errorf("%w: method %s", ErrInvalid, r.Method))
 		return
 	}
-	routes, err := h.svc.Prewarm()
+	svc, err := h.service(r.URL.Query().Get("net"))
 	if err != nil {
 		h.writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, PrewarmJSON{Routes: routes, Epoch: h.svc.Epoch()})
+	routes, err := svc.Prewarm()
+	if err != nil {
+		h.writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PrewarmJSON{Routes: routes, Epoch: svc.Epoch()})
 }
 
-// HealthJSON is the wire form of /healthz.
+// HealthJSON is the wire form of /healthz. Nets counts the networks a
+// multi-network host has materialized (0 on single-network handlers,
+// whose one network is implicit).
 type HealthJSON struct {
 	Status        string  `json:"status"`
 	N             int     `json:"n"`
 	Epoch         uint64  `json:"epoch"`
+	Nets          int     `json:"nets,omitempty"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
 func (h *Handler) healthz(w http.ResponseWriter, r *http.Request) {
-	out := HealthJSON{
-		Status:        "ok",
-		N:             h.svc.Params().Size(),
-		Epoch:         h.svc.Epoch(),
-		UptimeSeconds: time.Since(h.start).Seconds(),
+	out := HealthJSON{Status: "ok", UptimeSeconds: time.Since(h.start).Seconds()}
+	var draining bool
+	if h.multi != nil {
+		out.N = h.multi.N()
+		out.Nets = len(h.multi.Nets())
+		draining = h.multi.Draining()
+	} else {
+		out.N = h.svc.Params().Size()
+		out.Epoch = h.svc.Epoch()
+		draining = h.svc.Draining()
 	}
-	if h.svc.Draining() {
+	if draining {
 		out.Status = "draining"
 		writeJSON(w, http.StatusServiceUnavailable, out)
 		return
@@ -420,9 +552,35 @@ type MetricsJSON struct {
 	Service    Metrics                 `json:"service"`
 	Controller ControllerJSON          `json:"controller"`
 	Endpoints  map[string]EndpointJSON `json:"endpoints"`
+	Networks   []NetMetrics            `json:"networks,omitempty"`
 	HTTP5xx    uint64                  `json:"http_5xx"`
 	HTTP429    uint64                  `json:"http_429"`
 	UptimeSec  float64                 `json:"uptime_seconds"`
+}
+
+// NetMetrics is one network's line in a multi-network /metrics document
+// (Service there carries the merged totals). Replicas is filled by fleet
+// aggregation — how many backends' scrapes contributed to this line.
+type NetMetrics struct {
+	Net          string `json:"net"`
+	Requests     uint64 `json:"requests_total"`
+	Epoch        uint64 `json:"epoch"`
+	CacheEntries int    `json:"cache_entries"`
+	Replicas     int    `json:"replicas,omitempty"`
+}
+
+// controllerStats converts the wire ControllerJSON back to the internal
+// controller.Stats (Metrics.Controller is json:"-", so a decoded scrape
+// carries the controller counters only in MetricsJSON.Controller).
+func controllerStats(c ControllerJSON) controller.Stats {
+	return controller.Stats{
+		Hits:         c.Hits,
+		Misses:       c.Misses,
+		Fails:        c.Fails,
+		Epoch:        c.Epoch,
+		CacheEntries: c.CacheEntries,
+		BlockedLinks: c.BlockedLinks,
+	}
 }
 
 // ControllerJSON mirrors controller.Stats onto the wire.
@@ -438,9 +596,16 @@ type ControllerJSON struct {
 // Metrics builds the /metrics payload (exported so load generators can
 // decode it with the same type).
 func (h *Handler) Metrics() MetricsJSON {
-	m := h.svc.Metrics()
+	var m Metrics
+	var nets []NetMetrics
+	if h.multi != nil {
+		m, nets = h.multi.Metrics()
+	} else {
+		m = h.svc.Metrics()
+	}
 	out := MetricsJSON{
-		Service: m,
+		Service:  m,
+		Networks: nets,
 		Controller: ControllerJSON{
 			Hits:         m.Controller.Hits,
 			Misses:       m.Controller.Misses,

@@ -270,6 +270,7 @@ type Service struct {
 	cache    *tagCache
 	fl       flightGroup
 	adm      *admission
+	ownAdm   bool
 	slowCost time.Duration
 
 	// dense is the per-destination SSDT table (Theorem 3.1: one n-bit
@@ -310,12 +311,24 @@ type Service struct {
 	// queue occupancy deterministically. testEpochHook runs right after a
 	// TSDT request loads its epoch stamp, so tests can race a map
 	// mutation into the window between stamp and response.
+	// testPrewarmHook runs once per 64-lane block during a dense-table
+	// build, so tests can freeze a prewarm mid-build and interleave it
+	// with Drain.
 	testComputeHook func(Scheme)
 	testEpochHook   func()
+	testPrewarmHook func(filled int)
 }
 
 // New builds a Service for a fault-free network of size cfg.N.
 func New(cfg Config) (*Service, error) {
+	return newService(cfg, newAdmission(cfg.Admission), true)
+}
+
+// newService is New with an injected admission gate: a Multi shares one
+// per-process gate across every hosted network (the gate protects the
+// process's slow-path compute capacity, which is shared), in which case
+// the Service does not own it and must not stop it on Drain.
+func newService(cfg Config, adm *admission, ownAdm bool) (*Service, error) {
 	ctl, err := controller.New(cfg.N)
 	if err != nil {
 		return nil, err
@@ -324,7 +337,8 @@ func New(cfg Config) (*Service, error) {
 		ctl:          ctl,
 		p:            ctl.Params(),
 		cache:        newTagCache(cfg.Shards, ctl.Params()),
-		adm:          newAdmission(cfg.Admission),
+		adm:          adm,
+		ownAdm:       ownAdm,
 		slowCost:     cfg.SlowCost,
 		prewarmStorm: cfg.PrewarmStorm,
 		sweepEvery:   cfg.SweepEvery,
@@ -368,6 +382,9 @@ func (s *Service) buildDense() (int, error) {
 	var tags [core.Lanes]core.Tag
 	var paths [core.Lanes]core.PackedPath
 	for base := 0; base < N; base += core.Lanes {
+		if s.testPrewarmHook != nil {
+			s.testPrewarmHook(base)
+		}
 		k := min(core.Lanes, N-base)
 		for i := 0; i < k; i++ {
 			d := base + i
@@ -465,13 +482,16 @@ func (s *Service) end() { s.inflight.Done() }
 
 // Drain stops admitting requests (they fail with ErrDraining), blocks
 // until every in-flight request has finished, and stops the admission
-// controller loop. It is idempotent.
+// controller loop (when this Service owns it — a Multi's shared gate is
+// stopped once by Multi.Drain). It is idempotent.
 func (s *Service) Drain() {
 	s.drainMu.Lock()
 	s.draining = true
 	s.drainMu.Unlock()
 	s.inflight.Wait()
-	s.adm.stop()
+	if s.ownAdm {
+		s.adm.stop()
+	}
 }
 
 // Draining reports whether Drain has been called.
@@ -835,10 +855,14 @@ func (s *Service) Sweep() int {
 	return removed
 }
 
-// Metrics snapshots the service counters.
+// Metrics snapshots the service counters. The cache population split and
+// the slab footprint come from one consistent per-shard pass
+// (tagCache.snapshot): counting entries and summing bytes in two separate
+// lock passes let a concurrent sweep rebuild shards in between, so a
+// scrape could pair a pre-sweep entry count with a post-sweep footprint
+// and report an impossible bits-per-route figure.
 func (s *Service) Metrics() Metrics {
-	live, stale := s.cache.stats(s.ctl.Epoch())
-	cacheBytes := s.cache.memoryBytes()
+	live, stale, cacheBytes := s.cache.snapshot(s.ctl.Epoch())
 	denseRoutes := 0
 	if tbl := s.dense.Load(); tbl != nil {
 		denseRoutes = tbl.Len()

@@ -25,7 +25,13 @@ TAGSTORE_BENCH = BenchmarkTagTable|BenchmarkTagStore
 FLEET_PKGS = ./internal/fleet
 FLEET_BENCH = BenchmarkRingOwner|BenchmarkFleet
 
-.PHONY: check fmt vet build test race serve-smoke fleet-smoke bench bench-routing bench-tagstore bench-fleet bench-json bench-compare fuzz fuzz-smoke
+# The tracked wormhole suite: the flit-level cycle loop (expect 0
+# allocs/op steady state) across lane counts, plus the large-N sharded
+# stepping path.
+WORMHOLE_PKGS = ./internal/wormhole
+WORMHOLE_BENCH = BenchmarkWormhole
+
+.PHONY: check fmt vet build test race serve-smoke fleet-smoke bench bench-routing bench-tagstore bench-fleet bench-wormhole bench-json bench-compare fuzz fuzz-smoke
 
 check: fmt vet build test race serve-smoke fleet-smoke fuzz-smoke
 
@@ -69,6 +75,11 @@ bench-tagstore:
 bench-fleet:
 	$(GO) test -run '^$$' -bench '$(FLEET_BENCH)' -benchmem $(subst $(comma), ,$(FLEET_PKGS))
 
+# One human-readable pass over the wormhole suite (the flit loop must
+# stay 0 allocs/op once warm).
+bench-wormhole:
+	$(GO) test -run '^$$' -bench '$(WORMHOLE_BENCH)' -benchmem $(subst $(comma), ,$(WORMHOLE_PKGS))
+
 comma := ,
 
 # Emit BENCH_simulator.json, BENCH_routing.json and BENCH_tagstore.json
@@ -78,6 +89,7 @@ bench-json:
 	$(GO) run ./cmd/benchjson -pkg '$(ROUTING_PKGS)' -bench '$(ROUTING_BENCH)' -o BENCH_routing.json
 	$(GO) run ./cmd/benchjson -pkg '$(TAGSTORE_PKGS)' -bench '$(TAGSTORE_BENCH)' -o BENCH_tagstore.json
 	$(GO) run ./cmd/benchjson -pkg '$(FLEET_PKGS)' -bench '$(FLEET_BENCH)' -o BENCH_fleet.json
+	$(GO) run ./cmd/benchjson -pkg '$(WORMHOLE_PKGS)' -bench '$(WORMHOLE_BENCH)' -o BENCH_wormhole.json
 
 # Perf gate: rerun the tracked benchmarks and fail if mean_ns_per_op
 # regressed against the committed BENCH_simulator.json. benchjson's
@@ -96,6 +108,8 @@ bench-compare:
 		-pkg '$(TAGSTORE_PKGS)' -bench '$(TAGSTORE_BENCH)' -compare BENCH_tagstore.json
 	$(GO) run ./cmd/benchjson -count 5 -o /dev/null -tolerance 0.25 \
 		-pkg '$(FLEET_PKGS)' -bench '$(FLEET_BENCH)' -compare BENCH_fleet.json
+	$(GO) run ./cmd/benchjson -count 5 -o /dev/null -tolerance 0.25 \
+		-pkg '$(WORMHOLE_PKGS)' -bench '$(WORMHOLE_BENCH)' -compare BENCH_wormhole.json
 
 # End-to-end smoke of the serving stack: boot iadmd (N=1024) on an
 # ephemeral port, drive iadmload through a singles phase and a
@@ -126,12 +140,14 @@ fuzz:
 	$(GO) test -run FuzzRingQueue -fuzz FuzzRingQueue -fuzztime 30s ./internal/simulator
 
 # Bounded fuzz pass for CI: the ring-buffer model check, the
-# optimized-vs-reference differential oracle, the packed-path
-# round-trip/accessor-parity check, the sliced-vs-packed kernel parity
-# oracle, and the tag-table-vs-scalar-kernel round-trip oracle, 10s each.
+# optimized-vs-reference differential oracles (packet and wormhole
+# modes), the packed-path round-trip/accessor-parity check, the
+# sliced-vs-packed kernel parity oracle, and the
+# tag-table-vs-scalar-kernel round-trip oracle, 10s each.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzRingQueue -fuzztime 10s ./internal/simulator
 	$(GO) test -run '^$$' -fuzz FuzzDifferential -fuzztime 10s ./internal/refsim
+	$(GO) test -run '^$$' -fuzz FuzzWormholeDifferential -fuzztime 10s ./internal/refwh
 	$(GO) test -run '^$$' -fuzz FuzzPackedRoundTrip -fuzztime 10s ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzSlicedParity -fuzztime 10s ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzTagTable -fuzztime 10s ./internal/core

@@ -16,6 +16,9 @@
 //	iadmsim [-n N] [-workers K] simulate <policy> <load> [replicas]
 //	                                        # packet simulation (static|random|adaptive);
 //	                                        # replicas > 1 fans seeds out over K workers
+//	iadmsim [-n N] [-lanes K] [-depth F] [-flits P] [-traffic T] [-scenario file] wormhole <policy> <load> [replicas]
+//	                                        # flit-level wormhole simulation with K virtual
+//	                                        # lanes of F flits per link and P flits per packet
 //	iadmsim [-n N] equiv                    # cube-type family equivalence table
 //	iadmsim [-n N] multicast <s> <d>...     # one-to-many routing tree
 //	iadmsim [-n N] reliability <s> <d> <q>  # exact pair reliability at link-failure prob q
@@ -23,7 +26,10 @@
 //
 // Links are written stage:from:kind with kind one of -, 0, + (e.g. 1:2:-
 // is the -2^1 link of switch 2 at stage 1). Scenario files use the format
-// of internal/scenario (n/link/switch directives).
+// of internal/scenario (n/link/switch directives, plus lanes/depth for
+// the wormhole command; scenarios carrying lanes/depth are rejected by
+// the packet-mode scenario and connectivity commands). The -seed flag
+// decorrelates any simulation command; replicas use seeds seed..seed+R-1.
 package main
 
 import (
@@ -48,12 +54,39 @@ import (
 	"iadm/internal/stats"
 	"iadm/internal/subgraph"
 	"iadm/internal/topology"
+	"iadm/internal/wormhole"
 )
+
+// options carries the flag-settable knobs into run; the zero value plus
+// defaultOptions() matches the CLI defaults.
+type options struct {
+	N        int
+	workers  int
+	intra    int
+	seed     int64
+	lanes    int
+	depth    int
+	flits    int
+	traffic  string
+	scenPath string // wormhole command: fault scenario file
+}
+
+// defaultOptions mirrors the CLI flag defaults, for tests that call run
+// directly.
+func defaultOptions(N int) options {
+	return options{N: N, seed: 1, lanes: 2, depth: 2, flits: 4, traffic: "uniform"}
+}
 
 func main() {
 	n := flag.Int("n", 8, "network size N (power of two)")
 	workers := flag.Int("workers", 0, "worker goroutines for multi-run commands (0 = GOMAXPROCS/intra)")
 	intra := flag.Int("intra", 0, "worker goroutines inside each simulation run (0/1 = sequential; results are bit-identical for every value)")
+	seed := flag.Int64("seed", 1, "PRNG seed for simulation commands (replicas use seed..seed+R-1)")
+	lanes := flag.Int("lanes", 2, "wormhole: virtual lanes per link (1..64)")
+	depth := flag.Int("depth", 2, "wormhole: flit buffer depth per lane")
+	flits := flag.Int("flits", 4, "wormhole: flits per packet")
+	traffic := flag.String("traffic", "uniform", "wormhole traffic pattern (uniform|hotspot|bitcomplement|tornado)")
+	scenPath := flag.String("scenario", "", "wormhole: fault scenario file (n/link/switch and optional lanes/depth directives)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the command to this file")
 	memprofile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	version := flag.Bool("version", false, "print version and exit")
@@ -62,8 +95,13 @@ func main() {
 		fmt.Println(buildinfo.Version("iadmsim"))
 		return
 	}
+	o := options{
+		N: *n, workers: *workers, intra: *intra, seed: *seed,
+		lanes: *lanes, depth: *depth, flits: *flits,
+		traffic: *traffic, scenPath: *scenPath,
+	}
 	err := profiling.WithProfiles(*cpuprofile, *memprofile, func() error {
-		return run(os.Stdout, *n, *workers, *intra, flag.Args())
+		return run(os.Stdout, o, flag.Args())
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "iadmsim:", err)
@@ -71,7 +109,8 @@ func main() {
 	}
 }
 
-func run(w io.Writer, N, workers, intra int, args []string) error {
+func run(w io.Writer, o options, args []string) error {
+	N, workers, intra := o.N, o.workers, o.intra
 	p, err := topology.NewParams(N)
 	if err != nil {
 		return err
@@ -144,7 +183,7 @@ func run(w io.Writer, N, workers, intra int, args []string) error {
 		if len(args) != 4 {
 			return fmt.Errorf("usage: scenario <file> <s> <d>")
 		}
-		sc, err := loadScenario(args[1])
+		sc, err := loadPacketScenario(args[1])
 		if err != nil {
 			return err
 		}
@@ -172,7 +211,7 @@ func run(w io.Writer, N, workers, intra int, args []string) error {
 		if len(args) != 2 {
 			return fmt.Errorf("usage: connectivity <file>")
 		}
-		sc, err := loadScenario(args[1])
+		sc, err := loadPacketScenario(args[1])
 		if err != nil {
 			return err
 		}
@@ -191,31 +230,13 @@ func run(w io.Writer, N, workers, intra int, args []string) error {
 		if len(args) < 3 || len(args) > 4 {
 			return fmt.Errorf("usage: simulate <static|random|adaptive> <load> [replicas]")
 		}
-		var pol simulator.Policy
-		switch args[1] {
-		case "static":
-			pol = simulator.StaticC
-		case "random":
-			pol = simulator.RandomState
-		case "adaptive":
-			pol = simulator.AdaptiveSSDT
-		default:
-			return fmt.Errorf("unknown policy %q", args[1])
-		}
-		load, err := strconv.ParseFloat(args[2], 64)
+		pol, load, replicas, err := parseSimArgs(args)
 		if err != nil {
-			return fmt.Errorf("bad load %q", args[2])
-		}
-		replicas := 1
-		if len(args) == 4 {
-			replicas, err = strconv.Atoi(args[3])
-			if err != nil || replicas < 1 {
-				return fmt.Errorf("bad replica count %q", args[3])
-			}
+			return err
 		}
 		base := simulator.Config{
 			N: N, Policy: pol, Load: load, QueueCap: 4,
-			Cycles: 5000, Warmup: 500, Seed: 1, Traffic: simulator.Uniform,
+			Cycles: 5000, Warmup: 500, Seed: o.seed, Traffic: simulator.Uniform,
 			IntraWorkers: intra,
 		}
 		if replicas == 1 {
@@ -246,6 +267,77 @@ func run(w io.Writer, N, workers, intra int, args []string) error {
 		// Per-packet latency pooled across replicas (Chan's parallel-moments
 		// merge), versus the per-replica means above.
 		fmt.Fprintf(w, "pooled latency: %s\n", pooled.String())
+		return nil
+	case "wormhole":
+		if len(args) < 3 || len(args) > 4 {
+			return fmt.Errorf("usage: wormhole <static|random|adaptive> <load> [replicas]")
+		}
+		pol, load, replicas, err := parseSimArgs(args)
+		if err != nil {
+			return err
+		}
+		base := wormhole.Config{
+			N: N, Policy: pol, Load: load,
+			PacketFlits: o.flits, Lanes: o.lanes, LaneDepth: o.depth,
+			Cycles: 5000, Warmup: 500, Seed: o.seed,
+			IntraWorkers: intra,
+		}
+		switch o.traffic {
+		case "uniform":
+			base.Traffic = simulator.Uniform
+		case "hotspot":
+			// A mild hotspot: destination 0 draws an extra 20% of traffic.
+			base.Traffic = simulator.Hotspot
+			base.HotspotDest = 0
+			base.HotspotFrac = 0.2
+		case "bitcomplement":
+			base.Traffic = simulator.BitComplementTraffic
+		case "tornado":
+			base.Traffic = simulator.Tornado
+		default:
+			return fmt.Errorf("unknown traffic pattern %q (want uniform, hotspot, bitcomplement or tornado)", o.traffic)
+		}
+		if o.scenPath != "" {
+			sc, err := loadScenario(o.scenPath)
+			if err != nil {
+				return err
+			}
+			if sc.Params.Size() != N {
+				return fmt.Errorf("scenario is for N=%d, run invoked with -n %d", sc.Params.Size(), N)
+			}
+			base.Blocked = sc.Blocked
+			// Scenario lanes/depth directives pin the operating point,
+			// overriding the flags.
+			if sc.Lanes != 0 {
+				base.Lanes = sc.Lanes
+			}
+			if sc.LaneDepth != 0 {
+				base.LaneDepth = sc.LaneDepth
+			}
+		}
+		if replicas == 1 {
+			m, err := wormhole.Run(base)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "policy %s load %.2f (%d flits/packet, %d lanes x %d flits): throughput %.4f pkt (%.4f flit), latency %s, maxLaneDepth %d, dropped %d, refused %d\n",
+				pol, load, base.PacketFlits, base.Lanes, base.LaneDepth,
+				m.Throughput, m.FlitThroughput, m.Latency.String(), m.MaxLaneDepth, m.Dropped, m.Refused)
+			return nil
+		}
+		ms, err := wormhole.Sweep(base, replicas, workers, nil)
+		if err != nil {
+			return err
+		}
+		var tput, lat stats.Sample
+		for i, m := range ms {
+			fmt.Fprintf(w, "seed %d: throughput %.4f pkt (%.4f flit), latency %s\n",
+				base.Seed+int64(i), m.Throughput, m.FlitThroughput, m.Latency.String())
+			tput.Add(m.Throughput)
+			lat.Add(m.Latency.Mean())
+		}
+		fmt.Fprintf(w, "policy %s load %.2f over %d replicas: throughput %.4f ± %.4f, mean latency %.2f ± %.2f\n",
+			pol, load, replicas, tput.Mean(), tput.StdDev(), lat.Mean(), lat.StdDev())
 		return nil
 	case "equiv":
 		base := cubefamily.MustNew(cubefamily.GeneralizedCube, N).Layered()
@@ -333,6 +425,34 @@ func run(w io.Writer, N, workers, intra int, args []string) error {
 	}
 }
 
+// parseSimArgs parses the shared <policy> <load> [replicas] argument
+// tail of the simulate and wormhole commands.
+func parseSimArgs(args []string) (simulator.Policy, float64, int, error) {
+	var pol simulator.Policy
+	switch args[1] {
+	case "static":
+		pol = simulator.StaticC
+	case "random":
+		pol = simulator.RandomState
+	case "adaptive":
+		pol = simulator.AdaptiveSSDT
+	default:
+		return 0, 0, 0, fmt.Errorf("unknown policy %q", args[1])
+	}
+	load, err := strconv.ParseFloat(args[2], 64)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("bad load %q", args[2])
+	}
+	replicas := 1
+	if len(args) == 4 {
+		replicas, err = strconv.Atoi(args[3])
+		if err != nil || replicas < 1 {
+			return 0, 0, 0, fmt.Errorf("bad replica count %q", args[3])
+		}
+	}
+	return pol, load, replicas, nil
+}
+
 func loadScenario(path string) (*scenario.Scenario, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -340,6 +460,20 @@ func loadScenario(path string) (*scenario.Scenario, error) {
 	}
 	defer f.Close()
 	return scenario.Parse(f)
+}
+
+// loadPacketScenario loads a scenario for a packet-mode consumer, which
+// has no meaning for the wormhole-only lanes/depth directives and must
+// reject scenarios carrying them.
+func loadPacketScenario(path string) (*scenario.Scenario, error) {
+	sc, err := loadScenario(path)
+	if err != nil {
+		return nil, err
+	}
+	if sc.Wormhole() {
+		return nil, fmt.Errorf("scenario %s pins a wormhole operating point (lanes/depth); only the wormhole command accepts it", path)
+	}
+	return sc, nil
 }
 
 func parsePair(p topology.Params, args []string) (int, int, error) {

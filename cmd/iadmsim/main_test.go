@@ -11,7 +11,7 @@ import (
 func runOK(t *testing.T, N int, args ...string) string {
 	t.Helper()
 	var sb strings.Builder
-	if err := run(&sb, N, 0, 0, args); err != nil {
+	if err := run(&sb, defaultOptions(N), args); err != nil {
 		t.Fatalf("run(%v): %v", args, err)
 	}
 	return sb.String()
@@ -20,7 +20,7 @@ func runOK(t *testing.T, N int, args ...string) string {
 func runErr(t *testing.T, N int, args ...string) {
 	t.Helper()
 	var sb strings.Builder
-	if err := run(&sb, N, 0, 0, args); err == nil {
+	if err := run(&sb, defaultOptions(N), args); err == nil {
 		t.Fatalf("run(%v) unexpectedly succeeded:\n%s", args, sb.String())
 	}
 }
@@ -173,7 +173,9 @@ func TestSimulateReplicas(t *testing.T) {
 	// The fan-out must not depend on worker count: explicit workers give
 	// the same report.
 	var sb strings.Builder
-	if err := run(&sb, 8, 3, 2, []string{"simulate", "adaptive", "0.3", "4"}); err != nil {
+	o := defaultOptions(8)
+	o.workers, o.intra = 3, 2
+	if err := run(&sb, o, []string{"simulate", "adaptive", "0.3", "4"}); err != nil {
 		t.Fatal(err)
 	}
 	if sb.String() != out {
@@ -182,6 +184,104 @@ func TestSimulateReplicas(t *testing.T) {
 	runErr(t, 8, "simulate", "adaptive", "0.3", "0")
 	runErr(t, 8, "simulate", "adaptive", "0.3", "zz")
 	runErr(t, 8, "simulate", "adaptive", "0.3", "4", "5")
+}
+
+func TestWormholeCommand(t *testing.T) {
+	out := runOK(t, 8, "wormhole", "adaptive", "0.4")
+	if !strings.Contains(out, "4 flits/packet, 2 lanes x 2 flits") {
+		t.Errorf("wormhole output missing operating point:\n%s", out)
+	}
+	if !strings.Contains(out, "throughput") || !strings.Contains(out, "flit") {
+		t.Errorf("wormhole output wrong:\n%s", out)
+	}
+	runErr(t, 8, "wormhole", "bogus", "0.4")
+	runErr(t, 8, "wormhole", "static", "x")
+	runErr(t, 8, "wormhole", "static")
+	runErr(t, 8, "wormhole", "static", "0.4", "0")
+}
+
+func TestWormholeSeedFlag(t *testing.T) {
+	o1 := defaultOptions(8)
+	o2 := defaultOptions(8)
+	o2.seed = 99
+	var a, b, c strings.Builder
+	if err := run(&a, o1, []string{"wormhole", "adaptive", "0.4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b, o2, []string{"wormhole", "adaptive", "0.4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&c, o1, []string{"wormhole", "adaptive", "0.4"}); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == b.String() {
+		t.Errorf("different seeds gave identical reports:\n%s", a.String())
+	}
+	if a.String() != c.String() {
+		t.Errorf("same seed gave different reports:\n%s\nvs\n%s", a.String(), c.String())
+	}
+}
+
+func TestWormholeReplicas(t *testing.T) {
+	out := runOK(t, 8, "wormhole", "adaptive", "0.4", "3")
+	if strings.Count(out, "seed ") != 3 {
+		t.Errorf("want 3 per-seed lines:\n%s", out)
+	}
+	if !strings.Contains(out, "over 3 replicas") {
+		t.Errorf("missing aggregate line:\n%s", out)
+	}
+}
+
+func TestWormholeTrafficFlag(t *testing.T) {
+	for _, tr := range []string{"uniform", "hotspot", "bitcomplement", "tornado"} {
+		o := defaultOptions(8)
+		o.traffic = tr
+		var sb strings.Builder
+		if err := run(&sb, o, []string{"wormhole", "adaptive", "0.4"}); err != nil {
+			t.Fatalf("traffic %s: %v", tr, err)
+		}
+	}
+	o := defaultOptions(8)
+	o.traffic = "bogus"
+	var sb strings.Builder
+	if err := run(&sb, o, []string{"wormhole", "adaptive", "0.4"}); err == nil {
+		t.Error("accepted unknown traffic pattern")
+	}
+}
+
+func TestWormholeScenario(t *testing.T) {
+	path := writeScenario(t, "n 8\nlanes 4\ndepth 3\nlink 1 5 0\n")
+	o := defaultOptions(8)
+	o.scenPath = path
+	var sb strings.Builder
+	if err := run(&sb, o, []string{"wormhole", "adaptive", "0.4"}); err != nil {
+		t.Fatal(err)
+	}
+	// The scenario's lanes/depth directives override the flag defaults.
+	if !strings.Contains(sb.String(), "4 lanes x 3 flits") {
+		t.Errorf("scenario lanes/depth not applied:\n%s", sb.String())
+	}
+	// A scenario for a different size is rejected rather than silently
+	// resized.
+	o16 := defaultOptions(16)
+	o16.scenPath = path
+	var sb16 strings.Builder
+	if err := run(&sb16, o16, []string{"wormhole", "adaptive", "0.4"}); err == nil {
+		t.Error("accepted a scenario for the wrong network size")
+	}
+	o.scenPath = "/nonexistent/file"
+	if err := run(&sb, o, []string{"wormhole", "adaptive", "0.4"}); err == nil {
+		t.Error("accepted a missing scenario file")
+	}
+}
+
+// TestPacketModeRejectsWormholeScenario: scenarios pinning a wormhole
+// operating point have no packet-mode meaning; the packet-mode scenario
+// consumers must refuse them rather than silently ignore the directives.
+func TestPacketModeRejectsWormholeScenario(t *testing.T) {
+	path := writeScenario(t, "n 8\nlanes 4\nlink 1 5 0\n")
+	runErr(t, 8, "scenario", path, "1", "0")
+	runErr(t, 8, "connectivity", path)
 }
 
 func TestEquivCommand(t *testing.T) {

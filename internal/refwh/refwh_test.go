@@ -1,0 +1,206 @@
+package refwh_test
+
+import (
+	"math"
+	"testing"
+
+	"iadm/internal/refwh"
+	"iadm/internal/simulator"
+	"iadm/internal/stats"
+	"iadm/internal/wormhole"
+)
+
+// checkStreamExact compares two stats.Streams built from the same
+// observation multiset by the same fold. The optimized engine and refwh
+// both transfer their latency histograms into the stream with one
+// ascending AddN pass (and build the utilization streams by the same Add
+// sequence), so every moment must be bit-equal, not merely close.
+func checkStreamExact(t *testing.T, name string, got, want stats.Stream) {
+	t.Helper()
+	if got.N() != want.N() {
+		t.Errorf("%s.N = %d, want %d", name, got.N(), want.N())
+	}
+	if got.Min() != want.Min() || got.Max() != want.Max() {
+		t.Errorf("%s range = [%v,%v], want [%v,%v]",
+			name, got.Min(), got.Max(), want.Min(), want.Max())
+	}
+	if got.Mean() != want.Mean() {
+		t.Errorf("%s.Mean = %v, want %v", name, got.Mean(), want.Mean())
+	}
+	if got.Variance() != want.Variance() {
+		t.Errorf("%s.Variance = %v, want %v", name, got.Variance(), want.Variance())
+	}
+	for _, p := range []float64{0, 1, 5, 25, 50, 75, 90, 95, 99, 100} {
+		if g, w := got.Percentile(p), want.Percentile(p); g != w {
+			t.Errorf("%s.Percentile(%v) = %v, want %v", name, p, g, w)
+		}
+	}
+}
+
+// checkExact asserts the optimized wormhole engine and the reference
+// agree exactly on cfg. Valid only for FaultRate == 0, where the two
+// implementations make identical random decisions (see the refwh package
+// comment).
+func checkExact(t *testing.T, cfg wormhole.Config) {
+	t.Helper()
+	if cfg.FaultRate != 0 {
+		t.Fatalf("checkExact on a faulty config (FaultRate=%v): use checkStatistical", cfg.FaultRate)
+	}
+	want, err := refwh.Run(cfg)
+	if err != nil {
+		t.Fatalf("refwh.Run: %v", err)
+	}
+	got, err := wormhole.Run(cfg)
+	if err != nil {
+		t.Fatalf("wormhole.Run: %v", err)
+	}
+	ints := []struct {
+		name      string
+		got, want int
+	}{
+		{"Injected", got.Injected, want.Injected},
+		{"Delivered", got.Delivered, want.Delivered},
+		{"Dropped", got.Dropped, want.Dropped},
+		{"Refused", got.Refused, want.Refused},
+		{"FlitsInjected", got.FlitsInjected, want.FlitsInjected},
+		{"FlitsDelivered", got.FlitsDelivered, want.FlitsDelivered},
+		{"FlitsDropped", got.FlitsDropped, want.FlitsDropped},
+		{"MaxLaneDepth", got.MaxLaneDepth, want.MaxLaneDepth},
+	}
+	for _, c := range ints {
+		if c.got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, c.got, c.want)
+		}
+	}
+	// Single float divisions over identical integers: bit-equal.
+	floats := []struct {
+		name      string
+		got, want float64
+	}{
+		{"Throughput", got.Throughput, want.Throughput},
+		{"FlitThroughput", got.FlitThroughput, want.FlitThroughput},
+		{"MeanLaneOcc", got.MeanLaneOcc, want.MeanLaneOcc},
+	}
+	for _, c := range floats {
+		if c.got != c.want {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+	checkStreamExact(t, "Latency", got.Latency, want.Latency)
+	checkStreamExact(t, "UtilStraight", got.UtilStraight, want.UtilStraight)
+	checkStreamExact(t, "UtilNonstraight", got.UtilNonstraight, want.UtilNonstraight)
+	if t.Failed() {
+		t.Logf("config: %+v", cfg)
+	}
+}
+
+// checkStatistical compares a faulty config, where the two
+// implementations spend fault draws differently (per-link-per-cycle
+// versus geometric skip-sampling) and the runs are independent samples of
+// the same process. Counters must agree within a loose relative band plus
+// an absolute floor for near-empty runs.
+func checkStatistical(t *testing.T, cfg wormhole.Config) {
+	t.Helper()
+	want, err := refwh.Run(cfg)
+	if err != nil {
+		t.Fatalf("refwh.Run: %v", err)
+	}
+	got, err := wormhole.Run(cfg)
+	if err != nil {
+		t.Fatalf("wormhole.Run: %v", err)
+	}
+	counters := []struct {
+		name      string
+		got, want int
+	}{
+		{"Injected", got.Injected, want.Injected},
+		{"Delivered", got.Delivered, want.Delivered},
+		{"FlitsDelivered", got.FlitsDelivered, want.FlitsDelivered},
+	}
+	for _, c := range counters {
+		diff := math.Abs(float64(c.got - c.want))
+		limit := 0.25*math.Max(float64(c.got), float64(c.want)) + 25
+		if diff > limit {
+			t.Errorf("%s = %d, want within %.0f of %d", c.name, c.got, limit, c.want)
+		}
+	}
+	if d := math.Abs(got.Latency.Mean() - want.Latency.Mean()); d > 0.25*math.Max(got.Latency.Mean(), want.Latency.Mean())+2 {
+		t.Errorf("Latency.Mean = %v, want near %v", got.Latency.Mean(), want.Latency.Mean())
+	}
+	if t.Failed() {
+		t.Logf("config: %+v", cfg)
+	}
+}
+
+// TestRefwhDeterminism: the reference itself must be a pure function of
+// its config.
+func TestRefwhDeterminism(t *testing.T) {
+	cfg := wormhole.Config{
+		N: 8, Policy: simulator.AdaptiveSSDT, Load: 0.7,
+		PacketFlits: 4, Lanes: 2, LaneDepth: 3,
+		Cycles: 300, Warmup: 40, Seed: 11, Switches: simulator.SingleInput,
+	}
+	a, err := refwh.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := refwh.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Injected != b.Injected || a.Delivered != b.Delivered ||
+		a.Dropped != b.Dropped || a.Refused != b.Refused ||
+		a.FlitsDelivered != b.FlitsDelivered || a.MeanLaneOcc != b.MeanLaneOcc ||
+		a.Latency.Mean() != b.Latency.Mean() {
+		t.Fatalf("refwh not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+// TestRefwhRejectsWhatWormholeRejects: the shared validation contract.
+func TestRefwhRejectsWhatWormholeRejects(t *testing.T) {
+	bad := []wormhole.Config{
+		{N: 7, Load: 0.5, PacketFlits: 4, Lanes: 2, LaneDepth: 2, Cycles: 10},
+		{N: 8, Load: 1.5, PacketFlits: 4, Lanes: 2, LaneDepth: 2, Cycles: 10},
+		{N: 8, Load: 0.5, PacketFlits: 0, Lanes: 2, LaneDepth: 2, Cycles: 10},
+		{N: 8, Load: 0.5, PacketFlits: 4, Lanes: 0, LaneDepth: 2, Cycles: 10},
+		{N: 8, Load: 0.5, PacketFlits: 4, Lanes: 65, LaneDepth: 2, Cycles: 10},
+		{N: 8, Load: 0.5, PacketFlits: 4, Lanes: 2, LaneDepth: 0, Cycles: 10},
+		{N: 8, Load: 0.5, PacketFlits: 4, Lanes: 2, LaneDepth: 2, Cycles: 10,
+			Traffic: simulator.PermutationTraffic, Perm: []int{0, 1, 2, 3, 4, 5, 6, 8}},
+		{N: 2, Load: 0.5, PacketFlits: 4, Lanes: 2, LaneDepth: 2, Cycles: 10,
+			Traffic: simulator.Tornado},
+	}
+	for i, cfg := range bad {
+		if _, err := refwh.Run(cfg); err == nil {
+			t.Errorf("config %d: refwh accepted a config wormhole rejects", i)
+		}
+		if _, err := wormhole.Run(cfg); err == nil {
+			t.Errorf("config %d: expected wormhole to reject this too", i)
+		}
+	}
+}
+
+// TestRefwhZeroLoad: nothing in, nothing out.
+func TestRefwhZeroLoad(t *testing.T) {
+	m, err := refwh.Run(wormhole.Config{
+		N: 8, Load: 0, PacketFlits: 4, Lanes: 2, LaneDepth: 2, Cycles: 100, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Injected != 0 || m.Delivered != 0 || m.FlitsInjected != 0 || m.MaxLaneDepth != 0 {
+		t.Fatalf("zero-load run produced traffic: %+v", m)
+	}
+}
+
+// TestDifferentialSmoke: one plain config per policy, exact agreement.
+// The stratified sweep in diff_test.go is the heavyweight version.
+func TestDifferentialSmoke(t *testing.T) {
+	for _, pol := range []simulator.Policy{simulator.StaticC, simulator.RandomState, simulator.AdaptiveSSDT} {
+		cfg := wormhole.Config{
+			N: 8, Policy: pol, Load: 0.8, PacketFlits: 4, Lanes: 2, LaneDepth: 2,
+			Cycles: 400, Warmup: 50, Seed: 42,
+		}
+		t.Run(pol.String(), func(t *testing.T) { checkExact(t, cfg) })
+	}
+}

@@ -11,6 +11,9 @@ func FuzzParse(f *testing.F) {
 	f.Add("# only a comment\n")
 	f.Add("n 8\nlink 0 1 -\nlink 0 1 -\n")
 	f.Add("n 2\nlink 0 0 +\n")
+	f.Add("n 8\nlanes 4\ndepth 2\nlink 0 1 -\n")
+	f.Add("n 8\nlanes 64\n")
+	f.Add("n 8\ndepth 1\n")
 	f.Add("garbage everywhere")
 	f.Fuzz(func(t *testing.T, body string) {
 		s, err := ParseString(body)
@@ -23,6 +26,10 @@ func FuzzParse(f *testing.F) {
 		}
 		if re.Blocked.Count() != s.Blocked.Count() {
 			t.Fatalf("round trip changed blockage count %d -> %d", s.Blocked.Count(), re.Blocked.Count())
+		}
+		if re.Lanes != s.Lanes || re.LaneDepth != s.LaneDepth {
+			t.Fatalf("round trip changed lanes/depth %d/%d -> %d/%d",
+				s.Lanes, s.LaneDepth, re.Lanes, re.LaneDepth)
 		}
 	})
 }

@@ -9,8 +9,12 @@
 //	link 1 2 0          # stage 1, switch 2, straight link
 //	link 2 4 +          # stage 2, switch 4, +2^i link
 //	switch 1 3          # switch 3 of stage 1 (blocks its input links)
+//	lanes 4             # wormhole mode: virtual lanes per link (optional)
+//	depth 2             # wormhole mode: flit buffer depth per lane (optional)
 //
-// Link kinds are written -, 0, + exactly as in the iadmsim CLI.
+// Link kinds are written -, 0, + exactly as in the iadmsim CLI. The
+// lanes/depth directives describe a wormhole (flit-level) operating
+// point; packet-mode consumers must reject scenarios that carry them.
 package scenario
 
 import (
@@ -29,7 +33,18 @@ type Scenario struct {
 	Params   topology.Params
 	Blocked  *blockage.Set
 	Switches []topology.Switch // switch blockages, already expanded into Blocked
+
+	// Lanes and LaneDepth, when non-zero, pin the wormhole operating
+	// point (virtual lanes per link and flits per lane). Zero means the
+	// scenario does not care. Packet-mode consumers must reject
+	// scenarios with either set — the directives have no packet-level
+	// meaning.
+	Lanes     int
+	LaneDepth int
 }
+
+// Wormhole reports whether the scenario pins a wormhole operating point.
+func (s *Scenario) Wormhole() bool { return s.Lanes != 0 || s.LaneDepth != 0 }
 
 // Parse reads a scenario from r.
 func Parse(r io.Reader) (*Scenario, error) {
@@ -92,6 +107,33 @@ func Parse(r io.Reader) (*Scenario, error) {
 				return nil, fmt.Errorf("scenario: line %d: %v", lineNo, err)
 			}
 			out.Switches = append(out.Switches, sw)
+		case "lanes":
+			if out == nil {
+				return nil, fmt.Errorf("scenario: line %d: size directive must come first", lineNo)
+			}
+			if out.Lanes != 0 {
+				return nil, fmt.Errorf("scenario: line %d: duplicate lanes directive", lineNo)
+			}
+			k, err := parsePositive(fields, "lanes <count>")
+			if err != nil {
+				return nil, fmt.Errorf("scenario: line %d: %v", lineNo, err)
+			}
+			if k > 64 {
+				return nil, fmt.Errorf("scenario: line %d: lanes %d > 64", lineNo, k)
+			}
+			out.Lanes = k
+		case "depth":
+			if out == nil {
+				return nil, fmt.Errorf("scenario: line %d: size directive must come first", lineNo)
+			}
+			if out.LaneDepth != 0 {
+				return nil, fmt.Errorf("scenario: line %d: duplicate depth directive", lineNo)
+			}
+			f, err := parsePositive(fields, "depth <flits>")
+			if err != nil {
+				return nil, fmt.Errorf("scenario: line %d: %v", lineNo, err)
+			}
+			out.LaneDepth = f
 		default:
 			return nil, fmt.Errorf("scenario: line %d: unknown directive %q", lineNo, fields[0])
 		}
@@ -115,6 +157,16 @@ func (s *Scenario) Format(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "n %d\n", s.Params.Size()); err != nil {
 		return err
 	}
+	if s.Lanes != 0 {
+		if _, err := fmt.Fprintf(w, "lanes %d\n", s.Lanes); err != nil {
+			return err
+		}
+	}
+	if s.LaneDepth != 0 {
+		if _, err := fmt.Fprintf(w, "depth %d\n", s.LaneDepth); err != nil {
+			return err
+		}
+	}
 	for _, l := range s.Blocked.Links() {
 		kind := "0"
 		switch l.Kind {
@@ -135,6 +187,19 @@ func (s *Scenario) String() string {
 	var sb strings.Builder
 	_ = s.Format(&sb)
 	return sb.String()
+}
+
+// parsePositive parses the single positive-integer operand of a
+// directive like "lanes 4" or "depth 2".
+func parsePositive(fields []string, usage string) (int, error) {
+	if len(fields) != 2 {
+		return 0, fmt.Errorf("usage: %s", usage)
+	}
+	v, err := strconv.Atoi(fields[1])
+	if err != nil || v < 1 {
+		return 0, fmt.Errorf("bad %s value %q (want a positive integer)", fields[0], fields[1])
+	}
+	return v, nil
 }
 
 func parseLink(p topology.Params, stageS, fromS, kindS string) (topology.Link, error) {

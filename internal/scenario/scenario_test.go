@@ -56,25 +56,56 @@ func TestParseAllKinds(t *testing.T) {
 	}
 }
 
+func TestParseLanesDepth(t *testing.T) {
+	s, err := ParseString("n 8\nlanes 4\ndepth 2\nlink 0 1 -\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Lanes != 4 || s.LaneDepth != 2 {
+		t.Errorf("lanes/depth = %d/%d, want 4/2", s.Lanes, s.LaneDepth)
+	}
+	if !s.Wormhole() {
+		t.Error("Wormhole() = false with lanes/depth set")
+	}
+	plain, err := ParseString("n 8\nlink 0 1 -\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Wormhole() {
+		t.Error("Wormhole() = true without lanes/depth")
+	}
+}
+
 func TestParseErrors(t *testing.T) {
 	cases := []string{
-		"",                  // missing size
-		"link 0 1 -\n",      // link before size
-		"switch 1 1\n",      // switch before size
-		"n 8\nn 8\n",        // duplicate size
-		"n 7\n",             // bad size
-		"n x\n",             // non-numeric size
-		"n 8\nlink 0 1\n",   // short link
-		"n 8\nlink 9 1 -\n", // bad stage
-		"n 8\nlink 0 9 -\n", // bad switch
-		"n 8\nlink 0 1 *\n", // bad kind
-		"n 8\nlink a 1 -\n", // non-numeric stage
-		"n 8\nlink 0 b -\n", // non-numeric switch
-		"n 8\nswitch 0 1\n", // input-column switch
-		"n 8\nswitch 1\n",   // short switch
-		"n 8\nswitch x y\n", // non-numeric switch
-		"n 8\nbogus\n",      // unknown directive
-		"n\n",               // short size
+		"",                        // missing size
+		"link 0 1 -\n",            // link before size
+		"switch 1 1\n",            // switch before size
+		"n 8\nn 8\n",              // duplicate size
+		"n 7\n",                   // bad size
+		"n x\n",                   // non-numeric size
+		"n 8\nlink 0 1\n",         // short link
+		"n 8\nlink 9 1 -\n",       // bad stage
+		"n 8\nlink 0 9 -\n",       // bad switch
+		"n 8\nlink 0 1 *\n",       // bad kind
+		"n 8\nlink a 1 -\n",       // non-numeric stage
+		"n 8\nlink 0 b -\n",       // non-numeric switch
+		"n 8\nswitch 0 1\n",       // input-column switch
+		"n 8\nswitch 1\n",         // short switch
+		"n 8\nswitch x y\n",       // non-numeric switch
+		"n 8\nbogus\n",            // unknown directive
+		"n\n",                     // short size
+		"lanes 4\n",               // lanes before size
+		"depth 2\n",               // depth before size
+		"n 8\nlanes\n",            // short lanes
+		"n 8\nlanes 0\n",          // non-positive lanes
+		"n 8\nlanes -3\n",         // negative lanes
+		"n 8\nlanes x\n",          // non-numeric lanes
+		"n 8\nlanes 65\n",         // lanes above the engine cap
+		"n 8\nlanes 4\nlanes 4\n", // duplicate lanes
+		"n 8\ndepth 0\n",          // non-positive depth
+		"n 8\ndepth y\n",          // non-numeric depth
+		"n 8\ndepth 2\ndepth 2\n", // duplicate depth
 	}
 	for _, c := range cases {
 		if _, err := ParseString(c); err == nil {

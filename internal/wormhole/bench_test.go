@@ -1,0 +1,62 @@
+package wormhole
+
+import (
+	"fmt"
+	"testing"
+
+	"iadm/internal/simulator"
+)
+
+// BenchmarkWormholeCycles is the tracked wormhole benchmark: the
+// steady-state cost of the flit-level cycle loop, with per-run setup
+// amortized by a Runner (the loop itself performs zero heap
+// allocations). Lane count is the main cost axis, so it gets the rows.
+func BenchmarkWormholeCycles(b *testing.B) {
+	for _, N := range []int{16, 64} {
+		for _, lanes := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("N=%d/lanes=%d", N, lanes), func(b *testing.B) {
+				r, err := NewRunner(Config{
+					N: N, Policy: simulator.AdaptiveSSDT, Load: 0.6,
+					PacketFlits: 4, Lanes: lanes, LaneDepth: 2,
+					Cycles: 100, Warmup: 10, Traffic: simulator.Uniform,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					r.RunSeed(int64(i))
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkWormholeLargeN is the tracked intra-run scaling benchmark for
+// the wormhole engine: one large-N run stepped with 1..8 shards, results
+// bit-identical across the row. Steady state must stay at 0 allocs/op
+// for every worker count.
+func BenchmarkWormholeLargeN(b *testing.B) {
+	for _, N := range []int{256, 1024} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("N=%d/workers=%d", N, workers), func(b *testing.B) {
+				r, err := NewRunner(Config{
+					N: N, Policy: simulator.AdaptiveSSDT, Load: 0.6,
+					PacketFlits: 4, Lanes: 4, LaneDepth: 2,
+					Cycles: 50, Warmup: 5, Traffic: simulator.Uniform,
+					IntraWorkers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer r.Close()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					r.RunSeed(int64(i))
+				}
+			})
+		}
+	}
+}

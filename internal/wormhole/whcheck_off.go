@@ -1,0 +1,8 @@
+//go:build !simcheck
+
+package wormhole
+
+// invariantsDefault is false in normal builds: the per-cycle invariant
+// checker costs O(links * lanes) per cycle and stays out of production
+// and benchmark runs. Build with -tags simcheck to default it on.
+const invariantsDefault = false

@@ -1,0 +1,9 @@
+//go:build simcheck
+
+package wormhole
+
+// invariantsDefault is true under the simcheck build tag: every wormhole
+// sim in the process re-verifies flit conservation, per-lane credit
+// balance and lane/mask agreement after each cycle (see invariants.go).
+// `make race` runs the full test suite this way.
+const invariantsDefault = true
